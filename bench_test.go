@@ -1,0 +1,441 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus the ablations called out in DESIGN.md §5 and
+// microbenchmarks of the hot paths. Each figure bench reports the
+// reproduced quantities through b.ReportMetric, so `go test -bench=.`
+// prints the paper-shaped numbers alongside the timing:
+//
+//	Figure 4/5 + §3 stats:  BenchmarkFigure4DailyMOASCounts,
+//	                        BenchmarkFigure5DurationHistogram
+//	Figure 9:               BenchmarkFigure9Effectiveness
+//	Figure 10:              BenchmarkFigure10TopologySize
+//	Figure 11:              BenchmarkFigure11PartialDeployment
+//
+// EXPERIMENTS.md records the measured values against the paper's.
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/measure"
+	"repro/internal/rib"
+	"repro/internal/routegen"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+var (
+	benchTopoOnce sync.Once
+	benchTopoSet  *topology.PaperSet
+	benchTopoErr  error
+)
+
+func benchTopologies(b *testing.B) *topology.PaperSet {
+	b.Helper()
+	benchTopoOnce.Do(func() {
+		benchTopoSet, benchTopoErr = topology.BuildPaperTopologies(42)
+	})
+	if benchTopoErr != nil {
+		b.Fatal(benchTopoErr)
+	}
+	return benchTopoSet
+}
+
+// BenchmarkFigure4DailyMOASCounts runs the §3.1 measurement pipeline
+// over the full 1279-day synthetic RouteViews series and reports the
+// Figure 4 headline numbers (daily medians by year, spike height).
+func BenchmarkFigure4DailyMOASCounts(b *testing.B) {
+	var summary measure.Summary
+	for i := 0; i < b.N; i++ {
+		g, err := routegen.New(routegen.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := measure.Run(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		summary = a.Summarize()
+	}
+	b.ReportMetric(summary.MedianDailyByYear[1998], "median-1998")
+	b.ReportMetric(summary.MedianDailyByYear[2001], "median-2001")
+	b.ReportMetric(float64(summary.MaxDaily), "max-daily")
+}
+
+// BenchmarkFigure5DurationHistogram reports the Figure 5 shape: the
+// one-day fraction and the total distinct MOAS cases.
+func BenchmarkFigure5DurationHistogram(b *testing.B) {
+	g, err := routegen.New(routegen.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := measure.Run(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var oneDay, total int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := a.DurationHistogram()
+		oneDay, total = h.Count(1), h.Total()
+	}
+	b.ReportMetric(float64(total), "total-cases")
+	b.ReportMetric(100*float64(oneDay)/float64(total), "one-day-%")
+}
+
+// figureSweep runs one (topology, origins, modes) sweep at the paper's
+// anchor attacker fractions (~4% and ~30%) and returns the result.
+func figureSweep(b *testing.B, topo *topology.SampleResult, name string,
+	origins int, modes []experiment.ModeSpec) *experiment.SweepResult {
+	b.Helper()
+	n := topo.Graph.NumNodes()
+	low := n * 4 / 100
+	if low < 1 {
+		low = 1
+	}
+	high := n * 30 / 100
+	res, err := experiment.Sweep(experiment.SweepConfig{
+		Topology:       topo,
+		TopologyName:   name,
+		NumOrigins:     origins,
+		AttackerCounts: []int{low, high},
+		Modes:          modes,
+		Seed:           42,
+		ColdStart:      true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+var normalVsFull = []experiment.ModeSpec{
+	{Label: "Normal BGP", Detection: experiment.DetectionOff},
+	{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+}
+
+// BenchmarkFigure9Effectiveness regenerates Figure 9: normal BGP vs
+// full MOAS detection on the 46-AS topology (one origin AS; the
+// two-origin variant is the Figure9TwoOrigins bench).
+func BenchmarkFigure9Effectiveness(b *testing.B) {
+	set := benchTopologies(b)
+	var res *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = figureSweep(b, set.T46, "46", 1, normalVsFull)
+	}
+	lo, hi := res.Points[0], res.Points[1]
+	b.ReportMetric(lo.MeanFalsePct[0], "normal@4%")
+	b.ReportMetric(lo.MeanFalsePct[1], "full@4%")
+	b.ReportMetric(hi.MeanFalsePct[0], "normal@30%")
+	b.ReportMetric(hi.MeanFalsePct[1], "full@30%")
+}
+
+// BenchmarkFigure9TwoOrigins is Figure 9(b): two origin ASes.
+func BenchmarkFigure9TwoOrigins(b *testing.B) {
+	set := benchTopologies(b)
+	var res *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		res = figureSweep(b, set.T46, "46", 2, normalVsFull)
+	}
+	hi := res.Points[1]
+	b.ReportMetric(hi.MeanFalsePct[0], "normal@30%")
+	b.ReportMetric(hi.MeanFalsePct[1], "full@30%")
+}
+
+// BenchmarkFigure10TopologySize regenerates Figure 10: the 25/46/63-AS
+// comparison, reporting full-detection adoption at ~30% attackers per
+// topology (the paper's "larger topologies are more robust" claim).
+func BenchmarkFigure10TopologySize(b *testing.B) {
+	set := benchTopologies(b)
+	topos := []struct {
+		name string
+		s    *topology.SampleResult
+	}{{"25", set.T25}, {"46", set.T46}, {"63", set.T63}}
+	results := make(map[string]*experiment.SweepResult, 3)
+	for i := 0; i < b.N; i++ {
+		for _, topo := range topos {
+			results[topo.name] = figureSweep(b, topo.s, topo.name, 1, normalVsFull)
+		}
+	}
+	for _, topo := range topos {
+		hi := results[topo.name].Points[1]
+		b.ReportMetric(hi.MeanFalsePct[1], "full@30%-"+topo.name+"AS")
+	}
+}
+
+// BenchmarkFigure11PartialDeployment regenerates Figure 11: 50% vs
+// 100% deployment on the 46- and 63-AS topologies.
+func BenchmarkFigure11PartialDeployment(b *testing.B) {
+	set := benchTopologies(b)
+	modes := []experiment.ModeSpec{
+		{Label: "Normal BGP", Detection: experiment.DetectionOff},
+		{Label: "Half MOAS Detection", Detection: experiment.DetectionPartial, DeployFraction: 0.5},
+		{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+	}
+	topos := []struct {
+		name string
+		s    *topology.SampleResult
+	}{{"46", set.T46}, {"63", set.T63}}
+	results := make(map[string]*experiment.SweepResult, 2)
+	for i := 0; i < b.N; i++ {
+		for _, topo := range topos {
+			results[topo.name] = figureSweep(b, topo.s, topo.name, 1, modes)
+		}
+	}
+	for _, topo := range topos {
+		hi := results[topo.name].Points[1]
+		b.ReportMetric(hi.MeanFalsePct[0], "normal@30%-"+topo.name+"AS")
+		b.ReportMetric(hi.MeanFalsePct[1], "half@30%-"+topo.name+"AS")
+		b.ReportMetric(hi.MeanFalsePct[2], "full@30%-"+topo.name+"AS")
+	}
+}
+
+// BenchmarkAblationForgedSupersetList: the §4.1 forging attacker. The
+// reported adoption should stay close to the bare-announcement case —
+// set inequality catches the superset list.
+func BenchmarkAblationForgedSupersetList(b *testing.B) {
+	set := benchTopologies(b)
+	var res *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		n := set.T46.Graph.NumNodes()
+		r, err := experiment.Sweep(experiment.SweepConfig{
+			Topology:          set.T46,
+			TopologyName:      "46",
+			NumOrigins:        2,
+			AttackerCounts:    []int{n * 30 / 100},
+			Modes:             normalVsFull,
+			Seed:              42,
+			ColdStart:         true,
+			ForgeSupersetList: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Points[0].MeanFalsePct[1], "full@30%-forged")
+}
+
+// BenchmarkAblationStripMOAS: attackers strip MOAS communities from
+// routes they relay (§4.3's community-drop caveat, adversarial form).
+func BenchmarkAblationStripMOAS(b *testing.B) {
+	set := benchTopologies(b)
+	var res *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		n := set.T46.Graph.NumNodes()
+		r, err := experiment.Sweep(experiment.SweepConfig{
+			Topology:           set.T46,
+			TopologyName:       "46",
+			NumOrigins:         2,
+			AttackerCounts:     []int{n * 30 / 100},
+			Modes:              normalVsFull,
+			Seed:               42,
+			ColdStart:          true,
+			StripMOASInTransit: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Points[0].MeanFalsePct[1], "full@30%-strip")
+}
+
+// BenchmarkAblationTransitAttackers places every attacker in a transit
+// AS (the paper's §5.1 remark that transit attackers can block more
+// valid routes), versus the default all-AS placement.
+func BenchmarkAblationTransitAttackers(b *testing.B) {
+	set := benchTopologies(b)
+	topo := set.T46
+	transits := topo.TransitASes()
+	stubs := topo.StubASes()
+	numAttackers := len(transits) / 2
+	var adopted float64
+	for i := 0; i < b.N; i++ {
+		scen := experiment.Scenario{
+			Origins:    stubs[:1],
+			Attackers:  transits[:numAttackers],
+			DeploySeed: 1,
+		}
+		res, err := experiment.Run(experiment.RunConfig{
+			Topology:  topo,
+			Scenario:  scen,
+			Detection: experiment.DetectionFull,
+			ColdStart: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		adopted = res.Census.FalsePct()
+	}
+	b.ReportMetric(adopted, "full-transit-attackers-%")
+}
+
+// Microbenchmarks of the hot paths.
+
+func benchUpdate() *wire.Update {
+	return &wire.Update{
+		Attrs: wire.PathAttrs{
+			HasOrigin:  true,
+			HasNextHop: true,
+			NextHop:    0x0a000001,
+			ASPath:     astypes.NewSeqPath(701, 1239, 3561, 4),
+			Communities: core.NewList(4, 226).
+				Communities(),
+		},
+		NLRI: []astypes.Prefix{astypes.MustPrefix(0x83b30000, 16)},
+	}
+}
+
+func BenchmarkWireEncodeUpdate(b *testing.B) {
+	u := benchUpdate()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Encode(u); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireDecodeUpdate(b *testing.B) {
+	buf, err := wire.Encode(benchUpdate())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCheckerConsistent(b *testing.B) {
+	c := core.NewChecker()
+	list := core.NewList(4, 226)
+	ann := core.Announcement{
+		Prefix:      astypes.MustPrefix(0x83b30000, 16),
+		Path:        astypes.NewSeqPath(701, 4),
+		Communities: list.Communities(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Check(ann)
+	}
+}
+
+func BenchmarkCheckerConflict(b *testing.B) {
+	c := core.NewChecker()
+	c.Check(core.Announcement{
+		Prefix: astypes.MustPrefix(0x83b30000, 16),
+		Path:   astypes.NewSeqPath(701, 4),
+	})
+	attack := core.Announcement{
+		Prefix: astypes.MustPrefix(0x83b30000, 16),
+		Path:   astypes.NewSeqPath(9, 52),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Check(attack)
+	}
+}
+
+func BenchmarkRIBDecisionProcess(b *testing.B) {
+	tbl := rib.NewTable()
+	prefix := astypes.MustPrefix(0x83b30000, 16)
+	for peer := astypes.ASN(2); peer < 10; peer++ {
+		tbl.Update(&rib.Route{
+			Prefix:    prefix,
+			Path:      astypes.NewSeqPath(peer, 100, 4),
+			LocalPref: rib.DefaultLocalPref,
+			FromPeer:  peer,
+		})
+	}
+	update := &rib.Route{
+		Prefix:    prefix,
+		Path:      astypes.NewSeqPath(11, 4),
+		LocalPref: rib.DefaultLocalPref,
+		FromPeer:  11,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tbl.Update(update)
+	}
+}
+
+func BenchmarkSimConvergence46AS(b *testing.B) {
+	set := benchTopologies(b)
+	scenarios, err := experiment.Selections(set.T46, 1, 2, 1, 1, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := experiment.RunConfig{
+		Topology:  set.T46,
+		Scenario:  scenarios[0],
+		Detection: experiment.DetectionFull,
+		ColdStart: true,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDumpGeneration(b *testing.B) {
+	g, err := routegen.New(routegen.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.DumpForDay(i % g.Days()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopologySampling(b *testing.B) {
+	inf, err := topology.GenerateInternet(topology.DefaultInternetParams(), 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := topology.SampleToSize(inf, 46, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationValleyFreePolicy reruns the Figure 9 anchor under
+// Gao-Rexford valley-free export policy instead of flooding: policy
+// restricts where the valid announcement travels, so detection coverage
+// (and the attack's reach) both change.
+func BenchmarkAblationValleyFreePolicy(b *testing.B) {
+	set := benchTopologies(b)
+	var res *experiment.SweepResult
+	for i := 0; i < b.N; i++ {
+		n := set.T46.Graph.NumNodes()
+		r, err := experiment.Sweep(experiment.SweepConfig{
+			Topology:       set.T46,
+			TopologyName:   "46",
+			NumOrigins:     1,
+			AttackerCounts: []int{n * 30 / 100},
+			Modes:          normalVsFull,
+			Seed:           42,
+			ColdStart:      true,
+			ValleyFree:     true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+	}
+	b.ReportMetric(res.Points[0].MeanFalsePct[0], "normal@30%-valleyfree")
+	b.ReportMetric(res.Points[0].MeanFalsePct[1], "full@30%-valleyfree")
+}

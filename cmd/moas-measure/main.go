@@ -1,0 +1,137 @@
+// Command moas-measure runs the paper's §3 measurement pipeline over
+// the synthetic RouteViews dump series: the daily MOAS case counts of
+// Figure 4, the case-duration histogram of Figure 5, and the §3 summary
+// statistics. With -emit-dumps it also writes daily table dumps in the
+// text format cmd/moas-monitor consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/measure"
+	"repro/internal/routegen"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1997, "generator seed")
+		days      = flag.Int("days", routegen.StudyDays, "study window length in days")
+		fig4      = flag.Bool("fig4", false, "print the full Figure 4 daily series")
+		fig5      = flag.Bool("fig5", false, "print the Figure 5 duration histogram")
+		emitDumps = flag.String("emit-dumps", "", "directory to write daily dump files into")
+		emitCount = flag.Int("emit-count", 5, "number of days to emit with -emit-dumps")
+		emitFrom  = flag.Int("emit-from", 0, "first day to emit with -emit-dumps")
+		csvDir    = flag.String("csv", "", "directory to write fig4.csv and fig5.csv into")
+		binary    = flag.Bool("binary", false, "emit dumps in the binary archive format")
+	)
+	flag.Parse()
+	if err := run(*seed, *days, *fig4, *fig5, *emitDumps, *emitFrom, *emitCount, *csvDir, *binary); err != nil {
+		fmt.Fprintln(os.Stderr, "moas-measure:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCount int, csvDir string, binary bool) error {
+	cfg := routegen.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Days = days
+	gen, err := routegen.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if emitDir != "" {
+		return emitDumps(gen, emitDir, emitFrom, emitCount, binary)
+	}
+
+	analysis, err := measure.Run(gen)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== Summary (paper §3) ==")
+	fmt.Print(analysis.Summarize())
+
+	if csvDir != "" {
+		if err := writeCSVs(analysis, csvDir); err != nil {
+			return err
+		}
+	}
+
+	if fig4 {
+		fmt.Println("\n== Figure 4: daily MOAS case counts ==")
+		fmt.Printf("%-8s %-12s %s\n", "day", "date", "cases")
+		for _, dc := range analysis.Daily() {
+			fmt.Printf("%-8d %-12s %d\n", dc.Day, dc.Date.Format("2006-01-02"), dc.Cases)
+		}
+	}
+	if fig5 {
+		fmt.Println("\n== Figure 5: MOAS case duration histogram ==")
+		fmt.Printf("%-16s %s\n", "duration(days)", "cases")
+		for _, bin := range analysis.DurationHistogram().Bins() {
+			fmt.Printf("%-16d %d\n", bin.Value, bin.Count)
+		}
+	}
+	return nil
+}
+
+func writeCSVs(analysis *measure.Analysis, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, out := range []struct {
+		name  string
+		write func(w io.Writer) error
+	}{
+		{"fig4.csv", analysis.WriteFigure4CSV},
+		{"fig5.csv", analysis.WriteFigure5CSV},
+	} {
+		name := filepath.Join(dir, out.name)
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := out.write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", name)
+	}
+	return nil
+}
+
+func emitDumps(gen *routegen.Generator, dir string, from, count int, binary bool) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ext, write := ".txt", routegen.WriteDump
+	if binary {
+		ext, write = ".bin", routegen.WriteBinaryDump
+	}
+	for day := from; day < from+count && day < gen.Days(); day++ {
+		d, err := gen.DumpForDay(day)
+		if err != nil {
+			return err
+		}
+		name := filepath.Join(dir, fmt.Sprintf("dump-%s%s", d.Date.Format("2006-01-02"), ext))
+		f, err := os.Create(name)
+		if err != nil {
+			return err
+		}
+		if err := write(f, d); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote", name)
+	}
+	return nil
+}

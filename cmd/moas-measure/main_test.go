@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunShortWindow(t *testing.T) {
+	if err := run(7, 30 /* days */, true, true, "", 0, 0, "", false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEmitDumpsAndCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(7, 30, false, false, dir, 2, 3, "", false); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("emitted %d dumps, want 3", len(entries))
+	}
+	binDir := t.TempDir()
+	if err := run(7, 30, false, false, binDir, 0, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+	bins, _ := os.ReadDir(binDir)
+	if len(bins) != 1 || filepath.Ext(bins[0].Name()) != ".bin" {
+		t.Fatalf("binary emission: %v", bins)
+	}
+
+	csvDir := t.TempDir()
+	if err := run(7, 30, false, false, "", 0, 0, csvDir, false); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig4.csv", "fig5.csv"} {
+		if _, err := os.Stat(filepath.Join(csvDir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}

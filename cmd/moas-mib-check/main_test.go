@@ -1,0 +1,44 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/mibcheck"
+	"repro/internal/speaker"
+)
+
+func TestSweepOnce(t *testing.T) {
+	prefix := astypes.MustPrefix(0x83b30000, 16)
+	mk := func(asn astypes.ASN, list core.List) *speaker.Speaker {
+		s, err := speaker.New(speaker.Config{AS: asn, RouterID: uint32(asn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		s.Originate(prefix, list)
+		return s
+	}
+	// Two routers holding inconsistent lists for the same prefix.
+	r1 := mk(4, core.NewList(4))
+	r2 := mk(52, core.NewList(52))
+	srv1 := httptest.NewServer(r1)
+	defer srv1.Close()
+	srv2 := httptest.NewServer(r2)
+	defer srv2.Close()
+
+	client := mibcheck.New()
+	if !sweepOnce(client, []string{srv1.URL, srv2.URL}) {
+		t.Error("inconsistency not reported")
+	}
+	// A single consistent router: quiet sweep.
+	if sweepOnce(client, []string{srv1.URL}) {
+		t.Error("clean fleet reported problems")
+	}
+	// Dead endpoint counts as a problem.
+	if !sweepOnce(client, []string{"http://127.0.0.1:1/mib"}) {
+		t.Error("fetch failure not reported")
+	}
+}

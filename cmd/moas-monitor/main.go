@@ -1,0 +1,134 @@
+// Command moas-monitor is the off-line MOAS checking process of §4.2:
+// it reads routing-table dump files (text format, one per vantage
+// point), checks MOAS-list consistency across them, and reports the
+// multi-origin cases and alarms. With -moasrr it classifies each case
+// as valid or invalid against a MOASRR database file of lines
+//
+//	<prefix>=<asn>[,<asn>...]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/dnsval"
+	"repro/internal/monitor"
+)
+
+func main() {
+	var (
+		moasrr  = flag.String("moasrr", "", "MOASRR database file (prefix=asn,asn lines)")
+		verbose = flag.Bool("v", false, "also list every alarm")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: moas-monitor [-moasrr file] dump.txt [dump.txt ...]")
+		os.Exit(2)
+	}
+	if err := run(*moasrr, *verbose, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "moas-monitor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(moasrrPath string, verbose bool, dumps []string) error {
+	var opts []monitor.Option
+	if moasrrPath != "" {
+		store, err := loadMOASRR(moasrrPath)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, monitor.WithResolver(store))
+	}
+	m := monitor.New(opts...)
+	for _, path := range dumps {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		err = m.ReadDumpStream(filepath.Base(path), f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	cases := m.MOASCases()
+	fmt.Printf("%d MOAS cases across %d dump(s)\n", len(cases), len(dumps))
+	for _, c := range cases {
+		status := ""
+		if c.Known {
+			status = " [valid]"
+			if c.Invalid {
+				status = " [INVALID]"
+			}
+		}
+		origins := make([]string, len(c.Origins))
+		for i, o := range c.Origins {
+			origins[i] = o.String()
+		}
+		fmt.Printf("  %s origins {%s}%s\n", c.Prefix, strings.Join(origins, ", "), status)
+	}
+
+	alarms := m.Alarms()
+	fmt.Printf("%d MOAS-list alarm(s)\n", len(alarms))
+	for _, g := range m.AlarmSummary() {
+		origins := make([]string, len(g.Origins))
+		for i, o := range g.Origins {
+			origins[i] = o.String()
+		}
+		fmt.Printf("  %s: %d alarm(s), conflicting origins {%s} via %s\n",
+			g.Prefix, g.Count, strings.Join(origins, ", "), strings.Join(g.Vantages, ", "))
+	}
+	if verbose {
+		for _, a := range alarms {
+			fmt.Printf("  [%s] %s\n", a.Vantage, a.Conflict.Error())
+		}
+	}
+	return nil
+}
+
+func loadMOASRR(path string) (*dnsval.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	store := dnsval.NewStore()
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		prefixStr, asnsStr, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("%s:%d: want prefix=asn,asn", path, lineNo)
+		}
+		prefix, err := astypes.ParsePrefix(strings.TrimSpace(prefixStr))
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+		}
+		var origins []astypes.ASN
+		for _, s := range strings.Split(asnsStr, ",") {
+			asn, err := astypes.ParseASN(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			origins = append(origins, asn)
+		}
+		store.Register(prefix, core.NewList(origins...))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return store, nil
+}

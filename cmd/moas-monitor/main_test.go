@@ -1,0 +1,74 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func writeFile(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadMOASRR(t *testing.T) {
+	path := writeFile(t, "moasrr.txt", `
+# comment and blank lines are skipped
+
+131.179.0.0/16 = 4, 226
+10.0.0.0/8=7
+`)
+	store, err := loadMOASRR(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 2 {
+		t.Fatalf("Len = %d", store.Len())
+	}
+	list, ok := store.ValidOrigins(astypes.MustPrefix(0x83b30000, 16))
+	if !ok || !list.Contains(4) || !list.Contains(226) {
+		t.Errorf("record = %v, %v", list, ok)
+	}
+}
+
+func TestLoadMOASRRErrors(t *testing.T) {
+	cases := map[string]string{
+		"no equals":  "131.179.0.0/16 4\n",
+		"bad prefix": "banana=4\n",
+		"bad asn":    "10.0.0.0/8=x\n",
+	}
+	for name, content := range cases {
+		t.Run(name, func(t *testing.T) {
+			path := writeFile(t, "bad.txt", content)
+			if _, err := loadMOASRR(path); err == nil {
+				t.Error("bad database accepted")
+			}
+		})
+	}
+	if _, err := loadMOASRR(filepath.Join(t.TempDir(), "absent")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dump := writeFile(t, "dump.txt",
+		"# dump day=1 date=2001-04-06 entries=2\n"+
+			"131.179.0.0/16|701 4\n"+
+			"131.179.0.0/16|1239 52\n")
+	db := writeFile(t, "moasrr.txt", "131.179.0.0/16=4\n")
+	if err := run(db, true, []string{dump}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run("", false, []string{dump}); err != nil {
+		t.Fatalf("run without db: %v", err)
+	}
+	if err := run("", false, []string{"/does/not/exist"}); err == nil {
+		t.Error("missing dump accepted")
+	}
+}

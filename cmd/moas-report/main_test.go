@@ -1,0 +1,22 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunWritesReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.md")
+	if err := run(42, 1997, 8, true /* skip measurement */, false, out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Figure 9") {
+		t.Error("report missing Figure 9 section")
+	}
+}

@@ -1,0 +1,163 @@
+// Command moas-sim reproduces the paper's simulation study (§5). It
+// regenerates the data series behind:
+//
+//	-experiment 1: Figure 9  — effectiveness of the MOAS list on the
+//	               46-AS topology (normal BGP vs full detection, one and
+//	               two origin ASes);
+//	-experiment 2: Figure 10 — the same comparison across the 25-, 46-
+//	               and 63-AS topologies;
+//	-experiment 3: Figure 11 — partial (50%) vs full deployment on the
+//	               46- and 63-AS topologies.
+//
+// Each printed row is one X position of the figure: the attacker
+// percentage and the mean percentage of non-attacker ASes adopting a
+// false route over the paper's 15-run scheme.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiment"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		exp     = flag.Int("experiment", 1, "experiment number (1, 2 or 3)")
+		seed    = flag.Int64("seed", 42, "master seed (topologies and selections)")
+		origins = flag.Int("origins", 0, "origin AS count (0 = both 1 and 2, as in the paper)")
+		maxPct  = flag.Float64("max-attacker-pct", 35, "largest attacker percentage to sweep")
+		cold    = flag.Bool("cold-start", true, "announce valid routes and attack simultaneously")
+		forge   = flag.Bool("forge-list", false, "attackers forge a superset MOAS list (§4.1)")
+		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	outputCSV = *csvOut
+	if err := run(*exp, *seed, *origins, *maxPct, *cold, *forge); err != nil {
+		fmt.Fprintln(os.Stderr, "moas-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp int, seed int64, origins int, maxPct float64, cold, forge bool) error {
+	set, err := topology.BuildPaperTopologies(seed)
+	if err != nil {
+		return err
+	}
+	originCounts := []int{1, 2}
+	if origins > 0 {
+		originCounts = []int{origins}
+	}
+	switch exp {
+	case 1:
+		return runFigure9(set, originCounts, seed, maxPct, cold, forge)
+	case 2:
+		return runFigure10(set, originCounts, seed, maxPct, cold, forge)
+	case 3:
+		return runFigure11(set, seed, maxPct, cold, forge)
+	default:
+		return fmt.Errorf("unknown experiment %d (want 1, 2 or 3)", exp)
+	}
+}
+
+func runFigure9(set *topology.PaperSet, originCounts []int, seed int64, maxPct float64, cold, forge bool) error {
+	fmt.Println("Experiment 1 (Figure 9): Spoof-resilience in the 46-AS topology")
+	modes := []experiment.ModeSpec{
+		{Label: "Normal BGP", Detection: experiment.DetectionOff},
+		{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+	}
+	for _, n := range originCounts {
+		fmt.Printf("\n(%d origin AS%s)\n", n, plural(n))
+		if err := sweepAndPrint(set.T46, "46", n, modes, seed, maxPct, cold, forge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFigure10(set *topology.PaperSet, originCounts []int, seed int64, maxPct float64, cold, forge bool) error {
+	fmt.Println("Experiment 2 (Figure 10): 25-AS vs 46-AS vs 63-AS topologies")
+	modes := []experiment.ModeSpec{
+		{Label: "Normal BGP", Detection: experiment.DetectionOff},
+		{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+	}
+	for _, n := range originCounts {
+		fmt.Printf("\n(%d origin AS%s)\n", n, plural(n))
+		for _, topo := range []struct {
+			name string
+			s    *topology.SampleResult
+		}{{"25", set.T25}, {"46", set.T46}, {"63", set.T63}} {
+			fmt.Printf("\n%s-AS topology:\n", topo.name)
+			if err := sweepAndPrint(topo.s, topo.name, n, modes, seed, maxPct, cold, forge); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func runFigure11(set *topology.PaperSet, seed int64, maxPct float64, cold, forge bool) error {
+	fmt.Println("Experiment 3 (Figure 11): partial vs complete deployment")
+	modes := []experiment.ModeSpec{
+		{Label: "Normal BGP", Detection: experiment.DetectionOff},
+		{Label: "Half MOAS Detection", Detection: experiment.DetectionPartial, DeployFraction: 0.5},
+		{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+	}
+	for _, topo := range []struct {
+		name string
+		s    *topology.SampleResult
+	}{{"46", set.T46}, {"63", set.T63}} {
+		fmt.Printf("\n%s-AS topology:\n", topo.name)
+		if err := sweepAndPrint(topo.s, topo.name, 1, modes, seed, maxPct, cold, forge); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// outputCSV switches sweepAndPrint to CSV emission.
+var outputCSV bool
+
+func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
+	modes []experiment.ModeSpec, seed int64, maxPct float64, cold, forge bool) error {
+	res, err := experiment.Sweep(experiment.SweepConfig{
+		Topology:          topo,
+		TopologyName:      name,
+		NumOrigins:        numOrigins,
+		AttackerCounts:    experiment.AttackerCountsFor(topo, maxPct),
+		Modes:             modes,
+		Seed:              seed,
+		ColdStart:         cold,
+		ForgeSupersetList: forge,
+	})
+	if err != nil {
+		return err
+	}
+	if outputCSV {
+		return experiment.WriteCSV(os.Stdout, res)
+	}
+	header := fmt.Sprintf("%-10s %-10s", "attackers", "pct")
+	for _, m := range res.Modes {
+		header += fmt.Sprintf(" %22s", m.Label)
+	}
+	fmt.Println(header)
+	fmt.Println(strings.Repeat("-", len(header)))
+	for _, p := range res.Points {
+		row := fmt.Sprintf("%-10d %-10.1f", p.NumAttackers, p.AttackerPct)
+		for mi := range res.Modes {
+			row += fmt.Sprintf(" %21.2f%%", p.MeanFalsePct[mi])
+		}
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func plural(n int) string {
+	if n == 1 {
+		return ""
+	}
+	return "es"
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestRunExperiments(t *testing.T) {
+	for exp := 1; exp <= 3; exp++ {
+		if err := run(exp, 42, 1, 6 /* small sweep */, true, false); err != nil {
+			t.Fatalf("experiment %d: %v", exp, err)
+		}
+	}
+	if err := run(9, 42, 1, 6, true, false); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	outputCSV = true
+	defer func() { outputCSV = false }()
+	if err := run(1, 42, 1, 6, true, false); err != nil {
+		t.Fatalf("csv mode: %v", err)
+	}
+}

@@ -1,0 +1,94 @@
+// Command moas-speaker runs a MOAS-validating BGP speaker from a JSON
+// configuration file: peering sessions, originated prefixes with their
+// MOAS lists, route aggregates, a local MOASRR origin database for
+// alarm resolution, and an optional HTTP endpoint serving the §4.2 MIB
+// view. It is the "router-side" deployment of the paper's mechanism.
+//
+// Example configuration:
+//
+//	{
+//	  "as": 4,
+//	  "routerID": 4,
+//	  "validation": "drop",
+//	  "listen": ["127.0.0.1:1790"],
+//	  "mibAddr": "127.0.0.1:8479",
+//	  "peers": [{"addr": "127.0.0.1:1791", "as": 226}],
+//	  "originate": [{"prefix": "131.179.0.0/16", "moasList": [4, 226]}],
+//	  "moasrr": [{"prefix": "131.179.0.0/16", "origins": [4, 226]}]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/daemon"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "path to the JSON configuration (required)")
+		verbose    = flag.Bool("v", false, "log every MOAS alarm")
+	)
+	flag.Parse()
+	if *configPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: moas-speaker -config speaker.json")
+		os.Exit(2)
+	}
+	if err := run(*configPath, *verbose); err != nil {
+		log.Fatal("moas-speaker: ", err)
+	}
+}
+
+func run(configPath string, verbose bool) error {
+	cfg, err := daemon.LoadFile(configPath)
+	if err != nil {
+		return err
+	}
+	d, err := daemon.Build(cfg)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+
+	log.Printf("moas-speaker: AS %d up, validation=%s, %d peer(s) configured",
+		cfg.AS, cfg.Validation, len(cfg.Peers))
+	if addr := d.MIBAddr(); addr != "" {
+		log.Printf("moas-speaker: MIB at http://%s/mib", addr)
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+
+	if verbose {
+		// Poll the alarm log; the speaker also supports an OnAlarm
+		// callback, but a config-driven daemon reports periodically.
+		go logAlarms(d)
+	}
+	<-stop
+	log.Println("moas-speaker: shutting down")
+	return nil
+}
+
+func logAlarms(d *daemon.Daemon) {
+	ticker := time.NewTicker(time.Second)
+	defer ticker.Stop()
+	seen := 0
+	for range ticker.C {
+		alarms := d.Speaker.Alarms()
+		for _, a := range alarms[seen:] {
+			log.Println("ALARM:", conflictString(a))
+		}
+		seen = len(alarms)
+	}
+}
+
+func conflictString(c core.Conflict) string {
+	return c.Error()
+}

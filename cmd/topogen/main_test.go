@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestRunAllFormats(t *testing.T) {
+	if err := run(42, "25", false, true); err != nil {
+		t.Fatalf("edge list: %v", err)
+	}
+	if err := run(42, "25", true, false); err != nil {
+		t.Fatalf("dot: %v", err)
+	}
+	if err := run(42, "", false, false); err != nil {
+		t.Fatalf("all: %v", err)
+	}
+}

@@ -1,0 +1,172 @@
+// Hijack: an AS7007-style mass de-aggregation incident on a live,
+// in-process BGP speaker mesh over TCP. A faulty AS re-originates every
+// prefix it learned; speakers running MOAS validation detect each
+// conflict against the MOASRR database and keep the true routes, while
+// a plain-BGP control speaker happily installs the bogus ones.
+//
+// Run with:
+//
+//	go run ./examples/hijack
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		asBackbone repro.ASN = 701
+		asVictim1  repro.ASN = 4006
+		asVictim2  repro.ASN = 4544
+		asFaulty   repro.ASN = 7007
+		asPlain    repro.ASN = 9000 // plain BGP, no validation: the control
+	)
+	store := repro.NewMOASRRStore()
+
+	// Victim prefixes, registered in the MOASRR database.
+	prefixes := []repro.Prefix{
+		repro.MustPrefix(0x0c000000, 8),  // 12.0.0.0/8
+		repro.MustPrefix(0x80080000, 16), // 128.8.0.0/16
+		repro.MustPrefix(0xc06f0000, 16), // 192.111.0.0/16
+		repro.MustPrefix(0xcc170000, 16), // 204.23.0.0/16
+	}
+	owners := []repro.ASN{asVictim1, asVictim1, asVictim2, asVictim2}
+
+	newSpeaker := func(asn repro.ASN, mode repro.ValidationMode) (*repro.Speaker, error) {
+		return repro.NewSpeaker(repro.SpeakerConfig{
+			AS:         asn,
+			RouterID:   uint32(asn),
+			Validation: mode,
+			Resolver:   store,
+			OnAlarm: func(c repro.Conflict) {
+				fmt.Printf("  ALARM at checker: %v\n", c.Error())
+			},
+		})
+	}
+
+	backbone, err := newSpeaker(asBackbone, repro.ValidationDrop)
+	if err != nil {
+		return err
+	}
+	defer backbone.Close()
+	victim1, err := newSpeaker(asVictim1, repro.ValidationOff)
+	if err != nil {
+		return err
+	}
+	defer victim1.Close()
+	victim2, err := newSpeaker(asVictim2, repro.ValidationOff)
+	if err != nil {
+		return err
+	}
+	defer victim2.Close()
+	faulty, err := newSpeaker(asFaulty, repro.ValidationOff)
+	if err != nil {
+		return err
+	}
+	defer faulty.Close()
+	plain, err := newSpeaker(asPlain, repro.ValidationOff)
+	if err != nil {
+		return err
+	}
+	defer plain.Close()
+
+	// Star around the backbone, plus the control peered with the faulty
+	// AS so it hears the bogus routes first-hand.
+	for _, leaf := range []*repro.Speaker{victim1, victim2, faulty, plain} {
+		if err := connect(backbone, leaf); err != nil {
+			return err
+		}
+	}
+	if err := connect(faulty, plain); err != nil {
+		return err
+	}
+
+	for i, p := range prefixes {
+		store.Register(p, repro.NewList(owners[i]))
+	}
+	victim1.Originate(prefixes[0], repro.List{})
+	victim1.Originate(prefixes[1], repro.List{})
+	victim2.Originate(prefixes[2], repro.List{})
+	victim2.Originate(prefixes[3], repro.List{})
+
+	if err := waitRoutes(faulty, prefixes, 5*time.Second); err != nil {
+		return err
+	}
+	fmt.Println("converged: faulty AS learned all victim prefixes")
+
+	// The incident: the faulty AS re-originates everything it learned
+	// as its own (the 1997-04-25 event, §3.3).
+	fmt.Println("\nAS7007-style fault: re-originating all learned prefixes...")
+	for _, p := range prefixes {
+		faulty.Originate(p, repro.List{})
+	}
+	time.Sleep(300 * time.Millisecond)
+
+	fmt.Println()
+	hijackedAtBackbone, hijackedAtPlain := 0, 0
+	for i, p := range prefixes {
+		b := backbone.Table().Best(p)
+		c := plain.Table().Best(p)
+		if b == nil || b.OriginAS() != owners[i] {
+			hijackedAtBackbone++
+		}
+		if c != nil && c.OriginAS() == asFaulty {
+			hijackedAtPlain++
+		}
+		fmt.Printf("%-18s owner AS %-5s backbone(best origin)=AS %-5v plain(best origin)=AS %v\n",
+			p, owners[i], originOf(b), originOf(c))
+	}
+	fmt.Printf("\nvalidating backbone hijacked on %d/%d prefixes; plain-BGP control hijacked on %d/%d\n",
+		hijackedAtBackbone, len(prefixes), hijackedAtPlain, len(prefixes))
+	fmt.Printf("backbone raised %d alarms; DNS MOASRR store served %d queries\n",
+		len(backbone.Alarms()), store.Queries())
+	if hijackedAtBackbone != 0 {
+		return fmt.Errorf("validation failed to protect the backbone")
+	}
+	return nil
+}
+
+func originOf(r *repro.Route) any {
+	if r == nil {
+		return "-"
+	}
+	return r.OriginAS()
+}
+
+func connect(a, b *repro.Speaker) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	a.Listen(ln)
+	return b.Connect(ln.Addr().String(), a.AS())
+}
+
+func waitRoutes(s *repro.Speaker, prefixes []repro.Prefix, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for _, p := range prefixes {
+			if s.Table().Best(p) == nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("timeout waiting for convergence at AS %s", s.AS())
+}

@@ -1,0 +1,94 @@
+// Monitorpipeline: the §4.2 off-line deployment path, end to end. The
+// synthetic RouteViews generator emits daily table dumps around the
+// 2001-04-06 (AS3561, AS15412) incident; the off-line monitor ingests
+// each day's dump, checks MOAS-list consistency, and classifies the
+// multi-origin cases against a MOASRR database built from the quiet
+// days — flagging the mass fault the moment it appears, without
+// touching a single router.
+//
+// Run with:
+//
+//	go run ./examples/monitorpipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/routegen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	gen, err := repro.NewDumpGenerator(repro.DefaultDumpConfig())
+	if err != nil {
+		return err
+	}
+
+	// Build the MOASRR database from a quiet day well before the event:
+	// every origin set visible then is treated as authorized (in
+	// operation this is the registry the paper's §4.4 DNS records hold).
+	store := repro.NewMOASRRStore()
+	quiet, err := gen.DumpForDay(routegen.EventAS15412Day - 30)
+	if err != nil {
+		return err
+	}
+	registerFromDump(store, quiet)
+	fmt.Printf("MOASRR database seeded from %s: %d records\n",
+		quiet.Date.Format("2006-01-02"), store.Len())
+
+	// Replay the days around the incident through the monitor.
+	for day := routegen.EventAS15412Day - 2; day <= routegen.EventAS15412Day+5; day++ {
+		d, err := gen.DumpForDay(day)
+		if err != nil {
+			return err
+		}
+		mon := repro.NewMonitor(repro.WithMonitorResolver(store))
+		mon.ObserveDump("route-views", d)
+
+		invalid, valid, unknown := 0, 0, 0
+		faultCases := 0
+		for _, c := range mon.MOASCases() {
+			switch {
+			case c.Invalid:
+				invalid++
+			case c.Known:
+				valid++
+			default:
+				unknown++
+			}
+			for _, o := range c.Origins {
+				if o == 15412 {
+					faultCases++
+					break
+				}
+			}
+		}
+		marker := ""
+		if faultCases > 0 {
+			marker = fmt.Sprintf("  <-- AS15412 falsely originating %d prefixes", faultCases)
+		}
+		fmt.Printf("%s: %4d MOAS cases (%4d invalid, %4d valid, %4d unregistered)%s\n",
+			d.Date.Format("2006-01-02"), len(mon.MOASCases()), invalid, valid, unknown, marker)
+	}
+	fmt.Println("\nthe spike days stand out exactly as in the paper's Figure 4")
+	return nil
+}
+
+// registerFromDump records every prefix's visible origin set as its
+// authorized MOASRR entry.
+func registerFromDump(store *repro.MOASRRStore, d *repro.Dump) {
+	origins := make(map[repro.Prefix][]repro.ASN)
+	for _, e := range d.Entries {
+		origins[e.Prefix] = append(origins[e.Prefix], e.Origin())
+	}
+	for prefix, asns := range origins {
+		store.Register(prefix, repro.NewList(asns...))
+	}
+}

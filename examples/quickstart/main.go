@@ -1,0 +1,98 @@
+// Quickstart: a six-AS simulated internetwork in which AS 52 falsely
+// originates a prefix owned by AS 4 — the exact scenario of the paper's
+// Figure 3 — and every MOAS-capable AS detects the conflict and keeps
+// routing to the true origin.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Figure 1/3 topology: AS 4 originates the prefix; AS Y and AS Z
+	// transit; AS X is the observer; AS 52 is the false origin.
+	const (
+		asOrigin   repro.ASN = 4
+		asY        repro.ASN = 10
+		asZ        repro.ASN = 20
+		asX        repro.ASN = 30
+		asAttacker repro.ASN = 52
+		asStub     repro.ASN = 60
+	)
+	g := repro.NewGraph()
+	g.AddEdge(asOrigin, asY)
+	g.AddEdge(asOrigin, asZ)
+	g.AddEdge(asY, asX)
+	g.AddEdge(asZ, asX)
+	g.AddEdge(asX, asAttacker)
+	// The stub is multi-homed: via the attacker and via AS X. Were the
+	// attacker its only provider, it would be captured — the paper's
+	// single-path caveat (§4.1).
+	g.AddEdge(asAttacker, asStub)
+	g.AddEdge(asX, asStub)
+
+	prefix := repro.MustPrefix(0x83b30000, 16) // 131.179.0.0/16
+	valid := repro.NewList(asOrigin)
+
+	// The resolver plays the role of the DNS MOASRR lookup (§4.4).
+	net, err := repro.NewSimNetwork(repro.SimConfig{
+		Topology: g,
+		Resolver: repro.ResolverFunc(func(p repro.Prefix) (repro.List, bool) {
+			return valid, p == prefix
+		}),
+	})
+	if err != nil {
+		return err
+	}
+	// Everyone but the attacker checks MOAS lists.
+	for _, asn := range net.Nodes() {
+		if asn != asAttacker {
+			if err := net.SetMode(asn, repro.SimModeDetect); err != nil {
+				return err
+			}
+		}
+	}
+
+	if err := net.Originate(asOrigin, prefix, repro.List{}); err != nil {
+		return err
+	}
+	if err := net.OriginateInvalid(asAttacker, prefix, repro.List{}); err != nil {
+		return err
+	}
+	if err := net.Run(); err != nil {
+		return err
+	}
+
+	fmt.Printf("prefix %s, true origin AS %s, false origin AS %s\n\n", prefix, asOrigin, asAttacker)
+	for _, asn := range net.Nodes() {
+		node := net.Node(asn)
+		best := node.Best(prefix)
+		status := "no route"
+		if best != nil {
+			status = fmt.Sprintf("best path [%s]", best.Path)
+		}
+		fmt.Printf("AS %-3s %-24s alarms=%d\n", asn, status, len(node.Alarms()))
+	}
+
+	census := net.TakeCensus(prefix, valid)
+	fmt.Printf("\ncensus: %d non-attacker ASes, %d adopted the false route (%.1f%%), %d raised alarms\n",
+		census.NonAttackers, census.AdoptedFalse, census.FalsePct(), census.AlarmedNodes)
+	if census.AdoptedFalse != 0 {
+		return fmt.Errorf("expected full detection to stop the hijack")
+	}
+	fmt.Println("hijack contained: every AS still routes to the true origin")
+	return nil
+}

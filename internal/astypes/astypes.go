@@ -1,0 +1,452 @@
+// Package astypes defines the fundamental inter-domain routing types
+// shared by every other package in this repository: autonomous system
+// numbers, IPv4 address prefixes, AS paths (including AS_SET segments
+// produced by route aggregation), and BGP community values.
+//
+// All types are small values with well-defined zero values; none of them
+// hold references to shared mutable state, so they may be copied and
+// passed between goroutines freely.
+package astypes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ASN is a 2-octet BGP autonomous system number. The paper predates
+// 4-octet AS numbers (RFC 4893), so the 16-bit space is faithful to the
+// system under study; private AS numbers (64512-65534) are used by the
+// ASE multi-homing model in routegen.
+type ASN uint16
+
+// Reserved and boundary AS numbers.
+const (
+	// ASNNone marks "no AS"; 0 is reserved by IANA and never a valid origin.
+	ASNNone ASN = 0
+	// PrivateASNBase is the first private-use AS number (RFC 1930 / RFC 6996).
+	PrivateASNBase ASN = 64512
+	// PrivateASNLast is the last private-use AS number.
+	PrivateASNLast ASN = 65534
+)
+
+// IsPrivate reports whether the ASN falls in the private-use range that
+// the "AS number Substitution on Egress" practice (paper §3.2) strips
+// before announcements propagate.
+func (a ASN) IsPrivate() bool {
+	return a >= PrivateASNBase && a <= PrivateASNLast
+}
+
+// String formats the ASN in the conventional plain decimal form.
+func (a ASN) String() string {
+	return strconv.FormatUint(uint64(a), 10)
+}
+
+// ParseASN parses a decimal AS number.
+func ParseASN(s string) (ASN, error) {
+	v, err := strconv.ParseUint(s, 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("parse ASN %q: %w", s, err)
+	}
+	return ASN(v), nil
+}
+
+// Prefix is an IPv4 address prefix in CIDR form. Addr holds the network
+// address in host byte order with all host bits zero; Len is the prefix
+// length in [0, 32].
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+// Errors returned by prefix construction and parsing.
+var (
+	ErrPrefixLen  = errors.New("prefix length out of range")
+	ErrPrefixBits = errors.New("prefix has nonzero host bits")
+)
+
+// NewPrefix builds a canonical Prefix, validating the length and masking
+// off host bits is NOT performed: callers must supply a clean network
+// address so that accidental host addresses are caught early.
+func NewPrefix(addr uint32, length uint8) (Prefix, error) {
+	if length > 32 {
+		return Prefix{}, fmt.Errorf("%w: /%d", ErrPrefixLen, length)
+	}
+	if addr&^maskFor(length) != 0 {
+		return Prefix{}, fmt.Errorf("%w: %s/%d", ErrPrefixBits, formatAddr(addr), length)
+	}
+	return Prefix{Addr: addr, Len: length}, nil
+}
+
+// MustPrefix is NewPrefix that panics on error; intended for tests and
+// static tables.
+func MustPrefix(addr uint32, length uint8) Prefix {
+	p, err := NewPrefix(addr, length)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses dotted-quad CIDR notation, e.g. "131.179.0.0/16".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("parse prefix %q: missing /len", s)
+	}
+	addr, err := parseAddr(s[:slash])
+	if err != nil {
+		return Prefix{}, fmt.Errorf("parse prefix %q: %w", s, err)
+	}
+	length, err := strconv.ParseUint(s[slash+1:], 10, 8)
+	if err != nil {
+		return Prefix{}, fmt.Errorf("parse prefix %q: %w", s, err)
+	}
+	p, err := NewPrefix(addr, uint8(length))
+	if err != nil {
+		return Prefix{}, fmt.Errorf("parse prefix %q: %w", s, err)
+	}
+	return p, nil
+}
+
+// String renders the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return formatAddr(p.Addr) + "/" + strconv.Itoa(int(p.Len))
+}
+
+// Contains reports whether p covers the other prefix (p is equal to or
+// less specific than q and their network bits agree).
+func (p Prefix) Contains(q Prefix) bool {
+	if q.Len < p.Len {
+		return false
+	}
+	return q.Addr&maskFor(p.Len) == p.Addr
+}
+
+// Compare orders prefixes by address then by length, for deterministic
+// iteration over routing tables.
+func (p Prefix) Compare(q Prefix) int {
+	switch {
+	case p.Addr < q.Addr:
+		return -1
+	case p.Addr > q.Addr:
+		return 1
+	case p.Len < q.Len:
+		return -1
+	case p.Len > q.Len:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func maskFor(length uint8) uint32 {
+	if length == 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - length)
+}
+
+func parseAddr(s string) (uint32, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("address %q: need 4 octets", s)
+	}
+	var addr uint32
+	for _, part := range parts {
+		o, err := strconv.ParseUint(part, 10, 8)
+		if err != nil {
+			return 0, fmt.Errorf("address %q: %w", s, err)
+		}
+		addr = addr<<8 | uint32(o)
+	}
+	return addr, nil
+}
+
+func formatAddr(addr uint32) string {
+	var b strings.Builder
+	b.Grow(15)
+	for shift := 24; shift >= 0; shift -= 8 {
+		if shift != 24 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(uint64(addr>>uint(shift)&0xff), 10))
+	}
+	return b.String()
+}
+
+// SegmentType distinguishes the two AS_PATH segment kinds of BGP-4.
+type SegmentType uint8
+
+// AS_PATH segment type codes (RFC 4271 §4.3).
+const (
+	SegSequence SegmentType = 2 // AS_SEQUENCE: ordered
+	SegSet      SegmentType = 1 // AS_SET: unordered, from aggregation
+)
+
+// Segment is one AS_PATH segment. For SegSequence the order of ASNs is
+// significant; for SegSet it is not (the paper notes that under route
+// aggregation "an element in the AS path may include a set of ASes").
+type Segment struct {
+	Type SegmentType
+	ASNs []ASN
+}
+
+// ASPath is a full AS path: a list of segments. The common case is a
+// single AS_SEQUENCE segment.
+type ASPath struct {
+	Segments []Segment
+}
+
+// NewSeqPath builds the common single-sequence path. The slice is copied
+// so callers may reuse their argument.
+func NewSeqPath(asns ...ASN) ASPath {
+	if len(asns) == 0 {
+		return ASPath{}
+	}
+	cp := make([]ASN, len(asns))
+	copy(cp, asns)
+	return ASPath{Segments: []Segment{{Type: SegSequence, ASNs: cp}}}
+}
+
+// Clone deep-copies the path.
+func (p ASPath) Clone() ASPath {
+	if len(p.Segments) == 0 {
+		return ASPath{}
+	}
+	segs := make([]Segment, len(p.Segments))
+	for i, s := range p.Segments {
+		asns := make([]ASN, len(s.ASNs))
+		copy(asns, s.ASNs)
+		segs[i] = Segment{Type: s.Type, ASNs: asns}
+	}
+	return ASPath{Segments: segs}
+}
+
+// Prepend returns a new path with asn prepended as the newest AS_SEQUENCE
+// hop, following BGP propagation semantics. The receiver is not modified.
+func (p ASPath) Prepend(asn ASN) ASPath {
+	cp := p.Clone()
+	if len(cp.Segments) > 0 && cp.Segments[0].Type == SegSequence {
+		seg := &cp.Segments[0]
+		seg.ASNs = append([]ASN{asn}, seg.ASNs...)
+		return cp
+	}
+	cp.Segments = append([]Segment{{Type: SegSequence, ASNs: []ASN{asn}}}, cp.Segments...)
+	return cp
+}
+
+// Origin returns the origin AS: the last AS in the path (paper §1.1). If
+// the last segment is an AS_SET (aggregation), the smallest member is
+// returned as the canonical representative along with ok=true; an empty
+// path returns (ASNNone, false).
+func (p ASPath) Origin() (ASN, bool) {
+	if len(p.Segments) == 0 {
+		return ASNNone, false
+	}
+	last := p.Segments[len(p.Segments)-1]
+	if len(last.ASNs) == 0 {
+		return ASNNone, false
+	}
+	if last.Type == SegSequence {
+		return last.ASNs[len(last.ASNs)-1], true
+	}
+	min := last.ASNs[0]
+	for _, a := range last.ASNs[1:] {
+		if a < min {
+			min = a
+		}
+	}
+	return min, true
+}
+
+// First returns the neighbor-most AS (the first AS of the path), used by
+// receivers to validate that the peer prepended itself.
+func (p ASPath) First() (ASN, bool) {
+	if len(p.Segments) == 0 || len(p.Segments[0].ASNs) == 0 {
+		return ASNNone, false
+	}
+	return p.Segments[0].ASNs[0], true
+}
+
+// Hops returns the AS-path length as used by the BGP decision process:
+// each AS in an AS_SEQUENCE counts 1; each AS_SET counts 1 regardless of
+// size (RFC 4271 §9.1.2.2).
+func (p ASPath) Hops() int {
+	n := 0
+	for _, s := range p.Segments {
+		if s.Type == SegSet {
+			n++
+			continue
+		}
+		n += len(s.ASNs)
+	}
+	return n
+}
+
+// Contains reports whether asn appears anywhere in the path; used for
+// loop detection on receipt.
+func (p ASPath) Contains(asn ASN) bool {
+	for _, s := range p.Segments {
+		for _, a := range s.ASNs {
+			if a == asn {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Equal reports full structural equality.
+func (p ASPath) Equal(q ASPath) bool {
+	if len(p.Segments) != len(q.Segments) {
+		return false
+	}
+	for i := range p.Segments {
+		a, b := p.Segments[i], q.Segments[i]
+		if a.Type != b.Type || len(a.ASNs) != len(b.ASNs) {
+			return false
+		}
+		for j := range a.ASNs {
+			if a.ASNs[j] != b.ASNs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the path in the conventional space-separated form with
+// AS_SETs braced, e.g. "701 1239 {4006 4544}".
+func (p ASPath) String() string {
+	var b strings.Builder
+	for i, s := range p.Segments {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if s.Type == SegSet {
+			b.WriteByte('{')
+		}
+		for j, a := range s.ASNs {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(a.String())
+		}
+		if s.Type == SegSet {
+			b.WriteByte('}')
+		}
+	}
+	return b.String()
+}
+
+// ParseASPath parses the String format back into a path.
+func ParseASPath(s string) (ASPath, error) {
+	var (
+		path  ASPath
+		inSet bool
+		cur   []ASN
+	)
+	flush := func(t SegmentType) {
+		if len(cur) == 0 {
+			return
+		}
+		path.Segments = append(path.Segments, Segment{Type: t, ASNs: cur})
+		cur = nil
+	}
+	for _, tok := range strings.Fields(s) {
+		for len(tok) > 0 && tok[0] == '{' {
+			if inSet {
+				return ASPath{}, fmt.Errorf("parse as-path %q: nested set", s)
+			}
+			flush(SegSequence)
+			inSet = true
+			tok = tok[1:]
+		}
+		closes := 0
+		for len(tok) > 0 && tok[len(tok)-1] == '}' {
+			closes++
+			tok = tok[:len(tok)-1]
+		}
+		if tok != "" {
+			asn, err := ParseASN(tok)
+			if err != nil {
+				return ASPath{}, fmt.Errorf("parse as-path %q: %w", s, err)
+			}
+			cur = append(cur, asn)
+		}
+		for ; closes > 0; closes-- {
+			if !inSet {
+				return ASPath{}, fmt.Errorf("parse as-path %q: unbalanced '}'", s)
+			}
+			flush(SegSet)
+			inSet = false
+		}
+	}
+	if inSet {
+		return ASPath{}, fmt.Errorf("parse as-path %q: unterminated set", s)
+	}
+	flush(SegSequence)
+	return path, nil
+}
+
+// Community is a BGP community value (RFC 1997): conventionally the high
+// 16 bits carry an AS number and the low 16 bits an AS-defined value.
+type Community uint32
+
+// NewCommunity builds a community from its (ASN, value) halves.
+func NewCommunity(asn ASN, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}
+
+// ASN returns the high-order AS half.
+func (c Community) ASN() ASN { return ASN(c >> 16) }
+
+// Value returns the low-order AS-defined half.
+func (c Community) Value() uint16 { return uint16(c & 0xffff) }
+
+// String renders the conventional "ASN:value" form.
+func (c Community) String() string {
+	return c.ASN().String() + ":" + strconv.FormatUint(uint64(c.Value()), 10)
+}
+
+// ParseCommunity parses the "ASN:value" form.
+func ParseCommunity(s string) (Community, error) {
+	colon := strings.IndexByte(s, ':')
+	if colon < 0 {
+		return 0, fmt.Errorf("parse community %q: missing ':'", s)
+	}
+	asn, err := ParseASN(s[:colon])
+	if err != nil {
+		return 0, fmt.Errorf("parse community %q: %w", s, err)
+	}
+	v, err := strconv.ParseUint(s[colon+1:], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("parse community %q: %w", s, err)
+	}
+	return NewCommunity(asn, uint16(v)), nil
+}
+
+// SortASNs sorts a slice of ASNs ascending, in place, and returns it.
+func SortASNs(asns []ASN) []ASN {
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	return asns
+}
+
+// DedupASNs sorts and removes duplicates in place, returning the
+// shortened slice.
+func DedupASNs(asns []ASN) []ASN {
+	if len(asns) < 2 {
+		return asns
+	}
+	SortASNs(asns)
+	out := asns[:1]
+	for _, a := range asns[1:] {
+		if a != out[len(out)-1] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

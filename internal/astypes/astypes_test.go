@@ -1,0 +1,381 @@
+package astypes
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestASNIsPrivate(t *testing.T) {
+	tests := []struct {
+		asn  ASN
+		want bool
+	}{
+		{0, false},
+		{1, false},
+		{64511, false},
+		{64512, true},
+		{65000, true},
+		{65534, true},
+		{65535, false},
+	}
+	for _, tt := range tests {
+		if got := tt.asn.IsPrivate(); got != tt.want {
+			t.Errorf("ASN(%d).IsPrivate() = %v, want %v", tt.asn, got, tt.want)
+		}
+	}
+}
+
+func TestParseASN(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    ASN
+		wantErr bool
+	}{
+		{give: "0", want: 0},
+		{give: "701", want: 701},
+		{give: "65535", want: 65535},
+		{give: "65536", wantErr: true},
+		{give: "-1", wantErr: true},
+		{give: "abc", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseASN(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseASN(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseASN(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestNewPrefixValidation(t *testing.T) {
+	if _, err := NewPrefix(0x0a000000, 33); err == nil {
+		t.Error("NewPrefix with /33 should fail")
+	}
+	if _, err := NewPrefix(0x0a000001, 8); err == nil {
+		t.Error("NewPrefix with host bits should fail")
+	}
+	p, err := NewPrefix(0x0a000000, 8)
+	if err != nil {
+		t.Fatalf("NewPrefix: %v", err)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Errorf("String() = %q, want 10.0.0.0/8", p.String())
+	}
+}
+
+func TestParsePrefix(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    string
+		wantErr bool
+	}{
+		{give: "10.0.0.0/8", want: "10.0.0.0/8"},
+		{give: "131.179.0.0/16", want: "131.179.0.0/16"},
+		{give: "0.0.0.0/0", want: "0.0.0.0/0"},
+		{give: "255.255.255.255/32", want: "255.255.255.255/32"},
+		{give: "10.0.0.0", wantErr: true},
+		{give: "10.0.0.1/8", wantErr: true}, // host bits
+		{give: "10.0.0.0/33", wantErr: true},
+		{give: "10.0.0/8", wantErr: true},
+		{give: "256.0.0.0/8", wantErr: true},
+		{give: "", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParsePrefix(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParsePrefix(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got.String() != tt.want {
+			t.Errorf("ParsePrefix(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestPrefixContains(t *testing.T) {
+	p8 := MustPrefix(0x0a000000, 8)
+	p16 := MustPrefix(0x0a010000, 16)
+	p16other := MustPrefix(0x0b010000, 16)
+	zero := MustPrefix(0, 0)
+	if !p8.Contains(p16) {
+		t.Error("10/8 should contain 10.1/16")
+	}
+	if p16.Contains(p8) {
+		t.Error("10.1/16 should not contain 10/8")
+	}
+	if p8.Contains(p16other) {
+		t.Error("10/8 should not contain 11.1/16")
+	}
+	if !p8.Contains(p8) {
+		t.Error("prefix should contain itself")
+	}
+	if !zero.Contains(p8) {
+		t.Error("0/0 should contain everything")
+	}
+}
+
+func TestPrefixCompare(t *testing.T) {
+	a := MustPrefix(0x0a000000, 8)
+	b := MustPrefix(0x0a000000, 16)
+	c := MustPrefix(0x0b000000, 8)
+	if a.Compare(b) >= 0 {
+		t.Error("shorter prefix of same addr should sort first")
+	}
+	if b.Compare(c) >= 0 {
+		t.Error("lower addr should sort first")
+	}
+	if a.Compare(a) != 0 {
+		t.Error("self compare should be 0")
+	}
+	if c.Compare(a) <= 0 {
+		t.Error("compare should be antisymmetric")
+	}
+}
+
+func TestPrefixRoundTripQuick(t *testing.T) {
+	f := func(addr uint32, lenSeed uint8) bool {
+		length := lenSeed % 33
+		masked := addr
+		if length == 0 {
+			masked = 0
+		} else {
+			masked &= ^uint32(0) << (32 - length)
+		}
+		p := MustPrefix(masked, length)
+		back, err := ParsePrefix(p.String())
+		return err == nil && back == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewSeqPathAndAccessors(t *testing.T) {
+	p := NewSeqPath(1, 2, 3)
+	if got := p.String(); got != "1 2 3" {
+		t.Errorf("String() = %q", got)
+	}
+	if o, ok := p.Origin(); !ok || o != 3 {
+		t.Errorf("Origin() = %v, %v", o, ok)
+	}
+	if f, ok := p.First(); !ok || f != 1 {
+		t.Errorf("First() = %v, %v", f, ok)
+	}
+	if p.Hops() != 3 {
+		t.Errorf("Hops() = %d", p.Hops())
+	}
+	if !p.Contains(2) || p.Contains(4) {
+		t.Error("Contains misbehaves")
+	}
+
+	var empty ASPath
+	if _, ok := empty.Origin(); ok {
+		t.Error("empty path should have no origin")
+	}
+	if _, ok := empty.First(); ok {
+		t.Error("empty path should have no first")
+	}
+	if empty.Hops() != 0 {
+		t.Error("empty path should have 0 hops")
+	}
+}
+
+func TestASPathPrependDoesNotMutate(t *testing.T) {
+	p := NewSeqPath(2, 3)
+	q := p.Prepend(1)
+	if p.String() != "2 3" {
+		t.Errorf("original mutated: %q", p)
+	}
+	if q.String() != "1 2 3" {
+		t.Errorf("prepended = %q", q)
+	}
+	// Prepending onto an AS_SET-leading path makes a new segment.
+	set := ASPath{Segments: []Segment{{Type: SegSet, ASNs: []ASN{5, 6}}}}
+	r := set.Prepend(1)
+	if r.String() != "1 {5 6}" {
+		t.Errorf("prepend onto set = %q", r)
+	}
+}
+
+func TestASPathSetSemantics(t *testing.T) {
+	p := ASPath{Segments: []Segment{
+		{Type: SegSequence, ASNs: []ASN{1, 2}},
+		{Type: SegSet, ASNs: []ASN{9, 4}},
+	}}
+	if p.Hops() != 3 {
+		t.Errorf("AS_SET should count 1 hop; Hops() = %d", p.Hops())
+	}
+	// Origin of a trailing set is the smallest member.
+	if o, ok := p.Origin(); !ok || o != 4 {
+		t.Errorf("Origin() = %v, %v, want 4", o, ok)
+	}
+	if p.String() != "1 2 {9 4}" {
+		t.Errorf("String() = %q", p.String())
+	}
+}
+
+func TestParseASPath(t *testing.T) {
+	tests := []struct {
+		give    string
+		want    string
+		wantErr bool
+	}{
+		{give: "1 2 3", want: "1 2 3"},
+		{give: "", want: ""},
+		{give: "701", want: "701"},
+		{give: "1 2 {4 9}", want: "1 2 {4 9}"},
+		{give: "{4 9} 7", want: "{4 9} 7"},
+		{give: "1 {2} 3", want: "1 {2} 3"},
+		{give: "1 {2 3", wantErr: true},
+		{give: "1 2} 3", wantErr: true},
+		{give: "1 {{2}} 3", wantErr: true},
+		{give: "1 x 3", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseASPath(tt.give)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseASPath(%q) error = %v, wantErr %v", tt.give, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got.String() != tt.want {
+			t.Errorf("ParseASPath(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestASPathEqualAndClone(t *testing.T) {
+	p := NewSeqPath(1, 2, 3)
+	q := p.Clone()
+	if !p.Equal(q) {
+		t.Error("clone should be equal")
+	}
+	q.Segments[0].ASNs[0] = 9
+	if p.Equal(q) {
+		t.Error("mutating clone should not affect original")
+	}
+	if p.Segments[0].ASNs[0] != 1 {
+		t.Error("clone aliases original storage")
+	}
+}
+
+// genPath produces a random structurally valid path for property tests.
+func genPath(rng *rand.Rand) ASPath {
+	var p ASPath
+	segs := rng.Intn(3) + 1
+	for i := 0; i < segs; i++ {
+		typ := SegSequence
+		if rng.Intn(4) == 0 {
+			typ = SegSet
+		}
+		n := rng.Intn(4) + 1
+		asns := make([]ASN, n)
+		for j := range asns {
+			asns[j] = ASN(rng.Intn(65535) + 1)
+		}
+		p.Segments = append(p.Segments, Segment{Type: typ, ASNs: asns})
+	}
+	return p
+}
+
+func TestASPathStringParseRoundTripQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := genPath(rng)
+		back, err := ParseASPath(p.String())
+		if err != nil {
+			t.Fatalf("ParseASPath(%q): %v", p.String(), err)
+		}
+		// Adjacent AS_SEQUENCE segments legitimately merge on parse, so
+		// compare canonical text (and semantics), not segmentation.
+		if p.String() != back.String() {
+			t.Fatalf("roundtrip mismatch: %q -> %q", p.String(), back.String())
+		}
+		if p.Hops() < back.Hops() {
+			t.Fatalf("hops grew on roundtrip: %q", p.String())
+		}
+		pOrigin, _ := p.Origin()
+		bOrigin, _ := back.Origin()
+		if pOrigin != bOrigin {
+			t.Fatalf("origin changed on roundtrip: %q", p.String())
+		}
+	}
+}
+
+func TestCommunity(t *testing.T) {
+	c := NewCommunity(701, 0xffde)
+	if c.ASN() != 701 || c.Value() != 0xffde {
+		t.Errorf("halves = %v:%v", c.ASN(), c.Value())
+	}
+	if c.String() != "701:65502" {
+		t.Errorf("String() = %q", c.String())
+	}
+	back, err := ParseCommunity("701:65502")
+	if err != nil || back != c {
+		t.Errorf("ParseCommunity = %v, %v", back, err)
+	}
+	for _, bad := range []string{"701", "701:", ":1", "701:70000", "x:1", "70000:1"} {
+		if _, err := ParseCommunity(bad); err == nil {
+			t.Errorf("ParseCommunity(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCommunityRoundTripQuick(t *testing.T) {
+	f := func(asn uint16, val uint16) bool {
+		c := NewCommunity(ASN(asn), val)
+		back, err := ParseCommunity(c.String())
+		return err == nil && back == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortAndDedupASNs(t *testing.T) {
+	got := DedupASNs([]ASN{5, 1, 5, 3, 1})
+	want := []ASN{1, 3, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DedupASNs = %v, want %v", got, want)
+	}
+	if got := DedupASNs(nil); got != nil {
+		t.Errorf("DedupASNs(nil) = %v", got)
+	}
+	if got := DedupASNs([]ASN{7}); len(got) != 1 || got[0] != 7 {
+		t.Errorf("DedupASNs single = %v", got)
+	}
+}
+
+func TestDedupASNsQuick(t *testing.T) {
+	f := func(in []uint16) bool {
+		asns := make([]ASN, len(in))
+		for i, v := range in {
+			asns[i] = ASN(v)
+		}
+		out := DedupASNs(asns)
+		for i := 1; i < len(out); i++ {
+			if out[i] <= out[i-1] {
+				return false
+			}
+		}
+		// Every input value must be present.
+		set := make(map[ASN]bool, len(out))
+		for _, a := range out {
+			set[a] = true
+		}
+		for _, v := range in {
+			if !set[ASN(v)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

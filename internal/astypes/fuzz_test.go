@@ -1,0 +1,64 @@
+package astypes
+
+import "testing"
+
+// FuzzParsePrefix: no panics; accepted prefixes round-trip.
+func FuzzParsePrefix(f *testing.F) {
+	for _, s := range []string{
+		"10.0.0.0/8", "131.179.0.0/16", "0.0.0.0/0", "255.255.255.255/32",
+		"10.0.0.1/8", "10/8", "10.0.0.0", "10.0.0.0/33", "", "a.b.c.d/8",
+		"10.0.0.0/08", "010.0.0.0/8", "-1.0.0.0/8",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			return
+		}
+		back, err := ParsePrefix(p.String())
+		if err != nil || back != p {
+			t.Fatalf("roundtrip %q -> %v -> %v (%v)", s, p, back, err)
+		}
+	})
+}
+
+// FuzzParseASPath: no panics; accepted paths round-trip canonically.
+func FuzzParseASPath(f *testing.F) {
+	for _, s := range []string{
+		"", "701", "701 1239 4", "1 2 {4 9}", "{4 9} 7", "1 {2} 3",
+		"1 {2 3", "1 2} 3", "x", "65536", "{{1}}", "{}", "1  2",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseASPath(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseASPath(p.String())
+		if err != nil {
+			t.Fatalf("canonical form %q of %q failed to parse: %v", p.String(), s, err)
+		}
+		if back.String() != p.String() {
+			t.Fatalf("canonical form unstable: %q -> %q", p.String(), back.String())
+		}
+	})
+}
+
+// FuzzParseCommunity: no panics; accepted communities round-trip.
+func FuzzParseCommunity(f *testing.F) {
+	for _, s := range []string{"701:65502", "0:0", "65535:65535", "1:", ":1", "x:y", "70000:1"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCommunity(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseCommunity(c.String())
+		if err != nil || back != c {
+			t.Fatalf("roundtrip %q -> %v -> %v (%v)", s, c, back, err)
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package collector
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/routegen"
+)
+
+// Archiver periodically snapshots a Collector to dump files on disk —
+// the daily table-dump archive of the real Route Views server — and
+// optionally runs each snapshot through the off-line monitor, logging
+// alarms as they appear.
+type Archiver struct {
+	collector *Collector
+	dir       string
+	interval  time.Duration
+	monitor   *monitor.Monitor
+	onAlarm   func(monitor.Alarm)
+	now       func() time.Time
+
+	mu       sync.Mutex
+	written  []string
+	seen     int // alarms already reported
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	started  bool
+}
+
+// ArchiverOption configures an Archiver.
+type ArchiverOption interface {
+	apply(*Archiver)
+}
+
+type archMonitorOption struct {
+	m  *monitor.Monitor
+	fn func(monitor.Alarm)
+}
+
+func (o archMonitorOption) apply(a *Archiver) {
+	a.monitor = o.m
+	a.onAlarm = o.fn
+}
+
+// WithMonitor checks every snapshot through mon and invokes onAlarm for
+// each new alarm.
+func WithMonitor(mon *monitor.Monitor, onAlarm func(monitor.Alarm)) ArchiverOption {
+	return archMonitorOption{m: mon, fn: onAlarm}
+}
+
+type clockOption func() time.Time
+
+func (o clockOption) apply(a *Archiver) { a.now = o }
+
+// WithClock injects a time source (tests).
+func WithClock(now func() time.Time) ArchiverOption {
+	return clockOption(now)
+}
+
+// NewArchiver builds an archiver writing snapshots of c into dir every
+// interval.
+func NewArchiver(c *Collector, dir string, interval time.Duration, opts ...ArchiverOption) (*Archiver, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("collector: archive interval %v", interval)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("collector: archive dir: %w", err)
+	}
+	a := &Archiver{
+		collector: c,
+		dir:       dir,
+		interval:  interval,
+		now:       time.Now,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	for _, o := range opts {
+		o.apply(a)
+	}
+	return a, nil
+}
+
+// SnapshotNow takes and writes one snapshot immediately, returning the
+// file path.
+func (a *Archiver) SnapshotNow() (string, error) {
+	d := a.collector.Snapshot(a.now())
+	name := filepath.Join(a.dir, fmt.Sprintf("dump-%05d-%s.txt",
+		d.Day, d.Date.UTC().Format("20060102T150405Z")))
+	f, err := os.Create(name)
+	if err != nil {
+		return "", fmt.Errorf("collector: create snapshot: %w", err)
+	}
+	if err := routegen.WriteDump(f, d); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	a.mu.Lock()
+	a.written = append(a.written, name)
+	a.mu.Unlock()
+	a.checkSnapshot(d)
+	return name, nil
+}
+
+func (a *Archiver) checkSnapshot(d *routegen.Dump) {
+	if a.monitor == nil {
+		return
+	}
+	a.monitor.ObserveDump("collector", d)
+	if a.onAlarm == nil {
+		return
+	}
+	alarms := a.monitor.Alarms()
+	a.mu.Lock()
+	fresh := alarms[a.seen:]
+	a.seen = len(alarms)
+	a.mu.Unlock()
+	for _, alarm := range fresh {
+		a.onAlarm(alarm)
+	}
+}
+
+// Start begins periodic snapshotting; stop with Close. Start is
+// one-shot.
+func (a *Archiver) Start() error {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return fmt.Errorf("collector: archiver already started")
+	}
+	a.started = true
+	a.mu.Unlock()
+	go func() {
+		defer close(a.done)
+		ticker := time.NewTicker(a.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				if _, err := a.SnapshotNow(); err != nil {
+					// Disk trouble should not kill the collector; the
+					// next tick retries.
+					continue
+				}
+			case <-a.stop:
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Written returns the snapshot files produced so far.
+func (a *Archiver) Written() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]string, len(a.written))
+	copy(out, a.written)
+	return out
+}
+
+// Close stops the periodic snapshotting (if started) and waits for the
+// worker to exit.
+func (a *Archiver) Close() error {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.mu.Lock()
+	started := a.started
+	a.mu.Unlock()
+	if started {
+		<-a.done
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package collector
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/routegen"
+)
+
+func TestArchiverSnapshotNow(t *testing.T) {
+	c := newCollector(t)
+	s := newPeerSpeaker(t, 4)
+	peerWithCollector(t, c, s)
+	s.Originate(prefix, core.NewList(4))
+	waitFor(t, func() bool { return len(c.RoutesFrom(4)) == 1 }, "route archived")
+
+	dir := t.TempDir()
+	fixed := time.Date(2001, 4, 6, 12, 0, 0, 0, time.UTC)
+	arch, err := NewArchiver(c, dir, time.Hour, WithClock(func() time.Time { return fixed }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer arch.Close()
+
+	name, err := arch.SnapshotNow()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	d, err := routegen.ReadDump(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entries) != 1 || d.Entries[0].Origin() != 4 {
+		t.Errorf("snapshot entries = %+v", d.Entries)
+	}
+	// The dump exchange format stores dates at day precision.
+	if got, want := d.Date.Format("2006-01-02"), fixed.Format("2006-01-02"); got != want {
+		t.Errorf("snapshot date = %s, want %s", got, want)
+	}
+	if got := arch.Written(); len(got) != 1 || got[0] != name {
+		t.Errorf("Written = %v", got)
+	}
+	if filepath.Dir(name) != dir {
+		t.Errorf("snapshot outside dir: %s", name)
+	}
+}
+
+func TestArchiverPeriodicAndMonitor(t *testing.T) {
+	c := newCollector(t)
+	origin := newPeerSpeaker(t, 4)
+	attacker := newPeerSpeaker(t, 52)
+	peerWithCollector(t, c, origin)
+	peerWithCollector(t, c, attacker)
+	origin.Originate(prefix, core.List{})
+	attacker.Originate(prefix, core.List{})
+	waitFor(t, func() bool {
+		return len(c.RoutesFrom(4)) == 1 && len(c.RoutesFrom(52)) == 1
+	}, "both routes archived")
+
+	alarmCh := make(chan monitor.Alarm, 8)
+	arch, err := NewArchiver(c, t.TempDir(), 20*time.Millisecond,
+		WithMonitor(monitor.New(), func(a monitor.Alarm) { alarmCh <- a }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	select {
+	case a := <-alarmCh:
+		if a.Conflict.Prefix != prefix {
+			t.Errorf("alarm = %+v", a)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("periodic snapshot never raised the alarm")
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(arch.Written()) == 0 {
+		t.Error("no snapshots written")
+	}
+}
+
+func TestArchiverValidatesInterval(t *testing.T) {
+	c := newCollector(t)
+	if _, err := NewArchiver(c, t.TempDir(), 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

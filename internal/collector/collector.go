@@ -1,0 +1,259 @@
+// Package collector implements a Route-Views-style route collector: a
+// passive BGP speaker that peers with operational speakers, never
+// advertises anything, and periodically snapshots its Adj-RIB-Ins as
+// table dumps in the routegen exchange format. It is the live-plane
+// source for the measurement pipeline (internal/measure) and the
+// off-line monitor (internal/monitor) — the role the Oregon RouteViews
+// server plays for the paper (§3.1, §5.1).
+package collector
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/routegen"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// CollectorASN is the conventional AS number of the collector's peer
+// point (Route Views uses AS 6447).
+const CollectorASN astypes.ASN = 6447
+
+// Config parameterizes a Collector.
+type Config struct {
+	// AS defaults to CollectorASN.
+	AS astypes.ASN
+	// RouterID identifies the collector in OPENs.
+	RouterID uint32
+	// HoldTime for peering sessions (zero selects the session default).
+	HoldTime time.Duration
+}
+
+// route is the collector's view of one announcement from one peer.
+type route struct {
+	path        astypes.ASPath
+	communities []astypes.Community
+}
+
+// Collector is a passive multi-peer route archive.
+type Collector struct {
+	cfg Config
+
+	mu    sync.Mutex
+	peers map[astypes.ASN]*session.Session
+	// rib[peer][prefix] mirrors each peer's announcements.
+	rib       map[astypes.ASN]map[astypes.Prefix]route
+	snapshots int
+	closed    bool
+
+	wg        sync.WaitGroup
+	listeners []net.Listener
+}
+
+// New builds a collector.
+func New(cfg Config) *Collector {
+	if cfg.AS == astypes.ASNNone {
+		cfg.AS = CollectorASN
+	}
+	return &Collector{
+		cfg:   cfg,
+		peers: make(map[astypes.ASN]*session.Session),
+		rib:   make(map[astypes.ASN]map[astypes.Prefix]route),
+	}
+}
+
+// handler adapts session events for one peer.
+type handler struct {
+	c *Collector
+}
+
+// HandleUpdate implements session.Handler.
+func (h handler) HandleUpdate(peer astypes.ASN, u *wire.Update) {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	table := h.c.rib[peer]
+	if table == nil {
+		table = make(map[astypes.Prefix]route)
+		h.c.rib[peer] = table
+	}
+	for _, w := range u.Withdrawn {
+		delete(table, w)
+	}
+	if len(u.NLRI) == 0 {
+		return
+	}
+	for _, prefix := range u.NLRI {
+		table[prefix] = route{
+			path:        u.Attrs.ASPath.Clone(),
+			communities: append([]astypes.Community(nil), u.Attrs.Communities...),
+		}
+	}
+}
+
+// HandleDown implements session.Handler.
+func (h handler) HandleDown(peer astypes.ASN, err error) {
+	h.c.mu.Lock()
+	defer h.c.mu.Unlock()
+	delete(h.c.peers, peer)
+	delete(h.c.rib, peer)
+}
+
+// AddPeerConn runs the BGP handshake on conn and starts collecting from
+// the peer. The collector accepts any peer AS.
+func (c *Collector) AddPeerConn(conn net.Conn) (astypes.ASN, error) {
+	sess, err := session.Establish(conn, session.Config{
+		LocalAS:  c.cfg.AS,
+		LocalID:  c.cfg.RouterID,
+		HoldTime: c.cfg.HoldTime,
+		Handler:  handler{c: c},
+	})
+	if err != nil {
+		return astypes.ASNNone, fmt.Errorf("collector: establish: %w", err)
+	}
+	got := sess.PeerAS()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		sess.Close()
+		return astypes.ASNNone, fmt.Errorf("collector closed")
+	}
+	if _, dup := c.peers[got]; dup {
+		sess.Close()
+		return astypes.ASNNone, fmt.Errorf("collector: duplicate peer AS %s", got)
+	}
+	c.peers[got] = sess
+	return got, nil
+}
+
+// Connect dials a peer.
+func (c *Collector) Connect(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("collector: dial %s: %w", addr, err)
+	}
+	if _, err := c.AddPeerConn(conn); err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// Listen accepts inbound peerings until the collector is closed.
+func (c *Collector) Listen(ln net.Listener) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		ln.Close()
+		return
+	}
+	c.listeners = append(c.listeners, ln)
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				if _, err := c.AddPeerConn(conn); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+}
+
+// Peers returns the connected peer ASNs in ascending order.
+func (c *Collector) Peers() []astypes.ASN {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]astypes.ASN, 0, len(c.peers))
+	for a := range c.peers {
+		out = append(out, a)
+	}
+	return astypes.SortASNs(out)
+}
+
+// Snapshot assembles the current multi-peer view as one table dump, in
+// the same exchange format the synthetic archive uses: one entry per
+// (peer, prefix) announcement. Day numbers count snapshots taken.
+func (c *Collector) Snapshot(at time.Time) *routegen.Dump {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	d := &routegen.Dump{Day: c.snapshots, Date: at}
+	c.snapshots++
+	peerASNs := make([]astypes.ASN, 0, len(c.rib))
+	for a := range c.rib {
+		peerASNs = append(peerASNs, a)
+	}
+	astypes.SortASNs(peerASNs)
+	for _, peer := range peerASNs {
+		table := c.rib[peer]
+		prefixes := make([]astypes.Prefix, 0, len(table))
+		for p := range table {
+			prefixes = append(prefixes, p)
+		}
+		sortPrefixes(prefixes)
+		for _, prefix := range prefixes {
+			d.Entries = append(d.Entries, routegen.Entry{
+				Prefix:      prefix,
+				Path:        table[prefix].path.Clone(),
+				Communities: append([]astypes.Community(nil), table[prefix].communities...),
+			})
+		}
+	}
+	return d
+}
+
+// RoutesFrom returns the collector's view of one peer's table: prefix
+// to (path, communities), copied.
+func (c *Collector) RoutesFrom(peer astypes.ASN) map[astypes.Prefix]astypes.ASPath {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	table := c.rib[peer]
+	out := make(map[astypes.Prefix]astypes.ASPath, len(table))
+	for p, r := range table {
+		out[p] = r.path.Clone()
+	}
+	return out
+}
+
+// Close tears down all sessions and listeners.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	listeners := c.listeners
+	sessions := make([]*session.Session, 0, len(c.peers))
+	for _, s := range c.peers {
+		sessions = append(sessions, s)
+	}
+	c.mu.Unlock()
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.Close()
+	}
+	c.wg.Wait()
+	return nil
+}
+
+func sortPrefixes(ps []astypes.Prefix) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Compare(ps[j-1]) < 0; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func TestAttrBytesRoundTrip(t *testing.T) {
+	tests := []List{
+		NewList(1),
+		NewList(1, 2),
+		NewList(65535, 1, 700),
+	}
+	for _, give := range tests {
+		got, err := ListFromAttrBytes(give.AttrBytes())
+		if err != nil || !got.Equal(give) {
+			t.Errorf("roundtrip %v = %v (%v)", give, got, err)
+		}
+	}
+	if (List{}).AttrBytes() != nil {
+		t.Error("empty list should encode to nil")
+	}
+}
+
+func TestListFromAttrBytesErrors(t *testing.T) {
+	for _, bad := range [][]byte{nil, {}, {1}, {1, 2, 3}} {
+		if _, err := ListFromAttrBytes(bad); err == nil {
+			t.Errorf("ListFromAttrBytes(%v) should fail", bad)
+		}
+	}
+	// Duplicates in the wire form canonicalize.
+	dup := append(NewList(4).AttrBytes(), NewList(4).AttrBytes()...)
+	got, err := ListFromAttrBytes(dup)
+	if err != nil || !got.Equal(NewList(4)) {
+		t.Errorf("duplicate members = %v (%v)", got, err)
+	}
+}
+
+func TestCheckerHonorsAttrList(t *testing.T) {
+	c := NewChecker()
+	attr := NewList(1, 2)
+	// The attribute encoding takes precedence over communities.
+	v, _ := c.Check(Announcement{
+		Prefix:      testPrefix,
+		Path:        astypes.NewSeqPath(9, 1),
+		Communities: NewList(7).Communities(), // contradicting communities
+		AttrList:    &attr,
+	})
+	if v != VerdictConsistent {
+		t.Fatalf("first attr-list announcement: %v", v)
+	}
+	if l, _ := c.ListFor(testPrefix); !l.Equal(attr) {
+		t.Errorf("recorded list = %v, want the attribute one", l)
+	}
+	// An attribute-encoded hijack conflicts.
+	forged := NewList(52)
+	v, _ = c.Check(Announcement{
+		Prefix:   testPrefix,
+		Path:     astypes.NewSeqPath(9, 52),
+		AttrList: &forged,
+	})
+	if v != VerdictConflict {
+		t.Errorf("attr-encoded hijack verdict = %v", v)
+	}
+}
+
+func TestVerdictStrings(t *testing.T) {
+	tests := map[Verdict]string{
+		VerdictConsistent:      "consistent",
+		VerdictConflict:        "conflict",
+		VerdictOriginNotListed: "origin-not-listed",
+		Verdict(99):            "unknown",
+	}
+	for v, want := range tests {
+		if v.String() != want {
+			t.Errorf("Verdict(%d).String() = %q", v, v.String())
+		}
+	}
+}
+
+func TestEmptyListAccessors(t *testing.T) {
+	var l List
+	if l.Origins() != nil {
+		t.Error("empty Origins should be nil")
+	}
+	if l.Communities() != nil {
+		t.Error("empty Communities should be nil")
+	}
+	if !l.Empty() || l.Len() != 0 {
+		t.Error("zero list should be empty")
+	}
+	c := NewChecker()
+	if got := c.Alarms(); got != nil {
+		t.Errorf("empty Alarms = %v", got)
+	}
+}

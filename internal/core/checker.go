@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/astypes"
+)
+
+// Verdict is the outcome of checking one route announcement against the
+// MOAS state a checker has accumulated for the announced prefix.
+type Verdict int
+
+// Verdict values.
+const (
+	// VerdictConsistent: the announcement's effective MOAS list agrees
+	// with every list previously seen for the prefix (or it is the first
+	// announcement).
+	VerdictConsistent Verdict = iota + 1
+	// VerdictConflict: the effective list disagrees with the recorded
+	// list; an alarm has been raised.
+	VerdictConflict
+	// VerdictOriginNotListed: the route's own origin AS is absent from
+	// the MOAS list it carries — self-evidently bogus regardless of any
+	// other announcement (§4.1: a faulty origin "will not be in p's MOAS
+	// list").
+	VerdictOriginNotListed
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictConsistent:
+		return "consistent"
+	case VerdictConflict:
+		return "conflict"
+	case VerdictOriginNotListed:
+		return "origin-not-listed"
+	default:
+		return "unknown"
+	}
+}
+
+// Announcement is the checker's view of one received route: just the
+// pieces the MOAS mechanism consults.
+type Announcement struct {
+	Prefix      astypes.Prefix
+	Path        astypes.ASPath
+	Communities []astypes.Community
+	// AttrList, when non-nil, is a MOAS list carried in the dedicated
+	// path attribute (ListAttrCode), pre-decoded by the transport layer.
+	// It takes precedence over the community encoding.
+	AttrList *List
+	FromPeer astypes.ASN // ASNNone for locally originated routes
+}
+
+// effectiveList resolves the announcement's MOAS list with the full
+// precedence: dedicated attribute, then communities, then the implicit
+// single-origin rule.
+func (a Announcement) effectiveList() (List, error) {
+	if a.AttrList != nil {
+		return *a.AttrList, nil
+	}
+	return EffectiveList(a.Communities, a.Path)
+}
+
+// AlarmFunc receives every conflict the checker detects. The paper
+// prescribes generating "an alarm signal; further investigation should
+// be conducted" (§4.2); resolution (e.g. a DNS MOASRR lookup,
+// internal/dnsval) is deliberately out of the checker's scope.
+type AlarmFunc func(Conflict)
+
+// Checker implements the per-router MOAS-list consistency check. It
+// remembers, per prefix, the first MOAS list accepted and compares every
+// subsequent announcement against it ("single set comparison", §4.2).
+//
+// Checker is safe for concurrent use; the live speaker consults it from
+// multiple session goroutines.
+type Checker struct {
+	mu     sync.Mutex
+	lists  map[astypes.Prefix]List
+	alarms []Conflict
+	onA    AlarmFunc
+}
+
+// CheckerOption configures a Checker.
+type CheckerOption interface {
+	apply(*Checker)
+}
+
+type alarmFuncOption AlarmFunc
+
+func (f alarmFuncOption) apply(c *Checker) { c.onA = AlarmFunc(f) }
+
+// WithAlarmFunc installs a callback invoked synchronously for every
+// detected conflict, in addition to the checker's internal alarm log.
+func WithAlarmFunc(f AlarmFunc) CheckerOption {
+	return alarmFuncOption(f)
+}
+
+// NewChecker returns an empty checker.
+func NewChecker(opts ...CheckerOption) *Checker {
+	c := &Checker{lists: make(map[astypes.Prefix]List)}
+	for _, o := range opts {
+		o.apply(c)
+	}
+	return c
+}
+
+// Check validates one announcement. The first announcement for a prefix
+// establishes its MOAS list ("is simply accepted if this is the first
+// and only announcement", §4.2); later announcements must carry an equal
+// set. On conflict the alarm is recorded, the callback (if any) runs,
+// and the previously established list is retained: the checker trusts
+// first-seen state and flags divergence, exactly as the simulation's
+// MOAS-capable nodes do.
+func (c *Checker) Check(a Announcement) (Verdict, *Conflict) {
+	eff, err := a.effectiveList()
+	if err != nil {
+		// An announcement with no derivable origin cannot be validated;
+		// treat as conflicting with anything previously seen.
+		eff = List{}
+	}
+	origin, _ := a.Path.Origin()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !eff.Empty() && !eff.Contains(origin) {
+		conflict := Conflict{
+			Prefix:   a.Prefix,
+			Existing: c.lists[a.Prefix],
+			Received: eff,
+			Origin:   origin,
+			FromPeer: a.FromPeer,
+		}
+		c.alarms = append(c.alarms, conflict)
+		if c.onA != nil {
+			c.onA(conflict)
+		}
+		return VerdictOriginNotListed, &conflict
+	}
+	existing, seen := c.lists[a.Prefix]
+	if !seen {
+		c.lists[a.Prefix] = eff
+		return VerdictConsistent, nil
+	}
+	if existing.Equal(eff) {
+		return VerdictConsistent, nil
+	}
+	conflict := Conflict{
+		Prefix:   a.Prefix,
+		Existing: existing,
+		Received: eff,
+		Origin:   origin,
+		FromPeer: a.FromPeer,
+	}
+	c.alarms = append(c.alarms, conflict)
+	if c.onA != nil {
+		c.onA(conflict)
+	}
+	return VerdictConflict, &conflict
+}
+
+// ListFor returns the MOAS list currently recorded for a prefix.
+func (c *Checker) ListFor(p astypes.Prefix) (List, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.lists[p]
+	return l, ok
+}
+
+// Forget drops the recorded state for a prefix, e.g. after all routes to
+// it have been withdrawn.
+func (c *Checker) Forget(p astypes.Prefix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.lists, p)
+}
+
+// Alarms returns a copy of every conflict recorded so far, in detection
+// order.
+func (c *Checker) Alarms() []Conflict {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.alarms) == 0 {
+		return nil
+	}
+	out := make([]Conflict, len(c.alarms))
+	copy(out, c.alarms)
+	return out
+}
+
+// AlarmCount returns the number of conflicts recorded so far.
+func (c *Checker) AlarmCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.alarms)
+}
+
+// Reset clears all recorded lists and alarms.
+func (c *Checker) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lists = make(map[astypes.Prefix]List)
+	c.alarms = nil
+}

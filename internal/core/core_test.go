@@ -1,0 +1,337 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/astypes"
+)
+
+var testPrefix = astypes.MustPrefix(0x83b30000, 16)
+
+func TestNewListCanonicalizes(t *testing.T) {
+	l := NewList(5, 1, 5, 3)
+	if got := l.String(); got != "{1, 3, 5}" {
+		t.Errorf("String() = %q", got)
+	}
+	if l.Len() != 3 {
+		t.Errorf("Len() = %d", l.Len())
+	}
+	if !l.Contains(3) || l.Contains(4) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestListEqualIsSetEquality(t *testing.T) {
+	// "The order in the list may differ, but the set of ASes included
+	// in each route announcement must be identical" (§4.2).
+	a := NewList(1, 2)
+	b := NewList(2, 1)
+	c := NewList(1, 2, 3)
+	if !a.Equal(b) {
+		t.Error("order must not matter")
+	}
+	if a.Equal(c) || c.Equal(a) {
+		t.Error("different sets must differ")
+	}
+	if !(List{}).Equal(List{}) {
+		t.Error("empty lists are equal")
+	}
+	if a.Equal(List{}) {
+		t.Error("non-empty != empty")
+	}
+}
+
+func TestListCommunitiesRoundTrip(t *testing.T) {
+	l := NewList(4, 226)
+	comms := l.Communities()
+	if len(comms) != 2 {
+		t.Fatalf("Communities() len = %d", len(comms))
+	}
+	for _, c := range comms {
+		if c.Value() != MLVal {
+			t.Errorf("community %v lacks MLVal", c)
+		}
+	}
+	back, has := FromCommunities(comms)
+	if !has || !back.Equal(l) {
+		t.Errorf("FromCommunities = %v, %v", back, has)
+	}
+}
+
+func TestFromCommunitiesIgnoresOthers(t *testing.T) {
+	comms := []astypes.Community{
+		astypes.NewCommunity(701, 666), // unrelated community
+		astypes.NewCommunity(4, MLVal),
+	}
+	l, has := FromCommunities(comms)
+	if !has || !l.Equal(NewList(4)) {
+		t.Errorf("FromCommunities = %v, %v", l, has)
+	}
+	l, has = FromCommunities([]astypes.Community{astypes.NewCommunity(701, 666)})
+	if has || !l.Empty() {
+		t.Errorf("no MOAS communities should mean hasList=false; got %v, %v", l, has)
+	}
+}
+
+func TestImplicitListRule(t *testing.T) {
+	// "If a route does not contain a MOAS list, it will be treated as
+	// if it carries a MOAS list containing the origin AS" (§4.2 fn 3).
+	eff, err := EffectiveList(nil, astypes.NewSeqPath(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Equal(ImplicitList(3)) {
+		t.Errorf("EffectiveList = %v, want {3}", eff)
+	}
+	// Explicit list wins over implicit.
+	eff, err = EffectiveList(NewList(7, 8).Communities(), astypes.NewSeqPath(1, 2, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Equal(NewList(7, 8)) {
+		t.Errorf("EffectiveList = %v, want {7, 8}", eff)
+	}
+	// No list and no origin is an error.
+	if _, err := EffectiveList(nil, astypes.ASPath{}); err == nil {
+		t.Error("EffectiveList on empty path should fail")
+	}
+}
+
+func TestWithOrigin(t *testing.T) {
+	base := NewList(1, 2)
+	forged := base.WithOrigin(9)
+	if !forged.Equal(NewList(1, 2, 9)) {
+		t.Errorf("WithOrigin = %v", forged)
+	}
+	if !base.Equal(NewList(1, 2)) {
+		t.Error("WithOrigin must not mutate the receiver")
+	}
+}
+
+func TestStripMOAS(t *testing.T) {
+	other := astypes.NewCommunity(701, 666)
+	comms := append(NewList(1, 2).Communities(), other)
+	stripped := StripMOAS(comms)
+	if len(stripped) != 1 || stripped[0] != other {
+		t.Errorf("StripMOAS = %v", stripped)
+	}
+	if StripMOAS(nil) != nil {
+		t.Error("StripMOAS(nil) should be nil")
+	}
+}
+
+func TestOriginsCopyIsDefensive(t *testing.T) {
+	l := NewList(1, 2)
+	got := l.Origins()
+	got[0] = 99
+	if !l.Equal(NewList(1, 2)) {
+		t.Error("Origins() must return a copy")
+	}
+}
+
+func TestListSetSemanticsQuick(t *testing.T) {
+	f := func(a, b []uint16) bool {
+		toList := func(in []uint16) List {
+			asns := make([]astypes.ASN, len(in))
+			for i, v := range in {
+				asns[i] = astypes.ASN(v)
+			}
+			return NewList(asns...)
+		}
+		la, lb := toList(a), toList(b)
+		// Equality must agree with map-based set equality.
+		set := func(in []uint16) map[uint16]bool {
+			m := make(map[uint16]bool)
+			for _, v := range in {
+				m[v] = true
+			}
+			return m
+		}
+		sa, sb := set(a), set(b)
+		same := len(sa) == len(sb)
+		if same {
+			for k := range sa {
+				if !sb[k] {
+					same = false
+					break
+				}
+			}
+		}
+		return la.Equal(lb) == same
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCheckerFirstAnnouncementAccepted(t *testing.T) {
+	c := NewChecker()
+	v, conflict := c.Check(Announcement{
+		Prefix: testPrefix,
+		Path:   astypes.NewSeqPath(2, 4),
+	})
+	if v != VerdictConsistent || conflict != nil {
+		t.Fatalf("first announcement: %v, %v", v, conflict)
+	}
+	if l, ok := c.ListFor(testPrefix); !ok || !l.Equal(ImplicitList(4)) {
+		t.Errorf("recorded list = %v, %v", l, ok)
+	}
+}
+
+func TestCheckerDetectsConflict(t *testing.T) {
+	var alarmed []Conflict
+	c := NewChecker(WithAlarmFunc(func(cf Conflict) { alarmed = append(alarmed, cf) }))
+
+	// Valid MOAS: both origins announce the same list.
+	list := NewList(1, 2)
+	for _, origin := range []astypes.ASN{1, 2} {
+		v, _ := c.Check(Announcement{
+			Prefix:      testPrefix,
+			Path:        astypes.NewSeqPath(9, origin),
+			Communities: list.Communities(),
+		})
+		if v != VerdictConsistent {
+			t.Fatalf("valid MOAS flagged: %v", v)
+		}
+	}
+
+	// The attacker's bare announcement conflicts.
+	v, conflict := c.Check(Announcement{
+		Prefix:   testPrefix,
+		Path:     astypes.NewSeqPath(9, 52),
+		FromPeer: 9,
+	})
+	if v != VerdictConflict || conflict == nil {
+		t.Fatalf("attack not detected: %v", v)
+	}
+	if conflict.Origin != 52 || conflict.FromPeer != 9 {
+		t.Errorf("conflict details = %+v", conflict)
+	}
+	if len(alarmed) != 1 {
+		t.Errorf("alarm callback fired %d times", len(alarmed))
+	}
+	if c.AlarmCount() != 1 {
+		t.Errorf("AlarmCount = %d", c.AlarmCount())
+	}
+}
+
+func TestCheckerOriginNotListed(t *testing.T) {
+	c := NewChecker()
+	// A route whose own list omits its origin is bogus on its face.
+	v, conflict := c.Check(Announcement{
+		Prefix:      testPrefix,
+		Path:        astypes.NewSeqPath(9, 52),
+		Communities: NewList(1, 2).Communities(),
+	})
+	if v != VerdictOriginNotListed || conflict == nil {
+		t.Fatalf("verdict = %v", v)
+	}
+	// It must not have established list state for the prefix.
+	if _, ok := c.ListFor(testPrefix); ok {
+		t.Error("bogus route must not establish the prefix list")
+	}
+}
+
+func TestCheckerForgedSupersetDetected(t *testing.T) {
+	c := NewChecker()
+	valid := NewList(1, 2)
+	if v, _ := c.Check(Announcement{
+		Prefix:      testPrefix,
+		Path:        astypes.NewSeqPath(1),
+		Communities: valid.Communities(),
+	}); v != VerdictConsistent {
+		t.Fatalf("valid announcement flagged: %v", v)
+	}
+	forged := valid.WithOrigin(52)
+	v, _ := c.Check(Announcement{
+		Prefix:      testPrefix,
+		Path:        astypes.NewSeqPath(52),
+		Communities: forged.Communities(),
+	})
+	if v != VerdictConflict {
+		t.Errorf("forged superset list not detected: %v", v)
+	}
+}
+
+func TestCheckerForgetAndReset(t *testing.T) {
+	c := NewChecker()
+	c.Check(Announcement{Prefix: testPrefix, Path: astypes.NewSeqPath(4)})
+	c.Forget(testPrefix)
+	if _, ok := c.ListFor(testPrefix); ok {
+		t.Error("Forget did not clear state")
+	}
+	c.Check(Announcement{Prefix: testPrefix, Path: astypes.NewSeqPath(4)})
+	c.Check(Announcement{Prefix: testPrefix, Path: astypes.NewSeqPath(52)})
+	if c.AlarmCount() != 1 {
+		t.Fatalf("AlarmCount = %d", c.AlarmCount())
+	}
+	c.Reset()
+	if c.AlarmCount() != 0 {
+		t.Error("Reset did not clear alarms")
+	}
+	if _, ok := c.ListFor(testPrefix); ok {
+		t.Error("Reset did not clear lists")
+	}
+}
+
+func TestCheckerAlarmsAreCopies(t *testing.T) {
+	c := NewChecker()
+	c.Check(Announcement{Prefix: testPrefix, Path: astypes.NewSeqPath(4)})
+	c.Check(Announcement{Prefix: testPrefix, Path: astypes.NewSeqPath(52)})
+	a1 := c.Alarms()
+	a1[0].Origin = 9999
+	a2 := c.Alarms()
+	if a2[0].Origin == 9999 {
+		t.Error("Alarms() must return copies")
+	}
+}
+
+func TestCheckerConcurrentUse(t *testing.T) {
+	c := NewChecker()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(origin astypes.ASN) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				c.Check(Announcement{
+					Prefix: testPrefix,
+					Path:   astypes.NewSeqPath(9, origin),
+				})
+			}
+		}(astypes.ASN(i + 1))
+	}
+	wg.Wait()
+	// 8 distinct implicit lists: whichever got there first won; the
+	// other 7 origins conflict on every check.
+	if got := c.AlarmCount(); got != 7*200 {
+		t.Errorf("AlarmCount = %d, want %d", got, 7*200)
+	}
+}
+
+func TestConflictErrorMessage(t *testing.T) {
+	conflict := &Conflict{
+		Prefix:   testPrefix,
+		Existing: NewList(1, 2),
+		Received: NewList(52),
+		Origin:   52,
+		FromPeer: 9,
+	}
+	msg := conflict.Error()
+	for _, want := range []string{"131.179.0.0/16", "{1, 2}", "{52}", "52", "9"} {
+		if !contains(msg, want) {
+			t.Errorf("Error() = %q missing %q", msg, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

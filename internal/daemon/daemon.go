@@ -1,0 +1,334 @@
+// Package daemon assembles a deployable MOAS-validating BGP speaker
+// from a declarative JSON configuration: peering sessions, originated
+// prefixes with their MOAS lists, route aggregates, a local MOASRR
+// database for alarm resolution, and an optional HTTP endpoint serving
+// the §4.2 MIB view. cmd/moas-speaker is a thin wrapper around this
+// package.
+package daemon
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/dnsval"
+	"repro/internal/speaker"
+)
+
+// Config is the on-disk daemon configuration.
+type Config struct {
+	// AS and RouterID identify the speaker.
+	AS       uint16 `json:"as"`
+	RouterID uint32 `json:"routerID"`
+	// Validation is "off", "alarm" or "drop".
+	Validation string `json:"validation"`
+	// HoldTimeSeconds for sessions (0 selects the default).
+	HoldTimeSeconds int `json:"holdTimeSeconds"`
+	// Listen addresses accept inbound peerings ("host:port").
+	Listen []string `json:"listen"`
+	// MIBAddr, if set, serves the MIB JSON over HTTP.
+	MIBAddr string `json:"mibAddr"`
+	// Peers to dial.
+	Peers []PeerConfig `json:"peers"`
+	// Originate lists locally announced prefixes.
+	Originate []OriginateConfig `json:"originate"`
+	// Aggregates configures route aggregation.
+	Aggregates []AggregateConfig `json:"aggregates"`
+	// MOASRR seeds the local origin-authorization database used to
+	// resolve alarms under "drop" validation.
+	MOASRR []MOASRRConfig `json:"moasrr"`
+	// ImportDeny lists prefixes (and their more-specifics) rejected on
+	// import — bogon filtering.
+	ImportDeny []string `json:"importDeny"`
+	// ListEncoding is "communities" (default) or "attribute".
+	ListEncoding string `json:"listEncoding"`
+	// ReconnectSeconds, when nonzero, re-dials configured peers whose
+	// sessions drop, after this backoff.
+	ReconnectSeconds int `json:"reconnectSeconds"`
+}
+
+// PeerConfig is one outbound peering.
+type PeerConfig struct {
+	Addr string `json:"addr"`
+	AS   uint16 `json:"as"`
+}
+
+// OriginateConfig is one locally originated prefix.
+type OriginateConfig struct {
+	Prefix string `json:"prefix"`
+	// MOASList is the set of entitled origins; empty means implicit
+	// (this AS only).
+	MOASList []uint16 `json:"moasList"`
+}
+
+// AggregateConfig is one configured aggregate.
+type AggregateConfig struct {
+	Prefix      string `json:"prefix"`
+	SummaryOnly bool   `json:"summaryOnly"`
+}
+
+// MOASRRConfig is one origin-authorization record.
+type MOASRRConfig struct {
+	Prefix  string   `json:"prefix"`
+	Origins []uint16 `json:"origins"`
+}
+
+// Load parses a configuration from r.
+func Load(r io.Reader) (Config, error) {
+	var cfg Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("daemon: parse config: %w", err)
+	}
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// LoadFile parses a configuration file.
+func LoadFile(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("daemon: open config: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func (c Config) validate() error {
+	if c.AS == 0 {
+		return fmt.Errorf("daemon: config requires a nonzero AS")
+	}
+	switch c.Validation {
+	case "", "off", "alarm", "drop":
+	default:
+		return fmt.Errorf("daemon: validation %q (want off, alarm or drop)", c.Validation)
+	}
+	for _, o := range c.Originate {
+		if _, err := astypes.ParsePrefix(o.Prefix); err != nil {
+			return fmt.Errorf("daemon: originate: %w", err)
+		}
+	}
+	for _, a := range c.Aggregates {
+		if _, err := astypes.ParsePrefix(a.Prefix); err != nil {
+			return fmt.Errorf("daemon: aggregate: %w", err)
+		}
+	}
+	for _, r := range c.MOASRR {
+		if _, err := astypes.ParsePrefix(r.Prefix); err != nil {
+			return fmt.Errorf("daemon: moasrr: %w", err)
+		}
+		if len(r.Origins) == 0 {
+			return fmt.Errorf("daemon: moasrr record %s with no origins", r.Prefix)
+		}
+	}
+	for _, d := range c.ImportDeny {
+		if _, err := astypes.ParsePrefix(d); err != nil {
+			return fmt.Errorf("daemon: importDeny: %w", err)
+		}
+	}
+	switch c.ListEncoding {
+	case "", "communities", "attribute":
+	default:
+		return fmt.Errorf("daemon: listEncoding %q (want communities or attribute)", c.ListEncoding)
+	}
+	return nil
+}
+
+func (c Config) validationMode() speaker.ValidationMode {
+	switch c.Validation {
+	case "alarm":
+		return speaker.ValidationAlarm
+	case "drop":
+		return speaker.ValidationDrop
+	default:
+		return speaker.ValidationOff
+	}
+}
+
+// Daemon is a running configured speaker.
+type Daemon struct {
+	Speaker *speaker.Speaker
+	Store   *dnsval.Store
+
+	mibServer *http.Server
+	mibErr    chan error
+	mibAddr   string
+
+	peerAddrs map[astypes.ASN]string
+	reconnect time.Duration
+	stop      chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+}
+
+// Build constructs and starts the daemon: the MOASRR store, the
+// speaker, listeners, outbound peerings, originations and aggregates,
+// and the MIB HTTP endpoint.
+func Build(cfg Config) (*Daemon, error) {
+	store := dnsval.NewStore()
+	for _, rec := range cfg.MOASRR {
+		prefix, err := astypes.ParsePrefix(rec.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		store.Register(prefix, core.NewList(asnsOf(rec.Origins)...))
+	}
+
+	d := &Daemon{
+		Store:     store,
+		mibErr:    make(chan error, 1),
+		peerAddrs: make(map[astypes.ASN]string, len(cfg.Peers)),
+		reconnect: time.Duration(cfg.ReconnectSeconds) * time.Second,
+		stop:      make(chan struct{}),
+	}
+	var deny []astypes.Prefix
+	for _, ds := range cfg.ImportDeny {
+		prefix, err := astypes.ParsePrefix(ds)
+		if err != nil {
+			return nil, err
+		}
+		deny = append(deny, prefix)
+	}
+	encoding := speaker.EncodeCommunities
+	if cfg.ListEncoding == "attribute" {
+		encoding = speaker.EncodeAttribute
+	}
+	spkCfg := speaker.Config{
+		AS:           astypes.ASN(cfg.AS),
+		RouterID:     cfg.RouterID,
+		Validation:   cfg.validationMode(),
+		Resolver:     store,
+		HoldTime:     time.Duration(cfg.HoldTimeSeconds) * time.Second,
+		ImportDeny:   deny,
+		ListEncoding: encoding,
+	}
+	if d.reconnect > 0 {
+		spkCfg.OnPeerDown = d.peerDown
+	}
+	s, err := speaker.New(spkCfg)
+	if err != nil {
+		return nil, err
+	}
+	d.Speaker = s
+
+	cleanup := func() {
+		s.Close()
+		if d.mibServer != nil {
+			d.mibServer.Close()
+		}
+	}
+
+	for _, addr := range cfg.Listen {
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("daemon: listen %s: %w", addr, err)
+		}
+		s.Listen(ln)
+	}
+	for _, o := range cfg.Originate {
+		prefix, err := astypes.ParsePrefix(o.Prefix)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		s.Originate(prefix, core.NewList(asnsOf(o.MOASList)...))
+	}
+	for _, a := range cfg.Aggregates {
+		prefix, err := astypes.ParsePrefix(a.Prefix)
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err := s.ConfigureAggregate(prefix, a.SummaryOnly); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	for _, p := range cfg.Peers {
+		d.peerAddrs[astypes.ASN(p.AS)] = p.Addr
+		if err := s.Connect(p.Addr, astypes.ASN(p.AS)); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	if cfg.MIBAddr != "" {
+		ln, err := net.Listen("tcp", cfg.MIBAddr)
+		if err != nil {
+			cleanup()
+			return nil, fmt.Errorf("daemon: MIB listen %s: %w", cfg.MIBAddr, err)
+		}
+		d.mibAddr = ln.Addr().String()
+		mux := http.NewServeMux()
+		mux.Handle("/mib", s)
+		d.mibServer = &http.Server{Handler: mux}
+		go func() {
+			err := d.mibServer.Serve(ln)
+			if err != nil && err != http.ErrServerClosed {
+				d.mibErr <- err
+			}
+			close(d.mibErr)
+		}()
+	}
+	return d, nil
+}
+
+// MIBAddr returns the bound MIB HTTP address ("" when disabled).
+func (d *Daemon) MIBAddr() string { return d.mibAddr }
+
+// peerDown schedules re-dialing of a configured outbound peer.
+func (d *Daemon) peerDown(peer astypes.ASN) {
+	addr, configured := d.peerAddrs[peer]
+	if !configured {
+		return
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		timer := time.NewTimer(d.reconnect)
+		defer timer.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-timer.C:
+			}
+			if err := d.Speaker.Connect(addr, peer); err == nil {
+				return
+			}
+			timer.Reset(d.reconnect)
+		}
+	}()
+}
+
+// Close shuts the daemon down.
+func (d *Daemon) Close() error {
+	d.stopOnce.Do(func() { close(d.stop) })
+	err := d.Speaker.Close()
+	d.wg.Wait()
+	if d.mibServer != nil {
+		if cerr := d.mibServer.Close(); err == nil {
+			err = cerr
+		}
+		<-d.mibErr
+	}
+	return err
+}
+
+func asnsOf(in []uint16) []astypes.ASN {
+	out := make([]astypes.ASN, len(in))
+	for i, v := range in {
+		out[i] = astypes.ASN(v)
+	}
+	return out
+}

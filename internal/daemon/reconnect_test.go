@@ -1,0 +1,112 @@
+package daemon
+
+import (
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func TestConfigValidatesNewFields(t *testing.T) {
+	bad := []Config{
+		{AS: 1, ImportDeny: []string{"banana"}},
+		{AS: 1, ListEncoding: "morse"},
+	}
+	for _, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	good := Config{
+		AS:               1,
+		ImportDeny:       []string{"10.0.0.0/8"},
+		ListEncoding:     "attribute",
+		ReconnectSeconds: 3,
+	}
+	if err := good.validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestDaemonReconnect(t *testing.T) {
+	addr := freePort(t)
+	origin, err := Build(Config{
+		AS:        4,
+		RouterID:  4,
+		Listen:    []string{addr},
+		Originate: []OriginateConfig{{Prefix: "131.179.0.0/16"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	client, err := Build(Config{
+		AS:               701,
+		RouterID:         701,
+		Peers:            []PeerConfig{{Addr: addr, AS: 4}},
+		ReconnectSeconds: 1,
+	})
+	if err != nil {
+		origin.Close()
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	prefix := astypes.MustPrefix(0x83b30000, 16)
+	waitFor(t, func() bool { return client.Speaker.Table().Best(prefix) != nil }, "initial route")
+
+	// The origin goes away; the client loses the session and its routes.
+	if err := origin.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return client.Speaker.Table().Best(prefix) == nil }, "route flushed")
+
+	// The origin comes back on the same address; the client re-dials.
+	origin2, err := Build(Config{
+		AS:        4,
+		RouterID:  4,
+		Listen:    []string{addr},
+		Originate: []OriginateConfig{{Prefix: "131.179.0.0/16"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin2.Close()
+	waitFor(t, func() bool { return client.Speaker.Table().Best(prefix) != nil }, "route after reconnect")
+}
+
+func TestDaemonAttributeEncodingEndToEnd(t *testing.T) {
+	addr := freePort(t)
+	origin, err := Build(Config{
+		AS:           4,
+		RouterID:     4,
+		Listen:       []string{addr},
+		ListEncoding: "attribute",
+		Originate: []OriginateConfig{
+			{Prefix: "131.179.0.0/16", MOASList: []uint16{4, 226}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer origin.Close()
+
+	client, err := Build(Config{
+		AS:       701,
+		RouterID: 701,
+		Peers:    []PeerConfig{{Addr: addr, AS: 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	prefix := astypes.MustPrefix(0x83b30000, 16)
+	waitFor(t, func() bool { return client.Speaker.Table().Best(prefix) != nil }, "route")
+	best := client.Speaker.Table().Best(prefix)
+	if len(best.Unknown) != 1 {
+		t.Errorf("attribute-encoded list missing: %+v", best.Unknown)
+	}
+	if len(best.Communities) != 0 {
+		t.Errorf("unexpected communities: %v", best.Communities)
+	}
+}

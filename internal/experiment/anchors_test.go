@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// TestPaperAnchorsFigure9 is the reproduction gate for Figure 9: the
+// real sweep on the 46-AS topology must satisfy the paper's shape
+// claims within the tolerances recorded in EXPERIMENTS.md.
+func TestPaperAnchorsFigure9(t *testing.T) {
+	topo := paperSet(t).T46
+	res, err := Sweep(SweepConfig{
+		Topology:       topo,
+		TopologyName:   "46",
+		NumOrigins:     1,
+		AttackerCounts: AttackerCountsFor(topo, 32),
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:      42,
+		ColdStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: 0.15% at ~4%, 9.8% at 30%, ~5x improvement. Tolerances per
+	// EXPERIMENTS.md: <=3% low, <=12% high, >=5x factor.
+	anchors := Figure9Anchors("normal", "full", 3, 12, 5)
+	for _, dev := range CheckAnchors(res, anchors) {
+		t.Error(dev)
+	}
+}
+
+// TestPaperAnchorsFigure11 gates the partial-deployment claims on the
+// 63-AS topology.
+func TestPaperAnchorsFigure11(t *testing.T) {
+	topo := paperSet(t).T63
+	res, err := Sweep(SweepConfig{
+		Topology:       topo,
+		TopologyName:   "63",
+		NumOrigins:     1,
+		AttackerCounts: AttackerCountsFor(topo, 32),
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "half", Detection: DetectionPartial, DeployFraction: 0.5},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:      42,
+		ColdStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: >63% reduction; we gate at 35% (see EXPERIMENTS.md
+	// deviation 2).
+	anchors := Figure11Anchors("normal", "half", "full", 0.35)
+	for _, dev := range CheckAnchors(res, anchors) {
+		t.Error(dev)
+	}
+}
+
+// TestAnchorsReportDeviations verifies the anchor machinery itself
+// flags violations.
+func TestAnchorsReportDeviations(t *testing.T) {
+	res := &SweepResult{
+		Modes: []ModeSpec{{Label: "normal"}, {Label: "full"}},
+		Points: []Point{{
+			NumAttackers: 14,
+			AttackerPct:  30,
+			MeanFalsePct: []float64{50, 60}, // detection worse!
+		}},
+	}
+	devs := CheckAnchors(res, Figure9Anchors("normal", "full", 3, 12, 5))
+	if len(devs) == 0 {
+		t.Fatal("broken sweep passed the anchors")
+	}
+	// Missing modes are reported, not panicked on.
+	devs = CheckAnchors(res, Figure9Anchors("nope", "full", 3, 12, 5))
+	if len(devs) == 0 {
+		t.Error("missing mode not reported")
+	}
+}

@@ -1,0 +1,391 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/topology"
+)
+
+var (
+	topoOnce sync.Once
+	topoSet  *topology.PaperSet
+	topoErr  error
+)
+
+func paperSet(t *testing.T) *topology.PaperSet {
+	t.Helper()
+	topoOnce.Do(func() {
+		topoSet, topoErr = topology.BuildPaperTopologies(42)
+	})
+	if topoErr != nil {
+		t.Fatal(topoErr)
+	}
+	return topoSet
+}
+
+func TestSelectionsScheme(t *testing.T) {
+	topo := paperSet(t).T46
+	scenarios, err := Selections(topo, 2, 5, 3, 5, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scenarios) != 15 {
+		t.Fatalf("scenarios = %d, want 15 (3 origin sets x 5 attacker sets)", len(scenarios))
+	}
+	stubs := make(map[astypes.ASN]bool)
+	for _, s := range topo.StubASes() {
+		stubs[s] = true
+	}
+	originSets := make(map[string]bool)
+	for _, sc := range scenarios {
+		if len(sc.Origins) != 2 || len(sc.Attackers) != 5 {
+			t.Fatalf("scenario sizes: %+v", sc)
+		}
+		key := ""
+		for _, o := range sc.Origins {
+			if !stubs[o] {
+				t.Errorf("origin %s is not a stub", o)
+			}
+			key += o.String() + ","
+		}
+		originSets[key] = true
+		seen := make(map[astypes.ASN]bool)
+		for _, a := range sc.Attackers {
+			if seen[a] {
+				t.Errorf("duplicate attacker %s", a)
+			}
+			seen[a] = true
+			for _, o := range sc.Origins {
+				if a == o {
+					t.Errorf("attacker %s is an origin", a)
+				}
+			}
+		}
+	}
+	if len(originSets) != 3 {
+		t.Errorf("distinct origin sets = %d, want 3", len(originSets))
+	}
+}
+
+func TestSelectionsValidation(t *testing.T) {
+	topo := paperSet(t).T25
+	if _, err := Selections(topo, 1000, 1, 1, 1, 1); err == nil {
+		t.Error("too many origins accepted")
+	}
+	if _, err := Selections(topo, 1, 1000, 1, 1, 1); err == nil {
+		t.Error("too many attackers accepted")
+	}
+}
+
+func TestSelectionsDeterministic(t *testing.T) {
+	topo := paperSet(t).T46
+	a, err := Selections(topo, 1, 3, 2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Selections(topo, 1, 3, 2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].DeploySeed != b[i].DeploySeed {
+			t.Fatal("deploy seeds diverge")
+		}
+		for j := range a[i].Origins {
+			if a[i].Origins[j] != b[i].Origins[j] {
+				t.Fatal("origins diverge")
+			}
+		}
+		for j := range a[i].Attackers {
+			if a[i].Attackers[j] != b[i].Attackers[j] {
+				t.Fatal("attackers diverge")
+			}
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	topo := paperSet(t).T25
+	if _, err := Run(RunConfig{}); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, err := Run(RunConfig{Topology: topo}); err == nil {
+		t.Error("no origins accepted")
+	}
+	scen := Scenario{Origins: topo.StubASes()[:1]}
+	if _, err := Run(RunConfig{
+		Topology: topo, Scenario: scen,
+		Detection: DetectionPartial, DeployFraction: 0,
+	}); err == nil {
+		t.Error("zero partial fraction accepted")
+	}
+	if _, err := Run(RunConfig{
+		Topology: topo, Scenario: scen, Detection: Detection(42),
+	}); err == nil {
+		t.Error("bogus detection mode accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	topo := paperSet(t).T46
+	scenarios, err := Selections(topo, 1, 4, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Topology:  topo,
+		Scenario:  scenarios[0],
+		Detection: DetectionFull,
+		ColdStart: true,
+	}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Errorf("runs diverge: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestDetectionNeverWorseThanNormal(t *testing.T) {
+	topo := paperSet(t).T25
+	scenarios, err := Selections(topo, 1, 3, 2, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cold := range []bool{false, true} {
+		for _, scen := range scenarios {
+			base := RunConfig{Topology: topo, Scenario: scen, ColdStart: cold}
+			normalCfg := base
+			normalCfg.Detection = DetectionOff
+			fullCfg := base
+			fullCfg.Detection = DetectionFull
+			normal, err := Run(normalCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := Run(fullCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.Census.AdoptedFalse > normal.Census.AdoptedFalse {
+				t.Errorf("cold=%v scen=%+v: detection %d > normal %d adopters",
+					cold, scen, full.Census.AdoptedFalse, normal.Census.AdoptedFalse)
+			}
+			if full.Alarms == 0 && full.Census.AdoptedFalse < normal.Census.AdoptedFalse {
+				t.Errorf("detection improved outcome without any alarms")
+			}
+			if normal.Alarms != 0 {
+				t.Errorf("normal BGP raised %d alarms", normal.Alarms)
+			}
+		}
+	}
+}
+
+func TestForgedListStillContained(t *testing.T) {
+	topo := paperSet(t).T46
+	scenarios, err := Selections(topo, 2, 4, 1, 3, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scen := range scenarios {
+		res, err := Run(RunConfig{
+			Topology:          topo,
+			Scenario:          scen,
+			Detection:         DetectionFull,
+			ForgeSupersetList: true,
+			ColdStart:         true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Forging a superset list must not help the attacker much: the
+		// valid origins' list disagrees, so capable nodes still detect.
+		if res.Alarms == 0 {
+			t.Errorf("forged list raised no alarms: %+v", scen)
+		}
+		if pct := res.Census.FalsePct(); pct > 30 {
+			t.Errorf("forged list adopted by %.1f%% despite full detection", pct)
+		}
+	}
+}
+
+func TestStripMOASAblation(t *testing.T) {
+	topo := paperSet(t).T46
+	scenarios, err := Selections(topo, 2, 4, 1, 1, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunConfig{
+		Topology:           topo,
+		Scenario:           scenarios[0],
+		Detection:          DetectionFull,
+		StripMOASInTransit: true,
+		ColdStart:          true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stripping cannot disable detection outright: the implicit-list
+	// rule still exposes origin disagreement.
+	if res.Alarms == 0 {
+		t.Error("no alarms with stripping attackers")
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	topo := paperSet(t).T46
+	res, err := Sweep(SweepConfig{
+		Topology:       topo,
+		TopologyName:   "46",
+		NumOrigins:     1,
+		AttackerCounts: []int{1, 6, 12},
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "half", Detection: DetectionPartial, DeployFraction: 0.5},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:      3,
+		ColdStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TopologyName != "46" || res.NumOrigins != 1 || len(res.Points) != 3 {
+		t.Fatalf("result meta: %+v", res)
+	}
+	for _, p := range res.Points {
+		normal, half, full := p.MeanFalsePct[0], p.MeanFalsePct[1], p.MeanFalsePct[2]
+		if full > normal {
+			t.Errorf("attackers=%d: full (%v) worse than normal (%v)", p.NumAttackers, full, normal)
+		}
+		if half > normal+1e-9 {
+			t.Errorf("attackers=%d: half (%v) worse than normal (%v)", p.NumAttackers, half, normal)
+		}
+		if full > half+5 { // full should generally beat half (tolerance for noise)
+			t.Errorf("attackers=%d: full (%v) much worse than half (%v)", p.NumAttackers, full, half)
+		}
+		if p.AttackerPct <= 0 || p.AttackerPct > 100 {
+			t.Errorf("attacker pct = %v", p.AttackerPct)
+		}
+	}
+}
+
+func TestSweepRequiresModes(t *testing.T) {
+	if _, err := Sweep(SweepConfig{Topology: paperSet(t).T25, AttackerCounts: []int{1}}); err == nil {
+		t.Error("sweep with no modes accepted")
+	}
+}
+
+func TestAttackerCountsFor(t *testing.T) {
+	topo := paperSet(t).T46
+	counts := AttackerCountsFor(topo, 30)
+	if len(counts) == 0 || counts[0] != 1 {
+		t.Fatalf("counts = %v", counts)
+	}
+	maxCount := counts[len(counts)-1]
+	if maxCount != int(float64(topo.Graph.NumNodes())*0.30) {
+		t.Errorf("max count = %d", maxCount)
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Fatalf("counts not increasing: %v", counts)
+		}
+	}
+	// Tiny percentage still yields at least one attacker.
+	if got := AttackerCountsFor(topo, 0.5); len(got) == 0 || got[0] != 1 {
+		t.Errorf("tiny pct counts = %v", got)
+	}
+}
+
+func TestPartialDeploymentUsesDeploySeed(t *testing.T) {
+	topo := paperSet(t).T63
+	scenarios, err := Selections(topo, 1, 8, 1, 1, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scen := scenarios[0]
+	run := func(seed int64) RunResult {
+		s := scen
+		s.DeploySeed = seed
+		res, err := Run(RunConfig{
+			Topology:       topo,
+			Scenario:       s,
+			Detection:      DetectionPartial,
+			DeployFraction: 0.5,
+			ColdStart:      true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1a, r1b := run(1), run(1)
+	if r1a != r1b {
+		t.Error("same deploy seed should reproduce")
+	}
+	// Different seeds usually deploy different node sets; allow equality
+	// of outcome but verify at least the runs complete.
+	_ = run(2)
+}
+
+func TestValleyFreeSweepRuns(t *testing.T) {
+	topo := paperSet(t).T25
+	res, err := Sweep(SweepConfig{
+		Topology:       topo,
+		TopologyName:   "25",
+		NumOrigins:     1,
+		AttackerCounts: []int{2},
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:       5,
+		ColdStart:  true,
+		ValleyFree: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	if p.MeanFalsePct[1] > p.MeanFalsePct[0] {
+		t.Errorf("detection worse than normal under valley-free: %v vs %v",
+			p.MeanFalsePct[1], p.MeanFalsePct[0])
+	}
+	if len(p.StdDevFalsePct) != 2 {
+		t.Errorf("stddev missing: %+v", p)
+	}
+}
+
+func TestForwardingCensusDominatesRIBCensus(t *testing.T) {
+	topo := paperSet(t).T46
+	res, err := Sweep(SweepConfig{
+		Topology:       topo,
+		TopologyName:   "46",
+		NumOrigins:     1,
+		AttackerCounts: []int{3, 9},
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:      13,
+		ColdStart: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Points {
+		for mi := range res.Modes {
+			if p.MeanForwardPct[mi]+1e-9 < p.MeanFalsePct[mi] {
+				t.Errorf("attackers=%d mode=%d: forwarding %.2f%% < RIB %.2f%%",
+					p.NumAttackers, mi, p.MeanForwardPct[mi], p.MeanFalsePct[mi])
+			}
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV serializes a sweep result as CSV, one row per attacker
+// count, with a false-adoption, alarm and message column per mode —
+// directly plottable as one of the paper's figures.
+func WriteCSV(w io.Writer, res *SweepResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"topology", "origins", "attackers", "attacker_pct"}
+	for _, m := range res.Modes {
+		header = append(header,
+			m.Label+"_false_pct",
+			m.Label+"_false_pct_stddev",
+			m.Label+"_forward_pct",
+			m.Label+"_alarms",
+			m.Label+"_messages",
+		)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	for _, p := range res.Points {
+		row := []string{
+			res.TopologyName,
+			strconv.Itoa(res.NumOrigins),
+			strconv.Itoa(p.NumAttackers),
+			strconv.FormatFloat(p.AttackerPct, 'f', 2, 64),
+		}
+		for mi := range res.Modes {
+			stddev := 0.0
+			if mi < len(p.StdDevFalsePct) {
+				stddev = p.StdDevFalsePct[mi]
+			}
+			forward := 0.0
+			if mi < len(p.MeanForwardPct) {
+				forward = p.MeanForwardPct[mi]
+			}
+			row = append(row,
+				strconv.FormatFloat(p.MeanFalsePct[mi], 'f', 3, 64),
+				strconv.FormatFloat(stddev, 'f', 3, 64),
+				strconv.FormatFloat(forward, 'f', 3, 64),
+				strconv.FormatFloat(p.MeanAlarms[mi], 'f', 2, 64),
+				strconv.FormatFloat(p.MeanMessages[mi], 'f', 1, 64),
+			)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flush csv: %w", err)
+	}
+	return nil
+}

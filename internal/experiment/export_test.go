@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	res := &SweepResult{
+		TopologyName: "46",
+		NumOrigins:   2,
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Points: []Point{
+			{
+				NumAttackers: 2,
+				AttackerPct:  4.35,
+				MeanFalsePct: []float64{36.5, 0.15},
+				MeanAlarms:   []float64{0, 12.4},
+				MeanMessages: []float64{350, 420},
+			},
+			{
+				NumAttackers: 14,
+				AttackerPct:  30.43,
+				MeanFalsePct: []float64{51.0, 9.8},
+				MeanAlarms:   []float64{0, 33},
+				MeanMessages: []float64{500, 610},
+			},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, res); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not valid CSV: %v", err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	header := records[0]
+	if header[0] != "topology" || header[4] != "normal_false_pct" || header[9] != "full_false_pct" {
+		t.Errorf("header = %v", header)
+	}
+	row := records[1]
+	if row[0] != "46" || row[1] != "2" || row[2] != "2" || row[4] != "36.500" || row[9] != "0.150" {
+		t.Errorf("row = %v", row)
+	}
+	if records[2][2] != "14" || records[2][9] != "9.800" {
+		t.Errorf("row2 = %v", records[2])
+	}
+}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestShapeTopologySizeAndPartial probes the Fig 10/11 shapes: larger
+// topologies more robust under detection; partial deployment between
+// normal and full.
+func TestShapeTopologySizeAndPartial(t *testing.T) {
+	set, err := topology.BuildPaperTopologies(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range []struct {
+		name string
+		s    *topology.SampleResult
+	}{{"25", set.T25}, {"46", set.T46}, {"63", set.T63}} {
+		n := topo.s.Graph.NumNodes()
+		counts := []int{n * 4 / 100, n * 20 / 100, n * 30 / 100}
+		for i := range counts {
+			if counts[i] < 1 {
+				counts[i] = 1
+			}
+		}
+		res, err := Sweep(SweepConfig{
+			Topology: topo.s, TopologyName: topo.name, NumOrigins: 1,
+			AttackerCounts: counts,
+			Modes: []ModeSpec{
+				{Label: "normal", Detection: DetectionOff},
+				{Label: "half", Detection: DetectionPartial, DeployFraction: 0.5},
+				{Label: "full", Detection: DetectionFull},
+			},
+			Seed: 7, ColdStart: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range res.Points {
+			t.Logf("topo=%s attackers=%d (%.0f%%): normal=%.2f half=%.2f full=%.2f",
+				topo.name, p.NumAttackers, p.AttackerPct,
+				p.MeanFalsePct[0], p.MeanFalsePct[1], p.MeanFalsePct[2])
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestSmokeSweepShape(t *testing.T) {
+	set, err := topology.BuildPaperTopologies(42)
+	if err != nil {
+		t.Fatalf("build topologies: %v", err)
+	}
+	t.Logf("sizes: %v", set.Sizes())
+	for _, cold := range []bool{false, true} {
+		res, err := Sweep(SweepConfig{
+			Topology:       set.T46,
+			TopologyName:   "46",
+			NumOrigins:     1,
+			AttackerCounts: []int{2, 6, 14},
+			Modes: []ModeSpec{
+				{Label: "normal", Detection: DetectionOff},
+				{Label: "full", Detection: DetectionFull},
+			},
+			Seed:      1,
+			ColdStart: cold,
+		})
+		if err != nil {
+			t.Fatalf("sweep: %v", err)
+		}
+		for _, p := range res.Points {
+			t.Logf("cold=%v attackers=%d (%.1f%%): normal=%.2f%% full=%.2f%% alarms=%.1f",
+				cold, p.NumAttackers, p.AttackerPct, p.MeanFalsePct[0], p.MeanFalsePct[1], p.MeanAlarms[1])
+			if p.MeanFalsePct[1] > p.MeanFalsePct[0] {
+				t.Errorf("detection should not increase false adoption at %d attackers", p.NumAttackers)
+			}
+		}
+	}
+}

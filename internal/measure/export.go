@@ -1,0 +1,52 @@
+package measure
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteFigure4CSV serializes the daily MOAS-case series (Figure 4) as
+// CSV rows of (day, date, cases).
+func (a *Analysis) WriteFigure4CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"day", "date", "cases"}); err != nil {
+		return fmt.Errorf("write fig4 header: %w", err)
+	}
+	for _, dc := range a.daily {
+		row := []string{
+			strconv.Itoa(dc.Day),
+			dc.Date.Format("2006-01-02"),
+			strconv.Itoa(dc.Cases),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write fig4 row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flush fig4 csv: %w", err)
+	}
+	return nil
+}
+
+// WriteFigure5CSV serializes the duration histogram (Figure 5) as CSV
+// rows of (duration_days, cases).
+func (a *Analysis) WriteFigure5CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"duration_days", "cases"}); err != nil {
+		return fmt.Errorf("write fig5 header: %w", err)
+	}
+	for _, bin := range a.DurationHistogram().Bins() {
+		row := []string{strconv.Itoa(bin.Value), strconv.Itoa(bin.Count)}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write fig5 row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flush fig5 csv: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package measure
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func exportAnalysis(t *testing.T) *Analysis {
+	t.Helper()
+	a := NewAnalysis()
+	a.Observe(dump(0,
+		entry("10.0.0.0/8", 1), entry("10.0.0.0/8", 2),
+		entry("20.0.0.0/8", 3), entry("20.0.0.0/8", 4),
+	))
+	a.Observe(dump(1, entry("10.0.0.0/8", 1), entry("10.0.0.0/8", 2)))
+	return a
+}
+
+func TestWriteFigure4CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := exportAnalysis(t).WriteFigure4CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[0][0] != "day" || records[1][2] != "2" || records[2][2] != "1" {
+		t.Errorf("records = %v", records)
+	}
+	if records[1][1] != "1997-11-08" {
+		t.Errorf("date column = %q", records[1][1])
+	}
+}
+
+func TestWriteFigure5CSV(t *testing.T) {
+	var sb strings.Builder
+	if err := exportAnalysis(t).WriteFigure5CSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Durations: 10/8 lasted 2 days, 20/8 lasted 1 day.
+	if len(records) != 3 {
+		t.Fatalf("rows = %d", len(records))
+	}
+	if records[1][0] != "1" || records[1][1] != "1" {
+		t.Errorf("bin 1 = %v", records[1])
+	}
+	if records[2][0] != "2" || records[2][1] != "1" {
+		t.Errorf("bin 2 = %v", records[2])
+	}
+}

@@ -1,0 +1,191 @@
+// Package measure implements the paper's MOAS measurement pipeline
+// (§3.1): it scans a series of daily routing-table dumps, extracts the
+// Multiple-Origin-AS cases, and produces the statistics behind Figure 4
+// (daily conflict counts), Figure 5 (case-duration histogram), and the
+// summary numbers quoted in §3 and §4.3 (one-day-case fraction,
+// origin-set size distribution, multi-origin route count).
+package measure
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/routegen"
+	"repro/internal/stats"
+)
+
+// DailyCount is one point of Figure 4.
+type DailyCount struct {
+	Day   int
+	Date  time.Time
+	Cases int
+}
+
+// Analysis accumulates MOAS statistics over a dump series. Feed it
+// dumps in day order via Observe, then read the reports.
+type Analysis struct {
+	daily []DailyCount
+	// durationDays[prefix] counts the total number of days the prefix
+	// had multiple origins, "regardless of whether the days were
+	// continuous and regardless of whether the same set of origins was
+	// involved" (§3.1).
+	durationDays map[astypes.Prefix]int
+	// originSizes records, per observed (prefix, day), the origin-set
+	// size; used for the two-vs-three origin split.
+	originSizes *stats.Histogram
+	// maxOrigins[prefix] tracks the largest origin set ever seen.
+	maxOrigins map[astypes.Prefix]int
+}
+
+// NewAnalysis returns an empty analysis.
+func NewAnalysis() *Analysis {
+	return &Analysis{
+		durationDays: make(map[astypes.Prefix]int),
+		originSizes:  stats.NewHistogram(),
+		maxOrigins:   make(map[astypes.Prefix]int),
+	}
+}
+
+// Observe ingests one day's dump.
+func (a *Analysis) Observe(d *routegen.Dump) {
+	origins := make(map[astypes.Prefix]map[astypes.ASN]struct{})
+	for _, e := range d.Entries {
+		origin, ok := e.Path.Origin()
+		if !ok {
+			continue
+		}
+		set, ok := origins[e.Prefix]
+		if !ok {
+			set = make(map[astypes.ASN]struct{}, 2)
+			origins[e.Prefix] = set
+		}
+		set[origin] = struct{}{}
+	}
+	cases := 0
+	for prefix, set := range origins {
+		if len(set) < 2 {
+			continue
+		}
+		cases++
+		a.durationDays[prefix]++
+		a.originSizes.Add(len(set))
+		if len(set) > a.maxOrigins[prefix] {
+			a.maxOrigins[prefix] = len(set)
+		}
+	}
+	a.daily = append(a.daily, DailyCount{Day: d.Day, Date: d.Date, Cases: cases})
+}
+
+// Daily returns the Figure 4 series in observation order.
+func (a *Analysis) Daily() []DailyCount {
+	out := make([]DailyCount, len(a.daily))
+	copy(out, a.daily)
+	return out
+}
+
+// DurationHistogram returns the Figure 5 histogram: number of MOAS
+// cases (prefixes) by total duration in days.
+func (a *Analysis) DurationHistogram() *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, days := range a.durationDays {
+		h.Add(days)
+	}
+	return h
+}
+
+// Summary is the paper's §3 headline numbers.
+type Summary struct {
+	// TotalCases is the number of distinct prefixes that ever had
+	// multiple origins.
+	TotalCases int
+	// OneDayCases and OneDayFraction cover cases whose total duration
+	// was exactly one day (paper: 1373, 35.9%).
+	OneDayCases    int
+	OneDayFraction float64
+	// MedianDailyByYear maps calendar year to the median daily case
+	// count (paper: 683 in 1998, 1294 in 2001).
+	MedianDailyByYear map[int]float64
+	// MaxDaily and MaxDailyDate locate the largest spike (paper:
+	// 1998-04-07).
+	MaxDaily     int
+	MaxDailyDate time.Time
+	// TwoOriginFraction and ThreeOriginFraction are over observed
+	// (prefix, day) cases (paper: 96.14% and 2.7%).
+	TwoOriginFraction   float64
+	ThreeOriginFraction float64
+	// MaxSimultaneousMultiOrigin is the largest number of multi-origin
+	// prefixes present on a single day (paper §4.3: "less than 3,000").
+	MaxSimultaneousMultiOrigin int
+}
+
+// Summarize computes the summary statistics.
+func (a *Analysis) Summarize() Summary {
+	s := Summary{
+		TotalCases:        len(a.durationDays),
+		MedianDailyByYear: make(map[int]float64),
+	}
+	for _, days := range a.durationDays {
+		if days == 1 {
+			s.OneDayCases++
+		}
+	}
+	if s.TotalCases > 0 {
+		s.OneDayFraction = float64(s.OneDayCases) / float64(s.TotalCases)
+	}
+	byYear := make(map[int][]int)
+	for _, dc := range a.daily {
+		byYear[dc.Date.Year()] = append(byYear[dc.Date.Year()], dc.Cases)
+		if dc.Cases > s.MaxDaily {
+			s.MaxDaily = dc.Cases
+			s.MaxDailyDate = dc.Date
+		}
+		if dc.Cases > s.MaxSimultaneousMultiOrigin {
+			s.MaxSimultaneousMultiOrigin = dc.Cases
+		}
+	}
+	for year, counts := range byYear {
+		s.MedianDailyByYear[year] = stats.MedianInts(counts)
+	}
+	s.TwoOriginFraction = a.originSizes.Fraction(2)
+	s.ThreeOriginFraction = a.originSizes.Fraction(3)
+	return s
+}
+
+// String renders the summary in the shape of the paper's §3 prose.
+func (s Summary) String() string {
+	out := fmt.Sprintf("total MOAS cases: %d\n", s.TotalCases)
+	out += fmt.Sprintf("one-day cases: %d (%.1f%%)\n", s.OneDayCases, 100*s.OneDayFraction)
+	for _, year := range sortedYears(s.MedianDailyByYear) {
+		out += fmt.Sprintf("median daily cases %d: %.0f\n", year, s.MedianDailyByYear[year])
+	}
+	out += fmt.Sprintf("max daily cases: %d on %s\n", s.MaxDaily, s.MaxDailyDate.Format("2006-01-02"))
+	out += fmt.Sprintf("origin-set sizes: %.2f%% two, %.2f%% three\n",
+		100*s.TwoOriginFraction, 100*s.ThreeOriginFraction)
+	return out
+}
+
+func sortedYears(m map[int]float64) []int {
+	years := make([]int, 0, len(m))
+	for y := range m {
+		years = append(years, y)
+	}
+	for i := 1; i < len(years); i++ {
+		for j := i; j > 0 && years[j] < years[j-1]; j-- {
+			years[j], years[j-1] = years[j-1], years[j]
+		}
+	}
+	return years
+}
+
+// Run executes the full pipeline over a generator's series.
+func Run(g *routegen.Generator) (*Analysis, error) {
+	a := NewAnalysis()
+	if err := g.Series(func(d *routegen.Dump) error {
+		a.Observe(d)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	return a, nil
+}

@@ -1,0 +1,132 @@
+package mibcheck
+
+import (
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/speaker"
+)
+
+var prefix = astypes.MustPrefix(0x83b30000, 16)
+
+func TestCrossCheckFlagsDisagreement(t *testing.T) {
+	a := &RouterView{
+		Source: "r1",
+		Lists: map[astypes.Prefix]core.List{
+			prefix: core.NewList(4, 226),
+		},
+	}
+	b := &RouterView{
+		Source: "r2",
+		Lists: map[astypes.Prefix]core.List{
+			prefix: core.NewList(52),
+		},
+	}
+	c := &RouterView{
+		Source: "r3",
+		Lists: map[astypes.Prefix]core.List{
+			prefix: core.NewList(226, 4), // same set as r1, other order
+		},
+	}
+	findings := CrossCheck([]*RouterView{a, b, c})
+	if len(findings) != 1 {
+		t.Fatalf("findings = %+v", findings)
+	}
+	f := findings[0]
+	if f.Prefix != prefix || len(f.Views) != 2 {
+		t.Errorf("finding = %+v (want 2 distinct lists)", f)
+	}
+}
+
+func TestCrossCheckConsistentIsQuiet(t *testing.T) {
+	mk := func(src string) *RouterView {
+		return &RouterView{
+			Source: src,
+			Lists:  map[astypes.Prefix]core.List{prefix: core.NewList(4, 226)},
+		}
+	}
+	if got := CrossCheck([]*RouterView{mk("a"), mk("b")}); len(got) != 0 {
+		t.Errorf("consistent views flagged: %+v", got)
+	}
+	if got := CrossCheck(nil); len(got) != 0 {
+		t.Errorf("empty views flagged: %+v", got)
+	}
+}
+
+// TestSweepAgainstLiveSpeakers runs the full management loop: two live
+// speakers with MIB endpoints; one sees only the valid route, the other
+// was fed the hijack — the fleet-wide cross-check catches what neither
+// router could see alone.
+func TestSweepAgainstLiveSpeakers(t *testing.T) {
+	newSpk := func(asn astypes.ASN) *speaker.Speaker {
+		s, err := speaker.New(speaker.Config{AS: asn, RouterID: uint32(asn)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+	link := func(a, b *speaker.Speaker) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Listen(ln)
+		if err := b.Connect(ln.Addr().String(), a.AS()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	origin := newSpk(4)
+	attacker := newSpk(52)
+	r1 := newSpk(701) // hears only the origin
+	r2 := newSpk(702) // hears only the attacker
+	link(origin, r1)
+	link(attacker, r2)
+
+	origin.Originate(prefix, core.List{})
+	attacker.Originate(prefix, core.List{})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if r1.Table().Best(prefix) != nil && r2.Table().Best(prefix) != nil {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	srv1 := httptest.NewServer(r1)
+	defer srv1.Close()
+	srv2 := httptest.NewServer(r2)
+	defer srv2.Close()
+
+	client := New()
+	findings, views, errs := client.Sweep([]string{srv1.URL, srv2.URL})
+	if len(errs) != 0 {
+		t.Fatalf("sweep errors: %v", errs)
+	}
+	if len(views) != 2 {
+		t.Fatalf("views = %d", len(views))
+	}
+	if len(findings) != 1 || findings[0].Prefix != prefix {
+		t.Fatalf("findings = %+v", findings)
+	}
+	// Neither router alarmed on its own (each saw a single consistent
+	// announcement); only the fleet-wide view exposes the conflict.
+	for _, v := range views {
+		if v.RouterAlarms != 0 {
+			t.Errorf("router %s alarmed alone: %d", v.Source, v.RouterAlarms)
+		}
+	}
+}
+
+func TestSweepToleratesDeadEndpoints(t *testing.T) {
+	client := New()
+	findings, views, errs := client.Sweep([]string{"http://127.0.0.1:1/mib"})
+	if len(errs) != 1 || len(views) != 0 || len(findings) != 0 {
+		t.Errorf("sweep = %v / %v / %v", findings, views, errs)
+	}
+}

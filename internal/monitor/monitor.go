@@ -1,0 +1,254 @@
+// Package monitor implements the paper's off-line deployment path
+// (§4.2): "one could deploy the MOAS List checking quickly in the
+// operational Internet via an off-line monitoring process, which
+// periodically downloads the BGP routing messages and checks the MOAS
+// List consistency from multiple peers."
+//
+// The Monitor ingests routing-table snapshots (or live UPDATE feeds)
+// from any number of vantage points, maintains the per-prefix MOAS view
+// across all of them, and emits alarms on inconsistency — without
+// touching any router. It is the same core.Checker the in-band speaker
+// uses, fed from collected data instead of live sessions.
+package monitor
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/routegen"
+	"repro/internal/wire"
+)
+
+// Alarm is one monitor finding: a prefix whose announcements across the
+// monitored peers carry inconsistent MOAS lists (or an origin outside
+// its own list).
+type Alarm struct {
+	Conflict core.Conflict
+	// Vantage identifies the feed that contributed the conflicting
+	// announcement.
+	Vantage string
+}
+
+// Monitor checks MOAS-list consistency across vantage-point feeds. It
+// is safe for concurrent use (feeds may be ingested in parallel).
+type Monitor struct {
+	mu sync.Mutex
+	// lists holds the first-established MOAS list per prefix across all
+	// vantages; conflicts are diagnosed against it.
+	checker *core.Checker
+	alarms  []Alarm
+	// current tracks, per prefix, the set of origins currently visible
+	// (for MOAS-case reporting independent of list checking).
+	origins map[astypes.Prefix]map[astypes.ASN]struct{}
+	// resolver, if set, classifies alarms into valid/invalid.
+	resolver Resolver
+}
+
+// Resolver mirrors speaker.Resolver for alarm classification.
+type Resolver interface {
+	ValidOrigins(prefix astypes.Prefix) (core.List, bool)
+}
+
+// Option configures a Monitor.
+type Option interface {
+	apply(*Monitor)
+}
+
+type resolverOption struct{ r Resolver }
+
+func (o resolverOption) apply(m *Monitor) { m.resolver = o.r }
+
+// WithResolver classifies alarms against a MOASRR database.
+func WithResolver(r Resolver) Option {
+	return resolverOption{r: r}
+}
+
+// New returns an empty monitor.
+func New(opts ...Option) *Monitor {
+	m := &Monitor{
+		checker: core.NewChecker(),
+		origins: make(map[astypes.Prefix]map[astypes.ASN]struct{}),
+	}
+	for _, o := range opts {
+		o.apply(m)
+	}
+	return m
+}
+
+// ObserveEntry ingests one routing-table entry from the named vantage.
+func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astypes.ASPath, comms []astypes.Community) {
+	verdict, conflict := m.checker.Check(core.Announcement{
+		Prefix:      prefix,
+		Path:        path,
+		Communities: comms,
+	})
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if origin, ok := path.Origin(); ok {
+		set, ok := m.origins[prefix]
+		if !ok {
+			set = make(map[astypes.ASN]struct{}, 2)
+			m.origins[prefix] = set
+		}
+		set[origin] = struct{}{}
+	}
+	if verdict != core.VerdictConsistent && conflict != nil {
+		m.alarms = append(m.alarms, Alarm{Conflict: *conflict, Vantage: vantage})
+	}
+}
+
+// ObserveDump ingests one table snapshot (e.g. a parsed RouteViews
+// dump) from the named vantage.
+func (m *Monitor) ObserveDump(vantage string, d *routegen.Dump) {
+	for _, e := range d.Entries {
+		m.ObserveEntry(vantage, e.Prefix, e.Path, e.Communities)
+	}
+}
+
+// ObserveUpdate ingests one BGP UPDATE captured from a live feed.
+func (m *Monitor) ObserveUpdate(vantage string, u *wire.Update) {
+	for _, prefix := range u.NLRI {
+		m.ObserveEntry(vantage, prefix, u.Attrs.ASPath, u.Attrs.Communities)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, w := range u.Withdrawn {
+		delete(m.origins, w)
+		m.checker.Forget(w)
+	}
+}
+
+// ReadDumpStream parses a dump from r (text or binary archive format,
+// sniffed automatically) and ingests it.
+func (m *Monitor) ReadDumpStream(vantage string, r io.Reader) error {
+	d, err := routegen.ReadDumpAuto(r)
+	if err != nil {
+		return fmt.Errorf("monitor: read dump from %s: %w", vantage, err)
+	}
+	m.ObserveDump(vantage, d)
+	return nil
+}
+
+// Alarms returns all alarms in detection order.
+func (m *Monitor) Alarms() []Alarm {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alarm, len(m.alarms))
+	copy(out, m.alarms)
+	return out
+}
+
+// MOASCase is one prefix with its currently visible origin set.
+type MOASCase struct {
+	Prefix  astypes.Prefix
+	Origins []astypes.ASN
+	// Invalid is set when a resolver is configured and some visible
+	// origin is outside the registered valid set; Known reports whether
+	// the resolver had a record at all.
+	Invalid bool
+	Known   bool
+}
+
+// MOASCases returns every prefix currently visible with more than one
+// origin, classified against the resolver when available, sorted by
+// prefix.
+func (m *Monitor) MOASCases() []MOASCase {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []MOASCase
+	for prefix, set := range m.origins {
+		if len(set) < 2 {
+			continue
+		}
+		c := MOASCase{Prefix: prefix}
+		for a := range set {
+			c.Origins = append(c.Origins, a)
+		}
+		astypes.SortASNs(c.Origins)
+		if m.resolver != nil {
+			if valid, ok := m.resolver.ValidOrigins(prefix); ok {
+				c.Known = true
+				for _, o := range c.Origins {
+					if !valid.Contains(o) {
+						c.Invalid = true
+						break
+					}
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// Reset clears all monitor state (e.g. between daily snapshots, so each
+// day is judged independently).
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.checker.Reset()
+	m.origins = make(map[astypes.Prefix]map[astypes.ASN]struct{})
+	m.alarms = nil
+}
+
+// AlarmGroup aggregates the alarms of one prefix: operators care about
+// "which prefixes are in conflict and with whom", not a raw event list.
+type AlarmGroup struct {
+	Prefix astypes.Prefix
+	Count  int
+	// Origins are the distinct conflicting origin ASes observed.
+	Origins []astypes.ASN
+	// Vantages are the distinct feeds that contributed alarms.
+	Vantages []string
+}
+
+// AlarmSummary groups all alarms by prefix, sorted by descending count
+// (then by prefix for determinism).
+func (m *Monitor) AlarmSummary() []AlarmGroup {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	type agg struct {
+		count    int
+		origins  map[astypes.ASN]struct{}
+		vantages map[string]struct{}
+	}
+	byPrefix := make(map[astypes.Prefix]*agg)
+	for _, a := range m.alarms {
+		g := byPrefix[a.Conflict.Prefix]
+		if g == nil {
+			g = &agg{
+				origins:  make(map[astypes.ASN]struct{}),
+				vantages: make(map[string]struct{}),
+			}
+			byPrefix[a.Conflict.Prefix] = g
+		}
+		g.count++
+		g.origins[a.Conflict.Origin] = struct{}{}
+		g.vantages[a.Vantage] = struct{}{}
+	}
+	out := make([]AlarmGroup, 0, len(byPrefix))
+	for prefix, g := range byPrefix {
+		group := AlarmGroup{Prefix: prefix, Count: g.count}
+		for o := range g.origins {
+			group.Origins = append(group.Origins, o)
+		}
+		astypes.SortASNs(group.Origins)
+		for v := range g.vantages {
+			group.Vantages = append(group.Vantages, v)
+		}
+		sort.Strings(group.Vantages)
+		out = append(out, group)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Prefix.Compare(out[j].Prefix) < 0
+	})
+	return out
+}

@@ -1,0 +1,184 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/dnsval"
+	"repro/internal/routegen"
+	"repro/internal/wire"
+)
+
+var prefix = astypes.MustPrefix(0x83b30000, 16)
+
+func TestMonitorDetectsCrossVantageConflict(t *testing.T) {
+	m := New()
+	// Vantage A sees the valid route; vantage B sees the hijack.
+	m.ObserveEntry("rv-a", prefix, astypes.NewSeqPath(701, 4), nil)
+	m.ObserveEntry("rv-b", prefix, astypes.NewSeqPath(1239, 52), nil)
+	alarms := m.Alarms()
+	if len(alarms) != 1 {
+		t.Fatalf("alarms = %d", len(alarms))
+	}
+	if alarms[0].Vantage != "rv-b" {
+		t.Errorf("vantage = %q", alarms[0].Vantage)
+	}
+	if alarms[0].Conflict.Origin != 52 {
+		t.Errorf("conflicting origin = %v", alarms[0].Conflict.Origin)
+	}
+	cases := m.MOASCases()
+	if len(cases) != 1 || len(cases[0].Origins) != 2 {
+		t.Errorf("cases = %+v", cases)
+	}
+}
+
+func TestMonitorValidMOASNoAlarm(t *testing.T) {
+	m := New()
+	list := core.NewList(4, 226)
+	m.ObserveEntry("rv-a", prefix, astypes.NewSeqPath(701, 4), list.Communities())
+	m.ObserveEntry("rv-b", prefix, astypes.NewSeqPath(1239, 226), list.Communities())
+	if got := len(m.Alarms()); got != 0 {
+		t.Errorf("valid MOAS raised %d alarms", got)
+	}
+	cases := m.MOASCases()
+	if len(cases) != 1 {
+		t.Fatalf("cases = %+v", cases)
+	}
+	if cases[0].Known || cases[0].Invalid {
+		t.Error("without a resolver cases must be unclassified")
+	}
+}
+
+func TestMonitorResolverClassification(t *testing.T) {
+	store := dnsval.NewStore()
+	store.Register(prefix, core.NewList(4, 226))
+	m := New(WithResolver(store))
+	list := core.NewList(4, 226)
+	m.ObserveEntry("a", prefix, astypes.NewSeqPath(701, 4), list.Communities())
+	m.ObserveEntry("a", prefix, astypes.NewSeqPath(701, 226), list.Communities())
+	other := astypes.MustPrefix(0x0a000000, 8)
+	m.ObserveEntry("a", other, astypes.NewSeqPath(701, 7), nil)
+	m.ObserveEntry("a", other, astypes.NewSeqPath(702, 8), nil)
+
+	cases := m.MOASCases()
+	if len(cases) != 2 {
+		t.Fatalf("cases = %+v", cases)
+	}
+	// Sorted by prefix: 10/8 first (unknown to the DB), then 131.179/16.
+	if cases[0].Known {
+		t.Error("unregistered prefix should be unknown")
+	}
+	if !cases[1].Known || cases[1].Invalid {
+		t.Errorf("registered valid MOAS misclassified: %+v", cases[1])
+	}
+}
+
+func TestMonitorResolverFlagsInvalid(t *testing.T) {
+	store := dnsval.NewStore()
+	store.Register(prefix, core.NewList(4))
+	m := New(WithResolver(store))
+	m.ObserveEntry("a", prefix, astypes.NewSeqPath(701, 4), nil)
+	m.ObserveEntry("a", prefix, astypes.NewSeqPath(701, 52), nil)
+	cases := m.MOASCases()
+	if len(cases) != 1 || !cases[0].Invalid {
+		t.Errorf("invalid MOAS not flagged: %+v", cases)
+	}
+}
+
+func TestMonitorObserveUpdateAndWithdraw(t *testing.T) {
+	m := New()
+	u := &wire.Update{
+		Attrs: wire.PathAttrs{
+			HasOrigin:  true,
+			HasNextHop: true,
+			ASPath:     astypes.NewSeqPath(701, 4),
+		},
+		NLRI: []astypes.Prefix{prefix},
+	}
+	m.ObserveUpdate("feed", u)
+	m.ObserveUpdate("feed", &wire.Update{
+		Attrs: wire.PathAttrs{HasOrigin: true, HasNextHop: true, ASPath: astypes.NewSeqPath(9, 52)},
+		NLRI:  []astypes.Prefix{prefix},
+	})
+	if len(m.Alarms()) != 1 {
+		t.Fatalf("alarms = %d", len(m.Alarms()))
+	}
+	// Withdrawal clears both the origin view and the checker state.
+	m.ObserveUpdate("feed", &wire.Update{Withdrawn: []astypes.Prefix{prefix}})
+	if got := m.MOASCases(); len(got) != 0 {
+		t.Errorf("cases after withdrawal = %+v", got)
+	}
+	// Re-announcement by a single origin raises no further alarm.
+	m.ObserveUpdate("feed", u)
+	if len(m.Alarms()) != 1 {
+		t.Errorf("withdrawal did not reset checker state: %d alarms", len(m.Alarms()))
+	}
+}
+
+func TestMonitorObserveDumpAndReset(t *testing.T) {
+	d := &routegen.Dump{
+		Day: 1,
+		Entries: []routegen.Entry{
+			{Prefix: prefix, Path: astypes.NewSeqPath(701, 4)},
+			{Prefix: prefix, Path: astypes.NewSeqPath(1239, 52)},
+		},
+	}
+	m := New()
+	m.ObserveDump("rv", d)
+	if len(m.Alarms()) != 1 || len(m.MOASCases()) != 1 {
+		t.Fatalf("dump ingestion: alarms=%d cases=%d", len(m.Alarms()), len(m.MOASCases()))
+	}
+	m.Reset()
+	if len(m.Alarms()) != 0 || len(m.MOASCases()) != 0 {
+		t.Error("Reset left state behind")
+	}
+}
+
+func TestReadDumpStream(t *testing.T) {
+	text := "# dump day=3 date=1998-01-01 entries=2\n" +
+		"131.179.0.0/16|701 4\n" +
+		"131.179.0.0/16|1239 52\n"
+	m := New()
+	if err := m.ReadDumpStream("rv", strings.NewReader(text)); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Alarms()) != 1 {
+		t.Errorf("alarms = %d", len(m.Alarms()))
+	}
+	if err := m.ReadDumpStream("rv", strings.NewReader("garbage")); err == nil {
+		t.Error("bad stream accepted")
+	}
+}
+
+func TestAlarmSummaryGroupsByPrefix(t *testing.T) {
+	other := astypes.MustPrefix(0x0a000000, 8)
+	m := New()
+	m.ObserveEntry("rv-a", prefix, astypes.NewSeqPath(701, 4), nil)
+	m.ObserveEntry("rv-b", prefix, astypes.NewSeqPath(1239, 52), nil)
+	m.ObserveEntry("rv-b", prefix, astypes.NewSeqPath(1239, 53), nil)
+	m.ObserveEntry("rv-a", other, astypes.NewSeqPath(701, 7), nil)
+	m.ObserveEntry("rv-c", other, astypes.NewSeqPath(701, 8), nil)
+
+	groups := m.AlarmSummary()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	top := groups[0]
+	if top.Prefix != prefix || top.Count != 2 {
+		t.Errorf("top group = %+v", top)
+	}
+	if len(top.Origins) != 2 || top.Origins[0] != 52 || top.Origins[1] != 53 {
+		t.Errorf("top origins = %v", top.Origins)
+	}
+	if len(top.Vantages) != 1 || top.Vantages[0] != "rv-b" {
+		t.Errorf("top vantages = %v", top.Vantages)
+	}
+	if groups[1].Count != 1 {
+		t.Errorf("second group = %+v", groups[1])
+	}
+	if got := New().AlarmSummary(); len(got) != 0 {
+		t.Errorf("empty monitor summary = %v", got)
+	}
+}

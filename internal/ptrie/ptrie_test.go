@@ -1,0 +1,215 @@
+package ptrie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func p(s string) astypes.Prefix {
+	prefix, err := astypes.ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return prefix
+}
+
+func TestInsertGetDelete(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(p("10.0.0.0/8"), 8)
+	tr.Insert(p("10.1.0.0/16"), 16)
+	tr.Insert(p("0.0.0.0/0"), 0)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if v, ok := tr.Get(p("10.0.0.0/8")); !ok || v != 8 {
+		t.Errorf("Get /8 = %v, %v", v, ok)
+	}
+	if _, ok := tr.Get(p("10.0.0.0/9")); ok {
+		t.Error("phantom /9")
+	}
+	// Replacement does not grow the trie.
+	tr.Insert(p("10.0.0.0/8"), 88)
+	if tr.Len() != 3 {
+		t.Errorf("Len after replace = %d", tr.Len())
+	}
+	if v, _ := tr.Get(p("10.0.0.0/8")); v != 88 {
+		t.Errorf("replaced value = %v", v)
+	}
+	if !tr.Delete(p("10.0.0.0/8")) {
+		t.Error("Delete existing failed")
+	}
+	if tr.Delete(p("10.0.0.0/8")) {
+		t.Error("double Delete succeeded")
+	}
+	if _, ok := tr.Get(p("10.0.0.0/8")); ok {
+		t.Error("deleted prefix still present")
+	}
+	// The more-specific survives its parent's deletion.
+	if v, ok := tr.Get(p("10.1.0.0/16")); !ok || v != 16 {
+		t.Errorf("child after parent delete = %v, %v", v, ok)
+	}
+}
+
+func TestLongestMatch(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(p("0.0.0.0/0"), "default")
+	tr.Insert(p("10.0.0.0/8"), "eight")
+	tr.Insert(p("10.1.0.0/16"), "sixteen")
+	tr.Insert(p("10.1.2.0/24"), "twentyfour")
+
+	tests := []struct {
+		addr string
+		want string
+	}{
+		{"10.1.2.3", "twentyfour"},
+		{"10.1.9.9", "sixteen"},
+		{"10.9.9.9", "eight"},
+		{"11.0.0.1", "default"},
+	}
+	for _, tt := range tests {
+		addr := p(tt.addr + "/32").Addr
+		prefix, got, ok := tr.LongestMatch(addr)
+		if !ok || got != tt.want {
+			t.Errorf("LongestMatch(%s) = %q (%v), want %q", tt.addr, got, ok, tt.want)
+		}
+		host := astypes.Prefix{Addr: addr, Len: 32}
+		if !prefix.Contains(host) {
+			t.Errorf("returned prefix %v does not cover %s", prefix, tt.addr)
+		}
+	}
+	// No default: miss outside coverage.
+	tr.Delete(p("0.0.0.0/0"))
+	if _, _, ok := tr.LongestMatch(p("11.0.0.0/32").Addr); ok {
+		t.Error("match without coverage")
+	}
+}
+
+func TestLongestMatchPrefix(t *testing.T) {
+	tr := New[string]()
+	tr.Insert(p("10.0.0.0/8"), "eight")
+	tr.Insert(p("10.1.0.0/16"), "sixteen")
+	prefix, v, ok := tr.LongestMatchPrefix(p("10.1.2.0/24"))
+	if !ok || v != "sixteen" || prefix != p("10.1.0.0/16") {
+		t.Errorf("covering(/24) = %v %q %v", prefix, v, ok)
+	}
+	// The query itself counts.
+	if _, v, _ := tr.LongestMatchPrefix(p("10.1.0.0/16")); v != "sixteen" {
+		t.Errorf("exact covering = %q", v)
+	}
+	// A more specific stored prefix does not cover a shorter query.
+	if _, v, _ := tr.LongestMatchPrefix(p("10.0.0.0/12")); v != "eight" {
+		t.Errorf("covering(/12) = %q", v)
+	}
+}
+
+func TestWalkOrderAndStop(t *testing.T) {
+	tr := New[int]()
+	prefixes := []string{"10.1.0.0/16", "0.0.0.0/0", "10.0.0.0/8", "192.168.0.0/16"}
+	for i, s := range prefixes {
+		tr.Insert(p(s), i)
+	}
+	var seen []astypes.Prefix
+	tr.Walk(func(prefix astypes.Prefix, _ int) bool {
+		seen = append(seen, prefix)
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("walked %d", len(seen))
+	}
+	for i := 1; i < len(seen); i++ {
+		if seen[i].Compare(seen[i-1]) <= 0 {
+			t.Fatalf("walk out of order: %v", seen)
+		}
+	}
+	count := 0
+	tr.Walk(func(astypes.Prefix, int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Errorf("early stop visited %d", count)
+	}
+}
+
+func TestHostRoutesAndExtremes(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(p("255.255.255.255/32"), 1)
+	tr.Insert(p("0.0.0.0/32"), 2)
+	if _, v, ok := tr.LongestMatch(0xffffffff); !ok || v != 1 {
+		t.Errorf("host route hi = %v %v", v, ok)
+	}
+	if _, v, ok := tr.LongestMatch(0); !ok || v != 2 {
+		t.Errorf("host route lo = %v %v", v, ok)
+	}
+	if _, _, ok := tr.LongestMatch(0x80000000); ok {
+		t.Error("uncovered address matched")
+	}
+}
+
+// TestAgainstLinearScan cross-checks the trie against a brute-force
+// model over random workloads.
+func TestAgainstLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := New[uint32]()
+	model := make(map[astypes.Prefix]uint32)
+	randPrefix := func() astypes.Prefix {
+		length := uint8(rng.Intn(25) + 8)
+		addr := rng.Uint32() & (^uint32(0) << (32 - length))
+		return astypes.Prefix{Addr: addr, Len: length}
+	}
+	for step := 0; step < 5000; step++ {
+		switch rng.Intn(5) {
+		case 0, 1, 2: // insert
+			prefix := randPrefix()
+			v := rng.Uint32()
+			tr.Insert(prefix, v)
+			model[prefix] = v
+		case 3: // delete something that exists (when possible)
+			for prefix := range model {
+				if !tr.Delete(prefix) {
+					t.Fatalf("step %d: delete of stored prefix failed", step)
+				}
+				delete(model, prefix)
+				break
+			}
+		case 4: // lookup
+			addr := rng.Uint32()
+			var (
+				wantPrefix astypes.Prefix
+				wantVal    uint32
+				found      bool
+			)
+			host := astypes.Prefix{Addr: addr, Len: 32}
+			for prefix, v := range model {
+				if prefix.Contains(host) && (!found || prefix.Len > wantPrefix.Len) {
+					wantPrefix, wantVal, found = prefix, v, true
+				}
+			}
+			gotPrefix, gotVal, ok := tr.LongestMatch(addr)
+			if ok != found || (found && (gotPrefix != wantPrefix || gotVal != wantVal)) {
+				t.Fatalf("step %d: LongestMatch(%08x) = %v/%v/%v, want %v/%v/%v",
+					step, addr, gotPrefix, gotVal, ok, wantPrefix, wantVal, found)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Fatalf("step %d: Len %d != model %d", step, tr.Len(), len(model))
+		}
+	}
+}
+
+func BenchmarkLongestMatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New[int]()
+	for i := 0; i < 10000; i++ {
+		length := uint8(rng.Intn(17) + 8)
+		addr := rng.Uint32() & (^uint32(0) << (32 - length))
+		tr.Insert(astypes.Prefix{Addr: addr, Len: length}, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.LongestMatch(uint32(i) * 2654435761)
+	}
+}

@@ -1,0 +1,208 @@
+// Package report orchestrates the paper's entire evaluation — the §3
+// measurement study and the §5 simulation study — and renders a single
+// Markdown document in the shape of EXPERIMENTS.md: per-figure series
+// plus the headline statistics, with the paper's reported values beside
+// the measured ones. cmd/moas-report is the CLI wrapper.
+package report
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/experiment"
+	"repro/internal/measure"
+	"repro/internal/routegen"
+	"repro/internal/topology"
+)
+
+// Options configures a full evaluation run.
+type Options struct {
+	// Seed drives topologies and selections (default 42).
+	Seed int64
+	// MeasureSeed drives the synthetic RouteViews series (default 1997).
+	MeasureSeed int64
+	// MaxAttackerPct bounds the simulation sweeps (default 35).
+	MaxAttackerPct float64
+	// SkipMeasurement / SkipSimulation trim the run.
+	SkipMeasurement bool
+	SkipSimulation  bool
+	// ColdStart selects the announcement model (default true, matching
+	// the headline figures).
+	ColdStart bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.MeasureSeed == 0 {
+		o.MeasureSeed = 1997
+	}
+	if o.MaxAttackerPct == 0 {
+		o.MaxAttackerPct = 35
+	}
+	return o
+}
+
+// Report holds the full evaluation's results.
+type Report struct {
+	Options Options
+	// Measurement results (nil if skipped).
+	Summary *measure.Summary
+	// Figure9 holds the 46-AS sweeps for 1 and 2 origins; Figure10 the
+	// per-topology sweeps; Figure11 the deployment sweeps.
+	Figure9  []*experiment.SweepResult
+	Figure10 []*experiment.SweepResult
+	Figure11 []*experiment.SweepResult
+	Elapsed  time.Duration
+}
+
+// Run executes the configured evaluation.
+func Run(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	rep := &Report{Options: opts}
+
+	if !opts.SkipMeasurement {
+		cfg := routegen.DefaultConfig()
+		cfg.Seed = opts.MeasureSeed
+		gen, err := routegen.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		analysis, err := measure.Run(gen)
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		s := analysis.Summarize()
+		rep.Summary = &s
+	}
+
+	if !opts.SkipSimulation {
+		set, err := topology.BuildPaperTopologies(opts.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("report: %w", err)
+		}
+		normalFull := []experiment.ModeSpec{
+			{Label: "Normal BGP", Detection: experiment.DetectionOff},
+			{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+		}
+		deployment := []experiment.ModeSpec{
+			{Label: "Normal BGP", Detection: experiment.DetectionOff},
+			{Label: "Half MOAS Detection", Detection: experiment.DetectionPartial, DeployFraction: 0.5},
+			{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+		}
+		sweep := func(topo *topology.SampleResult, name string, origins int,
+			modes []experiment.ModeSpec) (*experiment.SweepResult, error) {
+			return experiment.Sweep(experiment.SweepConfig{
+				Topology:       topo,
+				TopologyName:   name,
+				NumOrigins:     origins,
+				AttackerCounts: experiment.AttackerCountsFor(topo, opts.MaxAttackerPct),
+				Modes:          modes,
+				Seed:           opts.Seed,
+				ColdStart:      opts.ColdStart,
+			})
+		}
+		for _, origins := range []int{1, 2} {
+			res, err := sweep(set.T46, "46", origins, normalFull)
+			if err != nil {
+				return nil, fmt.Errorf("report: figure 9: %w", err)
+			}
+			rep.Figure9 = append(rep.Figure9, res)
+		}
+		for _, topo := range []struct {
+			name string
+			s    *topology.SampleResult
+		}{{"25", set.T25}, {"46", set.T46}, {"63", set.T63}} {
+			res, err := sweep(topo.s, topo.name, 1, normalFull)
+			if err != nil {
+				return nil, fmt.Errorf("report: figure 10: %w", err)
+			}
+			rep.Figure10 = append(rep.Figure10, res)
+		}
+		for _, topo := range []struct {
+			name string
+			s    *topology.SampleResult
+		}{{"46", set.T46}, {"63", set.T63}} {
+			res, err := sweep(topo.s, topo.name, 1, deployment)
+			if err != nil {
+				return nil, fmt.Errorf("report: figure 11: %w", err)
+			}
+			rep.Figure11 = append(rep.Figure11, res)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// WriteMarkdown renders the report.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	p := &printer{w: w}
+	p.printf("# MOAS detection — evaluation report\n\n")
+	p.printf("Seeds: simulation %d, measurement %d. Elapsed: %s.\n\n",
+		r.Options.Seed, r.Options.MeasureSeed, r.Elapsed.Round(time.Millisecond))
+
+	if r.Summary != nil {
+		p.printf("## Measurement study (paper §3, Figures 4-5)\n\n")
+		p.printf("| Statistic | Paper | Measured |\n|---|---|---|\n")
+		p.printf("| Median daily MOAS cases, 1998 | 683 | %.0f |\n", r.Summary.MedianDailyByYear[1998])
+		p.printf("| Median daily MOAS cases, 2001 | 1294 | %.0f |\n", r.Summary.MedianDailyByYear[2001])
+		p.printf("| One-day case fraction | 35.9%% | %.1f%% |\n", 100*r.Summary.OneDayFraction)
+		p.printf("| Two-origin share | 96.14%% | %.2f%% |\n", 100*r.Summary.TwoOriginFraction)
+		p.printf("| Three-origin share | 2.7%% | %.2f%% |\n", 100*r.Summary.ThreeOriginFraction)
+		p.printf("| Largest spike | 1998-04-07 | %s (%d cases) |\n\n",
+			r.Summary.MaxDailyDate.Format("2006-01-02"), r.Summary.MaxDaily)
+	}
+
+	writeFigure := func(title string, sweeps []*experiment.SweepResult) {
+		p.printf("## %s\n\n", title)
+		for _, res := range sweeps {
+			p.printf("### %s-AS topology, %d origin AS(es)\n\n", res.TopologyName, res.NumOrigins)
+			p.printf("| attackers | %% of ASes |")
+			for _, m := range res.Modes {
+				p.printf(" %s |", m.Label)
+			}
+			p.printf("\n|---|---|")
+			for range res.Modes {
+				p.printf("---|")
+			}
+			p.printf("\n")
+			for _, pt := range res.Points {
+				p.printf("| %d | %.1f%% |", pt.NumAttackers, pt.AttackerPct)
+				for mi := range res.Modes {
+					stddev := 0.0
+					if mi < len(pt.StdDevFalsePct) {
+						stddev = pt.StdDevFalsePct[mi]
+					}
+					p.printf(" %.2f%% ± %.2f |", pt.MeanFalsePct[mi], stddev)
+				}
+				p.printf("\n")
+			}
+			p.printf("\n")
+		}
+	}
+	if len(r.Figure9) > 0 {
+		writeFigure("Figure 9 — effectiveness of the MOAS list", r.Figure9)
+	}
+	if len(r.Figure10) > 0 {
+		writeFigure("Figure 10 — topology-size comparison", r.Figure10)
+	}
+	if len(r.Figure11) > 0 {
+		writeFigure("Figure 11 — partial vs complete deployment", r.Figure11)
+	}
+	return p.err
+}
+
+type printer struct {
+	w   io.Writer
+	err error
+}
+
+func (p *printer) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

@@ -1,0 +1,76 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSimulationOnly(t *testing.T) {
+	rep, err := Run(Options{
+		Seed:            42,
+		MaxAttackerPct:  10,
+		SkipMeasurement: true,
+		ColdStart:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary != nil {
+		t.Error("measurement ran despite skip")
+	}
+	if len(rep.Figure9) != 2 || len(rep.Figure10) != 3 || len(rep.Figure11) != 2 {
+		t.Fatalf("sweep counts: %d/%d/%d", len(rep.Figure9), len(rep.Figure10), len(rep.Figure11))
+	}
+	// Detection must beat normal BGP at every rendered point.
+	for _, res := range rep.Figure9 {
+		for _, pt := range res.Points {
+			if pt.MeanFalsePct[1] > pt.MeanFalsePct[0] {
+				t.Errorf("detection worse than normal at %d attackers", pt.NumAttackers)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if err := rep.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	md := sb.String()
+	for _, want := range []string{
+		"# MOAS detection",
+		"Figure 9",
+		"Figure 10",
+		"Figure 11",
+		"46-AS topology",
+		"Full MOAS Detection",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q", want)
+		}
+	}
+	if strings.Contains(md, "Measurement study") {
+		t.Error("markdown contains the skipped measurement section")
+	}
+}
+
+func TestRunMeasurementOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 1279-day series; skipped with -short")
+	}
+	rep, err := Run(Options{SkipSimulation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary == nil {
+		t.Fatal("no measurement summary")
+	}
+	var sb strings.Builder
+	if err := rep.WriteMarkdown(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Measurement study") {
+		t.Error("markdown missing the measurement section")
+	}
+	if strings.Contains(sb.String(), "Figure 9") {
+		t.Error("markdown contains skipped simulation sections")
+	}
+}

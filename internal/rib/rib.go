@@ -1,0 +1,364 @@
+// Package rib implements the BGP Routing Information Bases and the
+// route decision process shared by the live speaker (internal/speaker)
+// and the event-driven simulator (internal/simbgp): per-peer Adj-RIB-In
+// tables, the Loc-RIB of selected best routes, and the tie-breaking
+// rules of RFC 4271 §9.1 restricted to the attributes this system
+// models (LOCAL_PREF, AS-path length, ORIGIN code, neighbor AS).
+package rib
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/astypes"
+	"repro/internal/wire"
+)
+
+// Route is one candidate path to a prefix as learned from a peer (or
+// originated locally with FromPeer == ASNNone).
+type Route struct {
+	Prefix      astypes.Prefix
+	Path        astypes.ASPath
+	Origin      wire.OriginCode
+	NextHop     uint32
+	LocalPref   uint32
+	Communities []astypes.Community
+	FromPeer    astypes.ASN
+	// Aggregation markers (RFC 4271 §5.1.6/5.1.7), carried so they
+	// survive re-advertisement.
+	AtomicAggregate bool
+	AggregatorAS    astypes.ASN
+	AggregatorID    uint32
+	// Unknown holds optional transitive attributes this implementation
+	// does not interpret; they transit verbatim (among them the
+	// dedicated MOAS-list attribute, core.ListAttrCode).
+	Unknown []wire.UnknownAttr
+}
+
+// DefaultLocalPref is assigned to routes without an explicit LOCAL_PREF.
+const DefaultLocalPref uint32 = 100
+
+// OriginAS returns the route's origin AS (last AS of the path), or the
+// route's own FromPeer if the path is empty (a locally originated route
+// carries its originator in the path, so this is a fallback only).
+func (r *Route) OriginAS() astypes.ASN {
+	if origin, ok := r.Path.Origin(); ok {
+		return origin
+	}
+	return r.FromPeer
+}
+
+// Clone deep-copies the route so callers can mutate path/communities
+// without aliasing the RIB's stored state.
+func (r *Route) Clone() *Route {
+	cp := *r
+	cp.Path = r.Path.Clone()
+	if len(r.Communities) > 0 {
+		cp.Communities = append([]astypes.Community(nil), r.Communities...)
+	}
+	cp.Unknown = wire.CloneUnknownAttrs(r.Unknown)
+	return &cp
+}
+
+// Better reports whether route a is preferred over b by the decision
+// process. Either argument may be nil (a nil route always loses). The
+// order of rules follows RFC 4271 §9.1.2.2 for the attributes modelled:
+//
+//  1. higher LOCAL_PREF
+//  2. shorter AS path (AS_SET counts 1)
+//  3. lower ORIGIN code (IGP < EGP < INCOMPLETE)
+//  4. lower neighbor AS number (deterministic tie-break standing in for
+//     the router-ID comparison, which an AS-level model lacks)
+//
+// Rule 4 is a last resort: reselection prefers the incumbent best route
+// on an attribute tie (prefer-oldest, RFC 4271 §9.1.2.2 step (e)
+// practice), which Compare exposes.
+func Better(a, b *Route) bool {
+	switch Compare(a, b) {
+	case 1:
+		return true
+	case -1:
+		return false
+	default:
+		return a != nil && b != nil && a.FromPeer < b.FromPeer
+	}
+}
+
+// Compare ranks two routes on attributes alone: 1 if a is strictly
+// preferred, -1 if b is, 0 on a full attribute tie. nil loses to
+// non-nil; two nils tie.
+func Compare(a, b *Route) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return -1
+	case b == nil:
+		return 1
+	}
+	if a.LocalPref != b.LocalPref {
+		if a.LocalPref > b.LocalPref {
+			return 1
+		}
+		return -1
+	}
+	if ah, bh := a.Path.Hops(), b.Path.Hops(); ah != bh {
+		if ah < bh {
+			return 1
+		}
+		return -1
+	}
+	if a.Origin != b.Origin {
+		if a.Origin < b.Origin {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// Table is the full RIB state of one BGP speaker. It is safe for
+// concurrent use.
+type Table struct {
+	mu sync.RWMutex
+	// adjIn[peer][prefix] is the route most recently advertised by peer.
+	adjIn map[astypes.ASN]map[astypes.Prefix]*Route
+	// local[prefix] holds locally originated routes; they compete in the
+	// decision process like any learned route.
+	local map[astypes.Prefix]*Route
+	// best[prefix] is the Loc-RIB: the selected route per prefix.
+	best map[astypes.Prefix]*Route
+}
+
+// NewTable returns an empty RIB.
+func NewTable() *Table {
+	return &Table{
+		adjIn: make(map[astypes.ASN]map[astypes.Prefix]*Route),
+		local: make(map[astypes.Prefix]*Route),
+		best:  make(map[astypes.Prefix]*Route),
+	}
+}
+
+// Change describes the result of applying one route event: whether the
+// best route for the prefix changed, and the old and new selections (nil
+// means no route).
+type Change struct {
+	Prefix   astypes.Prefix
+	Old, New *Route
+	Changed  bool
+}
+
+// Update installs (or replaces) the route from route.FromPeer for
+// route.Prefix and re-runs the decision process for that prefix. A copy
+// of the route is stored.
+func (t *Table) Update(route *Route) Change {
+	cp := route.Clone()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	peerTable, ok := t.adjIn[cp.FromPeer]
+	if !ok {
+		peerTable = make(map[astypes.Prefix]*Route)
+		t.adjIn[cp.FromPeer] = peerTable
+	}
+	peerTable[cp.Prefix] = cp
+	return t.reselectLocked(cp.Prefix)
+}
+
+// Withdraw removes the route previously advertised by peer for prefix,
+// if any, and re-runs the decision process.
+func (t *Table) Withdraw(peer astypes.ASN, prefix astypes.Prefix) Change {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if peerTable, ok := t.adjIn[peer]; ok {
+		delete(peerTable, prefix)
+		if len(peerTable) == 0 {
+			delete(t.adjIn, peer)
+		}
+	}
+	return t.reselectLocked(prefix)
+}
+
+// Originate installs a locally originated route (FromPeer forced to
+// ASNNone) and re-runs the decision process for its prefix.
+func (t *Table) Originate(route *Route) Change {
+	cp := route.Clone()
+	cp.FromPeer = astypes.ASNNone
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.local[cp.Prefix] = cp
+	return t.reselectLocked(cp.Prefix)
+}
+
+// WithdrawLocal removes a locally originated route.
+func (t *Table) WithdrawLocal(prefix astypes.Prefix) Change {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.local, prefix)
+	return t.reselectLocked(prefix)
+}
+
+// DropPeer removes every route learned from peer (session teardown),
+// returning a change record per affected prefix.
+func (t *Table) DropPeer(peer astypes.ASN) []Change {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	peerTable, ok := t.adjIn[peer]
+	if !ok {
+		return nil
+	}
+	prefixes := make([]astypes.Prefix, 0, len(peerTable))
+	for p := range peerTable {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
+	delete(t.adjIn, peer)
+	changes := make([]Change, 0, len(prefixes))
+	for _, p := range prefixes {
+		if ch := t.reselectLocked(p); ch.Changed {
+			changes = append(changes, ch)
+		}
+	}
+	return changes
+}
+
+func (t *Table) reselectLocked(prefix astypes.Prefix) Change {
+	old := t.best[prefix]
+	var newBest *Route
+	if lr, ok := t.local[prefix]; ok {
+		newBest = lr
+	}
+	for _, peerTable := range t.adjIn {
+		if r, ok := peerTable[prefix]; ok && Better(r, newBest) {
+			newBest = r
+		}
+	}
+	// Prefer-oldest: if the incumbent best still exists (same source)
+	// and ties the scan winner on attributes, keep it. This models the
+	// operational stability rule that a router does not churn its best
+	// path — and so does not move traffic to a hijacker — unless the new
+	// route is strictly preferred.
+	if old != nil && newBest != nil && old.FromPeer != newBest.FromPeer {
+		if cur := t.routeFromLocked(old.FromPeer, prefix); cur != nil && Compare(cur, newBest) == 0 {
+			newBest = cur
+		}
+	}
+	ch := Change{Prefix: prefix, Old: old, New: newBest}
+	if sameRoute(old, newBest) {
+		return ch
+	}
+	ch.Changed = true
+	if newBest == nil {
+		delete(t.best, prefix)
+	} else {
+		t.best[prefix] = newBest
+	}
+	return ch
+}
+
+// routeFromLocked returns the live route for prefix from the given
+// source (ASNNone selects the local table).
+func (t *Table) routeFromLocked(peer astypes.ASN, prefix astypes.Prefix) *Route {
+	if peer == astypes.ASNNone {
+		return t.local[prefix]
+	}
+	return t.adjIn[peer][prefix]
+}
+
+func sameRoute(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	return a.FromPeer == b.FromPeer &&
+		a.Prefix == b.Prefix &&
+		a.Origin == b.Origin &&
+		a.LocalPref == b.LocalPref &&
+		a.NextHop == b.NextHop &&
+		a.AtomicAggregate == b.AtomicAggregate &&
+		a.AggregatorAS == b.AggregatorAS &&
+		a.Path.Equal(b.Path) &&
+		sameCommunities(a.Communities, b.Communities) &&
+		sameUnknown(a.Unknown, b.Unknown)
+}
+
+func sameUnknown(a, b []wire.UnknownAttr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Flags != b[i].Flags || a[i].Code != b[i].Code ||
+			string(a[i].Value) != string(b[i].Value) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameCommunities(a, b []astypes.Community) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Best returns the selected route for prefix (a copy), or nil.
+func (t *Table) Best(prefix astypes.Prefix) *Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if r, ok := t.best[prefix]; ok {
+		return r.Clone()
+	}
+	return nil
+}
+
+// BestRoutes returns a copy of the Loc-RIB in deterministic prefix order.
+func (t *Table) BestRoutes() []*Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Route, 0, len(t.best))
+	for _, r := range t.best {
+		out = append(out, r.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// RoutesFrom returns copies of all routes currently held in peer's
+// Adj-RIB-In, in deterministic prefix order. Passing ASNNone returns the
+// locally originated routes.
+func (t *Table) RoutesFrom(peer astypes.ASN) []*Route {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	peerTable := t.adjIn[peer]
+	if peer == astypes.ASNNone {
+		peerTable = t.local
+	}
+	out := make([]*Route, 0, len(peerTable))
+	for _, r := range peerTable {
+		out = append(out, r.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
+	return out
+}
+
+// Len returns the number of prefixes with a selected best route.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.best)
+}
+
+// String summarizes the Loc-RIB for debugging.
+func (t *Table) String() string {
+	routes := t.BestRoutes()
+	s := fmt.Sprintf("Loc-RIB (%d prefixes):\n", len(routes))
+	for _, r := range routes {
+		s += fmt.Sprintf("  %s via AS%s path [%s]\n", r.Prefix, r.FromPeer, r.Path)
+	}
+	return s
+}

@@ -1,0 +1,212 @@
+package rib
+
+import (
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/wire"
+)
+
+var prefix = astypes.MustPrefix(0x83b30000, 16)
+
+func route(peer astypes.ASN, hops ...astypes.ASN) *Route {
+	return &Route{
+		Prefix:    prefix,
+		Path:      astypes.NewSeqPath(hops...),
+		Origin:    wire.OriginIGP,
+		LocalPref: DefaultLocalPref,
+		FromPeer:  peer,
+	}
+}
+
+func TestCompareRules(t *testing.T) {
+	shorter := route(2, 2, 4)
+	longer := route(3, 3, 5, 4)
+	if Compare(shorter, longer) != 1 {
+		t.Error("shorter path should win")
+	}
+	higherPref := route(3, 3, 5, 4)
+	higherPref.LocalPref = 200
+	if Compare(higherPref, shorter) != 1 {
+		t.Error("LOCAL_PREF should dominate path length")
+	}
+	egp := route(2, 2, 4)
+	egp.Origin = wire.OriginEGP
+	if Compare(shorter, egp) != 1 {
+		t.Error("lower ORIGIN code should win")
+	}
+	tie := route(9, 9, 4)
+	if Compare(shorter, tie) != 0 {
+		t.Error("equal attributes should tie")
+	}
+	if Compare(nil, nil) != 0 || Compare(shorter, nil) != 1 || Compare(nil, shorter) != -1 {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestBetterBreaksTiesByPeer(t *testing.T) {
+	a := route(2, 2, 4)
+	b := route(9, 9, 4)
+	if !Better(a, b) || Better(b, a) {
+		t.Error("lower peer ASN should break full ties")
+	}
+	if Better(nil, a) {
+		t.Error("nil never wins")
+	}
+	if !Better(a, nil) {
+		t.Error("non-nil beats nil")
+	}
+}
+
+func TestTableSelectsShortest(t *testing.T) {
+	tbl := NewTable()
+	tbl.Update(route(2, 2, 7, 4))
+	ch := tbl.Update(route(3, 3, 4))
+	if !ch.Changed {
+		t.Fatal("shorter route should change best")
+	}
+	best := tbl.Best(prefix)
+	if best == nil || best.FromPeer != 3 {
+		t.Errorf("best = %+v", best)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTablePreferOldestOnTie(t *testing.T) {
+	tbl := NewTable()
+	first := tbl.Update(route(9, 9, 4))
+	if !first.Changed {
+		t.Fatal("first route should install")
+	}
+	// An attribute-tied route from a lower-ASN peer must NOT displace
+	// the incumbent (prefer-oldest stability rule).
+	ch := tbl.Update(route(2, 2, 4))
+	if ch.Changed {
+		t.Errorf("tied route displaced incumbent: %+v", ch.New)
+	}
+	if best := tbl.Best(prefix); best.FromPeer != 9 {
+		t.Errorf("best.FromPeer = %v, want 9", best.FromPeer)
+	}
+	// A strictly better route must displace it.
+	ch = tbl.Update(route(2, 2))
+	if !ch.Changed || ch.New.FromPeer != 2 {
+		t.Errorf("strictly better route not selected: %+v", ch.New)
+	}
+}
+
+func TestTableWithdraw(t *testing.T) {
+	tbl := NewTable()
+	tbl.Update(route(2, 2, 4))
+	tbl.Update(route(3, 3, 7, 4))
+	ch := tbl.Withdraw(2, prefix)
+	if !ch.Changed || ch.New == nil || ch.New.FromPeer != 3 {
+		t.Errorf("withdraw should fall back to peer 3: %+v", ch.New)
+	}
+	ch = tbl.Withdraw(3, prefix)
+	if !ch.Changed || ch.New != nil {
+		t.Errorf("final withdraw should empty the table: %+v", ch.New)
+	}
+	if tbl.Best(prefix) != nil {
+		t.Error("best should be nil after all withdrawals")
+	}
+	// Withdrawing something absent is a no-op.
+	if ch := tbl.Withdraw(5, prefix); ch.Changed {
+		t.Error("withdraw of absent route changed state")
+	}
+}
+
+func TestTableLocalRoutes(t *testing.T) {
+	tbl := NewTable()
+	local := route(astypes.ASNNone, 4)
+	tbl.Originate(local)
+	// A learned route with a longer path must not displace the local.
+	tbl.Update(route(2, 2, 7, 4))
+	if best := tbl.Best(prefix); best.FromPeer != astypes.ASNNone {
+		t.Errorf("local route should win: %+v", best)
+	}
+	ch := tbl.WithdrawLocal(prefix)
+	if !ch.Changed || ch.New == nil || ch.New.FromPeer != 2 {
+		t.Errorf("withdraw local: %+v", ch.New)
+	}
+	// RoutesFrom(ASNNone) exposes locals.
+	tbl.Originate(local)
+	if got := tbl.RoutesFrom(astypes.ASNNone); len(got) != 1 {
+		t.Errorf("RoutesFrom(none) = %d routes", len(got))
+	}
+}
+
+func TestTableDropPeer(t *testing.T) {
+	tbl := NewTable()
+	p2 := astypes.MustPrefix(0x0a000000, 8)
+	tbl.Update(route(2, 2, 4))
+	r2 := route(2, 2, 9)
+	r2.Prefix = p2
+	tbl.Update(r2)
+	tbl.Update(route(3, 3, 7, 4))
+	changes := tbl.DropPeer(2)
+	if len(changes) != 2 {
+		t.Fatalf("DropPeer changes = %d, want 2", len(changes))
+	}
+	if best := tbl.Best(prefix); best == nil || best.FromPeer != 3 {
+		t.Errorf("best after drop = %+v", best)
+	}
+	if tbl.Best(p2) != nil {
+		t.Error("p2 should be gone")
+	}
+	if got := tbl.DropPeer(2); got != nil {
+		t.Error("second DropPeer should be empty")
+	}
+}
+
+func TestTableStoresClones(t *testing.T) {
+	tbl := NewTable()
+	r := route(2, 2, 4)
+	tbl.Update(r)
+	r.Path.Segments[0].ASNs[0] = 99 // mutate caller's copy
+	if best := tbl.Best(prefix); best.Path.String() != "2 4" {
+		t.Errorf("table aliased caller storage: %v", best.Path)
+	}
+	best := tbl.Best(prefix)
+	best.Path.Segments[0].ASNs[0] = 77 // mutate returned copy
+	if again := tbl.Best(prefix); again.Path.String() != "2 4" {
+		t.Errorf("Best returned aliased storage: %v", again.Path)
+	}
+}
+
+func TestTableIdempotentUpdate(t *testing.T) {
+	tbl := NewTable()
+	tbl.Update(route(2, 2, 4))
+	ch := tbl.Update(route(2, 2, 4))
+	if ch.Changed {
+		t.Error("identical re-announcement should not signal change")
+	}
+	// Same peer, different path: implicit replacement.
+	ch = tbl.Update(route(2, 2, 9, 4))
+	if !ch.Changed {
+		t.Error("replacement with longer path should still change best (same source)")
+	}
+	if best := tbl.Best(prefix); best.Path.Hops() != 3 {
+		t.Errorf("best path = %v", best.Path)
+	}
+}
+
+func TestBestRoutesSortedAndOriginAS(t *testing.T) {
+	tbl := NewTable()
+	pA := astypes.MustPrefix(0x0a000000, 8)
+	pB := astypes.MustPrefix(0x14000000, 8)
+	rB := route(2, 2, 5)
+	rB.Prefix = pB
+	tbl.Update(rB)
+	rA := route(2, 2, 4)
+	rA.Prefix = pA
+	tbl.Update(rA)
+	routes := tbl.BestRoutes()
+	if len(routes) != 2 || routes[0].Prefix != pA || routes[1].Prefix != pB {
+		t.Errorf("BestRoutes order wrong: %+v", routes)
+	}
+	if routes[0].OriginAS() != 4 || routes[1].OriginAS() != 5 {
+		t.Error("OriginAS wrong")
+	}
+}

@@ -1,0 +1,191 @@
+package routegen
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// Binary dump format — the compact archive form, standing in for the
+// MRT files real collectors write. Layout (all integers big-endian):
+//
+//	magic   uint32  "MOAS" (0x4d4f4153)
+//	version uint16  1
+//	day     uint32
+//	unix    int64   snapshot date (seconds)
+//	count   uint32  number of entries
+//	entries:
+//	  addr   uint32
+//	  len    uint8
+//	  nhops  uint8   segments encoded as (type, count, asns...)
+//	  ...path segments...
+//	  ncomm  uint16
+//	  comm   uint32 x ncomm
+//
+// Path encoding: nseg uint8, then per segment: type uint8, count uint8,
+// count x uint16 ASNs.
+
+const (
+	binMagic   uint32 = 0x4d4f4153 // "MOAS"
+	binVersion uint16 = 1
+)
+
+// WriteBinaryDump serializes d in the binary archive format.
+func WriteBinaryDump(w io.Writer, d *Dump) error {
+	bw := bufio.NewWriter(w)
+	writeErr := func(err error) error { return fmt.Errorf("write binary dump: %w", err) }
+	hdr := make([]byte, 0, 22)
+	hdr = binary.BigEndian.AppendUint32(hdr, binMagic)
+	hdr = binary.BigEndian.AppendUint16(hdr, binVersion)
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(d.Day))
+	hdr = binary.BigEndian.AppendUint64(hdr, uint64(d.Date.Unix()))
+	hdr = binary.BigEndian.AppendUint32(hdr, uint32(len(d.Entries)))
+	if _, err := bw.Write(hdr); err != nil {
+		return writeErr(err)
+	}
+	var buf []byte
+	for _, e := range d.Entries {
+		buf = buf[:0]
+		buf = binary.BigEndian.AppendUint32(buf, e.Prefix.Addr)
+		buf = append(buf, e.Prefix.Len)
+		if len(e.Path.Segments) > 255 {
+			return writeErr(fmt.Errorf("path with %d segments", len(e.Path.Segments)))
+		}
+		buf = append(buf, uint8(len(e.Path.Segments)))
+		for _, seg := range e.Path.Segments {
+			if len(seg.ASNs) > 255 {
+				return writeErr(fmt.Errorf("segment with %d ASNs", len(seg.ASNs)))
+			}
+			buf = append(buf, uint8(seg.Type), uint8(len(seg.ASNs)))
+			for _, a := range seg.ASNs {
+				buf = binary.BigEndian.AppendUint16(buf, uint16(a))
+			}
+		}
+		if len(e.Communities) > 0xffff {
+			return writeErr(fmt.Errorf("%d communities", len(e.Communities)))
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(e.Communities)))
+		for _, c := range e.Communities {
+			buf = binary.BigEndian.AppendUint32(buf, uint32(c))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return writeErr(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return writeErr(err)
+	}
+	return nil
+}
+
+// ReadBinaryDump parses a binary archive.
+func ReadBinaryDump(r io.Reader) (*Dump, error) {
+	br := bufio.NewReader(r)
+	readErr := func(err error) error { return fmt.Errorf("read binary dump: %w", err) }
+	hdr := make([]byte, 22)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, readErr(err)
+	}
+	if got := binary.BigEndian.Uint32(hdr[:4]); got != binMagic {
+		return nil, readErr(fmt.Errorf("bad magic %#x", got))
+	}
+	if got := binary.BigEndian.Uint16(hdr[4:6]); got != binVersion {
+		return nil, readErr(fmt.Errorf("unsupported version %d", got))
+	}
+	d := &Dump{
+		Day:  int(binary.BigEndian.Uint32(hdr[6:10])),
+		Date: time.Unix(int64(binary.BigEndian.Uint64(hdr[10:18])), 0).UTC(),
+	}
+	count := binary.BigEndian.Uint32(hdr[18:22])
+	const maxEntries = 16 << 20 // refuse absurd declared sizes
+	if count > maxEntries {
+		return nil, readErr(fmt.Errorf("declared %d entries", count))
+	}
+	scratch := make([]byte, 4)
+	readN := func(n int) ([]byte, error) {
+		if cap(scratch) < n {
+			scratch = make([]byte, n)
+		}
+		s := scratch[:n]
+		_, err := io.ReadFull(br, s)
+		return s, err
+	}
+	d.Entries = make([]Entry, 0, min(int(count), 1<<16))
+	for i := uint32(0); i < count; i++ {
+		b, err := readN(6)
+		if err != nil {
+			return nil, readErr(err)
+		}
+		addr := binary.BigEndian.Uint32(b[:4])
+		length := b[4]
+		nseg := int(b[5])
+		prefix, err := astypes.NewPrefix(addr, length)
+		if err != nil {
+			return nil, readErr(err)
+		}
+		var path astypes.ASPath
+		for s := 0; s < nseg; s++ {
+			b, err := readN(2)
+			if err != nil {
+				return nil, readErr(err)
+			}
+			segType := astypes.SegmentType(b[0])
+			if segType != astypes.SegSequence && segType != astypes.SegSet {
+				return nil, readErr(fmt.Errorf("segment type %d", b[0]))
+			}
+			n := int(b[1])
+			b, err = readN(2 * n)
+			if err != nil {
+				return nil, readErr(err)
+			}
+			seg := astypes.Segment{Type: segType, ASNs: make([]astypes.ASN, n)}
+			for j := 0; j < n; j++ {
+				seg.ASNs[j] = astypes.ASN(binary.BigEndian.Uint16(b[2*j : 2*j+2]))
+			}
+			path.Segments = append(path.Segments, seg)
+		}
+		b, err = readN(2)
+		if err != nil {
+			return nil, readErr(err)
+		}
+		ncomm := int(binary.BigEndian.Uint16(b))
+		entry := Entry{Prefix: prefix, Path: path}
+		if ncomm > 0 {
+			b, err = readN(4 * ncomm)
+			if err != nil {
+				return nil, readErr(err)
+			}
+			entry.Communities = make([]astypes.Community, ncomm)
+			for j := 0; j < ncomm; j++ {
+				entry.Communities[j] = astypes.Community(binary.BigEndian.Uint32(b[4*j : 4*j+4]))
+			}
+		}
+		d.Entries = append(d.Entries, entry)
+	}
+	return d, nil
+}
+
+// ReadDumpAuto sniffs the format (binary magic vs text header) and
+// parses accordingly.
+func ReadDumpAuto(r io.Reader) (*Dump, error) {
+	br := bufio.NewReader(r)
+	head, err := br.Peek(4)
+	if err != nil {
+		return nil, fmt.Errorf("read dump: %w", err)
+	}
+	if binary.BigEndian.Uint32(head) == binMagic {
+		return ReadBinaryDump(br)
+	}
+	return ReadDump(br)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package routegen
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func binRoundTrip(t *testing.T, d *Dump) *Dump {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinaryDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadBinaryDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return back
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g, err := New(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.DumpForDay(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decorate some entries with communities and AS_SET paths.
+	d.Entries[0].Communities = []astypes.Community{
+		astypes.NewCommunity(4, 0xffde), astypes.NewCommunity(226, 0xffde),
+	}
+	d.Entries[1].Path.Segments = append(d.Entries[1].Path.Segments, astypes.Segment{
+		Type: astypes.SegSet, ASNs: []astypes.ASN{4006, 4544},
+	})
+
+	back := binRoundTrip(t, d)
+	if back.Day != d.Day || !back.Date.Equal(d.Date.UTC().Truncate(0)) {
+		t.Errorf("header: day=%d date=%v", back.Day, back.Date)
+	}
+	if len(back.Entries) != len(d.Entries) {
+		t.Fatalf("entries = %d, want %d", len(back.Entries), len(d.Entries))
+	}
+	for i := range d.Entries {
+		a, b := d.Entries[i], back.Entries[i]
+		if a.Prefix != b.Prefix || !a.Path.Equal(b.Path) {
+			t.Fatalf("entry %d mismatch", i)
+		}
+		if len(a.Communities) != len(b.Communities) {
+			t.Fatalf("entry %d communities mismatch", i)
+		}
+		for j := range a.Communities {
+			if a.Communities[j] != b.Communities[j] {
+				t.Fatalf("entry %d community %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g, _ := New(smallConfig())
+	d, _ := g.DumpForDay(3)
+	var buf bytes.Buffer
+	if err := WriteBinaryDump(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinaryDump(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), valid...)
+	bad[5] = 99
+	if _, err := ReadBinaryDump(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncation at every boundary must error, never panic.
+	for cut := 0; cut < len(valid)-1; cut += 7 {
+		if _, err := ReadBinaryDump(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncated at %d accepted", cut)
+		}
+	}
+	// Absurd declared entry count.
+	bad = append([]byte(nil), valid[:22]...)
+	bad[18], bad[19], bad[20], bad[21] = 0xff, 0xff, 0xff, 0xff
+	if _, err := ReadBinaryDump(bytes.NewReader(bad)); err == nil {
+		t.Error("absurd count accepted")
+	}
+}
+
+func TestReadDumpAutoSniffsFormats(t *testing.T) {
+	g, _ := New(smallConfig())
+	d, _ := g.DumpForDay(10)
+
+	var binBuf, txtBuf bytes.Buffer
+	if err := WriteBinaryDump(&binBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteDump(&txtBuf, d); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"binary": &binBuf, "text": &txtBuf} {
+		back, err := ReadDumpAuto(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(back.Entries) != len(d.Entries) {
+			t.Errorf("%s: entries = %d, want %d", name, len(back.Entries), len(d.Entries))
+		}
+	}
+	if _, err := ReadDumpAuto(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func BenchmarkBinaryVsTextEncode(b *testing.B) {
+	g, err := New(smallConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d, err := g.DumpForDay(50)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := WriteBinaryDump(&buf, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "bytes")
+	})
+	b.Run("text", func(b *testing.B) {
+		var buf bytes.Buffer
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf.Reset()
+			if err := WriteDump(&buf, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(buf.Len()), "bytes")
+	})
+}

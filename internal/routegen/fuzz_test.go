@@ -1,0 +1,72 @@
+package routegen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinaryDump: the binary archive parser must never panic and
+// anything it accepts must re-encode and re-parse to the same dump.
+func FuzzReadBinaryDump(f *testing.F) {
+	g, err := New(smallConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, day := range []int{0, 50, 80} {
+		d, err := g.DumpForDay(day)
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinaryDump(&buf, d); err != nil {
+			f.Fatal(err)
+		}
+		seed := buf.Bytes()
+		f.Add(seed)
+		for i := 0; i < len(seed); i += 11 {
+			mut := append([]byte(nil), seed...)
+			mut[i] ^= 0x5a
+			f.Add(mut)
+		}
+		f.Add(seed[:len(seed)/2])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadBinaryDump(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinaryDump(&buf, d); err != nil {
+			t.Fatalf("accepted dump failed to re-encode: %v", err)
+		}
+		d2, err := ReadBinaryDump(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded dump failed to parse: %v", err)
+		}
+		if len(d2.Entries) != len(d.Entries) || d2.Day != d.Day {
+			t.Fatal("binary roundtrip not stable")
+		}
+	})
+}
+
+// FuzzReadDumpText: same properties for the text format.
+func FuzzReadDumpText(f *testing.F) {
+	f.Add("# dump day=1 date=1998-01-01 entries=1\n10.0.0.0/8|6447 701 42\n")
+	f.Add("# dump day=1 date=1998-01-01\n10.0.0.0/8|6447 701 42|4:65502 226:65502\n")
+	f.Add("# dump day=0 date=2001-04-06 entries=0\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := ReadDump(bytes.NewReader([]byte(text)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDump(&buf, d); err != nil {
+			t.Fatalf("accepted dump failed to re-encode: %v", err)
+		}
+		if _, err := ReadDump(&buf); err != nil {
+			t.Fatalf("re-encoded dump failed to parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,458 @@
+// Package routegen synthesizes the daily BGP table-dump series that
+// stands in for the Oregon RouteViews archive the paper measures
+// (§3.1, Figures 4 and 5). The generator deterministically produces,
+// for each day of the 1279-day study window (1997-11-08 onward), a
+// routing-table snapshot containing:
+//
+//   - a large body of ordinary single-origin prefixes;
+//   - long-lived valid MOAS cases from operational multi-homing
+//     (BGP + static announcement, and ASE private-AS substitution) and a
+//     few exchange-point prefixes (§3.2);
+//   - a background rate of short-lived (1-2 day) configuration faults;
+//   - the large historical fault events the paper calls out: the
+//     1998-04-07 AS8584 incident and the 2001-04-06/2001-04-10
+//     (AS3561, AS15412) incident (§3.3).
+//
+// The population parameters are calibrated so the measurement pipeline
+// (internal/measure) reproduces the paper's §3 statistics: daily
+// medians of ~683 (1998) rising to ~1294 (2001), ~36% one-day cases
+// with ~83% of them from the 1998-04-07 event, and a 96%/2.7% split of
+// two-/three-origin cases.
+package routegen
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// Study window constants from the paper.
+const (
+	// StudyDays is the length of the measurement period ("Over the
+	// 1279-day period").
+	StudyDays = 1279
+)
+
+// StudyStart is the first day of the measurement window (1997-11-08).
+var StudyStart = time.Date(1997, time.November, 8, 0, 0, 0, 0, time.UTC)
+
+// Well-known fault events reproduced by the default configuration.
+var (
+	// EventAS8584Day is 1998-04-07 relative to StudyStart.
+	EventAS8584Day = daysSinceStart(time.Date(1998, time.April, 7, 0, 0, 0, 0, time.UTC))
+	// EventAS15412Day is 2001-04-06 relative to StudyStart.
+	EventAS15412Day = daysSinceStart(time.Date(2001, time.April, 6, 0, 0, 0, 0, time.UTC))
+	// EventAS7007Day is 1997-04-25; it predates the window (the paper
+	// notes this) and is exported for the examples only.
+	EventAS7007Day = daysSinceStart(time.Date(1997, time.April, 25, 0, 0, 0, 0, time.UTC))
+)
+
+func daysSinceStart(t time.Time) int {
+	return int(t.Sub(StudyStart) / (24 * time.Hour))
+}
+
+// CaseKind classifies why a prefix has multiple origins.
+type CaseKind int
+
+// Case kinds.
+const (
+	// KindMultiHoming: BGP peering with one ISP, static announcement via
+	// another (§3.2).
+	KindMultiHoming CaseKind = iota + 1
+	// KindASE: private-AS substitution on egress; all providers appear
+	// as origins (§3.2).
+	KindASE
+	// KindExchangePoint: exchange-point prefix advertised by members.
+	KindExchangePoint
+	// KindShortFault: small operational error lasting a day or two.
+	KindShortFault
+	// KindMassFault: a historical large-scale false-origination event.
+	KindMassFault
+)
+
+func (k CaseKind) String() string {
+	switch k {
+	case KindMultiHoming:
+		return "multi-homing"
+	case KindASE:
+		return "ase"
+	case KindExchangePoint:
+		return "exchange-point"
+	case KindShortFault:
+		return "short-fault"
+	case KindMassFault:
+		return "mass-fault"
+	default:
+		return "unknown"
+	}
+}
+
+// Valid reports whether the kind is a legitimate operational MOAS.
+func (k CaseKind) Valid() bool {
+	switch k {
+	case KindMultiHoming, KindASE, KindExchangePoint:
+		return true
+	default:
+		return false
+	}
+}
+
+// FaultEvent is a mass false-origination incident.
+type FaultEvent struct {
+	// Day index (relative to StudyStart) the event begins.
+	Day int
+	// Duration in days (usually 1).
+	Duration int
+	// RepeatOffsets lists additional start days (relative to Day) on
+	// which the same faulty AS re-announces the same prefix set — the
+	// 2001-04 incident recurred on 04-06 and 04-10, giving its victim
+	// prefixes a total MOAS duration of two days.
+	RepeatOffsets []int
+	// FaultAS is the AS that falsely originates the prefixes.
+	FaultAS astypes.ASN
+	// UpstreamAS, if nonzero, appears before FaultAS on the announced
+	// paths (the paper's (AS 3561, AS 15412) sequence).
+	UpstreamAS astypes.ASN
+	// Prefixes is how many existing prefixes the event falsely
+	// originates.
+	Prefixes int
+}
+
+// Config parameterizes the generator. DefaultConfig matches the paper.
+type Config struct {
+	Days int
+	Seed int64
+	// SingleOriginPrefixes is the size of the ordinary routing-table
+	// body (kept modest; the real table had ~10^5 entries, but only the
+	// multi-origin subset matters for every statistic we reproduce).
+	SingleOriginPrefixes int
+	// BaseCases is the population of operational MOAS cases active for
+	// the whole window (in place before measurement began).
+	BaseCases int
+	// GrowthCases arrive uniformly over the window and persist to its
+	// end; they produce the rising daily counts of Figure 4.
+	GrowthCases int
+	// ChurnCases come and go with moderate lifetimes.
+	ChurnCases int
+	// ChurnMeanDays is the mean lifetime of a churn case.
+	ChurnMeanDays float64
+	// ShortFaultCases is the population of scattered 1-2 day faults.
+	ShortFaultCases int
+	// ShortFaultOneDayProb is the probability a scattered fault lasts
+	// one day rather than two.
+	ShortFaultOneDayProb float64
+	// ExchangePointCases is the small population of exchange-point
+	// prefixes (§3.2).
+	ExchangePointCases int
+	// Events are the mass-fault incidents.
+	Events []FaultEvent
+}
+
+// DefaultConfig reproduces the paper's measurement window, calibrated
+// against the §3 statistics (see internal/measure tests).
+func DefaultConfig() Config {
+	return Config{
+		Days:                 StudyDays,
+		Seed:                 1997,
+		SingleOriginPrefixes: 4000,
+		BaseCases:            469,
+		GrowthCases:          795,
+		ChurnCases:           600,
+		ChurnMeanDays:        150,
+		ShortFaultCases:      350,
+		ShortFaultOneDayProb: 0.55,
+		ExchangePointCases:   6,
+		Events: []FaultEvent{
+			{Day: EventAS8584Day, Duration: 1, FaultAS: 8584, Prefixes: 1400},
+			{Day: EventAS15412Day, Duration: 1, RepeatOffsets: []int{4},
+				FaultAS: 15412, UpstreamAS: 3561, Prefixes: 650},
+		},
+	}
+}
+
+// moasCase is one prefix's multi-origin episode.
+type moasCase struct {
+	prefix  astypes.Prefix
+	origins []astypes.ASN
+	start   int // first day active (inclusive)
+	end     int // last day active (inclusive)
+	kind    CaseKind
+}
+
+// Entry is one routing-table line as seen from the collector.
+type Entry struct {
+	Prefix      astypes.Prefix
+	Path        astypes.ASPath
+	Communities []astypes.Community
+}
+
+// Origin returns the entry's origin AS.
+func (e Entry) Origin() astypes.ASN {
+	o, _ := e.Path.Origin()
+	return o
+}
+
+// Dump is one day's table snapshot.
+type Dump struct {
+	Day     int
+	Date    time.Time
+	Entries []Entry
+}
+
+// Generator produces the dump series. It is immutable after New and safe
+// for concurrent DumpForDay calls.
+type Generator struct {
+	cfg      Config
+	cases    []moasCase
+	baseline []Entry
+}
+
+// New builds a Generator; all randomness derives from cfg.Seed.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Days <= 0 {
+		return nil, fmt.Errorf("routegen: days %d", cfg.Days)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := &Generator{cfg: cfg}
+	alloc := newPrefixAllocator()
+
+	// Ordinary single-origin table body.
+	g.baseline = make([]Entry, 0, cfg.SingleOriginPrefixes)
+	for i := 0; i < cfg.SingleOriginPrefixes; i++ {
+		origin := stubASN(rng)
+		g.baseline = append(g.baseline, Entry{
+			Prefix: alloc.next(24),
+			Path:   collectorPath(rng, origin),
+		})
+	}
+
+	// Long-lived operational MOAS in three strata, producing the rising
+	// daily counts of Figure 4: a base population spanning the window, a
+	// growing population arriving uniformly and persisting, and a churn
+	// population with moderate lifetimes.
+	addLong := func(start, end int) {
+		kind := KindMultiHoming
+		if rng.Float64() < 0.3 {
+			kind = KindASE
+		}
+		g.cases = append(g.cases, moasCase{
+			prefix:  alloc.next(uint8(19 + rng.Intn(6))),
+			origins: multiOrigins(rng),
+			start:   start,
+			end:     end,
+			kind:    kind,
+		})
+	}
+	for i := 0; i < cfg.BaseCases; i++ {
+		addLong(0, cfg.Days-1)
+	}
+	for i := 0; i < cfg.GrowthCases; i++ {
+		addLong(rng.Intn(cfg.Days), cfg.Days-1)
+	}
+	for i := 0; i < cfg.ChurnCases; i++ {
+		start := rng.Intn(cfg.Days)
+		end := start + 2 + int(rng.ExpFloat64()*cfg.ChurnMeanDays)
+		if end >= cfg.Days {
+			end = cfg.Days - 1
+		}
+		addLong(start, end)
+	}
+
+	// Exchange-point prefixes: long-lasting, several origins.
+	for i := 0; i < cfg.ExchangePointCases; i++ {
+		nOrigins := 3 + rng.Intn(2)
+		origins := make([]astypes.ASN, 0, nOrigins)
+		for len(origins) < nOrigins {
+			origins = astypes.DedupASNs(append(origins, transitASN(rng)))
+		}
+		g.cases = append(g.cases, moasCase{
+			prefix:  alloc.next(24),
+			origins: origins,
+			start:   0,
+			end:     cfg.Days - 1,
+			kind:    KindExchangePoint,
+		})
+	}
+
+	// Scattered short faults: one or two days each.
+	for i := 0; i < cfg.ShortFaultCases; i++ {
+		start := rng.Intn(cfg.Days)
+		dur := 2
+		if rng.Float64() < cfg.ShortFaultOneDayProb {
+			dur = 1
+		}
+		end := start + dur - 1
+		if end >= cfg.Days {
+			end = cfg.Days - 1
+		}
+		// The faulty origin plus the true origin both appear.
+		g.cases = append(g.cases, moasCase{
+			prefix:  alloc.next(24),
+			origins: []astypes.ASN{stubASN(rng), stubASN(rng)},
+			start:   start,
+			end:     end,
+			kind:    KindShortFault,
+		})
+	}
+
+	// Mass-fault events: each falsely originates existing baseline
+	// prefixes for the event duration (and again at each repeat offset,
+	// reusing the same victim set). Events consume disjoint slices of a
+	// single shuffle so victim sets never overlap across incidents.
+	perm := rng.Perm(len(g.baseline))
+	nextVictim := 0
+	for _, ev := range cfg.Events {
+		if ev.Day < 0 || ev.Day >= cfg.Days {
+			continue
+		}
+		if nextVictim+ev.Prefixes > len(g.baseline) {
+			return nil, fmt.Errorf("routegen: event at day %d wants %d prefixes, only %d unclaimed",
+				ev.Day, ev.Prefixes, len(g.baseline)-nextVictim)
+		}
+		victims := perm[nextVictim : nextVictim+ev.Prefixes]
+		nextVictim += ev.Prefixes
+		starts := append([]int{0}, ev.RepeatOffsets...)
+		for _, off := range starts {
+			day := ev.Day + off
+			if day < 0 || day >= cfg.Days {
+				continue
+			}
+			end := day + ev.Duration - 1
+			if end >= cfg.Days {
+				end = cfg.Days - 1
+			}
+			for _, idx := range victims {
+				victim := g.baseline[idx]
+				g.cases = append(g.cases, moasCase{
+					prefix:  victim.Prefix,
+					origins: []astypes.ASN{victim.Origin(), ev.FaultAS},
+					start:   day,
+					end:     end,
+					kind:    KindMassFault,
+				})
+			}
+		}
+	}
+	return g, nil
+}
+
+// Days returns the configured window length.
+func (g *Generator) Days() int { return g.cfg.Days }
+
+// DateOf converts a day index to its calendar date.
+func (g *Generator) DateOf(day int) time.Time {
+	return StudyStart.AddDate(0, 0, day)
+}
+
+// DumpForDay assembles the table snapshot for one day. Baseline entries
+// appear every day; a MOAS case active on the day contributes one entry
+// per origin (replacing the baseline entry for that prefix, if any).
+func (g *Generator) DumpForDay(day int) (*Dump, error) {
+	if day < 0 || day >= g.cfg.Days {
+		return nil, fmt.Errorf("routegen: day %d out of [0, %d)", day, g.cfg.Days)
+	}
+	d := &Dump{Day: day, Date: g.DateOf(day)}
+	// Per-day deterministic rng for path fabrication.
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(day)*0x9e3779b9))
+
+	override := make(map[astypes.Prefix]bool)
+	for _, c := range g.cases {
+		if day < c.start || day > c.end {
+			continue
+		}
+		override[c.prefix] = true
+		for _, origin := range c.origins {
+			d.Entries = append(d.Entries, Entry{
+				Prefix: c.prefix,
+				Path:   collectorPath(rng, origin),
+			})
+		}
+	}
+	for _, e := range g.baseline {
+		if !override[e.Prefix] {
+			d.Entries = append(d.Entries, e)
+		}
+	}
+	return d, nil
+}
+
+// Series iterates over all days, invoking fn for each dump in order.
+// Generation is O(day) memory; dumps are not retained.
+func (g *Generator) Series(fn func(*Dump) error) error {
+	for day := 0; day < g.cfg.Days; day++ {
+		d, err := g.DumpForDay(day)
+		if err != nil {
+			return err
+		}
+		if err := fn(d); err != nil {
+			return fmt.Errorf("routegen: day %d: %w", day, err)
+		}
+	}
+	return nil
+}
+
+// multiOrigins draws the origin set of a valid MOAS case with the
+// paper's measured split: 96.14% two origins, 2.7% three, remainder
+// four or five.
+func multiOrigins(rng *rand.Rand) []astypes.ASN {
+	n := 2
+	switch x := rng.Float64(); {
+	case x > 0.9614 && x <= 0.9884:
+		n = 3
+	case x > 0.9884 && x <= 0.9964:
+		n = 4
+	case x > 0.9964:
+		n = 5
+	}
+	origins := make([]astypes.ASN, 0, n)
+	for len(origins) < n {
+		origins = astypes.DedupASNs(append(origins, stubASN(rng)))
+	}
+	return origins
+}
+
+// stubASN draws an edge-network AS number (disjoint from the transit
+// range so path fabrication stays unambiguous).
+func stubASN(rng *rand.Rand) astypes.ASN {
+	return astypes.ASN(10000 + rng.Intn(20000))
+}
+
+// transitASN draws a provider AS number.
+func transitASN(rng *rand.Rand) astypes.ASN {
+	return astypes.ASN(100 + rng.Intn(600))
+}
+
+// collectorASN is the AS of the synthetic route collector's peer.
+const collectorASN astypes.ASN = 6447
+
+// collectorPath fabricates the AS path the collector records toward
+// origin: collector peer, one or two transit hops, origin.
+func collectorPath(rng *rand.Rand, origin astypes.ASN) astypes.ASPath {
+	hops := []astypes.ASN{collectorASN, transitASN(rng)}
+	if rng.Float64() < 0.5 {
+		hops = append(hops, transitASN(rng))
+	}
+	hops = append(hops, origin)
+	return astypes.NewSeqPath(hops...)
+}
+
+// prefixAllocator hands out distinct prefixes deterministically.
+type prefixAllocator struct {
+	next16 uint32
+}
+
+func newPrefixAllocator() *prefixAllocator {
+	// Start in 24.0.0.0/8-ish space and walk /16 blocks.
+	return &prefixAllocator{next16: 24 << 24}
+}
+
+func (a *prefixAllocator) next(length uint8) astypes.Prefix {
+	if length < 16 {
+		length = 16
+	}
+	p := astypes.Prefix{Addr: a.next16, Len: length}
+	a.next16 += 1 << 16
+	return p
+}

@@ -1,0 +1,153 @@
+package routegen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// Dump text format: a header line, then one entry per line.
+//
+//	# dump day=<n> date=<YYYY-MM-DD> entries=<n>
+//	<prefix>|<as path>[|<community> <community> ...]
+//
+// The third field is optional and carries the route's community
+// attribute (including any MOAS list). The format is what
+// cmd/moas-measure emits and cmd/moas-monitor consumes, standing in for
+// the MRT archives of the real collectors.
+
+// WriteDump serializes d to w in the text format.
+func WriteDump(w io.Writer, d *Dump) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# dump day=%d date=%s entries=%d\n",
+		d.Day, d.Date.Format("2006-01-02"), len(d.Entries)); err != nil {
+		return fmt.Errorf("write dump header: %w", err)
+	}
+	for _, e := range d.Entries {
+		if len(e.Communities) == 0 {
+			if _, err := fmt.Fprintf(bw, "%s|%s\n", e.Prefix, e.Path); err != nil {
+				return fmt.Errorf("write dump entry: %w", err)
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s|%s|%s\n", e.Prefix, e.Path, formatCommunities(e.Communities)); err != nil {
+			return fmt.Errorf("write dump entry: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("flush dump: %w", err)
+	}
+	return nil
+}
+
+// ReadDump parses one dump in the text format.
+func ReadDump(r io.Reader) (*Dump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("read dump header: %w", err)
+		}
+		return nil, io.ErrUnexpectedEOF
+	}
+	d, want, err := parseHeader(sc.Text())
+	if err != nil {
+		return nil, err
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		e, err := parseEntry(line)
+		if err != nil {
+			return nil, err
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("read dump: %w", err)
+	}
+	if want >= 0 && len(d.Entries) != want {
+		return nil, fmt.Errorf("dump declares %d entries, found %d", want, len(d.Entries))
+	}
+	return d, nil
+}
+
+func parseHeader(line string) (*Dump, int, error) {
+	if !strings.HasPrefix(line, "# dump ") {
+		return nil, 0, fmt.Errorf("bad dump header %q", line)
+	}
+	d := &Dump{}
+	want := -1
+	for _, field := range strings.Fields(line[len("# dump "):]) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return nil, 0, fmt.Errorf("bad dump header field %q", field)
+		}
+		switch key {
+		case "day":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad dump day %q: %w", val, err)
+			}
+			d.Day = n
+		case "date":
+			t, err := time.Parse("2006-01-02", val)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad dump date %q: %w", val, err)
+			}
+			d.Date = t
+		case "entries":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, 0, fmt.Errorf("bad dump entries %q: %w", val, err)
+			}
+			want = n
+		}
+	}
+	return d, want, nil
+}
+
+func parseEntry(line string) (Entry, error) {
+	prefixStr, rest, ok := strings.Cut(line, "|")
+	if !ok {
+		return Entry{}, fmt.Errorf("bad dump entry %q", line)
+	}
+	pathStr, commStr, hasComms := strings.Cut(rest, "|")
+	prefix, err := astypes.ParsePrefix(strings.TrimSpace(prefixStr))
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad dump entry %q: %w", line, err)
+	}
+	path, err := astypes.ParseASPath(strings.TrimSpace(pathStr))
+	if err != nil {
+		return Entry{}, fmt.Errorf("bad dump entry %q: %w", line, err)
+	}
+	e := Entry{Prefix: prefix, Path: path}
+	if hasComms {
+		for _, tok := range strings.Fields(commStr) {
+			c, err := astypes.ParseCommunity(tok)
+			if err != nil {
+				return Entry{}, fmt.Errorf("bad dump entry %q: %w", line, err)
+			}
+			e.Communities = append(e.Communities, c)
+		}
+	}
+	return e, nil
+}
+
+func formatCommunities(comms []astypes.Community) string {
+	var b strings.Builder
+	for i, c := range comms {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

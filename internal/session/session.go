@@ -1,0 +1,390 @@
+// Package session implements the per-peer BGP-4 session machinery over
+// a net.Conn: the OPEN handshake, keepalive generation, hold-timer
+// supervision, and framed message exchange, following the FSM of RFC
+// 4271 §8 in the states a connected transport can reach (OpenSent,
+// OpenConfirm, Established).
+//
+// A Session owns two goroutines (reader and keepalive timer); both are
+// joined by Close, so sessions never leak. Incoming UPDATEs are
+// delivered to the Handler synchronously from the reader goroutine.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/wire"
+)
+
+// State is the session's FSM state.
+type State int32
+
+// FSM states (subset reachable once a transport connection exists).
+const (
+	StateIdle State = iota + 1
+	StateOpenSent
+	StateOpenConfirm
+	StateEstablished
+	StateClosed
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "Idle"
+	case StateOpenSent:
+		return "OpenSent"
+	case StateOpenConfirm:
+		return "OpenConfirm"
+	case StateEstablished:
+		return "Established"
+	case StateClosed:
+		return "Closed"
+	default:
+		return "Unknown"
+	}
+}
+
+// Handler receives session events. Calls are serialized per session.
+type Handler interface {
+	// HandleUpdate is invoked for every received UPDATE.
+	HandleUpdate(peer astypes.ASN, u *wire.Update)
+	// HandleDown is invoked exactly once when the session leaves
+	// Established (err describes why; nil for a clean local Close).
+	HandleDown(peer astypes.ASN, err error)
+}
+
+// RefreshHandler is optionally implemented by Handlers that honor
+// ROUTE-REFRESH (RFC 2918) requests from the peer.
+type RefreshHandler interface {
+	// HandleRouteRefresh is invoked when the peer requests
+	// re-advertisement of our Adj-RIB-Out.
+	HandleRouteRefresh(peer astypes.ASN, r *wire.RouteRefresh)
+}
+
+// Config parameterizes a session.
+type Config struct {
+	// LocalAS and LocalID identify this speaker.
+	LocalAS astypes.ASN
+	LocalID uint32
+	// PeerAS, if nonzero, is enforced against the peer's OPEN.
+	PeerAS astypes.ASN
+	// HoldTime proposed in our OPEN; the effective hold time is the
+	// minimum of both sides (RFC 4271 §4.2). Zero selects 90s.
+	HoldTime time.Duration
+	// Handler receives updates and the down event; required.
+	Handler Handler
+}
+
+// Errors surfaced by session establishment and supervision.
+var (
+	ErrHoldTimerExpired = errors.New("hold timer expired")
+	ErrPeerASMismatch   = errors.New("peer AS mismatch")
+	ErrClosed           = errors.New("session closed")
+)
+
+// NotificationError reports a NOTIFICATION received from the peer.
+type NotificationError struct {
+	Code    uint8
+	Subcode uint8
+}
+
+func (e *NotificationError) Error() string {
+	return fmt.Sprintf("peer sent NOTIFICATION code %d subcode %d", e.Code, e.Subcode)
+}
+
+// Session is one established BGP session.
+type Session struct {
+	conn     net.Conn
+	cfg      Config
+	peerAS   astypes.ASN
+	peerID   uint32
+	holdTime time.Duration
+
+	writeMu sync.Mutex
+
+	mu    sync.Mutex
+	state State
+	err   error
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{} // reader goroutine exited
+	kaDone   chan struct{} // keepalive goroutine exited
+	downOnce sync.Once
+}
+
+// Establish runs the OPEN handshake on conn and starts the session
+// goroutines. On error the connection is closed.
+func Establish(conn net.Conn, cfg Config) (*Session, error) {
+	if cfg.Handler == nil {
+		conn.Close()
+		return nil, errors.New("session: nil handler")
+	}
+	holdTime := cfg.HoldTime
+	if holdTime == 0 {
+		holdTime = 90 * time.Second
+	}
+	s := &Session{
+		conn:     conn,
+		cfg:      cfg,
+		holdTime: holdTime,
+		state:    StateOpenSent,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		kaDone:   make(chan struct{}),
+	}
+	if err := s.handshake(); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.setState(StateEstablished)
+	go s.readLoop()
+	go s.keepaliveLoop()
+	return s, nil
+}
+
+func (s *Session) handshake() error {
+	open := &wire.Open{
+		Version:  wire.Version4,
+		AS:       s.cfg.LocalAS,
+		HoldTime: uint16(s.holdTime / time.Second),
+		BGPID:    s.cfg.LocalID,
+	}
+	// Handshake sends run concurrently with the matching reads: both
+	// peers write their OPEN (and later KEEPALIVE) at the same moment,
+	// which deadlocks on an unbuffered transport (net.Pipe) if done
+	// synchronously. On error paths the caller closes the connection,
+	// which unblocks a stuck writer.
+	openSent := make(chan error, 1)
+	go func() { openSent <- wire.WriteMessage(s.conn, open) }()
+	deadline := time.Now().Add(s.holdTime)
+	if err := s.conn.SetReadDeadline(deadline); err != nil {
+		return fmt.Errorf("session: set handshake deadline: %w", err)
+	}
+	msg, err := wire.ReadMessage(s.conn)
+	if err != nil {
+		return fmt.Errorf("session: read OPEN: %w", err)
+	}
+	if err := <-openSent; err != nil {
+		return fmt.Errorf("session: send OPEN: %w", err)
+	}
+	peerOpen, ok := msg.(*wire.Open)
+	if !ok {
+		s.sendNotification(wire.ErrCodeFSM, 0)
+		return fmt.Errorf("session: expected OPEN, got %s", msg.Type())
+	}
+	if s.cfg.PeerAS != astypes.ASNNone && peerOpen.AS != s.cfg.PeerAS {
+		s.sendNotification(wire.ErrCodeOpen, wire.SubBadPeerAS)
+		return fmt.Errorf("session: %w: want AS %s, got AS %s", ErrPeerASMismatch, s.cfg.PeerAS, peerOpen.AS)
+	}
+	s.peerAS = peerOpen.AS
+	s.peerID = peerOpen.BGPID
+	if peerHold := time.Duration(peerOpen.HoldTime) * time.Second; peerHold > 0 && peerHold < s.holdTime {
+		s.holdTime = peerHold
+	} else if peerOpen.HoldTime == 0 {
+		// Zero disables keepalives entirely (RFC 4271 §4.2).
+		s.holdTime = 0
+	}
+	s.setState(StateOpenConfirm)
+	kaSent := make(chan error, 1)
+	go func() { kaSent <- wire.WriteMessage(s.conn, &wire.Keepalive{}) }()
+	if err := s.conn.SetReadDeadline(s.readDeadline()); err != nil {
+		return fmt.Errorf("session: set deadline: %w", err)
+	}
+	msg, err = wire.ReadMessage(s.conn)
+	if err != nil {
+		return fmt.Errorf("session: read confirm KEEPALIVE: %w", err)
+	}
+	if err := <-kaSent; err != nil {
+		return fmt.Errorf("session: send KEEPALIVE: %w", err)
+	}
+	switch m := msg.(type) {
+	case *wire.Keepalive:
+		return nil
+	case *wire.Notification:
+		return &NotificationError{Code: m.Code, Subcode: m.Subcode}
+	default:
+		s.sendNotification(wire.ErrCodeFSM, 0)
+		return fmt.Errorf("session: expected KEEPALIVE, got %s", msg.Type())
+	}
+}
+
+func (s *Session) readDeadline() time.Time {
+	if s.holdTime == 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(s.holdTime)
+}
+
+// PeerAS returns the AS number the peer declared in its OPEN.
+func (s *Session) PeerAS() astypes.ASN { return s.peerAS }
+
+// PeerID returns the peer's BGP identifier.
+func (s *Session) PeerID() uint32 { return s.peerID }
+
+// HoldTime returns the negotiated hold time (zero = disabled).
+func (s *Session) HoldTime() time.Duration { return s.holdTime }
+
+// State returns the current FSM state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Err returns the error that took the session down, if any.
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Session) setState(st State) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+// SendUpdate transmits one UPDATE message.
+func (s *Session) SendUpdate(u *wire.Update) error {
+	if s.State() != StateEstablished {
+		return ErrClosed
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	if err := wire.WriteMessage(s.conn, u); err != nil {
+		return fmt.Errorf("session: send UPDATE to AS %s: %w", s.peerAS, err)
+	}
+	return nil
+}
+
+// SendRouteRefresh asks the peer to re-advertise its routes (RFC 2918).
+func (s *Session) SendRouteRefresh() error {
+	if s.State() != StateEstablished {
+		return ErrClosed
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	rr := &wire.RouteRefresh{AFI: wire.AFIIPv4, SAFI: wire.SAFIUnicast}
+	if err := wire.WriteMessage(s.conn, rr); err != nil {
+		return fmt.Errorf("session: send ROUTE-REFRESH to AS %s: %w", s.peerAS, err)
+	}
+	return nil
+}
+
+func (s *Session) sendKeepalive() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return wire.WriteMessage(s.conn, &wire.Keepalive{})
+}
+
+func (s *Session) sendNotification(code, sub uint8) {
+	// A peer that has stopped reading can leave another writer blocked
+	// while holding writeMu (e.g. the keepalive sender); bound every
+	// in-flight and upcoming write so this call cannot deadlock the
+	// teardown path. Best effort; the session is coming down anyway.
+	_ = s.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	_ = wire.WriteMessage(s.conn, &wire.Notification{Code: code, Subcode: sub})
+}
+
+func (s *Session) readLoop() {
+	defer close(s.done)
+	for {
+		if err := s.conn.SetReadDeadline(s.readDeadline()); err != nil {
+			s.goDown(err)
+			return
+		}
+		msg, err := wire.ReadMessage(s.conn)
+		if err != nil {
+			select {
+			case <-s.stop:
+				s.goDown(nil)
+			default:
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.sendNotification(wire.ErrCodeHoldTimer, 0)
+					err = ErrHoldTimerExpired
+				}
+				var me *wire.MessageError
+				if errors.As(err, &me) {
+					s.sendNotification(me.Code, me.Subcode)
+				}
+				s.goDown(err)
+			}
+			return
+		}
+		switch m := msg.(type) {
+		case *wire.Update:
+			s.cfg.Handler.HandleUpdate(s.peerAS, m)
+		case *wire.RouteRefresh:
+			if rh, ok := s.cfg.Handler.(RefreshHandler); ok {
+				rh.HandleRouteRefresh(s.peerAS, m)
+			}
+		case *wire.Keepalive:
+			// Receipt already refreshed the hold timer.
+		case *wire.Notification:
+			s.goDown(&NotificationError{Code: m.Code, Subcode: m.Subcode})
+			return
+		case *wire.Open:
+			s.sendNotification(wire.ErrCodeFSM, 0)
+			s.goDown(errors.New("session: OPEN received in Established"))
+			return
+		}
+	}
+}
+
+func (s *Session) keepaliveLoop() {
+	defer close(s.kaDone)
+	if s.holdTime == 0 {
+		return
+	}
+	interval := s.holdTime / 3
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			if err := s.sendKeepalive(); err != nil {
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+func (s *Session) goDown(err error) {
+	s.mu.Lock()
+	if s.state != StateClosed {
+		s.state = StateClosed
+		s.err = err
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+	s.downOnce.Do(func() {
+		s.cfg.Handler.HandleDown(s.peerAS, err)
+	})
+}
+
+// Close sends a Cease NOTIFICATION, tears the session down, and waits
+// for both goroutines to exit. Safe to call multiple times.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	alreadyClosed := s.state == StateClosed
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stop) })
+	if !alreadyClosed {
+		s.sendNotification(wire.ErrCodeCease, 0)
+	}
+	s.conn.Close()
+	<-s.done
+	<-s.kaDone
+	return nil
+}

@@ -1,0 +1,146 @@
+// Package sim provides the deterministic discrete-event simulation
+// engine underlying the AS-level BGP model (internal/simbgp). It plays
+// the role SSFnet plays in the paper: a virtual clock, an event queue,
+// and run-to-quiescence execution.
+//
+// Determinism: events scheduled for the same virtual time fire in
+// scheduling order (a monotonic sequence number breaks ties), so a
+// simulation with a fixed topology, fixed seeds, and fixed link delays
+// always produces the same outcome.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a deferred action in virtual time.
+type Event func()
+
+type queuedEvent struct {
+	at  time.Duration
+	seq uint64
+	fn  Event
+}
+
+type eventQueue []queuedEvent
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(queuedEvent)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = queuedEvent{}
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrEventLimit is returned by Run when the configured event budget is
+// exhausted before the queue drains — usually a sign of a routing
+// oscillation in the model under test.
+var ErrEventLimit = errors.New("simulation event limit exceeded")
+
+// Engine is a single-threaded discrete-event scheduler. It is not safe
+// for concurrent use; run one Engine per goroutine (the experiment
+// harness parallelizes across independent engines).
+type Engine struct {
+	queue      eventQueue
+	now        time.Duration
+	seq        uint64
+	processed  uint64
+	eventLimit uint64
+}
+
+// DefaultEventLimit bounds a single Run; BGP on the paper's topologies
+// converges in well under this.
+const DefaultEventLimit = 50_000_000
+
+// EngineOption configures an Engine.
+type EngineOption interface {
+	apply(*Engine)
+}
+
+type eventLimitOption uint64
+
+func (o eventLimitOption) apply(e *Engine) { e.eventLimit = uint64(o) }
+
+// WithEventLimit overrides the per-run event budget.
+func WithEventLimit(limit uint64) EngineOption {
+	return eventLimitOption(limit)
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{eventLimit: DefaultEventLimit}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run after delay of virtual time. A negative
+// delay is treated as zero (run at the current instant, after already
+// queued same-time events).
+func (e *Engine) Schedule(delay time.Duration, fn Event) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.queue, queuedEvent{at: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty (quiescence) or the event
+// budget is exhausted.
+func (e *Engine) Run() error {
+	for len(e.queue) > 0 {
+		if e.processed >= e.eventLimit {
+			return fmt.Errorf("%w: %d events, virtual time %s", ErrEventLimit, e.processed, e.now)
+		}
+		ev := heap.Pop(&e.queue).(queuedEvent)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with virtual timestamps <= deadline, leaving
+// later events queued. It returns ErrEventLimit if the budget runs out.
+func (e *Engine) RunUntil(deadline time.Duration) error {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		if e.processed >= e.eventLimit {
+			return fmt.Errorf("%w: %d events, virtual time %s", ErrEventLimit, e.processed, e.now)
+		}
+		ev := heap.Pop(&e.queue).(queuedEvent)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package simbgp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/astypes"
+)
+
+// FailLink schedules the (a, b) peering to fail at the current virtual
+// time: both endpoints drop every route learned from the other and
+// propagate the resulting changes, modelling a BGP session teardown.
+// Messages already in flight on the link are discarded.
+func (n *Network) FailLink(a, b astypes.ASN) error {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("simbgp: no link %s-%s", a, b)
+	}
+	if !na.hasNeighbor(b) {
+		return fmt.Errorf("simbgp: %s and %s do not peer", a, b)
+	}
+	n.engine.Schedule(0, func() {
+		n.failedLinks[linkKey(a, b)] = true
+		na.dropNeighbor(b)
+		nb.dropNeighbor(a)
+	})
+	return nil
+}
+
+// RestoreLink re-establishes a previously failed link; both endpoints
+// re-advertise their current best routes to each other, as a fresh BGP
+// session would after table exchange.
+func (n *Network) RestoreLink(a, b astypes.ASN) error {
+	na, nb := n.nodes[a], n.nodes[b]
+	if na == nil || nb == nil {
+		return fmt.Errorf("simbgp: no link %s-%s", a, b)
+	}
+	n.engine.Schedule(0, func() {
+		if !n.failedLinks[linkKey(a, b)] {
+			return
+		}
+		delete(n.failedLinks, linkKey(a, b))
+		na.addNeighbor(b)
+		nb.addNeighbor(a)
+		na.refreshTo(b)
+		nb.refreshTo(a)
+	})
+	return nil
+}
+
+// LinkFailed reports whether the (a, b) link is currently failed.
+func (n *Network) LinkFailed(a, b astypes.ASN) bool {
+	return n.failedLinks[linkKey(a, b)]
+}
+
+func linkKey(a, b astypes.ASN) [2]astypes.ASN {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]astypes.ASN{a, b}
+}
+
+func (nd *Node) hasNeighbor(peer astypes.ASN) bool {
+	for _, nb := range nd.neighbors {
+		if nb == peer {
+			return true
+		}
+	}
+	return false
+}
+
+func (nd *Node) addNeighbor(peer astypes.ASN) {
+	if nd.hasNeighbor(peer) {
+		return
+	}
+	nd.neighbors = append(nd.neighbors, peer)
+	sort.Slice(nd.neighbors, func(i, j int) bool { return nd.neighbors[i] < nd.neighbors[j] })
+}
+
+// dropNeighbor removes peer from the adjacency and flushes every route
+// learned from it, propagating the fallout.
+func (nd *Node) dropNeighbor(peer astypes.ASN) {
+	out := nd.neighbors[:0]
+	for _, nb := range nd.neighbors {
+		if nb != peer {
+			out = append(out, nb)
+		}
+	}
+	nd.neighbors = out
+	delete(nd.advertised, peer)
+	for _, ch := range nd.table.DropPeer(peer) {
+		nd.propagate(ch)
+	}
+}
+
+// refreshTo advertises the node's entire Loc-RIB to one (re-joined)
+// neighbor, as a fresh session's initial table exchange would.
+func (nd *Node) refreshTo(peer astypes.ASN) {
+	for _, r := range nd.table.BestRoutes() {
+		nd.emitTo(peer, r.Prefix, r)
+	}
+}

@@ -1,0 +1,98 @@
+package simbgp
+
+import (
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/ptrie"
+)
+
+// This file implements destination-address forwarding with
+// longest-prefix-match semantics, used to demonstrate the paper's §4.3
+// limitation: an attacker announcing a *more specific* prefix than the
+// victim's wins forwarding at every router regardless of MOAS lists,
+// because the two announcements never conflict at the routing layer —
+// they are different prefixes.
+
+// lpmTrie snapshots the node's Loc-RIB into a radix trie for
+// longest-prefix-match forwarding.
+func (nd *Node) lpmTrie() *ptrie.Trie[astypes.Prefix] {
+	t := ptrie.New[astypes.Prefix]()
+	for _, r := range nd.table.BestRoutes() {
+		t.Insert(r.Prefix, r.Prefix)
+	}
+	return t
+}
+
+// ForwardAddr walks the AS-level forwarding path for a packet destined
+// to addr from src, using longest-prefix-match at every hop, and
+// reports where it lands: the origin AS that finally claims the packet
+// (delivered=true) or no route / a loop (delivered=false).
+func (n *Network) ForwardAddr(src astypes.ASN, addr uint32) (landing astypes.ASN, delivered bool) {
+	return n.forwardAddr(src, addr, make(map[astypes.ASN]*ptrie.Trie[astypes.Prefix]))
+}
+
+func (n *Network) forwardAddr(src astypes.ASN, addr uint32, tries map[astypes.ASN]*ptrie.Trie[astypes.Prefix]) (astypes.ASN, bool) {
+	cur := src
+	visited := make(map[astypes.ASN]bool)
+	for {
+		if visited[cur] {
+			return astypes.ASNNone, false
+		}
+		visited[cur] = true
+		node := n.nodes[cur]
+		trie := tries[cur]
+		if trie == nil {
+			trie = node.lpmTrie()
+			tries[cur] = trie
+		}
+		_, prefix, ok := trie.LongestMatch(addr)
+		if !ok {
+			return astypes.ASNNone, false
+		}
+		best := node.table.Best(prefix)
+		if best == nil {
+			return astypes.ASNNone, false
+		}
+		if best.FromPeer == astypes.ASNNone {
+			return cur, true
+		}
+		cur = best.FromPeer
+	}
+}
+
+// LPMCensus counts, over non-attacker nodes, where traffic for addr
+// lands: at a member of the valid origin set, at someone else
+// (hijacked), or nowhere.
+type LPMCensus struct {
+	NonAttackers int
+	Delivered    int
+	Hijacked     int
+	NoRoute      int
+}
+
+// TakeLPMCensus computes the address-level forwarding census, the
+// metric under which the §4.3 subprefix attack is visible even when
+// every RIB's per-prefix state looks consistent.
+func (n *Network) TakeLPMCensus(addr uint32, valid core.List) LPMCensus {
+	var c LPMCensus
+	// Forwarding tables are snapshotted once per node across the whole
+	// census.
+	tries := make(map[astypes.ASN]*ptrie.Trie[astypes.Prefix], len(n.nodes))
+	for _, asn := range n.Nodes() {
+		node := n.nodes[asn]
+		if node.attacker {
+			continue
+		}
+		c.NonAttackers++
+		landing, delivered := n.forwardAddr(asn, addr, tries)
+		switch {
+		case !delivered:
+			c.NoRoute++
+		case valid.Contains(landing):
+			c.Delivered++
+		default:
+			c.Hijacked++
+		}
+	}
+	return c
+}

@@ -1,0 +1,86 @@
+package simbgp
+
+import (
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// MRAI — the MinRouteAdvertisementInterval of RFC 4271 §9.2.1.1 — rate
+// limits advertisements per peer: after sending a route to a peer, a
+// speaker holds further advertisements (but not withdrawals) to that
+// peer until the interval elapses, batching intervening changes. SSFnet
+// models it the same way; it is off by default here because the paper's
+// convergence results do not depend on it, and enabled through
+// Config.MRAI for the overhead ablation.
+
+// mraiState tracks one node's per-peer advertisement timers.
+type mraiState struct {
+	interval time.Duration
+	// lastAdv is the virtual time of the last advertisement per peer.
+	lastAdv map[astypes.ASN]time.Duration
+	// pending accumulates prefixes whose advertisement was deferred.
+	pending map[astypes.ASN]map[astypes.Prefix]bool
+	// scheduled marks peers with a flush event outstanding.
+	scheduled map[astypes.ASN]bool
+}
+
+func newMRAIState(interval time.Duration) *mraiState {
+	if interval <= 0 {
+		return nil
+	}
+	return &mraiState{
+		interval:  interval,
+		lastAdv:   make(map[astypes.ASN]time.Duration),
+		pending:   make(map[astypes.ASN]map[astypes.Prefix]bool),
+		scheduled: make(map[astypes.ASN]bool),
+	}
+}
+
+// shouldDefer reports whether an advertisement to peer must wait, and
+// if so records the prefix and ensures a flush is scheduled.
+func (nd *Node) shouldDefer(peer astypes.ASN, prefix astypes.Prefix) bool {
+	m := nd.mrai
+	if m == nil {
+		return false
+	}
+	now := nd.net.engine.Now()
+	last, sent := m.lastAdv[peer]
+	if !sent || now-last >= m.interval {
+		m.lastAdv[peer] = now
+		return false
+	}
+	if m.pending[peer] == nil {
+		m.pending[peer] = make(map[astypes.Prefix]bool)
+	}
+	m.pending[peer][prefix] = true
+	if !m.scheduled[peer] {
+		m.scheduled[peer] = true
+		delay := last + m.interval - now
+		nd.net.engine.Schedule(delay, func() { nd.flushMRAI(peer) })
+	}
+	return true
+}
+
+// flushMRAI re-advertises the current best route for every deferred
+// prefix (or a withdrawal, if the route evaporated while held).
+func (nd *Node) flushMRAI(peer astypes.ASN) {
+	m := nd.mrai
+	if m == nil {
+		return
+	}
+	m.scheduled[peer] = false
+	prefixes := m.pending[peer]
+	delete(m.pending, peer)
+	if len(prefixes) == 0 {
+		return
+	}
+	if !nd.hasNeighbor(peer) {
+		return // link failed while the batch was held
+	}
+	m.lastAdv[peer] = nd.net.engine.Now()
+	for prefix := range prefixes {
+		best := nd.table.Best(prefix)
+		nd.emitTo(peer, prefix, best)
+	}
+}

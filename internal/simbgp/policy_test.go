@@ -1,0 +1,201 @@
+package simbgp
+
+import (
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// hierTopology builds a small provider hierarchy:
+//
+//	     1 ------- 2        (tier-1s)
+//	    / \       / \
+//	  11   12   21   22     (mid providers / stub 22)
+//	  /     \    \
+//	111     121  211        (stubs)
+//
+// Degrees are arranged so the degree heuristic classifies every
+// transit-transit edge as provider-customer (deg 1 = deg 2 = 3, deg
+// 11 = deg 12 = deg 21 = 2).
+func hierTopology() (*topology.Graph, map[astypes.ASN]bool) {
+	g := topology.NewGraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 11)
+	g.AddEdge(1, 12)
+	g.AddEdge(2, 21)
+	g.AddEdge(2, 22)
+	g.AddEdge(11, 111)
+	g.AddEdge(12, 121)
+	g.AddEdge(21, 211)
+	transit := map[astypes.ASN]bool{1: true, 2: true, 11: true, 12: true, 21: true}
+	return g, transit
+}
+
+func TestInferRelationsHierarchy(t *testing.T) {
+	g, transit := hierTopology()
+	rel := topology.InferRelations(g, transit)
+	if got := rel.Of(11, 111); got != topology.RelProvider {
+		t.Errorf("11->111 = %v, want provider", got)
+	}
+	if got := rel.Of(111, 11); got != topology.RelCustomer {
+		t.Errorf("111->11 = %v, want customer", got)
+	}
+	// Tier-1s have equal degree 3: they peer.
+	if got := rel.Of(1, 2); got != topology.RelPeer {
+		t.Errorf("1->2 = %v, want peer", got)
+	}
+	// 2 (degree 3) is 21's (degree 2) provider: 2*3 >= 3*2.
+	if got := rel.Of(2, 21); got != topology.RelProvider {
+		t.Errorf("2->21 = %v, want provider", got)
+	}
+	if got := rel.Of(1, 211); got != topology.RelNone {
+		t.Errorf("non-adjacent relation = %v", got)
+	}
+	if got := rel.Customers(g, 11); len(got) != 1 || got[0] != 111 {
+		t.Errorf("Customers(11) = %v", got)
+	}
+}
+
+func TestValleyFreeExportRestriction(t *testing.T) {
+	g, transit := hierTopology()
+	rel := topology.InferRelations(g, transit)
+	n, err := NewNetwork(Config{Topology: g, Relations: rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stub 111 originates: its announcement climbs to providers and
+	// back down — everyone should reach it (customer routes export
+	// everywhere).
+	if err := n.Originate(111, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range n.Nodes() {
+		if n.Node(asn).Best(victim) == nil {
+			t.Errorf("AS %s unreachable under valley-free (customer routes export everywhere)", asn)
+		}
+	}
+	// Valley-free path property: on every node's path, once the route
+	// has gone provider->customer (downhill), it never goes back uphill.
+	for _, asn := range n.Nodes() {
+		best := n.Node(asn).Best(victim)
+		if best == nil {
+			continue
+		}
+		// hops run receiver-first: [asn, ..., origin]. The announcement
+		// flowed origin -> asn, so walk from the end of the slice toward
+		// the front; once it has gone downhill (provider->customer or
+		// across a peering), it must never climb again.
+		hops := append([]astypes.ASN{asn}, flatten(best.Path)...)
+		downhill := false
+		for i := len(hops) - 1; i >= 1; i-- {
+			from, to := hops[i], hops[i-1]
+			switch rel.Of(from, to) {
+			case topology.RelCustomer: // customer -> provider: uphill
+				if downhill {
+					t.Fatalf("valley in path %v of AS %s", hops, asn)
+				}
+			case topology.RelProvider, topology.RelPeer:
+				downhill = true
+			}
+		}
+	}
+}
+
+func TestValleyFreeBlocksPeerTransit(t *testing.T) {
+	// 11 and 12 are both customers of 1 and peer directly: a route 12
+	// learned from its provider 1 must NOT be exported to peer 11 over
+	// the lateral link. Relations are configured explicitly (the
+	// lateral link perturbs the degree heuristic).
+	g, _ := hierTopology()
+	g.AddEdge(11, 12) // lateral peer link
+	rel := topology.NewRelations()
+	rel.Set(1, 2, topology.RelPeer)
+	rel.Set(1, 11, topology.RelProvider)
+	rel.Set(1, 12, topology.RelProvider)
+	rel.Set(2, 21, topology.RelProvider)
+	rel.Set(2, 22, topology.RelProvider)
+	rel.Set(11, 111, topology.RelProvider)
+	rel.Set(12, 121, topology.RelProvider)
+	rel.Set(21, 211, topology.RelProvider)
+	rel.Set(11, 12, topology.RelPeer)
+	if got := rel.Of(11, 12); got != topology.RelPeer {
+		t.Fatalf("11-12 relation = %v, want peer", got)
+	}
+	n, err := NewNetwork(Config{Topology: g, Relations: rel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 211 originates; 21 -> 2 -> 1 -> {11, 12} (downhill). 12 must not
+	// re-export this provider-learned route to peer 11 (and vice
+	// versa); both still hear it from provider 1.
+	if err := n.Originate(211, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	best := n.Node(11).Best(victim)
+	if best == nil {
+		t.Fatal("AS 11 unreachable")
+	}
+	if best.FromPeer == 12 {
+		t.Errorf("AS 11 routes via peer 12: provider-learned route leaked across the peering")
+	}
+	// Compare: flooding (no relations) may use the lateral link freely.
+	n2, err := NewNetwork(Config{Topology: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Originate(211, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n2.Node(11).Best(victim) == nil {
+		t.Fatal("flooding baseline failed")
+	}
+}
+
+func TestValleyFreeDetectionStillWorks(t *testing.T) {
+	g, transit := hierTopology()
+	rel := topology.InferRelations(g, transit)
+	n, err := NewNetwork(Config{
+		Topology:  g,
+		Relations: rel,
+		Resolver:  resolverFor(core.NewList(111)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detectAll(t, n, 211)
+	if err := n.Originate(111, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.OriginateInvalid(211, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := n.TakeCensus(victim, core.NewList(111))
+	if c.AdoptedFalse != 0 {
+		t.Errorf("census under valley-free = %+v", c)
+	}
+	if c.AlarmedNodes == 0 {
+		t.Error("no alarms under valley-free")
+	}
+}
+
+func flatten(p astypes.ASPath) []astypes.ASN {
+	var out []astypes.ASN
+	for _, seg := range p.Segments {
+		out = append(out, seg.ASNs...)
+	}
+	return out
+}

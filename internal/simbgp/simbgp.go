@@ -1,0 +1,694 @@
+// Package simbgp is the AS-level BGP simulation model used by the
+// paper's evaluation (§5): one BGP speaker per AS on an undirected
+// peering topology, driven by the discrete-event engine in internal/sim.
+// It plays the role of the authors' modified SSFnet simulator.
+//
+// Each node runs the standard path-vector machinery (loop detection,
+// shortest-AS-path decision via internal/rib, best-route propagation to
+// all peers). Nodes optionally run the paper's MOAS detection: they
+// extract the effective MOAS list of every announcement (explicit
+// communities or the implicit single-origin rule), raise an alarm on any
+// inconsistency, resolve the conflict through a Resolver (the stand-in
+// for the DNS MOASRR lookup of §4.4), and then refuse to install or
+// propagate routes from origins outside the resolved valid set —
+// "they stop the further propagation of a false route" (§5.2).
+package simbgp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/rib"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/wire"
+)
+
+// Mode selects a node's MOAS-checking behaviour.
+type Mode int
+
+// Node modes.
+const (
+	// ModeNormal is unmodified BGP: MOAS lists transit opaquely and are
+	// never checked ("Normal BGP" curves).
+	ModeNormal Mode = iota + 1
+	// ModeDetect checks MOAS-list consistency and suppresses resolved
+	// false routes ("Full/Half MOAS Detection" curves).
+	ModeDetect
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeNormal:
+		return "normal"
+	case ModeDetect:
+		return "detect"
+	default:
+		return "unknown"
+	}
+}
+
+// Resolver answers "which origins are entitled to announce this prefix"
+// once a node has detected a conflict — the paper's DNS MOASRR lookup.
+// internal/dnsval provides a production-shaped implementation; the
+// experiment harness injects ground truth directly.
+type Resolver interface {
+	ValidOrigins(prefix astypes.Prefix) (core.List, bool)
+}
+
+// ResolverFunc adapts a function to the Resolver interface.
+type ResolverFunc func(astypes.Prefix) (core.List, bool)
+
+// ValidOrigins implements Resolver.
+func (f ResolverFunc) ValidOrigins(p astypes.Prefix) (core.List, bool) { return f(p) }
+
+// Config assembles a simulated network.
+type Config struct {
+	// Topology supplies the peering graph (required).
+	Topology *topology.Graph
+	// Resolver resolves detected conflicts (required if any node runs
+	// ModeDetect).
+	Resolver Resolver
+	// LinkDelay returns the propagation delay of the (a, b) link. Nil
+	// selects a deterministic per-link default.
+	LinkDelay func(a, b astypes.ASN) time.Duration
+	// EventLimit optionally overrides the engine's event budget.
+	EventLimit uint64
+	// MRAI enables the MinRouteAdvertisementInterval timer per peer
+	// (zero disables it, the default and the paper's model).
+	MRAI time.Duration
+	// Relations, when set, enables Gao-Rexford valley-free export
+	// policy: routes learned from a peer or provider are exported only
+	// to customers. Nil floods every best route to every neighbor (the
+	// paper's model).
+	Relations *topology.Relations
+}
+
+// Network is a simulated AS-level BGP internetwork.
+type Network struct {
+	engine      *sim.Engine
+	nodes       map[astypes.ASN]*Node
+	resolver    Resolver
+	linkDelay   func(a, b astypes.ASN) time.Duration
+	msgCount    uint64
+	failedLinks map[[2]astypes.ASN]bool
+	relations   *topology.Relations
+	tracer      *Tracer
+}
+
+// DefaultLinkDelay derives a deterministic delay in [10ms, 35ms) from
+// the link endpoints, so that message interleavings differ across links
+// but never across runs.
+func DefaultLinkDelay(a, b astypes.ASN) time.Duration {
+	h := uint32(a)*2654435761 ^ uint32(b)*40503
+	return 10*time.Millisecond + time.Duration(h%25)*time.Millisecond
+}
+
+// NewNetwork builds one node per topology vertex, all in ModeNormal.
+func NewNetwork(cfg Config) (*Network, error) {
+	if cfg.Topology == nil || cfg.Topology.NumNodes() == 0 {
+		return nil, fmt.Errorf("simbgp: empty topology")
+	}
+	delay := cfg.LinkDelay
+	if delay == nil {
+		delay = DefaultLinkDelay
+	}
+	var engineOpts []sim.EngineOption
+	if cfg.EventLimit > 0 {
+		engineOpts = append(engineOpts, sim.WithEventLimit(cfg.EventLimit))
+	}
+	n := &Network{
+		engine:      sim.NewEngine(engineOpts...),
+		nodes:       make(map[astypes.ASN]*Node, cfg.Topology.NumNodes()),
+		resolver:    cfg.Resolver,
+		linkDelay:   delay,
+		failedLinks: make(map[[2]astypes.ASN]bool),
+		relations:   cfg.Relations,
+	}
+	for _, asn := range cfg.Topology.Nodes() {
+		n.nodes[asn] = &Node{
+			asn:       asn,
+			mode:      ModeNormal,
+			net:       n,
+			neighbors: cfg.Topology.Neighbors(asn),
+			table:     rib.NewTable(),
+			resolved:  make(map[astypes.Prefix]core.List),
+			alarms:    nil,
+			mrai:      newMRAIState(cfg.MRAI),
+		}
+	}
+	return n, nil
+}
+
+// Node returns the node for asn, or nil.
+func (n *Network) Node(asn astypes.ASN) *Node { return n.nodes[asn] }
+
+// Nodes returns all node ASNs in ascending order.
+func (n *Network) Nodes() []astypes.ASN {
+	out := make([]astypes.ASN, 0, len(n.nodes))
+	for a := range n.nodes {
+		out = append(out, a)
+	}
+	return astypes.SortASNs(out)
+}
+
+// SetMode configures a node's MOAS-checking mode.
+func (n *Network) SetMode(asn astypes.ASN, m Mode) error {
+	node, ok := n.nodes[asn]
+	if !ok {
+		return fmt.Errorf("simbgp: no node AS %s", asn)
+	}
+	node.mode = m
+	return nil
+}
+
+// SetStripMOAS makes a node remove MOAS-list communities from every
+// route it propagates — the §4.3 scenario of routers dropping optional
+// transitive communities (and the tampering attacker of the ablation
+// benches).
+func (n *Network) SetStripMOAS(asn astypes.ASN, strip bool) error {
+	node, ok := n.nodes[asn]
+	if !ok {
+		return fmt.Errorf("simbgp: no node AS %s", asn)
+	}
+	node.stripMOAS = strip
+	return nil
+}
+
+// MessageCount returns the number of UPDATE messages delivered so far.
+func (n *Network) MessageCount() uint64 { return n.msgCount }
+
+// Engine exposes the underlying event engine (for custom scheduling in
+// tests and harnesses).
+func (n *Network) Engine() *sim.Engine { return n.engine }
+
+// Run drives the simulation to quiescence.
+func (n *Network) Run() error { return n.engine.Run() }
+
+// message is one simulated BGP UPDATE (or withdrawal) on a link.
+type message struct {
+	from        astypes.ASN
+	prefix      astypes.Prefix
+	withdraw    bool
+	path        astypes.ASPath
+	communities []astypes.Community
+}
+
+// Originate makes asn announce prefix with the given MOAS list attached.
+// An empty list attaches no communities (the implicit rule applies at
+// receivers). The announcement is scheduled at the current virtual time.
+func (n *Network) Originate(asn astypes.ASN, prefix astypes.Prefix, list core.List) error {
+	node, ok := n.nodes[asn]
+	if !ok {
+		return fmt.Errorf("simbgp: no node AS %s", asn)
+	}
+	n.engine.Schedule(0, func() { node.originate(prefix, list, false) })
+	return nil
+}
+
+// OriginateInvalid makes asn falsely announce prefix (the attack). The
+// forged list, if non-empty, is attached verbatim — e.g. a superset list
+// including the attacker (§4.1) or a copy of the valid list.
+func (n *Network) OriginateInvalid(asn astypes.ASN, prefix astypes.Prefix, forged core.List) error {
+	node, ok := n.nodes[asn]
+	if !ok {
+		return fmt.Errorf("simbgp: no node AS %s", asn)
+	}
+	n.engine.Schedule(0, func() { node.originate(prefix, forged, true) })
+	return nil
+}
+
+// OriginateForgedPath makes asn announce prefix with a fabricated AS
+// path — the §4.3 limitation case: "an AS could make a false route
+// announcement with a correct origin AS but a manipulated AS path."
+// The forged path's origin can be the legitimate origin, so the
+// announcement carries a consistent implicit MOAS list and evades
+// list checking entirely; only path authentication (the paper cites
+// predecessor signing) would catch it.
+func (n *Network) OriginateForgedPath(asn astypes.ASN, prefix astypes.Prefix, forged astypes.ASPath, list core.List) error {
+	node, ok := n.nodes[asn]
+	if !ok {
+		return fmt.Errorf("simbgp: no node AS %s", asn)
+	}
+	n.engine.Schedule(0, func() {
+		node.attacker = true
+		route := &rib.Route{
+			Prefix:      prefix,
+			Path:        forged.Clone(),
+			Origin:      wire.OriginIGP,
+			LocalPref:   rib.DefaultLocalPref,
+			Communities: list.Communities(),
+			FromPeer:    astypes.ASNNone,
+		}
+		ch := node.table.Originate(route)
+		node.propagate(ch)
+	})
+	return nil
+}
+
+// Withdraw makes asn withdraw its locally originated route for prefix.
+func (n *Network) Withdraw(asn astypes.ASN, prefix astypes.Prefix) error {
+	node, ok := n.nodes[asn]
+	if !ok {
+		return fmt.Errorf("simbgp: no node AS %s", asn)
+	}
+	n.engine.Schedule(0, func() { node.withdrawLocal(prefix) })
+	return nil
+}
+
+func (n *Network) send(from, to astypes.ASN, msg message) {
+	if n.failedLinks[linkKey(from, to)] {
+		return
+	}
+	dst := n.nodes[to]
+	n.engine.Schedule(n.linkDelay(from, to), func() {
+		// Failure is re-checked at delivery time, so messages in flight
+		// when the link fails are lost with it.
+		if n.failedLinks[linkKey(from, to)] {
+			return
+		}
+		n.msgCount++
+		dst.receive(msg)
+	})
+}
+
+// Node is one simulated AS.
+type Node struct {
+	asn       astypes.ASN
+	mode      Mode
+	attacker  bool
+	stripMOAS bool
+	net       *Network
+	neighbors []astypes.ASN
+	table     *rib.Table
+	// resolved caches the outcome of conflict resolution per prefix (the
+	// "DNS answer"), emulating a router that has investigated an alarm.
+	resolved map[astypes.Prefix]core.List
+	alarms   []core.Conflict
+	// advertised tracks what was last sent per neighbor per prefix so
+	// withdrawals are only sent for previously advertised prefixes.
+	advertised map[astypes.ASN]map[astypes.Prefix]bool
+	// mrai is non-nil when the MinRouteAdvertisementInterval is enabled.
+	mrai *mraiState
+}
+
+// ASN returns the node's AS number.
+func (nd *Node) ASN() astypes.ASN { return nd.asn }
+
+// Mode returns the node's MOAS-checking mode.
+func (nd *Node) Mode() Mode { return nd.mode }
+
+// Attacker reports whether the node has originated an invalid route.
+func (nd *Node) Attacker() bool { return nd.attacker }
+
+// Alarms returns the MOAS conflicts this node has raised, in order.
+func (nd *Node) Alarms() []core.Conflict {
+	out := make([]core.Conflict, len(nd.alarms))
+	copy(out, nd.alarms)
+	return out
+}
+
+// Best returns the node's selected route for prefix, or nil.
+func (nd *Node) Best(prefix astypes.Prefix) *rib.Route { return nd.table.Best(prefix) }
+
+// Table exposes the node's RIB (read-mostly; the simulation is
+// single-threaded per engine).
+func (nd *Node) Table() *rib.Table { return nd.table }
+
+func (nd *Node) originate(prefix astypes.Prefix, list core.List, invalid bool) {
+	if invalid {
+		nd.attacker = true
+	}
+	route := &rib.Route{
+		Prefix:      prefix,
+		Path:        astypes.NewSeqPath(nd.asn),
+		Origin:      wire.OriginIGP,
+		LocalPref:   rib.DefaultLocalPref,
+		Communities: list.Communities(),
+		FromPeer:    astypes.ASNNone,
+	}
+	ch := nd.table.Originate(route)
+	nd.propagate(ch)
+}
+
+func (nd *Node) withdrawLocal(prefix astypes.Prefix) {
+	ch := nd.table.WithdrawLocal(prefix)
+	nd.propagate(ch)
+}
+
+func (nd *Node) receive(msg message) {
+	if msg.withdraw {
+		nd.net.trace(EvWithdrawMsg, nd.asn, msg.from, msg.prefix, astypes.ASPath{})
+		ch := nd.table.Withdraw(msg.from, msg.prefix)
+		nd.propagate(ch)
+		return
+	}
+	nd.net.trace(EvAnnounce, nd.asn, msg.from, msg.prefix, msg.path)
+	// Sender-side prepending already happened; standard loop detection.
+	// A looped announcement still implicitly replaces — i.e. withdraws —
+	// whatever this peer previously advertised for the prefix (RFC 4271
+	// treats it as route exclusion); silently ignoring it would let two
+	// nodes keep each other's stale routes alive forever after the
+	// origin withdraws.
+	if msg.path.Contains(nd.asn) {
+		ch := nd.table.Withdraw(msg.from, msg.prefix)
+		nd.propagate(ch)
+		return
+	}
+	if nd.mode == ModeDetect && !nd.admit(msg) {
+		nd.net.trace(EvRejected, nd.asn, msg.from, msg.prefix, msg.path)
+		// Rejected as invalid: treat the bogus announcement as a no-op.
+		// Any previously accepted route from this peer is deliberately
+		// kept — the checker "eliminates false routing announcements"
+		// (§5.4) rather than tearing down state, mirroring a router that
+		// refuses a poisoned replacement. If the peer has in fact moved
+		// its traffic to the attacker, the forwarding-walk census still
+		// observes the hijack.
+		return
+	}
+	route := &rib.Route{
+		Prefix:      msg.prefix,
+		Path:        msg.path,
+		Origin:      wire.OriginIGP,
+		LocalPref:   rib.DefaultLocalPref,
+		Communities: msg.communities,
+		FromPeer:    msg.from,
+	}
+	ch := nd.table.Update(route)
+	nd.propagate(ch)
+}
+
+// admit applies the paper's MOAS check to an incoming announcement,
+// returning false if the route must be suppressed.
+func (nd *Node) admit(msg message) bool {
+	eff, err := core.EffectiveList(msg.communities, msg.path)
+	if err != nil {
+		return false
+	}
+	origin, _ := msg.path.Origin()
+
+	// Already-resolved prefix: filter directly by the investigated
+	// origin set.
+	if truth, ok := nd.resolved[msg.prefix]; ok {
+		return truth.Contains(origin)
+	}
+
+	// A route whose own origin is missing from its attached list is
+	// bogus on its face (§4.1).
+	if !eff.Contains(origin) {
+		nd.raiseAndResolve(msg.prefix, core.List{}, eff, origin, msg.from)
+		if truth, ok := nd.resolved[msg.prefix]; ok {
+			return truth.Contains(origin)
+		}
+		return false
+	}
+
+	// Compare against the effective lists of every route currently held
+	// for the prefix (Adj-RIB-Ins and local).
+	for _, held := range nd.heldLists(msg.prefix) {
+		if !held.Equal(eff) {
+			nd.raiseAndResolve(msg.prefix, held, eff, origin, msg.from)
+			truth, ok := nd.resolved[msg.prefix]
+			if !ok {
+				// Unresolvable conflict: be conservative, reject the
+				// newcomer (alarm stands for the operator).
+				return false
+			}
+			nd.purgeInvalid(msg.prefix, truth)
+			return truth.Contains(origin)
+		}
+	}
+	return true
+}
+
+// heldLists collects the distinct effective MOAS lists of all routes the
+// node currently holds for prefix.
+func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
+	var lists []core.List
+	add := func(r *rib.Route) {
+		eff, err := core.EffectiveList(r.Communities, r.Path)
+		if err != nil {
+			return
+		}
+		for _, l := range lists {
+			if l.Equal(eff) {
+				return
+			}
+		}
+		lists = append(lists, eff)
+	}
+	for _, peer := range nd.neighbors {
+		for _, r := range nd.table.RoutesFrom(peer) {
+			if r.Prefix == prefix {
+				add(r)
+			}
+		}
+	}
+	for _, r := range nd.table.RoutesFrom(astypes.ASNNone) {
+		if r.Prefix == prefix {
+			add(r)
+		}
+	}
+	return lists
+}
+
+func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN) {
+	nd.net.trace(EvAlarm, nd.asn, from, prefix, astypes.ASPath{})
+	nd.alarms = append(nd.alarms, core.Conflict{
+		Prefix:   prefix,
+		Existing: existing,
+		Received: received,
+		Origin:   origin,
+		FromPeer: from,
+	})
+	if nd.net.resolver == nil {
+		return
+	}
+	if truth, ok := nd.net.resolver.ValidOrigins(prefix); ok {
+		nd.resolved[prefix] = truth
+	}
+}
+
+// purgeInvalid withdraws any installed route for prefix whose origin is
+// outside the resolved valid set.
+func (nd *Node) purgeInvalid(prefix astypes.Prefix, truth core.List) {
+	for _, peer := range nd.neighbors {
+		for _, r := range nd.table.RoutesFrom(peer) {
+			if r.Prefix != prefix {
+				continue
+			}
+			if !truth.Contains(r.OriginAS()) {
+				ch := nd.table.Withdraw(peer, prefix)
+				nd.propagate(ch)
+			}
+		}
+	}
+}
+
+// propagate reacts to a best-route change by advertising the new best
+// (or a withdrawal) to every neighbor. Advertisements may be deferred
+// by the MRAI timer; withdrawals are always immediate (RFC 4271
+// §9.2.1.1 rate limits advertisements only).
+func (nd *Node) propagate(ch rib.Change) {
+	if !ch.Changed {
+		return
+	}
+	if nd.net.tracer != nil {
+		path := astypes.ASPath{}
+		if ch.New != nil {
+			path = ch.New.Path
+		}
+		nd.net.trace(EvBestChanged, nd.asn, astypes.ASNNone, ch.Prefix, path)
+	}
+	for _, peer := range nd.neighbors {
+		if ch.New != nil && nd.mayExport(ch.New, peer) && nd.shouldDefer(peer, ch.Prefix) {
+			continue
+		}
+		nd.emitTo(peer, ch.Prefix, ch.New)
+	}
+}
+
+// emitTo sends the route (or a withdrawal when route is nil or export
+// policy forbids it) for prefix to one peer, maintaining the advertised
+// bookkeeping.
+func (nd *Node) emitTo(peer astypes.ASN, prefix astypes.Prefix, route *rib.Route) {
+	if nd.advertised == nil {
+		nd.advertised = make(map[astypes.ASN]map[astypes.Prefix]bool)
+	}
+	sent := nd.advertised[peer]
+	if sent == nil {
+		sent = make(map[astypes.Prefix]bool)
+		nd.advertised[peer] = sent
+	}
+	if route == nil || !nd.mayExport(route, peer) {
+		if !sent[prefix] {
+			return
+		}
+		sent[prefix] = false
+		nd.net.send(nd.asn, peer, message{
+			from:     nd.asn,
+			prefix:   prefix,
+			withdraw: true,
+		})
+		return
+	}
+	sent[prefix] = true
+	// A locally originated route already carries this AS as its path;
+	// learned routes are prepended on export.
+	path := route.Path
+	if route.FromPeer != astypes.ASNNone {
+		path = path.Prepend(nd.asn)
+	}
+	comms := append([]astypes.Community(nil), route.Communities...)
+	if nd.stripMOAS && route.FromPeer != astypes.ASNNone {
+		comms = core.StripMOAS(comms)
+	}
+	nd.net.send(nd.asn, peer, message{
+		from:        nd.asn,
+		prefix:      prefix,
+		path:        path,
+		communities: comms,
+	})
+}
+
+// mayExport applies the valley-free export rule when relationships are
+// configured: local routes and routes learned from customers go to
+// everyone; routes learned from peers or providers go to customers
+// only.
+func (nd *Node) mayExport(r *rib.Route, to astypes.ASN) bool {
+	rel := nd.net.relations
+	if rel == nil {
+		return true
+	}
+	if r.FromPeer == astypes.ASNNone {
+		return true
+	}
+	switch rel.Of(nd.asn, r.FromPeer) {
+	case topology.RelProvider: // learned from a customer
+		return true
+	default: // learned from a peer or provider
+		return rel.Of(nd.asn, to) == topology.RelProvider
+	}
+}
+
+// AdoptsFalse reports whether the node's best route for prefix
+// originates at an AS outside the valid set — i.e. the node has adopted
+// a false route (the paper's Y-axis metric).
+func (nd *Node) AdoptsFalse(prefix astypes.Prefix, valid core.List) bool {
+	best := nd.table.Best(prefix)
+	if best == nil {
+		return false
+	}
+	return !valid.Contains(best.OriginAS())
+}
+
+// Census counts, over non-attacker nodes, how many adopted a false route
+// for prefix and how many have no route at all.
+type Census struct {
+	NonAttackers int
+	AdoptedFalse int
+	NoRoute      int
+	AlarmedNodes int
+}
+
+// FalsePct returns the paper's metric: percentage of non-attacker ASes
+// adopting a false route.
+func (c Census) FalsePct() float64 {
+	if c.NonAttackers == 0 {
+		return 0
+	}
+	return 100 * float64(c.AdoptedFalse) / float64(c.NonAttackers)
+}
+
+// TakeCensus computes the adoption census for prefix against the valid
+// origin set: the paper's metric counts a non-attacker AS as affected
+// when the best route in its RIB originates outside the valid origin
+// set ("the percentage of the remaining ASes (excluding attackers)
+// adopting the false routes", §5.2).
+func (n *Network) TakeCensus(prefix astypes.Prefix, valid core.List) Census {
+	var c Census
+	for _, asn := range n.Nodes() {
+		node := n.nodes[asn]
+		if node.attacker {
+			continue
+		}
+		c.NonAttackers++
+		best := node.table.Best(prefix)
+		switch {
+		case best == nil:
+			c.NoRoute++
+		case !valid.Contains(best.OriginAS()):
+			c.AdoptedFalse++
+		}
+		if len(node.alarms) > 0 {
+			c.AlarmedNodes++
+		}
+	}
+	return c
+}
+
+// TakeForwardingCensus is the stricter traffic-level census: a node
+// counts as hijacked when the AS-level forwarding walk for prefix
+// passes through any attacker or terminates at a false origin. It is
+// reported alongside the paper's RIB-level metric in the harness's
+// extended output.
+func (n *Network) TakeForwardingCensus(prefix astypes.Prefix, valid core.List) Census {
+	var c Census
+	for _, asn := range n.Nodes() {
+		node := n.nodes[asn]
+		if node.attacker {
+			continue
+		}
+		c.NonAttackers++
+		switch n.forwardOutcome(asn, prefix, valid) {
+		case outcomeNoRoute:
+			c.NoRoute++
+		case outcomeHijacked:
+			c.AdoptedFalse++
+		}
+		if len(node.alarms) > 0 {
+			c.AlarmedNodes++
+		}
+	}
+	return c
+}
+
+type forwardResult int
+
+const (
+	outcomeDelivered forwardResult = iota + 1
+	outcomeHijacked
+	outcomeNoRoute
+)
+
+// forwardOutcome walks the AS-level forwarding path a packet for prefix
+// takes from src, reporting whether it is delivered to a valid origin,
+// captured by an attacker/false origin, or dropped for lack of a route.
+func (n *Network) forwardOutcome(src astypes.ASN, prefix astypes.Prefix, valid core.List) forwardResult {
+	cur := src
+	visited := make(map[astypes.ASN]bool)
+	for {
+		if visited[cur] {
+			return outcomeNoRoute // forwarding loop: packet never delivered
+		}
+		visited[cur] = true
+		node := n.nodes[cur]
+		if node.attacker {
+			return outcomeHijacked
+		}
+		best := node.table.Best(prefix)
+		if best == nil {
+			return outcomeNoRoute
+		}
+		if best.FromPeer == astypes.ASNNone {
+			// cur originates the route itself.
+			if valid.Contains(cur) {
+				return outcomeDelivered
+			}
+			return outcomeHijacked
+		}
+		cur = best.FromPeer
+	}
+}

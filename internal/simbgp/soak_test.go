@@ -1,0 +1,122 @@
+package simbgp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// TestSoakLargeTopology runs the full detection machinery on a
+// 350-node synthetic Internet (an order of magnitude beyond the paper's
+// largest topology) and checks the global invariants: convergence,
+// shortest paths for the clean prefix, containment for the attacked
+// one. Skipped with -short.
+func TestSoakLargeTopology(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-topology soak; skipped with -short")
+	}
+	params := topology.InternetParams{Core: 10, Mid: 40, Stubs: 300, MultiHomeProb: 0.8}
+	inf, err := topology.GenerateInternet(params, 2024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := inf.Graph
+	n := g.NumNodes()
+	if n != 350 {
+		t.Fatalf("nodes = %d", n)
+	}
+
+	rng := rand.New(rand.NewSource(9))
+	stubs := inf.StubASes()
+	// Pick a multi-homed origin: a single-homed stub whose only provider
+	// is compromised is the paper's §4.1 "only path" caveat and would
+	// dominate the census (that case is covered by
+	// TestCapturedNodeAdoptsOnColdStart).
+	var origin astypes.ASN
+	for {
+		origin = stubs[rng.Intn(len(stubs))]
+		if g.Degree(origin) >= 2 {
+			break
+		}
+	}
+	valid := core.NewList(origin)
+	// Attackers are drawn from everywhere except the origin and its
+	// direct providers.
+	excluded := map[astypes.ASN]bool{origin: true}
+	for _, p := range g.Neighbors(origin) {
+		excluded[p] = true
+	}
+	var attackers []astypes.ASN
+	nodes := g.Nodes()
+	for len(attackers) < 30 {
+		a := nodes[rng.Intn(len(nodes))]
+		if !excluded[a] {
+			attackers = astypes.DedupASNs(append(attackers, a))
+		}
+	}
+	attackerSet := make(map[astypes.ASN]bool, len(attackers))
+	for _, a := range attackers {
+		attackerSet[a] = true
+	}
+
+	net, err := NewNetwork(Config{Topology: g, Resolver: resolverFor(valid)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, asn := range net.Nodes() {
+		if !attackerSet[asn] {
+			if err := net.SetMode(asn, ModeDetect); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// A second, unattacked prefix shares the run: its routing must be
+	// completely unaffected by the attack on the victim prefix.
+	clean := astypes.MustPrefix(0x0a000000, 8)
+	cleanOrigin := stubs[rng.Intn(len(stubs))]
+	if err := net.Originate(cleanOrigin, clean, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Originate(origin, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range attackers {
+		if err := net.OriginateInvalid(a, victim, core.List{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.Run(); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("soak: %d nodes, %d messages, virtual time %s",
+		n, net.MessageCount(), net.Engine().Now())
+
+	// Clean prefix: everyone reaches it on a shortest path.
+	dist := g.ShortestPathLens(cleanOrigin)
+	for _, asn := range net.Nodes() {
+		best := net.Node(asn).Best(clean)
+		if asn == cleanOrigin {
+			continue
+		}
+		if best == nil {
+			t.Fatalf("AS %s lost the clean prefix", asn)
+		}
+		if got, want := best.Path.Hops(), dist[asn]; got != want {
+			t.Fatalf("AS %s clean path %d hops, want %d", asn, got, want)
+		}
+	}
+
+	// Victim prefix: detection holds the line. With 8.6% attackers on a
+	// richly multihomed 350-node graph, captures should stay small.
+	c := net.TakeCensus(victim, valid)
+	if pct := c.FalsePct(); pct > 10 {
+		t.Errorf("adoption %.1f%% at scale (census %+v)", pct, c)
+	}
+	if c.AlarmedNodes == 0 {
+		t.Error("no alarms at scale")
+	}
+}

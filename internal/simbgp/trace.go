@@ -1,0 +1,155 @@
+package simbgp
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// Event tracing: an optional hook recording every routing-plane event
+// the simulation produces, for debugging convergence dynamics and for
+// the examples' narrations. Tracing is off unless a Tracer is attached.
+
+// EventKind classifies a trace event.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EvAnnounce: a node received a route announcement.
+	EvAnnounce EventKind = iota + 1
+	// EvWithdrawMsg: a node received a withdrawal.
+	EvWithdrawMsg
+	// EvBestChanged: a node's best route for a prefix changed.
+	EvBestChanged
+	// EvAlarm: a node raised a MOAS alarm.
+	EvAlarm
+	// EvRejected: a detecting node refused an announcement.
+	EvRejected
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvAnnounce:
+		return "announce"
+	case EvWithdrawMsg:
+		return "withdraw"
+	case EvBestChanged:
+		return "best-changed"
+	case EvAlarm:
+		return "alarm"
+	case EvRejected:
+		return "rejected"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one recorded routing event.
+type TraceEvent struct {
+	At     time.Duration // virtual time
+	Kind   EventKind
+	Node   astypes.ASN
+	Peer   astypes.ASN // message source (ASNNone for local events)
+	Prefix astypes.Prefix
+	Path   astypes.ASPath
+}
+
+// String renders the event compactly for logs.
+func (e TraceEvent) String() string {
+	return fmt.Sprintf("%8s AS%-5s %-12s %s from AS%s path [%s]",
+		e.At, e.Node, e.Kind, e.Prefix, e.Peer, e.Path)
+}
+
+// Tracer records simulation events in order. It is a bounded ring: once
+// capacity is exceeded, the oldest events are dropped (Dropped counts
+// them). The zero value is not usable; call NewTracer.
+type Tracer struct {
+	events  []TraceEvent
+	start   int
+	count   int
+	dropped int
+	// filter limits recording to matching events (nil records all).
+	filter func(TraceEvent) bool
+}
+
+// TracerOption configures a Tracer.
+type TracerOption interface {
+	apply(*Tracer)
+}
+
+type filterOption func(TraceEvent) bool
+
+func (f filterOption) apply(t *Tracer) { t.filter = f }
+
+// WithFilter records only events for which keep returns true.
+func WithFilter(keep func(TraceEvent) bool) TracerOption {
+	return filterOption(keep)
+}
+
+// NewTracer builds a tracer holding up to capacity events.
+func NewTracer(capacity int, opts ...TracerOption) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	t := &Tracer{events: make([]TraceEvent, capacity)}
+	for _, o := range opts {
+		o.apply(t)
+	}
+	return t
+}
+
+func (t *Tracer) record(e TraceEvent) {
+	if t.filter != nil && !t.filter(e) {
+		return
+	}
+	if t.count == len(t.events) {
+		t.events[t.start] = e
+		t.start = (t.start + 1) % len(t.events)
+		t.dropped++
+		return
+	}
+	t.events[(t.start+t.count)%len(t.events)] = e
+	t.count++
+}
+
+// Events returns the recorded events, oldest first.
+func (t *Tracer) Events() []TraceEvent {
+	out := make([]TraceEvent, 0, t.count)
+	for i := 0; i < t.count; i++ {
+		out = append(out, t.events[(t.start+i)%len(t.events)])
+	}
+	return out
+}
+
+// Dropped reports how many events the ring evicted.
+func (t *Tracer) Dropped() int { return t.dropped }
+
+// CountKind returns the number of recorded events of one kind.
+func (t *Tracer) CountKind(kind EventKind) int {
+	n := 0
+	for i := 0; i < t.count; i++ {
+		if t.events[(t.start+i)%len(t.events)].Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Attach installs the tracer on the network (replacing any previous
+// one). Pass nil to disable tracing.
+func (n *Network) Attach(t *Tracer) { n.tracer = t }
+
+func (n *Network) trace(kind EventKind, node, peer astypes.ASN, prefix astypes.Prefix, path astypes.ASPath) {
+	if n.tracer == nil {
+		return
+	}
+	n.tracer.record(TraceEvent{
+		At:     n.engine.Now(),
+		Kind:   kind,
+		Node:   node,
+		Peer:   peer,
+		Prefix: prefix,
+		Path:   path,
+	})
+}

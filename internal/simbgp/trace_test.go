@@ -1,0 +1,77 @@
+package simbgp
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+)
+
+func TestTracerRecordsConvergence(t *testing.T) {
+	n := newNet(t, lineTopology(1, 2, 3), core.NewList(1))
+	tracer := NewTracer(1024)
+	n.Attach(tracer)
+	if err := n.Originate(1, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.CountKind(EvAnnounce) == 0 || tracer.CountKind(EvBestChanged) == 0 {
+		t.Errorf("missing events: %d announces, %d best-changes",
+			tracer.CountKind(EvAnnounce), tracer.CountKind(EvBestChanged))
+	}
+	events := tracer.Events()
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			t.Fatal("events out of virtual-time order")
+		}
+	}
+	if s := events[0].String(); !strings.Contains(s, "AS") {
+		t.Errorf("event rendering: %q", s)
+	}
+}
+
+func TestTracerAlarmAndRejectEvents(t *testing.T) {
+	n := newNet(t, lineTopology(1, 2, 9), core.NewList(1))
+	detectAll(t, n, 9)
+	tracer := NewTracer(1024, WithFilter(func(e TraceEvent) bool {
+		return e.Kind == EvAlarm || e.Kind == EvRejected
+	}))
+	n.Attach(tracer)
+	if err := n.Originate(1, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.OriginateInvalid(9, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tracer.CountKind(EvAlarm) == 0 {
+		t.Error("no alarm events recorded")
+	}
+	for _, e := range tracer.Events() {
+		if e.Kind != EvAlarm && e.Kind != EvRejected {
+			t.Fatalf("filter leaked %v", e.Kind)
+		}
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.record(TraceEvent{Node: astypes.ASN(i)})
+	}
+	events := tr.Events()
+	if len(events) != 3 || tr.Dropped() != 2 {
+		t.Fatalf("len=%d dropped=%d", len(events), tr.Dropped())
+	}
+	if events[0].Node != 2 || events[2].Node != 4 {
+		t.Errorf("ring order: %v", events)
+	}
+	if NewTracer(0) == nil {
+		t.Error("zero capacity should clamp, not fail")
+	}
+}

@@ -1,0 +1,169 @@
+package speaker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+)
+
+var (
+	aggPrefix = astypes.MustPrefix(0x0a000000, 8)  // 10.0.0.0/8
+	more1     = astypes.MustPrefix(0x0a010000, 16) // 10.1.0.0/16
+	more2     = astypes.MustPrefix(0x0a020000, 16) // 10.2.0.0/16
+	outside   = astypes.MustPrefix(0x14000000, 8)  // 20.0.0.0/8
+)
+
+func TestAggregateOriginatedFromContributors(t *testing.T) {
+	s1 := newSpeaker(t, 1, ValidationOff, nil) // contributor origin
+	s2 := newSpeaker(t, 2, ValidationOff, nil) // aggregator
+	s3 := newSpeaker(t, 3, ValidationOff, nil) // downstream observer
+	connectPair(t, s1, s2)
+	connectPair(t, s2, s3)
+
+	if err := s2.ConfigureAggregate(aggPrefix, false); err != nil {
+		t.Fatal(err)
+	}
+	// No contributors yet: aggregate inactive.
+	if info := s2.Aggregates(); len(info) != 1 || info[0].Active {
+		t.Fatalf("aggregate state = %+v", info)
+	}
+
+	s1.Originate(more1, core.List{})
+	waitFor(t, func() bool { return s3.Table().Best(aggPrefix) != nil }, "aggregate at AS3")
+
+	agg := s3.Table().Best(aggPrefix)
+	if got := agg.OriginAS(); got != 2 && got != 1 {
+		t.Errorf("aggregate origin = %v", got)
+	}
+	// Path must contain an AS_SET holding the contributor's ASes
+	// (footnote 1's aggregated path element).
+	foundSet := false
+	for _, seg := range agg.Path.Segments {
+		if seg.Type == astypes.SegSet {
+			foundSet = true
+			if len(seg.ASNs) != 1 || seg.ASNs[0] != 1 {
+				t.Errorf("AS_SET members = %v", seg.ASNs)
+			}
+		}
+	}
+	if !foundSet {
+		t.Errorf("aggregate path %v lacks an AS_SET", agg.Path)
+	}
+	if !agg.AtomicAggregate {
+		t.Error("ATOMIC_AGGREGATE not set on a detail-losing aggregate")
+	}
+	if agg.AggregatorAS != 2 {
+		t.Errorf("AGGREGATOR AS = %v", agg.AggregatorAS)
+	}
+	// The more-specific still propagates (not summary-only).
+	if s3.Table().Best(more1) == nil {
+		t.Error("more-specific suppressed without summary-only")
+	}
+}
+
+func TestAggregateWithdrawnWhenContributorsVanish(t *testing.T) {
+	s1 := newSpeaker(t, 1, ValidationOff, nil)
+	s2 := newSpeaker(t, 2, ValidationOff, nil)
+	connectPair(t, s1, s2)
+	if err := s2.ConfigureAggregate(aggPrefix, false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Originate(more1, core.List{})
+	waitFor(t, func() bool { return s2.Table().Best(aggPrefix) != nil }, "aggregate active")
+
+	s1.WithdrawLocal(more1)
+	waitFor(t, func() bool { return s2.Table().Best(aggPrefix) == nil }, "aggregate withdrawn")
+	if info := s2.Aggregates(); info[0].Active {
+		t.Error("aggregate still marked active")
+	}
+}
+
+func TestSummaryOnlySuppressesMoreSpecifics(t *testing.T) {
+	s1 := newSpeaker(t, 1, ValidationOff, nil)
+	s2 := newSpeaker(t, 2, ValidationOff, nil)
+	s3 := newSpeaker(t, 3, ValidationOff, nil)
+	connectPair(t, s1, s2)
+	connectPair(t, s2, s3)
+
+	if err := s2.ConfigureAggregate(aggPrefix, true); err != nil {
+		t.Fatal(err)
+	}
+	s1.Originate(more1, core.List{})
+	s1.Originate(more2, core.List{})
+	s1.Originate(outside, core.List{})
+	waitFor(t, func() bool { return s3.Table().Best(aggPrefix) != nil }, "summary at AS3")
+	waitFor(t, func() bool { return s3.Table().Best(outside) != nil }, "outside prefix at AS3")
+	time.Sleep(50 * time.Millisecond)
+	if s3.Table().Best(more1) != nil || s3.Table().Best(more2) != nil {
+		t.Error("summary-only aggregate leaked more-specifics")
+	}
+	// The aggregator itself still holds the more-specifics.
+	if s2.Table().Best(more1) == nil {
+		t.Error("aggregator lost the contributor route")
+	}
+}
+
+func TestRemoveAggregate(t *testing.T) {
+	s1 := newSpeaker(t, 1, ValidationOff, nil)
+	s2 := newSpeaker(t, 2, ValidationOff, nil)
+	connectPair(t, s1, s2)
+	if err := s2.ConfigureAggregate(aggPrefix, false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Originate(more1, core.List{})
+	waitFor(t, func() bool { return s2.Table().Best(aggPrefix) != nil }, "aggregate active")
+	if err := s2.RemoveAggregate(aggPrefix); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s2.Table().Best(aggPrefix) == nil }, "aggregate removed")
+	if err := s2.RemoveAggregate(aggPrefix); err == nil {
+		t.Error("double remove accepted")
+	}
+}
+
+func TestAggregateReconfigureFlag(t *testing.T) {
+	s1 := newSpeaker(t, 1, ValidationOff, nil)
+	s2 := newSpeaker(t, 2, ValidationOff, nil)
+	s3 := newSpeaker(t, 3, ValidationOff, nil)
+	connectPair(t, s1, s2)
+	connectPair(t, s2, s3)
+	if err := s2.ConfigureAggregate(aggPrefix, false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Originate(more1, core.List{})
+	waitFor(t, func() bool { return s3.Table().Best(more1) != nil }, "more-specific visible")
+	// Flip to summary-only: the more-specific should be withdrawn from
+	// peers on the next change affecting it; a re-announcement triggers
+	// the suppression path.
+	if err := s2.ConfigureAggregate(aggPrefix, true); err != nil {
+		t.Fatal(err)
+	}
+	s1.WithdrawLocal(more1)
+	s1.Originate(more1, core.List{})
+	waitFor(t, func() bool { return s3.Table().Best(more1) == nil }, "more-specific suppressed")
+	if got := len(s2.Aggregates()); got != 1 {
+		t.Errorf("aggregate duplicated on reconfigure: %d", got)
+	}
+}
+
+func TestAggregateOfAggregates(t *testing.T) {
+	// A /8 aggregate fed by a /12 aggregate: hierarchical refresh must
+	// chain without recursion issues.
+	s1 := newSpeaker(t, 1, ValidationOff, nil)
+	s2 := newSpeaker(t, 2, ValidationOff, nil)
+	connectPair(t, s1, s2)
+	mid := astypes.MustPrefix(0x0a100000, 12) // 10.16.0.0/12
+	inner := astypes.MustPrefix(0x0a110000, 16)
+	if err := s2.ConfigureAggregate(aggPrefix, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ConfigureAggregate(mid, false); err != nil {
+		t.Fatal(err)
+	}
+	s1.Originate(inner, core.List{})
+	waitFor(t, func() bool {
+		return s2.Table().Best(mid) != nil && s2.Table().Best(aggPrefix) != nil
+	}, "both aggregates active")
+}

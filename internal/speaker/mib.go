@@ -1,0 +1,140 @@
+package speaker
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+)
+
+// This file provides the management-plane view the paper sketches in
+// §4.2: "If the router is equipped to support the new BGP MIB, one
+// could also run a management application to get all MOAS List through
+// the MIB interface and check the MOAS List consistency." The MIB
+// snapshot exposes per-peer session entries, message counters, the
+// Loc-RIB's per-prefix MOAS lists, and the alarm log; ServeHTTP makes
+// it consumable by an external checker over HTTP/JSON.
+
+// Counters aggregates the speaker's message and validation statistics.
+// All fields are cumulative since the speaker started.
+type Counters struct {
+	UpdatesIn      uint64 `json:"updatesIn"`
+	UpdatesOut     uint64 `json:"updatesOut"`
+	WithdrawalsIn  uint64 `json:"withdrawalsIn"`
+	RoutesAccepted uint64 `json:"routesAccepted"`
+	RoutesRejected uint64 `json:"routesRejected"`
+	LoopsDropped   uint64 `json:"loopsDropped"`
+	Alarms         uint64 `json:"alarms"`
+}
+
+// counters is the internal atomic representation.
+type counters struct {
+	updatesIn      atomic.Uint64
+	updatesOut     atomic.Uint64
+	withdrawalsIn  atomic.Uint64
+	routesAccepted atomic.Uint64
+	routesRejected atomic.Uint64
+	loopsDropped   atomic.Uint64
+	alarms         atomic.Uint64
+}
+
+func (c *counters) snapshot() Counters {
+	return Counters{
+		UpdatesIn:      c.updatesIn.Load(),
+		UpdatesOut:     c.updatesOut.Load(),
+		WithdrawalsIn:  c.withdrawalsIn.Load(),
+		RoutesAccepted: c.routesAccepted.Load(),
+		RoutesRejected: c.routesRejected.Load(),
+		LoopsDropped:   c.loopsDropped.Load(),
+		Alarms:         c.alarms.Load(),
+	}
+}
+
+// PeerEntry is one row of the MIB's peer table.
+type PeerEntry struct {
+	AS         astypes.ASN `json:"as"`
+	State      string      `json:"state"`
+	Advertised int         `json:"advertisedPrefixes"`
+}
+
+// PrefixEntry is one row of the MIB's route table: the selected route
+// and the MOAS list it carries (explicit or implicit).
+type PrefixEntry struct {
+	Prefix   string   `json:"prefix"`
+	Path     string   `json:"asPath"`
+	OriginAS string   `json:"originAS"`
+	MOASList []string `json:"moasList"`
+	Implicit bool     `json:"implicitList"`
+}
+
+// MIB is a point-in-time snapshot of the speaker's management view.
+type MIB struct {
+	AS       astypes.ASN   `json:"as"`
+	Mode     string        `json:"validationMode"`
+	Counters Counters      `json:"counters"`
+	Peers    []PeerEntry   `json:"peers"`
+	Routes   []PrefixEntry `json:"routes"`
+	Alarms   []string      `json:"alarms"`
+}
+
+// MIB returns the current management snapshot.
+func (s *Speaker) MIB() MIB {
+	m := MIB{
+		AS:       s.cfg.AS,
+		Mode:     s.cfg.Validation.String(),
+		Counters: s.ctr.snapshot(),
+	}
+	s.mu.Lock()
+	for asn, p := range s.peers {
+		advertised := 0
+		for _, on := range p.advertised {
+			if on {
+				advertised++
+			}
+		}
+		m.Peers = append(m.Peers, PeerEntry{
+			AS:         asn,
+			State:      p.sess.State().String(),
+			Advertised: advertised,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(m.Peers, func(i, j int) bool { return m.Peers[i].AS < m.Peers[j].AS })
+
+	for _, r := range s.table.BestRoutes() {
+		entry := PrefixEntry{
+			Prefix:   r.Prefix.String(),
+			Path:     r.Path.String(),
+			OriginAS: r.OriginAS().String(),
+		}
+		if list, has := core.FromCommunities(r.Communities); has {
+			for _, o := range list.Origins() {
+				entry.MOASList = append(entry.MOASList, o.String())
+			}
+		} else {
+			entry.Implicit = true
+			entry.MOASList = []string{r.OriginAS().String()}
+		}
+		m.Routes = append(m.Routes, entry)
+	}
+	for _, a := range s.checker.Alarms() {
+		m.Alarms = append(m.Alarms, a.Error())
+	}
+	return m
+}
+
+// ServeHTTP serves the MIB snapshot as JSON, so an external management
+// application (or cmd/moas-monitor in a future mode) can poll it.
+func (s *Speaker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.MIB()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+var _ http.Handler = (*Speaker)(nil)

@@ -1,0 +1,635 @@
+// Package speaker assembles a complete BGP speaker from the substrate
+// packages: wire codec, per-peer sessions, RIB and decision process,
+// and — the point of the exercise — the paper's MOAS-list mechanism
+// wired into the import policy. A speaker originates prefixes with MOAS
+// lists attached via the community attribute, checks every received
+// announcement for MOAS-list consistency, raises alarms on conflicts,
+// optionally resolves them against a Resolver (DNS MOASRR stand-in),
+// and refuses to install or propagate resolved-invalid routes.
+//
+// Speakers run over real TCP (or any net.Conn, e.g. net.Pipe in tests);
+// the examples and integration tests build multi-AS meshes in-process.
+package speaker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/ptrie"
+	"repro/internal/rib"
+	"repro/internal/session"
+	"repro/internal/wire"
+)
+
+// Resolver answers which origins are entitled to a prefix, consulted
+// when a MOAS conflict is detected (§4.4's DNS MOASRR lookup).
+type Resolver interface {
+	ValidOrigins(prefix astypes.Prefix) (core.List, bool)
+}
+
+// ValidationMode selects what the speaker does with its MOAS checker.
+type ValidationMode int
+
+// Validation modes.
+const (
+	// ValidationOff: plain BGP; MOAS communities transit untouched.
+	ValidationOff ValidationMode = iota + 1
+	// ValidationAlarm: check and raise alarms, but accept the route
+	// (the paper's minimal deployment: an alarm prompts investigation).
+	ValidationAlarm
+	// ValidationDrop: check, alarm, resolve, and reject routes from
+	// origins outside the resolved valid set (the simulation's
+	// full-detection behaviour).
+	ValidationDrop
+)
+
+func (m ValidationMode) String() string {
+	switch m {
+	case ValidationOff:
+		return "off"
+	case ValidationAlarm:
+		return "alarm"
+	case ValidationDrop:
+		return "drop"
+	default:
+		return "unknown"
+	}
+}
+
+// ListEncoding selects how this speaker attaches MOAS lists to the
+// routes it originates. Checking always understands both encodings.
+type ListEncoding int
+
+// List encodings.
+const (
+	// EncodeCommunities is the paper's deployment-friendly encoding:
+	// one (ASN : MLVal) community per entitled origin (§4.2).
+	EncodeCommunities ListEncoding = iota + 1
+	// EncodeAttribute carries the list in the dedicated optional
+	// transitive path attribute (core.ListAttrCode); unmodified
+	// speakers transit it untouched.
+	EncodeAttribute
+)
+
+// Config parameterizes a Speaker.
+type Config struct {
+	// AS and RouterID identify the speaker; AS is required.
+	AS       astypes.ASN
+	RouterID uint32
+	// Validation selects the MOAS checking behaviour (default off).
+	Validation ValidationMode
+	// Resolver resolves conflicts under ValidationDrop; without one,
+	// conflicting routes are rejected conservatively.
+	Resolver Resolver
+	// HoldTime for sessions (zero selects the session default).
+	HoldTime time.Duration
+	// OnAlarm, if set, is invoked for every MOAS conflict detected.
+	OnAlarm func(core.Conflict)
+	// NextHop is the next-hop address advertised in UPDATEs (an opaque
+	// 32-bit value at this abstraction level).
+	NextHop uint32
+	// ListEncoding selects the MOAS-list encoding on originated routes
+	// (default EncodeCommunities).
+	ListEncoding ListEncoding
+	// ImportDeny lists prefixes whose announcements are rejected from
+	// every peer (with all their more-specifics) — the operational
+	// bogon/martian filter that complements MOAS checking.
+	ImportDeny []astypes.Prefix
+	// OnPeerDown, if set, is invoked (on the session's reader goroutine)
+	// after a peer session ends and its routes are flushed.
+	OnPeerDown func(peer astypes.ASN)
+}
+
+// Speaker is a BGP speaker instance.
+type Speaker struct {
+	cfg     Config
+	checker *core.Checker
+	ctr     counters
+
+	// denied, when non-nil, indexes the import deny list.
+	denied *ptrie.Trie[struct{}]
+
+	mu         sync.Mutex
+	table      *rib.Table
+	peers      map[astypes.ASN]*peer
+	resolved   map[astypes.Prefix]core.List
+	aggregates []*aggregateState
+	listeners  []net.Listener
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+type peer struct {
+	asn  astypes.ASN
+	sess *session.Session
+	// advertised tracks prefixes announced to this peer, for withdrawals.
+	advertised map[astypes.Prefix]bool
+	// sendQ decouples route propagation from transport writes: the RIB
+	// lock is never held across a blocking socket write, so meshes over
+	// synchronous transports (net.Pipe) cannot deadlock.
+	sendQ chan *wire.Update
+	// qdone is closed when the writer goroutine exits.
+	qdone chan struct{}
+}
+
+// sendQueueLen bounds per-peer outbound buffering; overflow tears the
+// session down (a peer that cannot drain this many updates is stuck).
+const sendQueueLen = 4096
+
+func (p *peer) enqueue(u *wire.Update) bool {
+	select {
+	case p.sendQ <- u:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *peer) writeLoop() {
+	defer close(p.qdone)
+	for u := range p.sendQ {
+		if err := p.sess.SendUpdate(u); err != nil {
+			return
+		}
+	}
+}
+
+// New builds a speaker.
+func New(cfg Config) (*Speaker, error) {
+	if cfg.AS == astypes.ASNNone {
+		return nil, errors.New("speaker: AS required")
+	}
+	if cfg.Validation == 0 {
+		cfg.Validation = ValidationOff
+	}
+	if cfg.ListEncoding == 0 {
+		cfg.ListEncoding = EncodeCommunities
+	}
+	s := &Speaker{
+		cfg:      cfg,
+		table:    rib.NewTable(),
+		peers:    make(map[astypes.ASN]*peer),
+		resolved: make(map[astypes.Prefix]core.List),
+	}
+	if len(cfg.ImportDeny) > 0 {
+		s.denied = ptrie.New[struct{}]()
+		for _, p := range cfg.ImportDeny {
+			s.denied.Insert(p, struct{}{})
+		}
+	}
+	s.checker = core.NewChecker(core.WithAlarmFunc(func(c core.Conflict) {
+		s.ctr.alarms.Add(1)
+		if cfg.OnAlarm != nil {
+			cfg.OnAlarm(c)
+		}
+	}))
+	return s, nil
+}
+
+// AS returns the speaker's AS number.
+func (s *Speaker) AS() astypes.ASN { return s.cfg.AS }
+
+// Table exposes the speaker's RIB.
+func (s *Speaker) Table() *rib.Table { return s.table }
+
+// Alarms returns all MOAS conflicts detected so far.
+func (s *Speaker) Alarms() []core.Conflict { return s.checker.Alarms() }
+
+// handler adapts session callbacks to the speaker.
+type handler struct {
+	s    *Speaker
+	peer astypes.ASN
+}
+
+func (h handler) HandleUpdate(peerAS astypes.ASN, u *wire.Update) {
+	h.s.handleUpdate(peerAS, u)
+}
+
+func (h handler) HandleDown(peerAS astypes.ASN, err error) {
+	h.s.handlePeerDown(peerAS)
+}
+
+// HandleRouteRefresh re-advertises the full Loc-RIB to the requesting
+// peer (RFC 2918).
+func (h handler) HandleRouteRefresh(peerAS astypes.ASN, _ *wire.RouteRefresh) {
+	h.s.mu.Lock()
+	defer h.s.mu.Unlock()
+	p, ok := h.s.peers[peerAS]
+	if !ok {
+		return
+	}
+	for _, r := range h.s.table.BestRoutes() {
+		if h.s.suppressedLocked(r.Prefix) {
+			continue
+		}
+		h.s.advertiseLocked(p, r)
+	}
+}
+
+// RequestRefresh asks one peer to resend its routes.
+func (s *Speaker) RequestRefresh(peerAS astypes.ASN) error {
+	s.mu.Lock()
+	p, ok := s.peers[peerAS]
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("speaker AS %s: no peer AS %s", s.cfg.AS, peerAS)
+	}
+	return p.sess.SendRouteRefresh()
+}
+
+// deniedPrefix reports whether the import filter rejects prefix.
+func (s *Speaker) deniedPrefix(prefix astypes.Prefix) bool {
+	if s.denied == nil {
+		return false
+	}
+	_, _, covered := s.denied.LongestMatchPrefix(prefix)
+	return covered
+}
+
+// AddPeerConn runs the BGP handshake on an existing connection and
+// registers the peer. peerAS of ASNNone accepts any AS.
+func (s *Speaker) AddPeerConn(conn net.Conn, peerAS astypes.ASN) (astypes.ASN, error) {
+	sess, err := session.Establish(conn, session.Config{
+		LocalAS:  s.cfg.AS,
+		LocalID:  s.cfg.RouterID,
+		PeerAS:   peerAS,
+		HoldTime: s.cfg.HoldTime,
+		Handler:  handler{s: s},
+	})
+	if err != nil {
+		return astypes.ASNNone, fmt.Errorf("speaker AS %s: establish: %w", s.cfg.AS, err)
+	}
+	got := sess.PeerAS()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		sess.Close()
+		return astypes.ASNNone, errors.New("speaker closed")
+	}
+	if _, dup := s.peers[got]; dup {
+		s.mu.Unlock()
+		sess.Close()
+		return astypes.ASNNone, fmt.Errorf("speaker AS %s: duplicate session with AS %s", s.cfg.AS, got)
+	}
+	p := &peer{
+		asn:        got,
+		sess:       sess,
+		advertised: make(map[astypes.Prefix]bool),
+		sendQ:      make(chan *wire.Update, sendQueueLen),
+		qdone:      make(chan struct{}),
+	}
+	s.peers[got] = p
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		p.writeLoop()
+	}()
+	// Advertise the current Loc-RIB to the new peer.
+	for _, r := range s.table.BestRoutes() {
+		if s.suppressedLocked(r.Prefix) {
+			continue
+		}
+		s.advertiseLocked(p, r)
+	}
+	s.mu.Unlock()
+	return got, nil
+}
+
+// Connect dials addr and peers with the given AS.
+func (s *Speaker) Connect(addr string, peerAS astypes.ASN) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("speaker AS %s: dial %s: %w", s.cfg.AS, addr, err)
+	}
+	if _, err := s.AddPeerConn(conn, peerAS); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Listen accepts inbound peering connections on ln until the speaker is
+// closed. It returns immediately; accepting happens on a goroutine.
+func (s *Speaker) Listen(ln net.Listener) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return
+	}
+	s.listeners = append(s.listeners, ln)
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				// Inbound peer AS learned from its OPEN.
+				if _, err := s.AddPeerConn(conn, astypes.ASNNone); err != nil {
+					conn.Close()
+				}
+			}()
+		}
+	}()
+}
+
+// AdvertisedTo returns the prefixes currently advertised to one peer,
+// in ascending order — the speaker's Adj-RIB-Out view for debugging and
+// export-policy tests.
+func (s *Speaker) AdvertisedTo(peerAS astypes.ASN) []astypes.Prefix {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.peers[peerAS]
+	if !ok {
+		return nil
+	}
+	var out []astypes.Prefix
+	for prefix, on := range p.advertised {
+		if on {
+			out = append(out, prefix)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}
+
+// Peers returns the ASNs of established peers in ascending order.
+func (s *Speaker) Peers() []astypes.ASN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]astypes.ASN, 0, len(s.peers))
+	for a := range s.peers {
+		out = append(out, a)
+	}
+	astypes.SortASNs(out)
+	return out
+}
+
+// Originate announces prefix from this speaker with the given MOAS list
+// (empty list attaches no communities; receivers apply the implicit
+// rule).
+func (s *Speaker) Originate(prefix astypes.Prefix, list core.List) {
+	route := &rib.Route{
+		Prefix:    prefix,
+		Path:      astypes.NewSeqPath(s.cfg.AS),
+		Origin:    wire.OriginIGP,
+		NextHop:   s.cfg.NextHop,
+		LocalPref: rib.DefaultLocalPref,
+		FromPeer:  astypes.ASNNone,
+	}
+	if !list.Empty() {
+		switch s.cfg.ListEncoding {
+		case EncodeAttribute:
+			route.Unknown = []wire.UnknownAttr{
+				wire.NewOptionalTransitive(core.ListAttrCode, list.AttrBytes()),
+			}
+		default:
+			route.Communities = list.Communities()
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.table.Originate(route)
+	s.propagateLocked(ch)
+}
+
+// WithdrawLocal withdraws a locally originated prefix.
+func (s *Speaker) WithdrawLocal(prefix astypes.Prefix) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := s.table.WithdrawLocal(prefix)
+	s.propagateLocked(ch)
+}
+
+func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
+	s.ctr.updatesIn.Add(1)
+	s.ctr.withdrawalsIn.Add(uint64(len(u.Withdrawn)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, w := range u.Withdrawn {
+		ch := s.table.Withdraw(peerAS, w)
+		s.propagateLocked(ch)
+	}
+	if len(u.NLRI) == 0 {
+		return
+	}
+	// Receiver-side sanity: the peer must have prepended itself.
+	if first, ok := u.Attrs.ASPath.First(); !ok || first != peerAS {
+		s.ctr.routesRejected.Add(uint64(len(u.NLRI)))
+		return
+	}
+	// Loop detection. A looped announcement is an implicit withdrawal of
+	// the peer's previous route for each prefix (RFC 4271 route
+	// exclusion): ignoring it would leave stale routes that two speakers
+	// can keep mutually alive after the origin withdraws.
+	if u.Attrs.ASPath.Contains(s.cfg.AS) {
+		s.ctr.loopsDropped.Add(uint64(len(u.NLRI)))
+		for _, prefix := range u.NLRI {
+			ch := s.table.Withdraw(peerAS, prefix)
+			s.propagateLocked(ch)
+		}
+		return
+	}
+	for _, prefix := range u.NLRI {
+		if s.deniedPrefix(prefix) {
+			s.ctr.routesRejected.Add(1)
+			continue
+		}
+		if s.cfg.Validation != ValidationOff && !s.admitLocked(prefix, u.Attrs, peerAS) {
+			s.ctr.routesRejected.Add(1)
+			continue
+		}
+		s.ctr.routesAccepted.Add(1)
+		route := &rib.Route{
+			Prefix:          prefix,
+			Path:            u.Attrs.ASPath.Clone(),
+			Origin:          u.Attrs.Origin,
+			NextHop:         u.Attrs.NextHop,
+			LocalPref:       rib.DefaultLocalPref,
+			Communities:     append([]astypes.Community(nil), u.Attrs.Communities...),
+			FromPeer:        peerAS,
+			AtomicAggregate: u.Attrs.AtomicAggregate,
+			AggregatorAS:    u.Attrs.AggregatorAS,
+			AggregatorID:    u.Attrs.AggregatorID,
+			Unknown:         wire.CloneUnknownAttrs(u.Attrs.Unknown),
+		}
+		ch := s.table.Update(route)
+		s.propagateLocked(ch)
+	}
+}
+
+// admitLocked applies the MOAS check to one NLRI of an UPDATE.
+func (s *Speaker) admitLocked(prefix astypes.Prefix, attrs wire.PathAttrs, peerAS astypes.ASN) bool {
+	origin, _ := attrs.ASPath.Origin()
+	if truth, ok := s.resolved[prefix]; ok && s.cfg.Validation == ValidationDrop {
+		return truth.Contains(origin)
+	}
+	var attrList *core.List
+	if raw := wire.FindUnknownAttr(attrs.Unknown, core.ListAttrCode); raw != nil {
+		if l, err := core.ListFromAttrBytes(raw); err == nil {
+			attrList = &l
+		}
+	}
+	verdict, conflict := s.checker.Check(core.Announcement{
+		Prefix:      prefix,
+		Path:        attrs.ASPath,
+		Communities: attrs.Communities,
+		AttrList:    attrList,
+		FromPeer:    peerAS,
+	})
+	if verdict == core.VerdictConsistent {
+		return true
+	}
+	if s.cfg.Validation == ValidationAlarm {
+		return true // alarm raised; route accepted pending investigation
+	}
+	// ValidationDrop: resolve and filter.
+	if s.cfg.Resolver != nil {
+		if truth, ok := s.cfg.Resolver.ValidOrigins(prefix); ok {
+			s.resolved[prefix] = truth
+			s.purgeInvalidLocked(prefix, truth)
+			return truth.Contains(origin)
+		}
+	}
+	_ = conflict
+	return false
+}
+
+// purgeInvalidLocked drops installed routes for prefix whose origin is
+// outside the resolved valid set.
+func (s *Speaker) purgeInvalidLocked(prefix astypes.Prefix, truth core.List) {
+	for peerAS := range s.peers {
+		for _, r := range s.table.RoutesFrom(peerAS) {
+			if r.Prefix == prefix && !truth.Contains(r.OriginAS()) {
+				ch := s.table.Withdraw(peerAS, prefix)
+				s.propagateLocked(ch)
+			}
+		}
+	}
+}
+
+func (s *Speaker) handlePeerDown(peerAS astypes.ASN) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.peers[peerAS]
+	if !ok {
+		return
+	}
+	delete(s.peers, peerAS)
+	close(p.sendQ)
+	for _, ch := range s.table.DropPeer(peerAS) {
+		s.propagateLocked(ch)
+	}
+	if s.cfg.OnPeerDown != nil && !s.closed {
+		go s.cfg.OnPeerDown(peerAS)
+	}
+}
+
+// propagateLocked reacts to a best-route change: advertise the new best
+// (or a withdrawal) to every established peer, re-evaluate any
+// aggregates the prefix contributes to, and honor summary-only
+// suppression.
+func (s *Speaker) propagateLocked(ch rib.Change) {
+	if !ch.Changed {
+		return
+	}
+	s.refreshAggregatesLocked(ch.Prefix)
+	suppressed := s.suppressedLocked(ch.Prefix)
+	// Deterministic peer order keeps tests reproducible.
+	asns := make([]astypes.ASN, 0, len(s.peers))
+	for a := range s.peers {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	for _, a := range asns {
+		p := s.peers[a]
+		if ch.New == nil || suppressed {
+			s.withdrawFromLocked(p, ch.Prefix)
+			continue
+		}
+		s.advertiseLocked(p, ch.New)
+	}
+}
+
+func (s *Speaker) advertiseLocked(p *peer, r *rib.Route) {
+	// A locally originated route already carries this AS as its path;
+	// learned routes are prepended on export.
+	path := r.Path
+	if r.FromPeer != astypes.ASNNone {
+		path = path.Prepend(s.cfg.AS)
+	}
+	u := &wire.Update{
+		Attrs: wire.PathAttrs{
+			HasOrigin:       true,
+			Origin:          r.Origin,
+			ASPath:          path,
+			HasNextHop:      true,
+			NextHop:         s.cfg.NextHop,
+			Communities:     append([]astypes.Community(nil), r.Communities...),
+			AtomicAggregate: r.AtomicAggregate,
+			HasAggregator:   r.AggregatorAS != astypes.ASNNone,
+			AggregatorAS:    r.AggregatorAS,
+			AggregatorID:    r.AggregatorID,
+			Unknown:         wire.CloneUnknownAttrs(r.Unknown),
+		},
+		NLRI: []astypes.Prefix{r.Prefix},
+	}
+	if !p.enqueue(u) {
+		go p.sess.Close()
+		return
+	}
+	s.ctr.updatesOut.Add(1)
+	p.advertised[r.Prefix] = true
+}
+
+func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix) {
+	if !p.advertised[prefix] {
+		return
+	}
+	u := &wire.Update{Withdrawn: []astypes.Prefix{prefix}}
+	if !p.enqueue(u) {
+		go p.sess.Close()
+		return
+	}
+	s.ctr.updatesOut.Add(1)
+	p.advertised[prefix] = false
+}
+
+// Close shuts down every session and listener and waits for all speaker
+// goroutines to exit.
+func (s *Speaker) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	listeners := s.listeners
+	sessions := make([]*session.Session, 0, len(s.peers))
+	for _, p := range s.peers {
+		sessions = append(sessions, p.sess)
+	}
+	s.mu.Unlock()
+	// Closing sessions triggers HandleDown, which closes each sendQ and
+	// lets writer goroutines drain out.
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	for _, sess := range sessions {
+		sess.Close()
+	}
+	s.wg.Wait()
+	return nil
+}

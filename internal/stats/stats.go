@@ -1,0 +1,151 @@
+// Package stats provides the small set of descriptive statistics used
+// by the measurement pipeline and the experiment harness: mean, median,
+// percentiles, standard deviation, and integer histograms.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation, or 0 for fewer than
+// two samples.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(xs)))
+}
+
+// Median returns the median, or 0 for an empty slice.
+func Median(xs []float64) float64 {
+	return Percentile(xs, 50)
+}
+
+// Percentile returns the p-th percentile (0..100) using linear
+// interpolation between closest ranks, or 0 for an empty slice.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MedianInts is Median over integer samples.
+func MedianInts(xs []int) float64 {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Median(fs)
+}
+
+// Histogram counts integer-valued observations into unit bins.
+type Histogram struct {
+	counts map[int]int
+	total  int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int)}
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int) {
+	h.counts[v]++
+	h.total++
+}
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v, n int) {
+	if n <= 0 {
+		return
+	}
+	h.counts[v] += n
+	h.total += n
+}
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int) int { return h.counts[v] }
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Fraction returns the fraction of observations with value v, in [0,1].
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Bin is one (value, count) histogram entry.
+type Bin struct {
+	Value int
+	Count int
+}
+
+// Bins returns all non-empty bins in ascending value order.
+func (h *Histogram) Bins() []Bin {
+	out := make([]Bin, 0, len(h.counts))
+	for v, c := range h.counts {
+		out = append(out, Bin{Value: v, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	return out
+}
+
+// CumulativeAtMost returns the number of observations with value <= v.
+func (h *Histogram) CumulativeAtMost(v int) int {
+	n := 0
+	for val, c := range h.counts {
+		if val <= v {
+			n += c
+		}
+	}
+	return n
+}
+
+// String renders the histogram compactly for logs.
+func (h *Histogram) String() string {
+	s := fmt.Sprintf("histogram(total=%d)", h.total)
+	for _, b := range h.Bins() {
+		s += fmt.Sprintf(" %d:%d", b.Value, b.Count)
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		give []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, tt := range tests {
+		if got := Mean(tt.give); got != tt.want {
+			t.Errorf("Mean(%v) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if StdDev(nil) != 0 || StdDev([]float64{3}) != 0 {
+		t.Error("degenerate StdDev should be 0")
+	}
+	got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestMedianAndPercentile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Median(xs); got != 2 {
+		t.Errorf("Median = %v", got)
+	}
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even Median = %v", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := Percentile(xs, 100); got != 3 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile = %v", got)
+	}
+	// Percentile must not reorder the caller's slice.
+	orig := []float64{9, 1, 5}
+	Percentile(orig, 50)
+	if orig[0] != 9 {
+		t.Error("Percentile mutated its argument")
+	}
+}
+
+func TestPercentileMonotonicQuick(t *testing.T) {
+	f := func(xs []float64, a, b float64) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true // skip pathological float inputs
+			}
+		}
+		pa := math.Mod(math.Abs(a), 100)
+		pb := math.Mod(math.Abs(b), 100)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileBoundsQuick(t *testing.T) {
+	f := func(xs []float64, p float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		pp := math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, pp)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianInts(t *testing.T) {
+	if got := MedianInts([]int{5, 1, 3}); got != 3 {
+		t.Errorf("MedianInts = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(7, 4)
+	h.AddN(9, 0)  // no-op
+	h.AddN(9, -2) // no-op
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(7) != 4 || h.Count(2) != 0 {
+		t.Error("counts wrong")
+	}
+	if got := h.Fraction(1); math.Abs(got-2.0/7) > 1e-12 {
+		t.Errorf("Fraction = %v", got)
+	}
+	bins := h.Bins()
+	if len(bins) != 3 || bins[0].Value != 1 || bins[2].Value != 7 {
+		t.Errorf("Bins = %v", bins)
+	}
+	if h.CumulativeAtMost(3) != 3 {
+		t.Errorf("CumulativeAtMost(3) = %d", h.CumulativeAtMost(3))
+	}
+	if got := NewHistogram().Fraction(1); got != 0 {
+		t.Errorf("empty Fraction = %v", got)
+	}
+	if s := h.String(); s == "" {
+		t.Error("String empty")
+	}
+}
+
+func TestHistogramInvariantsQuick(t *testing.T) {
+	f := func(values []int8) bool {
+		h := NewHistogram()
+		for _, v := range values {
+			h.Add(int(v))
+		}
+		total := 0
+		for _, b := range h.Bins() {
+			total += b.Count
+		}
+		return total == h.Total() && h.Total() == len(values) &&
+			h.CumulativeAtMost(127) == len(values)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

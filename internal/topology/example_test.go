@@ -1,0 +1,42 @@
+package topology_test
+
+import (
+	"fmt"
+
+	"repro/internal/astypes"
+	"repro/internal/topology"
+)
+
+// The §5.1 construction end to end: infer an AS-level topology from
+// observed AS paths, classify roles, and sample a simulation topology.
+func ExampleInferFromPaths() {
+	paths := []astypes.ASPath{
+		astypes.NewSeqPath(6447, 701, 4),
+		astypes.NewSeqPath(6447, 701, 226),
+		astypes.NewSeqPath(6447, 1239, 701, 4),
+		astypes.NewSeqPath(6447, 1239, 7018),
+	}
+	inf := topology.InferFromPaths(paths)
+	fmt.Println("nodes:", inf.Graph.NumNodes(), "edges:", inf.Graph.NumEdges())
+	fmt.Println("transit:", inf.TransitASes())
+	fmt.Println("stubs:", inf.StubASes())
+	// Output:
+	// nodes: 6 edges: 6
+	// transit: [701 1239]
+	// stubs: [4 226 6447 7018]
+}
+
+// The three simulation topologies of the paper are built
+// deterministically from a seed.
+func ExampleBuildPaperTopologies() {
+	set, err := topology.BuildPaperTopologies(42)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(set.Sizes())
+	fmt.Println("46-AS connected:", set.T46.Graph.Connected())
+	// Output:
+	// [25 46 63]
+	// 46-AS connected: true
+}

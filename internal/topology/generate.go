@@ -1,0 +1,188 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/astypes"
+)
+
+// InternetParams sizes the synthetic Internet model that substitutes for
+// the Oregon RouteViews table (see DESIGN.md §2). The model is a
+// three-tier hierarchy mirroring the inferred structure the paper works
+// from: a densely meshed core, a middle transit tier, and stub ASes
+// multi-homed to one or more transit providers.
+type InternetParams struct {
+	// Core is the number of tier-1 ASes (full-ish mesh).
+	Core int
+	// Mid is the number of regional transit ASes.
+	Mid int
+	// Stubs is the number of edge (non-transit) ASes.
+	Stubs int
+	// MultiHomeProb is the probability a stub connects to a second
+	// provider (the paper's valid-MOAS scenarios come from these).
+	MultiHomeProb float64
+}
+
+// DefaultInternetParams is sized so the §5.1 sampling yields the paper's
+// 25/46/63-node topologies comfortably. Multi-homing is high, matching
+// the richly interconnected mesh the paper's detection argument relies
+// on ("it is difficult, if not impossible, to completely block correct
+// routing information from propagating out", §1).
+func DefaultInternetParams() InternetParams {
+	return InternetParams{Core: 10, Mid: 30, Stubs: 300, MultiHomeProb: 0.8}
+}
+
+// ASN ranges for the generated tiers; stable so tests can target tiers.
+const (
+	CoreASNBase astypes.ASN = 1
+	MidASNBase  astypes.ASN = 100
+	StubASNBase astypes.ASN = 1000
+)
+
+// GenerateInternet builds the synthetic Internet as an Inference (graph
+// plus transit labelling), deterministically from seed.
+func GenerateInternet(params InternetParams, seed int64) (*Inference, error) {
+	if params.Core < 2 || params.Mid < 1 || params.Stubs < 1 {
+		return nil, fmt.Errorf("internet params too small: %+v", params)
+	}
+	if params.MultiHomeProb < 0 || params.MultiHomeProb > 1 {
+		return nil, fmt.Errorf("multi-home probability %v out of [0,1]", params.MultiHomeProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	inf := &Inference{Graph: NewGraph(), Transit: make(map[astypes.ASN]bool)}
+
+	cores := make([]astypes.ASN, params.Core)
+	for i := range cores {
+		cores[i] = CoreASNBase + astypes.ASN(i)
+		inf.Graph.AddNode(cores[i])
+		inf.Transit[cores[i]] = true
+	}
+	// Core mesh: ring for guaranteed connectivity plus random chords.
+	for i := range cores {
+		inf.Graph.AddEdge(cores[i], cores[(i+1)%len(cores)])
+		for j := i + 2; j < len(cores); j++ {
+			if rng.Float64() < 0.6 {
+				inf.Graph.AddEdge(cores[i], cores[j])
+			}
+		}
+	}
+
+	mids := make([]astypes.ASN, params.Mid)
+	for i := range mids {
+		mids[i] = MidASNBase + astypes.ASN(i)
+		inf.Graph.AddNode(mids[i])
+		inf.Transit[mids[i]] = true
+		// Every mid transit homes to 2 distinct cores (so pruning never
+		// deletes a mid for lack of upstreams alone)...
+		c1 := cores[rng.Intn(len(cores))]
+		c2 := cores[rng.Intn(len(cores))]
+		for c2 == c1 {
+			c2 = cores[rng.Intn(len(cores))]
+		}
+		inf.Graph.AddEdge(mids[i], c1)
+		inf.Graph.AddEdge(mids[i], c2)
+		// ...and occasionally peers laterally with another mid.
+		if i > 0 && rng.Float64() < 0.3 {
+			inf.Graph.AddEdge(mids[i], mids[rng.Intn(i)])
+		}
+	}
+
+	// Provider popularity follows a Zipf-like law, as in the measured AS
+	// topology: a handful of large ISPs serve most edge networks. This
+	// concentration matters for the §5.1 sampling — selected stubs
+	// mostly share providers, so the sampled topologies are stub-heavy
+	// like the paper's.
+	pickMid := zipfPicker(mids)
+	pickProvider := zipfPicker(append(append([]astypes.ASN(nil), mids...), cores...))
+	for i := 0; i < params.Stubs; i++ {
+		stub := StubASNBase + astypes.ASN(i)
+		inf.Graph.AddNode(stub)
+		// Primary provider biased toward the mid tier (edge networks
+		// rarely home directly to tier-1).
+		var p1 astypes.ASN
+		if rng.Float64() < 0.85 {
+			p1 = pickMid(rng)
+		} else {
+			p1 = cores[rng.Intn(len(cores))]
+		}
+		inf.Graph.AddEdge(stub, p1)
+		if rng.Float64() < params.MultiHomeProb {
+			p2 := pickProvider(rng)
+			for p2 == p1 {
+				p2 = pickProvider(rng)
+			}
+			inf.Graph.AddEdge(stub, p2)
+		}
+	}
+	return inf, nil
+}
+
+// zipfPicker returns a sampler over pool with P(rank i) proportional to
+// 1/(i+1)^1.35, approximating the heavy-tailed provider popularity of the
+// measured AS graph.
+func zipfPicker(pool []astypes.ASN) func(*rand.Rand) astypes.ASN {
+	weights := make([]float64, len(pool))
+	total := 0.0
+	for i := range pool {
+		weights[i] = 1 / math.Pow(float64(i+1), 1.35)
+		total += weights[i]
+	}
+	return func(rng *rand.Rand) astypes.ASN {
+		x := rng.Float64() * total
+		for i, w := range weights {
+			x -= w
+			if x < 0 {
+				return pool[i]
+			}
+		}
+		return pool[len(pool)-1]
+	}
+}
+
+// PaperSet bundles the three simulation topologies of §5.1.
+type PaperSet struct {
+	T25, T46, T63 *SampleResult
+}
+
+// Sizes returns the node counts (should be 25, 46, 63).
+func (s *PaperSet) Sizes() [3]int {
+	return [3]int{s.T25.Graph.NumNodes(), s.T46.Graph.NumNodes(), s.T63.Graph.NumNodes()}
+}
+
+// ByName returns a topology by its paper name ("25", "46", "63").
+func (s *PaperSet) ByName(name string) (*SampleResult, error) {
+	switch name {
+	case "25":
+		return s.T25, nil
+	case "46":
+		return s.T46, nil
+	case "63":
+		return s.T63, nil
+	default:
+		return nil, fmt.Errorf("unknown topology %q (want 25, 46 or 63)", name)
+	}
+}
+
+// BuildPaperTopologies generates the synthetic Internet and samples the
+// 25-, 46- and 63-node simulation topologies from it, all
+// deterministically from seed.
+func BuildPaperTopologies(seed int64) (*PaperSet, error) {
+	inf, err := GenerateInternet(DefaultInternetParams(), seed)
+	if err != nil {
+		return nil, fmt.Errorf("generate internet: %w", err)
+	}
+	var set PaperSet
+	for _, spec := range []struct {
+		n   int
+		dst **SampleResult
+	}{{25, &set.T25}, {46, &set.T46}, {63, &set.T63}} {
+		res, err := SampleToSize(inf, spec.n, seed)
+		if err != nil {
+			return nil, fmt.Errorf("sample %d-node topology: %w", spec.n, err)
+		}
+		*spec.dst = res
+	}
+	return &set, nil
+}

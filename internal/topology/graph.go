@@ -1,0 +1,297 @@
+// Package topology models AS-level Internet topologies: the undirected
+// peering graph, inference of peerings and transit/stub roles from
+// observed AS paths (paper §5.1), the paper's stub-sampling and
+// iterative-pruning construction of simulation topologies, and a
+// deterministic synthetic Internet generator that stands in for the
+// Oregon RouteViews table the authors sampled.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/astypes"
+)
+
+// Graph is an undirected AS-level peering graph. The zero value is not
+// usable; call NewGraph.
+type Graph struct {
+	adj map[astypes.ASN]map[astypes.ASN]struct{}
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{adj: make(map[astypes.ASN]map[astypes.ASN]struct{})}
+}
+
+// Clone deep-copies the graph.
+func (g *Graph) Clone() *Graph {
+	cp := NewGraph()
+	for a, nbrs := range g.adj {
+		m := make(map[astypes.ASN]struct{}, len(nbrs))
+		for b := range nbrs {
+			m[b] = struct{}{}
+		}
+		cp.adj[a] = m
+	}
+	return cp
+}
+
+// AddNode ensures the node exists (possibly with no edges).
+func (g *Graph) AddNode(a astypes.ASN) {
+	if _, ok := g.adj[a]; !ok {
+		g.adj[a] = make(map[astypes.ASN]struct{})
+	}
+}
+
+// AddEdge inserts the undirected peering (a, b). Self-loops are ignored.
+func (g *Graph) AddEdge(a, b astypes.ASN) {
+	if a == b {
+		return
+	}
+	g.AddNode(a)
+	g.AddNode(b)
+	g.adj[a][b] = struct{}{}
+	g.adj[b][a] = struct{}{}
+}
+
+// RemoveNode deletes a node and all incident edges.
+func (g *Graph) RemoveNode(a astypes.ASN) {
+	for b := range g.adj[a] {
+		delete(g.adj[b], a)
+	}
+	delete(g.adj, a)
+}
+
+// HasNode reports node membership.
+func (g *Graph) HasNode(a astypes.ASN) bool {
+	_, ok := g.adj[a]
+	return ok
+}
+
+// HasEdge reports whether a and b peer.
+func (g *Graph) HasEdge(a, b astypes.ASN) bool {
+	_, ok := g.adj[a][b]
+	return ok
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.adj) }
+
+// NumEdges returns the undirected edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, nbrs := range g.adj {
+		n += len(nbrs)
+	}
+	return n / 2
+}
+
+// Degree returns the number of peers of a.
+func (g *Graph) Degree(a astypes.ASN) int { return len(g.adj[a]) }
+
+// Nodes returns all nodes in ascending ASN order.
+func (g *Graph) Nodes() []astypes.ASN {
+	out := make([]astypes.ASN, 0, len(g.adj))
+	for a := range g.adj {
+		out = append(out, a)
+	}
+	astypes.SortASNs(out)
+	return out
+}
+
+// Neighbors returns a's peers in ascending ASN order.
+func (g *Graph) Neighbors(a astypes.ASN) []astypes.ASN {
+	nbrs := g.adj[a]
+	out := make([]astypes.ASN, 0, len(nbrs))
+	for b := range nbrs {
+		out = append(out, b)
+	}
+	astypes.SortASNs(out)
+	return out
+}
+
+// Edges returns each undirected edge once as an ordered (low, high)
+// pair, sorted for deterministic iteration.
+func (g *Graph) Edges() [][2]astypes.ASN {
+	var out [][2]astypes.ASN
+	for a, nbrs := range g.adj {
+		for b := range nbrs {
+			if a < b {
+				out = append(out, [2]astypes.ASN{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Subgraph returns the induced subgraph on keep.
+func (g *Graph) Subgraph(keep map[astypes.ASN]bool) *Graph {
+	sub := NewGraph()
+	for a := range g.adj {
+		if keep[a] {
+			sub.AddNode(a)
+		}
+	}
+	for a, nbrs := range g.adj {
+		if !keep[a] {
+			continue
+		}
+		for b := range nbrs {
+			if keep[b] {
+				sub.AddEdge(a, b)
+			}
+		}
+	}
+	return sub
+}
+
+// Connected reports whether the graph is non-empty and connected.
+func (g *Graph) Connected() bool {
+	if len(g.adj) == 0 {
+		return false
+	}
+	comp := g.Components()
+	return len(comp) == 1
+}
+
+// Components returns the connected components, each as a sorted node
+// list, ordered by their smallest member.
+func (g *Graph) Components() [][]astypes.ASN {
+	visited := make(map[astypes.ASN]bool, len(g.adj))
+	var comps [][]astypes.ASN
+	for _, start := range g.Nodes() {
+		if visited[start] {
+			continue
+		}
+		var comp []astypes.ASN
+		queue := []astypes.ASN{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			for _, nb := range g.Neighbors(cur) {
+				if !visited[nb] {
+					visited[nb] = true
+					queue = append(queue, nb)
+				}
+			}
+		}
+		astypes.SortASNs(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// LargestComponent returns the induced subgraph on the largest connected
+// component (ties broken by smallest member ASN).
+func (g *Graph) LargestComponent() *Graph {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return NewGraph()
+	}
+	best := comps[0]
+	for _, c := range comps[1:] {
+		if len(c) > len(best) {
+			best = c
+		}
+	}
+	keep := make(map[astypes.ASN]bool, len(best))
+	for _, a := range best {
+		keep[a] = true
+	}
+	return g.Subgraph(keep)
+}
+
+// ShortestPathLens returns BFS hop counts from src to every reachable
+// node (src itself maps to 0).
+func (g *Graph) ShortestPathLens(src astypes.ASN) map[astypes.ASN]int {
+	dist := map[astypes.ASN]int{src: 0}
+	queue := []astypes.ASN{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if _, ok := dist[nb]; !ok {
+				dist[nb] = dist[cur] + 1
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns one shortest path (node sequence, inclusive of
+// endpoints) from src to dst, preferring lexicographically smaller
+// next-hops for determinism, or nil if unreachable.
+func (g *Graph) ShortestPath(src, dst astypes.ASN) []astypes.ASN {
+	if src == dst {
+		return []astypes.ASN{src}
+	}
+	prev := make(map[astypes.ASN]astypes.ASN)
+	seen := map[astypes.ASN]bool{src: true}
+	queue := []astypes.ASN{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.Neighbors(cur) {
+			if seen[nb] {
+				continue
+			}
+			seen[nb] = true
+			prev[nb] = cur
+			if nb == dst {
+				var path []astypes.ASN
+				for at := dst; ; at = prev[at] {
+					path = append([]astypes.ASN{at}, path...)
+					if at == src {
+						return path
+					}
+				}
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return nil
+}
+
+// DegreeStats summarizes the degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// Degrees computes degree statistics; zero-value for an empty graph.
+func (g *Graph) Degrees() DegreeStats {
+	if len(g.adj) == 0 {
+		return DegreeStats{}
+	}
+	var s DegreeStats
+	s.Min = -1
+	total := 0
+	for _, nbrs := range g.adj {
+		d := len(nbrs)
+		total += d
+		if s.Min < 0 || d < s.Min {
+			s.Min = d
+		}
+		if d > s.Max {
+			s.Max = d
+		}
+	}
+	s.Mean = float64(total) / float64(len(g.adj))
+	return s
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{%d nodes, %d edges}", g.NumNodes(), g.NumEdges())
+}

@@ -1,0 +1,320 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func lineGraph(asns ...astypes.ASN) *Graph {
+	g := NewGraph()
+	for i := 1; i < len(asns); i++ {
+		g.AddEdge(asns[i-1], asns[i])
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddNode(9)
+	if g.NumNodes() != 4 || g.NumEdges() != 2 {
+		t.Errorf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Error("edges must be undirected")
+	}
+	if g.HasEdge(1, 3) {
+		t.Error("phantom edge")
+	}
+	if g.Degree(2) != 2 || g.Degree(9) != 0 {
+		t.Error("degree wrong")
+	}
+	got := g.Neighbors(2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("Neighbors(2) = %v", got)
+	}
+	// Self-loops ignored.
+	g.AddEdge(5, 5)
+	if g.HasEdge(5, 5) {
+		t.Error("self-loop added")
+	}
+}
+
+func TestGraphRemoveNode(t *testing.T) {
+	g := lineGraph(1, 2, 3)
+	g.RemoveNode(2)
+	if g.HasNode(2) || g.HasEdge(1, 2) || g.HasEdge(3, 2) {
+		t.Error("RemoveNode left residue")
+	}
+	if g.NumNodes() != 2 || g.NumEdges() != 0 {
+		t.Errorf("nodes=%d edges=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestGraphCloneIndependent(t *testing.T) {
+	g := lineGraph(1, 2, 3)
+	cp := g.Clone()
+	cp.AddEdge(1, 3)
+	cp.RemoveNode(2)
+	if !g.HasNode(2) || g.HasEdge(1, 3) {
+		t.Error("clone aliases original")
+	}
+}
+
+func TestComponentsAndConnected(t *testing.T) {
+	g := lineGraph(1, 2, 3)
+	g.AddEdge(10, 11)
+	comps := g.Components()
+	if len(comps) != 2 {
+		t.Fatalf("components = %v", comps)
+	}
+	if g.Connected() {
+		t.Error("disconnected graph reported connected")
+	}
+	lc := g.LargestComponent()
+	if lc.NumNodes() != 3 || !lc.HasNode(2) {
+		t.Errorf("largest component = %v", lc.Nodes())
+	}
+	if !lc.Connected() {
+		t.Error("largest component should be connected")
+	}
+	if NewGraph().Connected() {
+		t.Error("empty graph is not connected")
+	}
+}
+
+func TestShortestPaths(t *testing.T) {
+	g := lineGraph(1, 2, 3, 4)
+	g.AddEdge(1, 4) // shortcut
+	dist := g.ShortestPathLens(1)
+	if dist[4] != 1 || dist[3] != 2 || dist[2] != 1 || dist[1] != 0 {
+		t.Errorf("dist = %v", dist)
+	}
+	path := g.ShortestPath(1, 3)
+	if len(path) != 3 || path[0] != 1 || path[2] != 3 {
+		t.Errorf("path = %v", path)
+	}
+	if p := g.ShortestPath(1, 1); len(p) != 1 {
+		t.Errorf("self path = %v", p)
+	}
+	g.AddNode(99)
+	if g.ShortestPath(1, 99) != nil {
+		t.Error("unreachable node should have nil path")
+	}
+}
+
+func TestSubgraphAndEdges(t *testing.T) {
+	g := lineGraph(1, 2, 3, 4)
+	sub := g.Subgraph(map[astypes.ASN]bool{1: true, 2: true, 4: true})
+	if sub.NumNodes() != 3 || sub.NumEdges() != 1 {
+		t.Errorf("subgraph: %v", sub)
+	}
+	edges := g.Edges()
+	if len(edges) != 3 || edges[0] != [2]astypes.ASN{1, 2} {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestDegrees(t *testing.T) {
+	g := lineGraph(1, 2, 3)
+	d := g.Degrees()
+	if d.Min != 1 || d.Max != 2 || d.Mean < 1.3 || d.Mean > 1.4 {
+		t.Errorf("degrees = %+v", d)
+	}
+	if (NewGraph().Degrees() != DegreeStats{}) {
+		t.Error("empty graph degree stats should be zero")
+	}
+}
+
+func TestInferFromPaths(t *testing.T) {
+	paths := []astypes.ASPath{
+		astypes.NewSeqPath(6453, 1239, 4621),
+		astypes.NewSeqPath(6453, 701, 88),
+		astypes.NewSeqPath(6453, 701, 701, 42), // prepending collapsed
+	}
+	inf := InferFromPaths(paths)
+	if !inf.Graph.HasEdge(6453, 1239) || !inf.Graph.HasEdge(1239, 4621) {
+		t.Error("peerings not inferred")
+	}
+	if !inf.IsTransit(1239) || !inf.IsTransit(701) {
+		t.Error("interior ASes should be transit")
+	}
+	if inf.IsTransit(4621) || inf.IsTransit(6453) {
+		t.Error("endpoints should not be transit from these paths")
+	}
+	if inf.Graph.HasEdge(701, 701) {
+		t.Error("prepending should not create self-edges")
+	}
+	if !inf.Graph.HasEdge(701, 42) {
+		t.Error("prepending should collapse, preserving the real edge")
+	}
+	stubs := inf.StubASes()
+	transits := inf.TransitASes()
+	if len(stubs)+len(transits) != inf.Graph.NumNodes() {
+		t.Error("stub/transit partition broken")
+	}
+}
+
+func TestInferFromPathsASSet(t *testing.T) {
+	p := astypes.ASPath{Segments: []astypes.Segment{
+		{Type: astypes.SegSequence, ASNs: []astypes.ASN{701, 1239}},
+		{Type: astypes.SegSet, ASNs: []astypes.ASN{4006, 4544}},
+	}}
+	inf := InferFromPaths([]astypes.ASPath{p})
+	if !inf.Graph.HasNode(4006) || !inf.Graph.HasNode(4544) {
+		t.Error("AS_SET members should be registered")
+	}
+	if inf.Graph.HasEdge(1239, 4006) {
+		t.Error("AS_SET must not contribute peering edges")
+	}
+}
+
+func TestSampleConstruction(t *testing.T) {
+	inf, err := GenerateInternet(DefaultInternetParams(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	res, err := Sample(inf, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if !g.Connected() {
+		t.Fatal("sampled topology must be connected")
+	}
+	// Pruning invariant: no transit AS with degree <= 1 survives.
+	for _, a := range g.Nodes() {
+		if res.Transit[a] && g.Degree(a) <= 1 {
+			t.Errorf("transit AS %s has degree %d after pruning", a, g.Degree(a))
+		}
+	}
+	// Role partition matches the inference.
+	for _, a := range g.Nodes() {
+		if res.Transit[a] != inf.Transit[a] {
+			t.Errorf("role of AS %s changed in sampling", a)
+		}
+	}
+	// Determinism: same seed, same sample.
+	rng2 := rand.New(rand.NewSource(2))
+	res2, err := Sample(inf, 0.1, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Graph.NumNodes() != res2.Graph.NumNodes() ||
+		res.Graph.NumEdges() != res2.Graph.NumEdges() {
+		t.Error("sampling is not deterministic")
+	}
+}
+
+func TestSampleValidatesFraction(t *testing.T) {
+	inf, _ := GenerateInternet(DefaultInternetParams(), 1)
+	rng := rand.New(rand.NewSource(1))
+	for _, frac := range []float64{0, -1, 1.5} {
+		if _, err := Sample(inf, frac, rng); err == nil {
+			t.Errorf("fraction %v accepted", frac)
+		}
+	}
+}
+
+func TestSampleStubSet(t *testing.T) {
+	inf, _ := GenerateInternet(DefaultInternetParams(), 1)
+	stubs := inf.StubASes()[:5]
+	res, err := SampleStubSet(inf, stubs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Graph.Connected() {
+		t.Error("explicit stub-set sample should be connected")
+	}
+	// A transit AS is not a valid stub selection.
+	if _, err := SampleStubSet(inf, inf.TransitASes()[:1]); err == nil {
+		t.Error("transit AS accepted as stub")
+	}
+	if _, err := SampleStubSet(inf, nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if _, err := SampleStubSet(inf, []astypes.ASN{60000}); err == nil {
+		t.Error("unknown AS accepted")
+	}
+}
+
+func TestGenerateInternetShape(t *testing.T) {
+	params := DefaultInternetParams()
+	inf, err := GenerateInternet(params, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inf.Graph.Connected() {
+		t.Error("synthetic internet must be connected")
+	}
+	wantNodes := params.Core + params.Mid + params.Stubs
+	if inf.Graph.NumNodes() != wantNodes {
+		t.Errorf("nodes = %d, want %d", inf.Graph.NumNodes(), wantNodes)
+	}
+	if got := len(inf.TransitASes()); got != params.Core+params.Mid {
+		t.Errorf("transit count = %d", got)
+	}
+	// Determinism.
+	inf2, _ := GenerateInternet(params, 42)
+	if inf.Graph.NumEdges() != inf2.Graph.NumEdges() {
+		t.Error("generation is not deterministic")
+	}
+	// Different seed, different graph (overwhelmingly likely).
+	inf3, _ := GenerateInternet(params, 43)
+	if inf.Graph.NumEdges() == inf3.Graph.NumEdges() {
+		t.Log("warning: same edge count for different seeds (possible, but suspicious)")
+	}
+}
+
+func TestGenerateInternetValidation(t *testing.T) {
+	bad := []InternetParams{
+		{Core: 1, Mid: 5, Stubs: 5},
+		{Core: 5, Mid: 0, Stubs: 5},
+		{Core: 5, Mid: 5, Stubs: 0},
+		{Core: 5, Mid: 5, Stubs: 5, MultiHomeProb: 1.5},
+	}
+	for _, p := range bad {
+		if _, err := GenerateInternet(p, 1); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+func TestBuildPaperTopologies(t *testing.T) {
+	set, err := BuildPaperTopologies(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Sizes() != [3]int{25, 46, 63} {
+		t.Errorf("sizes = %v", set.Sizes())
+	}
+	for _, s := range []*SampleResult{set.T25, set.T46, set.T63} {
+		if !s.Graph.Connected() {
+			t.Error("paper topology must be connected")
+		}
+		if len(s.StubASes()) == 0 || len(s.TransitASes()) == 0 {
+			t.Error("paper topology must mix roles")
+		}
+	}
+	// ByName accessor.
+	for _, name := range []string{"25", "46", "63"} {
+		if _, err := set.ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := set.ByName("99"); err == nil {
+		t.Error("ByName(99) should fail")
+	}
+	// Determinism across builds.
+	set2, err := BuildPaperTopologies(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.T46.Graph.NumEdges() != set2.T46.Graph.NumEdges() {
+		t.Error("paper topologies are not deterministic")
+	}
+}

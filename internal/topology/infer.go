@@ -1,0 +1,84 @@
+package topology
+
+import (
+	"repro/internal/astypes"
+)
+
+// Inference is the result of reconstructing an AS-level topology from
+// observed AS paths, exactly as the paper does from the Oregon
+// RouteViews table (§5.1): consecutive ASes on a path peer; an AS seen
+// in the interior of any path is a transit AS; all others are stubs.
+type Inference struct {
+	Graph   *Graph
+	Transit map[astypes.ASN]bool
+}
+
+// IsTransit reports whether asn was classified as a transit AS.
+func (inf *Inference) IsTransit(asn astypes.ASN) bool {
+	return inf.Transit[asn]
+}
+
+// TransitASes returns the transit ASes in ascending order.
+func (inf *Inference) TransitASes() []astypes.ASN {
+	var out []astypes.ASN
+	for a, t := range inf.Transit {
+		if t {
+			out = append(out, a)
+		}
+	}
+	return astypes.SortASNs(out)
+}
+
+// StubASes returns the stub ASes in ascending order.
+func (inf *Inference) StubASes() []astypes.ASN {
+	var out []astypes.ASN
+	for _, a := range inf.Graph.Nodes() {
+		if !inf.Transit[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// InferFromPaths reconstructs peerings and transit/stub roles from AS
+// paths. Duplicate consecutive ASes (path prepending) are collapsed;
+// AS_SET segments contribute no peering edges (aggregation hides the
+// true adjacency) but their members are registered as nodes.
+func InferFromPaths(paths []astypes.ASPath) *Inference {
+	inf := &Inference{Graph: NewGraph(), Transit: make(map[astypes.ASN]bool)}
+	for _, path := range paths {
+		inf.addPath(path)
+	}
+	return inf
+}
+
+func (inf *Inference) addPath(path astypes.ASPath) {
+	// Flatten AS_SEQUENCE hops, collapsing prepend repetitions; AS_SET
+	// members become isolated registrations.
+	var hops []astypes.ASN
+	for _, seg := range path.Segments {
+		if seg.Type == astypes.SegSet {
+			for _, a := range seg.ASNs {
+				inf.Graph.AddNode(a)
+			}
+			continue
+		}
+		for _, a := range seg.ASNs {
+			if len(hops) > 0 && hops[len(hops)-1] == a {
+				continue
+			}
+			hops = append(hops, a)
+		}
+	}
+	for i, a := range hops {
+		inf.Graph.AddNode(a)
+		if i > 0 {
+			inf.Graph.AddEdge(hops[i-1], a)
+		}
+		// "If a route to a prefix p has the AS Path 6453 1239 4621 ...
+		// we also mark AS 6453 as a transit AS" — interior positions.
+		if i > 0 && i < len(hops)-1 {
+			inf.Transit[a] = true
+		}
+	}
+}

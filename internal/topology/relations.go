@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"repro/internal/astypes"
+)
+
+// AS business relationships in the Gao-Rexford model. The paper's
+// simulation floods announcements over every peering; real BGP export
+// policy is constrained by these relationships (valley-free routing),
+// which internal/simbgp offers as an ablation.
+type Relation int
+
+// Relation values, read as "a is X of b" for Of(a, b).
+const (
+	// RelProvider: a sells transit to b.
+	RelProvider Relation = iota + 1
+	// RelCustomer: a buys transit from b.
+	RelCustomer
+	// RelPeer: settlement-free peering.
+	RelPeer
+	// RelNone: a and b do not peer.
+	RelNone
+)
+
+func (r Relation) String() string {
+	switch r {
+	case RelProvider:
+		return "provider"
+	case RelCustomer:
+		return "customer"
+	case RelPeer:
+		return "peer"
+	default:
+		return "none"
+	}
+}
+
+// Relations holds the inferred relationship of every edge.
+type Relations struct {
+	rel map[[2]astypes.ASN]Relation // keyed low-high; value is low's role
+}
+
+// NewRelations returns an empty relationship table for manual policy
+// configuration (operators know their contracts; inference is only a
+// fallback).
+func NewRelations() *Relations {
+	return &Relations{rel: make(map[[2]astypes.ASN]Relation)}
+}
+
+// Set records a's relationship to b (and implicitly the inverse).
+func (r *Relations) Set(a, b astypes.ASN, relation Relation) {
+	if a > b {
+		switch relation {
+		case RelProvider:
+			relation = RelCustomer
+		case RelCustomer:
+			relation = RelProvider
+		}
+		a, b = b, a
+	}
+	r.rel[[2]astypes.ASN{a, b}] = relation
+}
+
+// InferRelations classifies every edge of g with the standard
+// degree-based heuristic (after Gao): a transit AS adjacent to a stub
+// is the stub's provider; between two ASes of the same kind, the one
+// with substantially higher degree (>= 1.5x) is the provider, otherwise
+// they peer.
+func InferRelations(g *Graph, transit map[astypes.ASN]bool) *Relations {
+	r := &Relations{rel: make(map[[2]astypes.ASN]Relation, g.NumEdges())}
+	for _, e := range g.Edges() {
+		lo, hi := e[0], e[1]
+		r.rel[e] = classify(g, transit, lo, hi)
+	}
+	return r
+}
+
+func classify(g *Graph, transit map[astypes.ASN]bool, lo, hi astypes.ASN) Relation {
+	switch {
+	case transit[lo] && !transit[hi]:
+		return RelProvider
+	case !transit[lo] && transit[hi]:
+		return RelCustomer
+	}
+	dl, dh := g.Degree(lo), g.Degree(hi)
+	switch {
+	case 2*dl >= 3*dh: // dl >= 1.5*dh
+		return RelProvider
+	case 2*dh >= 3*dl:
+		return RelCustomer
+	default:
+		return RelPeer
+	}
+}
+
+// Of reports a's relationship to b (RelNone if they do not peer).
+func (r *Relations) Of(a, b astypes.ASN) Relation {
+	if a > b {
+		switch r.Of(b, a) {
+		case RelProvider:
+			return RelCustomer
+		case RelCustomer:
+			return RelProvider
+		case RelPeer:
+			return RelPeer
+		default:
+			return RelNone
+		}
+	}
+	rel, ok := r.rel[[2]astypes.ASN{a, b}]
+	if !ok {
+		return RelNone
+	}
+	return rel
+}
+
+// Customers returns a's customer neighbors in ascending order.
+func (r *Relations) Customers(g *Graph, a astypes.ASN) []astypes.ASN {
+	var out []astypes.ASN
+	for _, nb := range g.Neighbors(a) {
+		if r.Of(a, nb) == RelProvider {
+			out = append(out, nb)
+		}
+	}
+	return out
+}

@@ -1,0 +1,191 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/astypes"
+)
+
+// SampleResult is a simulation topology produced by the paper's §5.1
+// construction: the induced subgraph plus the role classification
+// restricted to retained nodes.
+type SampleResult struct {
+	Graph   *Graph
+	Transit map[astypes.ASN]bool
+}
+
+// StubASes lists retained stub ASes in ascending order.
+func (r *SampleResult) StubASes() []astypes.ASN {
+	var out []astypes.ASN
+	for _, a := range r.Graph.Nodes() {
+		if !r.Transit[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// TransitASes lists retained transit ASes in ascending order.
+func (r *SampleResult) TransitASes() []astypes.ASN {
+	var out []astypes.ASN
+	for _, a := range r.Graph.Nodes() {
+		if r.Transit[a] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Sample implements the paper's topology construction (§5.1):
+//
+//  1. randomly select fraction of the stub ASes;
+//  2. build the topology containing those stubs and their ISP (transit)
+//     peers, "with the peering relations among all the selected ASes
+//     completely preserved";
+//  3. iteratively prune any transit AS left with one or zero peers;
+//  4. inspect the result for connectedness (we keep the largest
+//     connected component, then re-prune, so the returned topology is
+//     always connected).
+//
+// The rng drives only the stub selection, so a fixed seed yields a fixed
+// topology.
+func Sample(inf *Inference, fraction float64, rng *rand.Rand) (*SampleResult, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, fmt.Errorf("stub fraction %v out of (0, 1]", fraction)
+	}
+	stubs := inf.StubASes()
+	if len(stubs) == 0 {
+		return nil, fmt.Errorf("inference has no stub ASes")
+	}
+	want := int(float64(len(stubs))*fraction + 0.5)
+	if want < 1 {
+		want = 1
+	}
+	perm := rng.Perm(len(stubs))
+	keep := make(map[astypes.ASN]bool)
+	for _, idx := range perm[:want] {
+		keep[stubs[idx]] = true
+	}
+	return buildFromStubs(inf, keep)
+}
+
+// SampleStubSet runs the same construction from an explicit stub set,
+// useful for tests and for reproducing a previously selected topology.
+func SampleStubSet(inf *Inference, stubs []astypes.ASN) (*SampleResult, error) {
+	keep := make(map[astypes.ASN]bool, len(stubs))
+	for _, s := range stubs {
+		if inf.Transit[s] {
+			return nil, fmt.Errorf("AS %s is a transit AS, not a stub", s)
+		}
+		if !inf.Graph.HasNode(s) {
+			return nil, fmt.Errorf("AS %s not in inferred graph", s)
+		}
+		keep[s] = true
+	}
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("empty stub selection")
+	}
+	return buildFromStubs(inf, keep)
+}
+
+func buildFromStubs(inf *Inference, selectedStubs map[astypes.ASN]bool) (*SampleResult, error) {
+	// Selected stubs plus their ISP (transit) peers.
+	keep := make(map[astypes.ASN]bool, len(selectedStubs)*2)
+	for s := range selectedStubs {
+		keep[s] = true
+		for _, nb := range inf.Graph.Neighbors(s) {
+			if inf.Transit[nb] {
+				keep[nb] = true
+			}
+		}
+	}
+	sub := inf.Graph.Subgraph(keep)
+
+	// Iterative prune: a transit AS with <= 1 peer carries no traffic in
+	// the sample and is removed; removal may strand others, so repeat to
+	// a fixpoint. Stubs left with no peers are also dropped.
+	prune(sub, inf.Transit)
+
+	// Keep the largest connected component, then prune again since
+	// component extraction can leave degree-1 transits.
+	sub = sub.LargestComponent()
+	prune(sub, inf.Transit)
+	sub = sub.LargestComponent()
+
+	if sub.NumNodes() == 0 {
+		return nil, fmt.Errorf("sampled topology pruned to nothing")
+	}
+	res := &SampleResult{Graph: sub, Transit: make(map[astypes.ASN]bool)}
+	for _, a := range sub.Nodes() {
+		if inf.Transit[a] {
+			res.Transit[a] = true
+		}
+	}
+	return res, nil
+}
+
+func prune(g *Graph, transit map[astypes.ASN]bool) {
+	for {
+		var victims []astypes.ASN
+		for _, a := range g.Nodes() {
+			d := g.Degree(a)
+			if transit[a] && d <= 1 {
+				victims = append(victims, a)
+			} else if !transit[a] && d == 0 {
+				victims = append(victims, a)
+			}
+		}
+		if len(victims) == 0 {
+			return
+		}
+		for _, v := range victims {
+			g.RemoveNode(v)
+		}
+	}
+}
+
+// SampleToSize searches stub fractions (and per-fraction seed offsets)
+// until the §5.1 construction yields a topology with exactly target
+// nodes. The search order is deterministic, so (inference, target,
+// seed) identifies a unique topology. Returns an error if no candidate
+// within the search budget matches.
+func SampleToSize(inf *Inference, target int, seed int64) (*SampleResult, error) {
+	if target < 3 {
+		return nil, fmt.Errorf("target size %d too small", target)
+	}
+	nStubs := len(inf.StubASes())
+	if nStubs == 0 {
+		return nil, fmt.Errorf("inference has no stub ASes")
+	}
+	for attempt := int64(0); attempt < 400; attempt++ {
+		for _, frac := range searchFractions(target, nStubs) {
+			rng := rand.New(rand.NewSource(seed + attempt*7919))
+			res, err := Sample(inf, frac, rng)
+			if err != nil {
+				continue
+			}
+			if res.Graph.NumNodes() == target {
+				return res, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("no %d-node sample found for seed %d", target, seed)
+}
+
+func searchFractions(target, nStubs int) []float64 {
+	// The sampled topology tends to have roughly 1.3-2x the stub count
+	// (stubs + their ISPs - pruning), so center the scan accordingly.
+	center := float64(target) / (1.8 * float64(nStubs))
+	var fracs []float64
+	for _, mult := range []float64{1.0, 0.85, 1.15, 0.7, 1.3, 0.55, 1.5} {
+		f := center * mult
+		if f > 0 && f <= 1 {
+			fracs = append(fracs, f)
+		}
+	}
+	if len(fracs) == 0 {
+		fracs = []float64{0.5}
+	}
+	return fracs
+}

@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/astypes"
+)
+
+// GraphStats summarizes the structural properties the paper's topology
+// discussion leans on (rich interconnection, small diameter).
+type GraphStats struct {
+	Nodes, Edges int
+	Degree       DegreeStats
+	// Diameter is the longest shortest path; MeanDistance averages all
+	// pairwise shortest-path lengths. Both are 0 for graphs with fewer
+	// than 2 nodes and computed on the largest component if disconnected.
+	Diameter     int
+	MeanDistance float64
+	// Clustering is the mean local clustering coefficient.
+	Clustering float64
+}
+
+// Stats computes the summary. O(V * (V + E)); fine for the topology
+// sizes this repository works at.
+func (g *Graph) Stats() GraphStats {
+	s := GraphStats{
+		Nodes:  g.NumNodes(),
+		Edges:  g.NumEdges(),
+		Degree: g.Degrees(),
+	}
+	work := g
+	if !g.Connected() && g.NumNodes() > 0 {
+		work = g.LargestComponent()
+	}
+	var (
+		sum   int
+		pairs int
+	)
+	for _, src := range work.Nodes() {
+		dist := work.ShortestPathLens(src)
+		for dst, d := range dist {
+			if dst == src {
+				continue
+			}
+			sum += d
+			pairs++
+			if d > s.Diameter {
+				s.Diameter = d
+			}
+		}
+	}
+	if pairs > 0 {
+		s.MeanDistance = float64(sum) / float64(pairs)
+	}
+	s.Clustering = g.clustering()
+	return s
+}
+
+// clustering returns the mean local clustering coefficient: for each
+// node with degree >= 2, the fraction of neighbor pairs that are
+// themselves connected.
+func (g *Graph) clustering() float64 {
+	var (
+		total float64
+		count int
+	)
+	for _, v := range g.Nodes() {
+		nbrs := g.Neighbors(v)
+		if len(nbrs) < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					links++
+				}
+			}
+		}
+		possible := len(nbrs) * (len(nbrs) - 1) / 2
+		total += float64(links) / float64(possible)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}
+
+// WriteDOT renders the sampled topology as Graphviz DOT: transit ASes
+// as boxes, stubs as circles.
+func (r *SampleResult) WriteDOT(w io.Writer, name string) error {
+	p := func(format string, args ...any) error {
+		_, err := fmt.Fprintf(w, format, args...)
+		return err
+	}
+	if err := p("graph %s {\n", name); err != nil {
+		return fmt.Errorf("write dot: %w", err)
+	}
+	for _, n := range r.Graph.Nodes() {
+		shape := "circle"
+		if r.Transit[n] {
+			shape = "box"
+		}
+		if err := p("  %s [shape=%s];\n", n, shape); err != nil {
+			return fmt.Errorf("write dot: %w", err)
+		}
+	}
+	for _, e := range r.Graph.Edges() {
+		if err := p("  %s -- %s;\n", e[0], e[1]); err != nil {
+			return fmt.Errorf("write dot: %w", err)
+		}
+	}
+	if err := p("}\n"); err != nil {
+		return fmt.Errorf("write dot: %w", err)
+	}
+	return nil
+}
+
+// WriteEdgeList renders the graph as "a b" lines in deterministic
+// order, with a summary comment header.
+func (r *SampleResult) WriteEdgeList(w io.Writer, name string) error {
+	g := r.Graph
+	deg := g.Degrees()
+	if _, err := fmt.Fprintf(w,
+		"# %s: %d nodes (%d transit, %d stub), %d edges, degree min/mean/max %d/%.1f/%d\n",
+		name, g.NumNodes(), len(r.TransitASes()), len(r.StubASes()), g.NumEdges(),
+		deg.Min, deg.Mean, deg.Max); err != nil {
+		return fmt.Errorf("write edge list: %w", err)
+	}
+	for _, e := range g.Edges() {
+		if _, err := fmt.Fprintf(w, "%s %s\n", e[0], e[1]); err != nil {
+			return fmt.Errorf("write edge list: %w", err)
+		}
+	}
+	return nil
+}
+
+// DegreeDistribution returns (degree, count) pairs ascending by degree.
+func (g *Graph) DegreeDistribution() [][2]int {
+	counts := make(map[int]int)
+	for _, n := range g.Nodes() {
+		counts[g.Degree(n)]++
+	}
+	out := make([][2]int, 0, len(counts))
+	for d, c := range counts {
+		out = append(out, [2]int{d, c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ParseEdgeList reads "a b" lines (comments and blanks skipped) into a
+// graph — the inverse of WriteEdgeList, for loading saved topologies.
+func ParseEdgeList(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("parse edge list line %d: want \"a b\", got %q", lineNo, line)
+		}
+		a, err := astypes.ParseASN(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("parse edge list line %d: %w", lineNo, err)
+		}
+		b, err := astypes.ParseASN(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("parse edge list line %d: %w", lineNo, err)
+		}
+		g.AddEdge(a, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("parse edge list: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func TestGraphStats(t *testing.T) {
+	// Triangle plus a pendant: clustering of the triangle nodes varies.
+	g := NewGraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(1, 3)
+	g.AddEdge(3, 4)
+	s := g.Stats()
+	if s.Nodes != 4 || s.Edges != 4 {
+		t.Errorf("nodes/edges = %d/%d", s.Nodes, s.Edges)
+	}
+	if s.Diameter != 2 {
+		t.Errorf("diameter = %d", s.Diameter)
+	}
+	// Clustering: nodes 1 and 2 have coefficient 1 (their two neighbors
+	// connect); node 3 has 1/3; node 4 has degree 1 (excluded).
+	want := (1.0 + 1.0 + 1.0/3.0) / 3.0
+	if diff := s.Clustering - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("clustering = %v, want %v", s.Clustering, want)
+	}
+	if s.MeanDistance <= 1 || s.MeanDistance >= 2 {
+		t.Errorf("mean distance = %v", s.MeanDistance)
+	}
+	if got := (NewGraph().Stats()); got.Nodes != 0 || got.Clustering != 0 {
+		t.Errorf("empty stats = %+v", got)
+	}
+}
+
+func TestDegreeDistribution(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	dist := g.DegreeDistribution()
+	if len(dist) != 2 || dist[0] != [2]int{1, 2} || dist[1] != [2]int{2, 1} {
+		t.Errorf("distribution = %v", dist)
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	set, err := BuildPaperTopologies(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := set.T25.WriteEdgeList(&sb, "25-AS"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseEdgeList(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumNodes() != set.T25.Graph.NumNodes() || back.NumEdges() != set.T25.Graph.NumEdges() {
+		t.Errorf("roundtrip: %d/%d vs %d/%d", back.NumNodes(), back.NumEdges(),
+			set.T25.Graph.NumNodes(), set.T25.Graph.NumEdges())
+	}
+	for _, e := range set.T25.Graph.Edges() {
+		if !back.HasEdge(e[0], e[1]) {
+			t.Fatalf("edge %v lost", e)
+		}
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"1\n", "1 2 3\n", "x y\n", "1 y\n"} {
+		if _, err := ParseEdgeList(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseEdgeList(%q) should fail", bad)
+		}
+	}
+	g, err := ParseEdgeList(strings.NewReader("# only comments\n\n"))
+	if err != nil || g.NumNodes() != 0 {
+		t.Errorf("comment-only input: %v, %v", g, err)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	inf, _ := GenerateInternet(DefaultInternetParams(), 1)
+	res, err := SampleStubSet(inf, inf.StubASes()[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := res.WriteDOT(&sb, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "graph test {") || !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("dot framing wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "[shape=box]") || !strings.Contains(out, "[shape=circle]") {
+		t.Error("dot missing role shapes")
+	}
+	_ = astypes.ASN(0)
+}

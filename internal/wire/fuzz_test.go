@@ -1,0 +1,85 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+// FuzzDecode asserts the codec never panics on arbitrary input, and
+// that anything it accepts re-encodes and decodes to the same message
+// (decode-encode-decode stability).
+func FuzzDecode(f *testing.F) {
+	// Seed corpus: one valid encoding of each message type plus some
+	// deliberately damaged variants.
+	seed := func(m Message) []byte {
+		buf, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return buf
+	}
+	open := seed(&Open{Version: Version4, AS: 701, HoldTime: 90, BGPID: 1})
+	update := seed(&Update{
+		Withdrawn: []astypes.Prefix{astypes.MustPrefix(0x0a000000, 8)},
+		Attrs:     wireAttrs(),
+		NLRI:      []astypes.Prefix{astypes.MustPrefix(0x83b30000, 16)},
+	})
+	keepalive := seed(&Keepalive{})
+	notif := seed(&Notification{Code: 6, Subcode: 1, Data: []byte{1}})
+	f.Add(open)
+	f.Add(update)
+	f.Add(keepalive)
+	f.Add(notif)
+	for _, base := range [][]byte{open, update} {
+		for i := 0; i < len(base); i += 3 {
+			mut := append([]byte(nil), base...)
+			mut[i] ^= 0xa5
+			f.Add(mut)
+		}
+		f.Add(base[:len(base)-1])
+		f.Add(append(append([]byte(nil), base...), 0))
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xff}, 19))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("accepted message failed to re-encode: %v", err)
+		}
+		m2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded message failed to decode: %v", err)
+		}
+		re2, err := Encode(m2)
+		if err != nil {
+			t.Fatalf("second re-encode: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("encode not stable:\n  %x\n  %x", re, re2)
+		}
+	})
+}
+
+func wireAttrs() PathAttrs {
+	return PathAttrs{
+		HasOrigin:       true,
+		Origin:          OriginIGP,
+		ASPath:          astypes.NewSeqPath(701, 1239, 4),
+		HasNextHop:      true,
+		NextHop:         0x0a000001,
+		HasLocalPref:    true,
+		LocalPref:       100,
+		AtomicAggregate: true,
+		HasAggregator:   true,
+		AggregatorAS:    701,
+		AggregatorID:    7,
+		Communities:     []astypes.Community{astypes.NewCommunity(4, 0xffde)},
+	}
+}

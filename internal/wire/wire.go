@@ -1,0 +1,718 @@
+// Package wire implements a BGP-4 binary message codec in the style of
+// RFC 4271 (with RFC 1997 communities), sufficient to run live speaker
+// meshes over TCP and to serialize routing feeds for the offline MOAS
+// monitor. AS numbers are 2 octets, matching the era of the paper.
+//
+// The codec is strict on decode: malformed input returns a
+// *MessageError carrying the NOTIFICATION error code/subcode a conformant
+// speaker would send.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/astypes"
+)
+
+// Message size limits and header layout (RFC 4271 §4.1).
+const (
+	HeaderLen     = 19
+	MaxMessageLen = 4096
+	markerLen     = 16
+)
+
+// MsgType identifies a BGP message type.
+type MsgType uint8
+
+// BGP message types.
+const (
+	MsgOpen         MsgType = 1
+	MsgUpdate       MsgType = 2
+	MsgNotification MsgType = 3
+	MsgKeepalive    MsgType = 4
+	// MsgRouteRefresh is the RFC 2918 ROUTE-REFRESH message.
+	MsgRouteRefresh MsgType = 5
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgOpen:
+		return "OPEN"
+	case MsgUpdate:
+		return "UPDATE"
+	case MsgNotification:
+		return "NOTIFICATION"
+	case MsgKeepalive:
+		return "KEEPALIVE"
+	case MsgRouteRefresh:
+		return "ROUTE-REFRESH"
+	default:
+		return fmt.Sprintf("TYPE(%d)", uint8(t))
+	}
+}
+
+// NOTIFICATION error codes (RFC 4271 §4.5).
+const (
+	ErrCodeHeader    uint8 = 1
+	ErrCodeOpen      uint8 = 2
+	ErrCodeUpdate    uint8 = 3
+	ErrCodeHoldTimer uint8 = 4
+	ErrCodeFSM       uint8 = 5
+	ErrCodeCease     uint8 = 6
+)
+
+// Header error subcodes.
+const (
+	SubConnNotSynced uint8 = 1
+	SubBadLength     uint8 = 2
+	SubBadType       uint8 = 3
+)
+
+// UPDATE error subcodes (subset used by this implementation).
+const (
+	SubMalformedAttrList uint8 = 1
+	SubUnrecognizedAttr  uint8 = 2
+	SubMissingMandatory  uint8 = 3
+	SubAttrFlagsError    uint8 = 4
+	SubAttrLengthError   uint8 = 5
+	SubInvalidOrigin     uint8 = 6
+	SubInvalidNextHop    uint8 = 8
+	SubMalformedASPath   uint8 = 11
+	SubMalformedNLRI     uint8 = 10
+)
+
+// OPEN error subcodes.
+const (
+	SubUnsupportedVersion uint8 = 1
+	SubBadPeerAS          uint8 = 2
+	SubBadBGPID           uint8 = 3
+	SubUnacceptableHold   uint8 = 6
+)
+
+// MessageError is a decode failure annotated with the NOTIFICATION
+// code/subcode a speaker should emit in response.
+type MessageError struct {
+	Code    uint8
+	Subcode uint8
+	Reason  string
+}
+
+func (e *MessageError) Error() string {
+	return fmt.Sprintf("bgp message error (code %d subcode %d): %s", e.Code, e.Subcode, e.Reason)
+}
+
+func msgErrf(code, sub uint8, format string, args ...any) error {
+	return &MessageError{Code: code, Subcode: sub, Reason: fmt.Sprintf(format, args...)}
+}
+
+// Message is any decodable BGP message body.
+type Message interface {
+	// Type returns the message type code.
+	Type() MsgType
+	// encodeBody appends the body (everything after the 19-byte header).
+	encodeBody(dst []byte) ([]byte, error)
+}
+
+// Open is the BGP OPEN message. Optional parameters are not modelled.
+type Open struct {
+	Version  uint8
+	AS       astypes.ASN
+	HoldTime uint16
+	BGPID    uint32
+}
+
+// Version4 is the only supported BGP version.
+const Version4 uint8 = 4
+
+// Type implements Message.
+func (*Open) Type() MsgType { return MsgOpen }
+
+func (o *Open) encodeBody(dst []byte) ([]byte, error) {
+	dst = append(dst, o.Version)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(o.AS))
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	dst = binary.BigEndian.AppendUint32(dst, o.BGPID)
+	dst = append(dst, 0) // optional parameters length
+	return dst, nil
+}
+
+func decodeOpen(body []byte) (*Open, error) {
+	if len(body) < 10 {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "OPEN body %d bytes, need >= 10", len(body))
+	}
+	o := &Open{
+		Version:  body[0],
+		AS:       astypes.ASN(binary.BigEndian.Uint16(body[1:3])),
+		HoldTime: binary.BigEndian.Uint16(body[3:5]),
+		BGPID:    binary.BigEndian.Uint32(body[5:9]),
+	}
+	if o.Version != Version4 {
+		return nil, msgErrf(ErrCodeOpen, SubUnsupportedVersion, "version %d", o.Version)
+	}
+	optLen := int(body[9])
+	if len(body) != 10+optLen {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "OPEN optional params length mismatch")
+	}
+	if o.HoldTime == 1 || o.HoldTime == 2 {
+		return nil, msgErrf(ErrCodeOpen, SubUnacceptableHold, "hold time %d", o.HoldTime)
+	}
+	return o, nil
+}
+
+// RouteRefresh is the RFC 2918 ROUTE-REFRESH message: a request that
+// the peer re-advertise its Adj-RIB-Out for the given AFI/SAFI (always
+// IPv4 unicast here).
+type RouteRefresh struct {
+	AFI  uint16
+	SAFI uint8
+}
+
+// IPv4 unicast address family identifiers.
+const (
+	AFIIPv4     uint16 = 1
+	SAFIUnicast uint8  = 1
+)
+
+// Type implements Message.
+func (*RouteRefresh) Type() MsgType { return MsgRouteRefresh }
+
+func (r *RouteRefresh) encodeBody(dst []byte) ([]byte, error) {
+	dst = binary.BigEndian.AppendUint16(dst, r.AFI)
+	dst = append(dst, 0 /* reserved */, r.SAFI)
+	return dst, nil
+}
+
+func decodeRouteRefresh(body []byte) (*RouteRefresh, error) {
+	if len(body) != 4 {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "ROUTE-REFRESH body %d bytes", len(body))
+	}
+	return &RouteRefresh{
+		AFI:  binary.BigEndian.Uint16(body[:2]),
+		SAFI: body[3],
+	}, nil
+}
+
+// Keepalive is the (body-less) KEEPALIVE message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() MsgType { return MsgKeepalive }
+
+func (*Keepalive) encodeBody(dst []byte) ([]byte, error) { return dst, nil }
+
+// Notification is the BGP NOTIFICATION message.
+type Notification struct {
+	Code    uint8
+	Subcode uint8
+	Data    []byte
+}
+
+// Type implements Message.
+func (*Notification) Type() MsgType { return MsgNotification }
+
+func (n *Notification) encodeBody(dst []byte) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+func decodeNotification(body []byte) (*Notification, error) {
+	if len(body) < 2 {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "NOTIFICATION body %d bytes", len(body))
+	}
+	n := &Notification{Code: body[0], Subcode: body[1]}
+	if len(body) > 2 {
+		n.Data = append([]byte(nil), body[2:]...)
+	}
+	return n, nil
+}
+
+// OriginCode is the value of the ORIGIN path attribute.
+type OriginCode uint8
+
+// ORIGIN attribute values.
+const (
+	OriginIGP        OriginCode = 0
+	OriginEGP        OriginCode = 1
+	OriginIncomplete OriginCode = 2
+)
+
+// Update is the BGP UPDATE message. Attrs carries the decoded path
+// attributes relevant to this system; unrecognized optional transitive
+// attributes are preserved opaquely in Unknown so they transit unchanged.
+type Update struct {
+	Withdrawn []astypes.Prefix
+	Attrs     PathAttrs
+	NLRI      []astypes.Prefix
+}
+
+// PathAttrs is the decoded attribute set of an UPDATE.
+type PathAttrs struct {
+	HasOrigin    bool
+	Origin       OriginCode
+	ASPath       astypes.ASPath
+	HasNextHop   bool
+	NextHop      uint32
+	HasLocalPref bool
+	LocalPref    uint32
+	// AtomicAggregate marks a route summarized with loss of path detail
+	// (RFC 4271 §5.1.6); Aggregator identifies the summarizing speaker.
+	AtomicAggregate bool
+	HasAggregator   bool
+	AggregatorAS    astypes.ASN
+	AggregatorID    uint32
+	Communities     []astypes.Community
+	// Unknown holds unrecognized optional transitive attributes verbatim
+	// (flags, type, value) so they are re-encoded on propagation.
+	Unknown []UnknownAttr
+}
+
+// UnknownAttr preserves an attribute this codec does not interpret.
+type UnknownAttr struct {
+	Flags uint8
+	Code  uint8
+	Value []byte
+}
+
+// NewOptionalTransitive builds an optional transitive attribute this
+// codec carries opaquely (e.g. the dedicated MOAS-list attribute).
+func NewOptionalTransitive(code uint8, value []byte) UnknownAttr {
+	return UnknownAttr{
+		Flags: flagOptional | flagTransitive,
+		Code:  code,
+		Value: append([]byte(nil), value...),
+	}
+}
+
+// CloneUnknownAttrs deep-copies a slice of opaque attributes.
+func CloneUnknownAttrs(in []UnknownAttr) []UnknownAttr {
+	if len(in) == 0 {
+		return nil
+	}
+	out := make([]UnknownAttr, len(in))
+	for i, u := range in {
+		out[i] = UnknownAttr{Flags: u.Flags, Code: u.Code, Value: append([]byte(nil), u.Value...)}
+	}
+	return out
+}
+
+// FindUnknownAttr returns the value of the first opaque attribute with
+// the given code, or nil.
+func FindUnknownAttr(attrs []UnknownAttr, code uint8) []byte {
+	for _, u := range attrs {
+		if u.Code == code {
+			return u.Value
+		}
+	}
+	return nil
+}
+
+// Path attribute type codes.
+const (
+	attrOrigin          uint8 = 1
+	attrASPath          uint8 = 2
+	attrNextHop         uint8 = 3
+	attrLocalPref       uint8 = 5
+	attrAtomicAggregate uint8 = 6
+	attrAggregator      uint8 = 7
+	attrCommunity       uint8 = 8
+)
+
+// Path attribute flags.
+const (
+	flagOptional   uint8 = 0x80
+	flagTransitive uint8 = 0x40
+	flagPartial    uint8 = 0x20
+	flagExtLen     uint8 = 0x10
+)
+
+// Type implements Message.
+func (*Update) Type() MsgType { return MsgUpdate }
+
+func (u *Update) encodeBody(dst []byte) ([]byte, error) {
+	withdrawn, err := encodePrefixes(nil, u.Withdrawn)
+	if err != nil {
+		return nil, fmt.Errorf("encode withdrawn routes: %w", err)
+	}
+	attrs, err := u.Attrs.encode(nil, len(u.NLRI) > 0)
+	if err != nil {
+		return nil, err
+	}
+	nlri, err := encodePrefixes(nil, u.NLRI)
+	if err != nil {
+		return nil, fmt.Errorf("encode NLRI: %w", err)
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(withdrawn)))
+	dst = append(dst, withdrawn...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
+	dst = append(dst, attrs...)
+	return append(dst, nlri...), nil
+}
+
+func (a *PathAttrs) encode(dst []byte, mandatory bool) ([]byte, error) {
+	appendAttr := func(flags, code uint8, val []byte) error {
+		if len(val) > 0xffff {
+			return fmt.Errorf("attribute %d too long: %d bytes", code, len(val))
+		}
+		// The extended-length bit describes this encoding, not the
+		// attribute; recompute it from the actual value size.
+		flags &^= flagExtLen
+		if len(val) > 0xff {
+			flags |= flagExtLen
+			dst = append(dst, flags, code)
+			dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+		} else {
+			dst = append(dst, flags, code, uint8(len(val)))
+		}
+		dst = append(dst, val...)
+		return nil
+	}
+	if a.HasOrigin || mandatory {
+		if err := appendAttr(flagTransitive, attrOrigin, []byte{uint8(a.Origin)}); err != nil {
+			return nil, err
+		}
+	}
+	if len(a.ASPath.Segments) > 0 || mandatory {
+		var pv []byte
+		for _, seg := range a.ASPath.Segments {
+			if len(seg.ASNs) > 255 {
+				return nil, fmt.Errorf("AS_PATH segment with %d ASNs exceeds 255", len(seg.ASNs))
+			}
+			pv = append(pv, uint8(seg.Type), uint8(len(seg.ASNs)))
+			for _, asn := range seg.ASNs {
+				pv = binary.BigEndian.AppendUint16(pv, uint16(asn))
+			}
+		}
+		if err := appendAttr(flagTransitive, attrASPath, pv); err != nil {
+			return nil, err
+		}
+	}
+	if a.HasNextHop || mandatory {
+		if err := appendAttr(flagTransitive, attrNextHop, binary.BigEndian.AppendUint32(nil, a.NextHop)); err != nil {
+			return nil, err
+		}
+	}
+	if a.HasLocalPref {
+		if err := appendAttr(flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref)); err != nil {
+			return nil, err
+		}
+	}
+	if a.AtomicAggregate {
+		if err := appendAttr(flagTransitive, attrAtomicAggregate, nil); err != nil {
+			return nil, err
+		}
+	}
+	if a.HasAggregator {
+		av := binary.BigEndian.AppendUint16(nil, uint16(a.AggregatorAS))
+		av = binary.BigEndian.AppendUint32(av, a.AggregatorID)
+		if err := appendAttr(flagOptional|flagTransitive, attrAggregator, av); err != nil {
+			return nil, err
+		}
+	}
+	if len(a.Communities) > 0 {
+		cv := make([]byte, 0, 4*len(a.Communities))
+		for _, c := range a.Communities {
+			cv = binary.BigEndian.AppendUint32(cv, uint32(c))
+		}
+		if err := appendAttr(flagOptional|flagTransitive, attrCommunity, cv); err != nil {
+			return nil, err
+		}
+	}
+	for _, u := range a.Unknown {
+		if err := appendAttr(u.Flags|flagPartial, u.Code, u.Value); err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+func decodeUpdate(body []byte) (*Update, error) {
+	if len(body) < 4 {
+		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "UPDATE body %d bytes", len(body))
+	}
+	u := &Update{}
+	wLen := int(binary.BigEndian.Uint16(body[:2]))
+	rest := body[2:]
+	if wLen > len(rest) {
+		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "withdrawn length %d exceeds body", wLen)
+	}
+	var err error
+	u.Withdrawn, err = decodePrefixes(rest[:wLen])
+	if err != nil {
+		return nil, msgErrf(ErrCodeUpdate, SubMalformedNLRI, "withdrawn routes: %v", err)
+	}
+	rest = rest[wLen:]
+	if len(rest) < 2 {
+		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "missing attribute length")
+	}
+	aLen := int(binary.BigEndian.Uint16(rest[:2]))
+	rest = rest[2:]
+	if aLen > len(rest) {
+		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "attribute length %d exceeds body", aLen)
+	}
+	if err := u.Attrs.decode(rest[:aLen]); err != nil {
+		return nil, err
+	}
+	u.NLRI, err = decodePrefixes(rest[aLen:])
+	if err != nil {
+		return nil, msgErrf(ErrCodeUpdate, SubMalformedNLRI, "NLRI: %v", err)
+	}
+	if len(u.NLRI) > 0 {
+		if !u.Attrs.HasOrigin {
+			return nil, msgErrf(ErrCodeUpdate, SubMissingMandatory, "ORIGIN missing")
+		}
+		if !u.Attrs.HasNextHop {
+			return nil, msgErrf(ErrCodeUpdate, SubMissingMandatory, "NEXT_HOP missing")
+		}
+	}
+	return u, nil
+}
+
+func (a *PathAttrs) decode(data []byte) error {
+	seen := make(map[uint8]bool)
+	for len(data) > 0 {
+		if len(data) < 3 {
+			return msgErrf(ErrCodeUpdate, SubMalformedAttrList, "truncated attribute header")
+		}
+		flags, code := data[0], data[1]
+		var (
+			vLen int
+			off  int
+		)
+		if flags&flagExtLen != 0 {
+			if len(data) < 4 {
+				return msgErrf(ErrCodeUpdate, SubMalformedAttrList, "truncated extended length")
+			}
+			vLen = int(binary.BigEndian.Uint16(data[2:4]))
+			off = 4
+		} else {
+			vLen = int(data[2])
+			off = 3
+		}
+		if off+vLen > len(data) {
+			return msgErrf(ErrCodeUpdate, SubAttrLengthError, "attribute %d length %d exceeds remaining", code, vLen)
+		}
+		val := data[off : off+vLen]
+		data = data[off+vLen:]
+		if seen[code] {
+			return msgErrf(ErrCodeUpdate, SubMalformedAttrList, "duplicate attribute %d", code)
+		}
+		seen[code] = true
+		switch code {
+		case attrOrigin:
+			if vLen != 1 {
+				return msgErrf(ErrCodeUpdate, SubAttrLengthError, "ORIGIN length %d", vLen)
+			}
+			if val[0] > uint8(OriginIncomplete) {
+				return msgErrf(ErrCodeUpdate, SubInvalidOrigin, "ORIGIN value %d", val[0])
+			}
+			a.HasOrigin, a.Origin = true, OriginCode(val[0])
+		case attrASPath:
+			path, err := decodeASPath(val)
+			if err != nil {
+				return err
+			}
+			a.ASPath = path
+		case attrNextHop:
+			if vLen != 4 {
+				return msgErrf(ErrCodeUpdate, SubInvalidNextHop, "NEXT_HOP length %d", vLen)
+			}
+			a.HasNextHop, a.NextHop = true, binary.BigEndian.Uint32(val)
+		case attrLocalPref:
+			if vLen != 4 {
+				return msgErrf(ErrCodeUpdate, SubAttrLengthError, "LOCAL_PREF length %d", vLen)
+			}
+			a.HasLocalPref, a.LocalPref = true, binary.BigEndian.Uint32(val)
+		case attrAtomicAggregate:
+			if vLen != 0 {
+				return msgErrf(ErrCodeUpdate, SubAttrLengthError, "ATOMIC_AGGREGATE length %d", vLen)
+			}
+			a.AtomicAggregate = true
+		case attrAggregator:
+			if vLen != 6 {
+				return msgErrf(ErrCodeUpdate, SubAttrLengthError, "AGGREGATOR length %d", vLen)
+			}
+			a.HasAggregator = true
+			a.AggregatorAS = astypes.ASN(binary.BigEndian.Uint16(val[:2]))
+			a.AggregatorID = binary.BigEndian.Uint32(val[2:6])
+		case attrCommunity:
+			if vLen%4 != 0 {
+				return msgErrf(ErrCodeUpdate, SubAttrLengthError, "COMMUNITY length %d", vLen)
+			}
+			for i := 0; i < vLen; i += 4 {
+				a.Communities = append(a.Communities, astypes.Community(binary.BigEndian.Uint32(val[i:i+4])))
+			}
+		default:
+			if flags&flagOptional == 0 {
+				return msgErrf(ErrCodeUpdate, SubUnrecognizedAttr, "well-known attribute %d unrecognized", code)
+			}
+			if flags&flagTransitive != 0 {
+				a.Unknown = append(a.Unknown, UnknownAttr{
+					// Strip the length-encoding bit: it is recomputed on
+					// re-encode and must not leak into stored state.
+					Flags: flags &^ flagExtLen,
+					Code:  code,
+					Value: append([]byte(nil), val...),
+				})
+			}
+			// Optional non-transitive unknown attributes are silently dropped.
+		}
+	}
+	return nil
+}
+
+func decodeASPath(val []byte) (astypes.ASPath, error) {
+	var path astypes.ASPath
+	for len(val) > 0 {
+		if len(val) < 2 {
+			return astypes.ASPath{}, msgErrf(ErrCodeUpdate, SubMalformedASPath, "truncated segment header")
+		}
+		segType, count := val[0], int(val[1])
+		if segType != uint8(astypes.SegSequence) && segType != uint8(astypes.SegSet) {
+			return astypes.ASPath{}, msgErrf(ErrCodeUpdate, SubMalformedASPath, "segment type %d", segType)
+		}
+		need := 2 + 2*count
+		if len(val) < need {
+			return astypes.ASPath{}, msgErrf(ErrCodeUpdate, SubMalformedASPath, "segment needs %d bytes, have %d", need, len(val))
+		}
+		seg := astypes.Segment{Type: astypes.SegmentType(segType), ASNs: make([]astypes.ASN, count)}
+		for i := 0; i < count; i++ {
+			seg.ASNs[i] = astypes.ASN(binary.BigEndian.Uint16(val[2+2*i : 4+2*i]))
+		}
+		path.Segments = append(path.Segments, seg)
+		val = val[need:]
+	}
+	return path, nil
+}
+
+func encodePrefixes(dst []byte, prefixes []astypes.Prefix) ([]byte, error) {
+	for _, p := range prefixes {
+		if p.Len > 32 {
+			return nil, fmt.Errorf("prefix length %d out of range", p.Len)
+		}
+		dst = append(dst, p.Len)
+		octets := (int(p.Len) + 7) / 8
+		for i := 0; i < octets; i++ {
+			dst = append(dst, byte(p.Addr>>uint(24-8*i)))
+		}
+	}
+	return dst, nil
+}
+
+func decodePrefixes(data []byte) ([]astypes.Prefix, error) {
+	var out []astypes.Prefix
+	for len(data) > 0 {
+		length := data[0]
+		if length > 32 {
+			return nil, fmt.Errorf("prefix length %d out of range", length)
+		}
+		octets := (int(length) + 7) / 8
+		if len(data) < 1+octets {
+			return nil, fmt.Errorf("truncated prefix of length %d", length)
+		}
+		var addr uint32
+		for i := 0; i < octets; i++ {
+			addr |= uint32(data[1+i]) << uint(24-8*i)
+		}
+		// Mask off any stray host bits rather than rejecting: RFC 4271
+		// leaves trailing bits unspecified.
+		if length > 0 {
+			addr &= ^uint32(0) << (32 - length)
+		} else {
+			addr = 0
+		}
+		p, err := astypes.NewPrefix(addr, length)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+		data = data[1+octets:]
+	}
+	return out, nil
+}
+
+// Encode serializes a full message (header + body).
+func Encode(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderLen, HeaderLen+64)
+	for i := 0; i < markerLen; i++ {
+		buf[i] = 0xff
+	}
+	buf[18] = uint8(m.Type())
+	buf, err := m.encodeBody(buf)
+	if err != nil {
+		return nil, fmt.Errorf("encode %s: %w", m.Type(), err)
+	}
+	if len(buf) > MaxMessageLen {
+		return nil, fmt.Errorf("encode %s: message %d bytes exceeds max %d", m.Type(), len(buf), MaxMessageLen)
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Decode parses one complete message from buf (header included).
+func Decode(buf []byte) (Message, error) {
+	if len(buf) < HeaderLen {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "message %d bytes < header", len(buf))
+	}
+	for i := 0; i < markerLen; i++ {
+		if buf[i] != 0xff {
+			return nil, msgErrf(ErrCodeHeader, SubConnNotSynced, "bad marker")
+		}
+	}
+	totalLen := int(binary.BigEndian.Uint16(buf[16:18]))
+	if totalLen != len(buf) || totalLen > MaxMessageLen {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "declared length %d, have %d", totalLen, len(buf))
+	}
+	body := buf[HeaderLen:]
+	switch MsgType(buf[18]) {
+	case MsgOpen:
+		return decodeOpen(body)
+	case MsgUpdate:
+		return decodeUpdate(body)
+	case MsgNotification:
+		return decodeNotification(body)
+	case MsgKeepalive:
+		if len(body) != 0 {
+			return nil, msgErrf(ErrCodeHeader, SubBadLength, "KEEPALIVE with body")
+		}
+		return &Keepalive{}, nil
+	case MsgRouteRefresh:
+		return decodeRouteRefresh(body)
+	default:
+		return nil, msgErrf(ErrCodeHeader, SubBadType, "type %d", buf[18])
+	}
+}
+
+// ReadMessage reads exactly one message from r, using the header length
+// field to frame it.
+func ReadMessage(r io.Reader) (Message, error) {
+	hdr := make([]byte, HeaderLen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	totalLen := int(binary.BigEndian.Uint16(hdr[16:18]))
+	if totalLen < HeaderLen || totalLen > MaxMessageLen {
+		return nil, msgErrf(ErrCodeHeader, SubBadLength, "declared length %d", totalLen)
+	}
+	buf := make([]byte, totalLen)
+	copy(buf, hdr)
+	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// WriteMessage encodes and writes one message to w.
+func WriteMessage(w io.Writer, m Message) error {
+	buf, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
