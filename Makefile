@@ -1,0 +1,37 @@
+GO ?= go
+
+# Fuzz targets exercised by fuzz-smoke, as package:target pairs.
+FUZZ_TARGETS := \
+	./internal/wire:FuzzDecode \
+	./internal/astypes:FuzzParsePrefix \
+	./internal/astypes:FuzzParseASPath \
+	./internal/astypes:FuzzParseCommunity
+FUZZTIME ?= 10s
+
+.PHONY: build test vet race fuzz-smoke check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## vet: stock go vet plus the repo's own analyzers (cmd/repro-vet).
+vet:
+	$(GO) vet ./...
+	$(GO) run ./cmd/repro-vet ./...
+
+## race: the full test suite under the race detector.
+race:
+	$(GO) test -race ./...
+
+## fuzz-smoke: run each fuzz target briefly against its seed corpus.
+fuzz-smoke:
+	@set -e; for entry in $(FUZZ_TARGETS); do \
+		pkg=$${entry%%:*}; target=$${entry##*:}; \
+		echo "fuzz $$target ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run='^$$' -fuzz="^$$target$$" -fuzztime=$(FUZZTIME) $$pkg; \
+	done
+
+## check: the full verification gate CI runs on every PR.
+check: build vet test race fuzz-smoke

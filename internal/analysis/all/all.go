@@ -1,0 +1,23 @@
+// Package all registers every repo-specific analyzer, for the
+// cmd/repro-vet multichecker and any future drivers.
+package all
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/analysis/attrbounds"
+	"repro/internal/analysis/goroutinectx"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/moascompare"
+	"repro/internal/analysis/wireerr"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		attrbounds.Analyzer,
+		goroutinectx.Analyzer,
+		lockcheck.Analyzer,
+		moascompare.Analyzer,
+		wireerr.Analyzer,
+	}
+}

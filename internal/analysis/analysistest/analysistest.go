@@ -1,0 +1,175 @@
+// Package analysistest runs an analyzer over fixture packages under a
+// testdata/src tree and checks the reported diagnostics against
+// expectations written in the fixtures themselves, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	bad()  // want `regexp matching the diagnostic`
+//
+// A line may carry several back-quoted (or double-quoted) regexps when
+// several diagnostics are expected on it. Every diagnostic must match a
+// want on its line, and every want must be matched by a diagnostic.
+//
+// Fixture packages live at testdata/src/<importpath>/. Imports resolve
+// first against testdata/src (so fixtures can stub repo packages such
+// as repro/internal/core with just the declarations the analyzer keys
+// on), then against the real build via export data, which covers the
+// standard library.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// srcImporter resolves fixture imports: testdata/src first, then the
+// surrounding module's export data (standard library and real deps).
+type srcImporter struct {
+	srcDir   string
+	fset     *token.FileSet
+	fallback *load.DepImporter
+	pkgs     map[string]*types.Package
+	loading  map[string]bool
+	units    map[string]analysis.Unit
+}
+
+func (si *srcImporter) Import(path string) (*types.Package, error) {
+	if p, ok := si.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(si.srcDir, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err != nil || !st.IsDir() {
+		return si.fallback.Import(path)
+	}
+	if si.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	si.loading[path] = true
+	defer delete(si.loading, path)
+	pkg, err := load.CheckDir(si.fset, dir, path, nil, si)
+	if err != nil {
+		return nil, err
+	}
+	si.pkgs[path] = pkg.Types
+	si.units[path] = analysis.Unit{
+		Fset:      pkg.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+	}
+	return pkg.Types, nil
+}
+
+// want expectations: file:line -> pending regexps.
+type wantKey struct {
+	file string
+	line int
+}
+
+var wantRe = regexp.MustCompile("//.*\\bwant\\b(.*)$")
+
+// parseWants extracts // want expectations from one fixture file.
+func parseWants(path string) (map[int][]*regexp.Regexp, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[int][]*regexp.Regexp)
+	for i, line := range strings.Split(string(data), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			quote := rest[0]
+			if quote != '`' && quote != '"' {
+				return nil, fmt.Errorf("%s:%d: malformed want: %q", path, i+1, rest)
+			}
+			end := strings.IndexByte(rest[1:], quote)
+			if end < 0 {
+				return nil, fmt.Errorf("%s:%d: unterminated want pattern", path, i+1)
+			}
+			pat := rest[1 : 1+end]
+			re, err := regexp.Compile(pat)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+			}
+			out[i+1] = append(out[i+1], re)
+			rest = strings.TrimSpace(rest[2+end:])
+		}
+	}
+	return out, nil
+}
+
+// Run loads each fixture package from testdataDir/src, applies the
+// analyzer, and reports mismatches between diagnostics and // want
+// expectations as test errors. Suppression comments are honored, so
+// fixtures can cover them.
+func Run(t *testing.T, testdataDir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	srcDir := filepath.Join(testdataDir, "src")
+	fset := token.NewFileSet()
+	si := &srcImporter{
+		srcDir:   srcDir,
+		fset:     fset,
+		fallback: load.NewDepImporter(".", fset),
+		pkgs:     make(map[string]*types.Package),
+		loading:  make(map[string]bool),
+		units:    make(map[string]analysis.Unit),
+	}
+	for _, path := range pkgPaths {
+		if _, err := si.Import(path); err != nil {
+			t.Fatalf("load fixture %s: %v", path, err)
+		}
+		unit := si.units[path]
+		diags, err := analysis.Run(unit, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, path, err)
+		}
+
+		pending := make(map[wantKey][]*regexp.Regexp)
+		for _, f := range unit.Files {
+			name := fset.Position(f.Pos()).Filename
+			wants, err := parseWants(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for line, res := range wants {
+				pending[wantKey{name, line}] = res
+			}
+		}
+
+		for _, d := range diags {
+			key := wantKey{d.Pos.Filename, d.Pos.Line}
+			matched := -1
+			for i, re := range pending[key] {
+				if re.MatchString(d.Message) {
+					matched = i
+					break
+				}
+			}
+			if matched < 0 {
+				t.Errorf("%s: unexpected diagnostic: %s", path, d)
+				continue
+			}
+			pending[key] = append(pending[key][:matched], pending[key][matched+1:]...)
+			if len(pending[key]) == 0 {
+				delete(pending, key)
+			}
+		}
+		for key, res := range pending {
+			for _, re := range res {
+				t.Errorf("%s: no diagnostic at %s:%d matching %q", path, key.file, key.line, re)
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package attrbounds flags community-attribute tuple construction that
+// bypasses the validated constructors.
+//
+// The MOAS list rides in BGP community values (§4.2): a community is an
+// (ASN, value) tuple packed into 32 bits, and the reserved value
+// core.MLVal marks a community as a MOAS-list member. The only
+// sanctioned ways to build these tuples are:
+//
+//   - astypes.NewCommunity / astypes.ParseCommunity for general
+//     communities,
+//   - core.List.Communities() for MOAS-list members (it emits the
+//     canonical ascending order the checker relies on),
+//   - wire.NewOptionalTransitive for the dedicated attribute encoding.
+//
+// Raw uint32 conversions, hand-rolled shifts, direct UnknownAttr
+// literals, or NewCommunity calls that hardcode the MLVal half all
+// bypass those invariants; a single mis-packed tuple makes two
+// honestly-identical MOAS lists compare unequal and raises a false
+// alarm. The decoding packages (astypes, wire, routegen) own the raw
+// representation and are exempt.
+package attrbounds
+
+import (
+	"go/ast"
+	"go/constant"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags community/attribute construction outside the
+// validated constructors.
+var Analyzer = &analysis.Analyzer{
+	Name: "attrbounds",
+	Doc: "flags community-attribute tuples built without the validated constructors " +
+		"(astypes.NewCommunity, core.List.Communities, wire.NewOptionalTransitive)",
+	Run: run,
+}
+
+// codec packages own the raw representations.
+var exemptSuffixes = []string{
+	"internal/astypes",
+	"internal/wire",
+	"internal/routegen",
+	"internal/core",
+}
+
+// mlval mirrors core.MLVal; hardcoding the MOAS-list marker outside
+// core is exactly what this analyzer exists to catch, so the analyzer
+// keeps its own copy rather than importing it.
+const mlval = 0xffde
+
+func run(pass *analysis.Pass) error {
+	for _, suffix := range exemptSuffixes {
+		if analysis.HasPathSuffix(pass.Pkg.Path(), suffix) {
+			return nil
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkConversion(pass, n)
+			checkMLValConstruction(pass, n)
+		case *ast.CompositeLit:
+			checkUnknownAttrLit(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// checkConversion flags astypes.Community(x) type conversions: packing
+// a raw 32-bit value is the codec packages' business.
+func checkConversion(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return
+	}
+	if !analysis.IsPkgType(tv.Type, "internal/astypes", "Community") {
+		return
+	}
+	// Converting an existing Community (e.g. through a type alias) is
+	// not a construction; flag only numeric packing.
+	if argTV, ok := pass.TypesInfo.Types[call.Args[0]]; ok {
+		if analysis.IsPkgType(argTV.Type, "internal/astypes", "Community") {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"raw conversion to astypes.Community bypasses validation; use astypes.NewCommunity or core.List.Communities")
+}
+
+// checkMLValConstruction flags NewCommunity calls whose value half is
+// the MOAS-list marker: MOAS communities must come from
+// core.List.Communities so ordering and deduplication hold.
+func checkMLValConstruction(pass *analysis.Pass, call *ast.CallExpr) {
+	if !analysis.IsPkgFunc(pass.TypesInfo, call, "internal/astypes", "NewCommunity") || len(call.Args) != 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return
+	}
+	if v, exact := constant.Uint64Val(constant.ToInt(tv.Value)); exact && v == mlval {
+		pass.Reportf(call.Pos(),
+			"MOAS-list community built directly with MLVal; emit members via core.List.Communities for canonical order")
+	}
+}
+
+// checkUnknownAttrLit flags wire.UnknownAttr{...} literals: opaque
+// attributes must be built by wire.NewOptionalTransitive, which sets
+// the flag bits and copies the value.
+func checkUnknownAttrLit(pass *analysis.Pass, lit *ast.CompositeLit) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return
+	}
+	if !analysis.IsPkgType(tv.Type, "internal/wire", "UnknownAttr") {
+		return
+	}
+	pass.Reportf(lit.Pos(),
+		"direct wire.UnknownAttr literal bypasses flag validation; use wire.NewOptionalTransitive")
+}

@@ -1,0 +1,23 @@
+package attrbounds_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/attrbounds"
+)
+
+func TestAttrBounds(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"bypassing constructions", "flagged"},
+		{"sanctioned constructions", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", attrbounds.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,45 @@
+// Package clean holds construction shapes attrbounds must accept.
+package clean
+
+import (
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+// the validated constructor with an ordinary value is fine.
+func constructed(as astypes.ASN) astypes.Community {
+	return astypes.NewCommunity(as, 100)
+}
+
+// MOAS members come from the list, which owns ordering.
+func members(l core.List) []astypes.Community {
+	return l.Communities()
+}
+
+// a non-constant value half cannot be judged and stays quiet.
+func dynamic(as astypes.ASN, v uint16) astypes.Community {
+	return astypes.NewCommunity(as, v)
+}
+
+// Community-to-Community conversion is not a construction.
+type comm = astypes.Community
+
+func rebrand(c astypes.Community) comm {
+	return comm(c)
+}
+
+// opaque attributes via the sanctioned constructor.
+func attr(code uint8, v []byte) wire.UnknownAttr {
+	return wire.NewOptionalTransitive(code, v)
+}
+
+// unrelated conversions are out of scope.
+func unrelated(v uint32) uint16 {
+	return uint16(v)
+}
+
+func suppressed(v uint32) astypes.Community {
+	//repro:vet ignore attrbounds -- exercising the suppression path
+	return astypes.Community(v)
+}

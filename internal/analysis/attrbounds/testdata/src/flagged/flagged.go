@@ -1,0 +1,34 @@
+// Package flagged exercises the construction shapes attrbounds rejects.
+package flagged
+
+import (
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/wire"
+)
+
+func rawConversion(v uint32) astypes.Community {
+	return astypes.Community(v) // want `raw conversion to astypes\.Community bypasses validation; use astypes\.NewCommunity or core\.List\.Communities`
+}
+
+func handPacked(as astypes.ASN) astypes.Community {
+	return astypes.Community(uint32(as)<<16 | 0xffde) // want `raw conversion to astypes\.Community bypasses validation`
+}
+
+func mlvalLiteral(as astypes.ASN) astypes.Community {
+	return astypes.NewCommunity(as, 0xffde) // want `MOAS-list community built directly with MLVal; emit members via core\.List\.Communities for canonical order`
+}
+
+func mlvalNamed(as astypes.ASN) astypes.Community {
+	return astypes.NewCommunity(as, core.MLVal) // want `MOAS-list community built directly with MLVal`
+}
+
+func rawAttr(code uint8, v []byte) wire.UnknownAttr {
+	return wire.UnknownAttr{Flags: 0xc0, Code: code, Value: v} // want `direct wire\.UnknownAttr literal bypasses flag validation; use wire\.NewOptionalTransitive`
+}
+
+func rawAttrElems(code uint8) []wire.UnknownAttr {
+	return []wire.UnknownAttr{
+		{Flags: 0xc0, Code: code}, // want `direct wire\.UnknownAttr literal bypasses flag validation`
+	}
+}

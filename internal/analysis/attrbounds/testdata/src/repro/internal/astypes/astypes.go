@@ -1,0 +1,14 @@
+// Package astypes is a fixture stub mirroring the community tuple API
+// the attrbounds analyzer protects.
+package astypes
+
+// ASN is a 16-bit autonomous system number.
+type ASN uint16
+
+// Community is a packed (ASN, value) tuple.
+type Community uint32
+
+// NewCommunity packs a validated (ASN, value) tuple.
+func NewCommunity(as ASN, value uint16) Community {
+	return Community(uint32(as)<<16 | uint32(value))
+}

@@ -1,0 +1,24 @@
+// Package core is a fixture stub mirroring the MOAS-list API.
+package core
+
+import "repro/internal/astypes"
+
+// MLVal marks a community value as a MOAS-list member.
+const MLVal = 0xffde
+
+// List is a MOAS list.
+type List struct {
+	asns []astypes.ASN
+}
+
+// NewList builds a list from origin ASNs.
+func NewList(asns ...astypes.ASN) List { return List{asns: asns} }
+
+// Communities emits the canonical MOAS-list community members.
+func (l List) Communities() []astypes.Community {
+	out := make([]astypes.Community, len(l.asns))
+	for i, as := range l.asns {
+		out[i] = astypes.NewCommunity(as, MLVal)
+	}
+	return out
+}

@@ -1,0 +1,17 @@
+// Package wire is a fixture stub mirroring the attribute encoding API.
+package wire
+
+// UnknownAttr is an opaque path attribute.
+type UnknownAttr struct {
+	Flags uint8
+	Code  uint8
+	Value []byte
+}
+
+// NewOptionalTransitive builds an opaque attribute with the optional
+// and transitive flag bits set and the value copied.
+func NewOptionalTransitive(code uint8, value []byte) UnknownAttr {
+	v := make([]byte, len(value))
+	copy(v, value)
+	return UnknownAttr{Flags: 0xc0, Code: code, Value: v}
+}

@@ -1,0 +1,167 @@
+// Package goroutinectx flags fire-and-forget goroutines in the
+// long-lived server packages (daemon, collector, session, speaker).
+//
+// Every goroutine launched there must be joinable or stoppable: the
+// paper's monitor is meant to run unattended against live feeds, and a
+// goroutine that neither honors shutdown nor signals completion is how
+// Close() returns while work is still mutating shared state — the exact
+// shape of the daemon/collector shutdown races this repo has had.
+//
+// A launch is compliant when the spawned function does at least one of:
+//
+//   - select/receive on a done channel (chan struct{}) or ctx.Done()
+//   - close(ch) — completion signalled by closing a done channel
+//   - ch <- v — completion signalled by sending a result (the
+//     handshake send pattern)
+//   - wg.Done() — registered with a sync.WaitGroup
+//   - range over a channel (worker draining a job queue closed by the
+//     owner)
+//
+// Launching a bare method value or function value (go s.cfg.Callback())
+// is flagged unconditionally when the body cannot be resolved within
+// the package: wrap it in a literal that registers with the WaitGroup.
+package goroutinectx
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags unsupervised goroutine launches in server packages.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinectx",
+	Doc: "flags 'go' launches in daemon/collector/session/speaker that neither honor " +
+		"a shutdown signal nor register completion (WaitGroup, done channel, result send)",
+	Run: run,
+}
+
+// checkedPackages are the long-lived server packages under the rule.
+var checkedPackages = map[string]bool{
+	"daemon":    true,
+	"collector": true,
+	"session":   true,
+	"speaker":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !checkedPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	// Map package functions/methods to their declarations so that
+	// `go s.readLoop()` can be judged by readLoop's body.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		switch fn := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			if !supervised(pass, fn.Body) {
+				pass.Reportf(gs.Pos(),
+					"goroutine neither honors shutdown nor signals completion; select on a done channel, close one, or register with a WaitGroup")
+			}
+		default:
+			callee := analysis.CalleeFunc(pass.TypesInfo, gs.Call)
+			if callee != nil {
+				if fd, ok := decls[callee]; ok {
+					if !supervised(pass, fd.Body) {
+						pass.Reportf(gs.Pos(),
+							"goroutine %s neither honors shutdown nor signals completion", callee.Name())
+					}
+					return true
+				}
+			}
+			pass.Reportf(gs.Pos(),
+				"goroutine launches an unresolvable function value; wrap it in a literal that registers with a WaitGroup or honors shutdown")
+		}
+		return true
+	})
+	return nil
+}
+
+// supervised reports whether the goroutine body contains any accepted
+// supervision pattern. Nested function literals are not inspected: the
+// launch being judged must itself be supervised.
+func supervised(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	ok := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			ok = true
+		case *ast.UnaryExpr:
+			// <-ch receive: counts when the channel is a done channel
+			// (chan struct{}) or a ctx.Done()-style call result.
+			if n.Op == token.ARROW && isDoneChannel(pass, n.X) {
+				ok = true
+			}
+		case *ast.RangeStmt:
+			if tv, found := pass.TypesInfo.Types[n.X]; found {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					ok = true
+				}
+			}
+		case *ast.CallExpr:
+			if isClose(pass, n) || isWaitGroupDone(pass, n) {
+				ok = true
+			}
+		}
+		return !ok
+	})
+	return ok
+}
+
+// isDoneChannel recognizes chan struct{} values and Done() call results.
+func isDoneChannel(pass *analysis.Pass, e ast.Expr) bool {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	ch, ok := tv.Type.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isClose(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "close"
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsPkgType(tv.Type, "sync", "WaitGroup")
+}

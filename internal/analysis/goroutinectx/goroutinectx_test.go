@@ -1,0 +1,23 @@
+package goroutinectx_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinectx"
+)
+
+func TestGoroutineCtx(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"server package launches", "daemon"},
+		{"unchecked package is exempt", "other"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", goroutinectx.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,105 @@
+// Package daemon is a fixture named after a checked server package:
+// goroutinectx applies here.
+package daemon
+
+import (
+	"context"
+	"sync"
+)
+
+// D mimics a long-lived server owning goroutines.
+type D struct {
+	wg   sync.WaitGroup
+	stop chan struct{}
+	jobs chan int
+	cb   func()
+}
+
+func (d *D) FireAndForget() {
+	go func() { // want `goroutine neither honors shutdown nor signals completion`
+		d.work()
+	}()
+}
+
+func (d *D) UnresolvableValue() {
+	go d.cb() // want `goroutine launches an unresolvable function value`
+}
+
+func (d *D) BadMethod() {
+	go d.work() // want `goroutine work neither honors shutdown nor signals completion`
+}
+
+// NestedLitDoesNotCount: supervision inside a nested literal does not
+// supervise the launch itself.
+func (d *D) NestedLitDoesNotCount() {
+	go func() { // want `goroutine neither honors shutdown nor signals completion`
+		f := func() { d.wg.Done() }
+		_ = f
+	}()
+}
+
+func (d *D) WaitGroupTracked() {
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		d.work()
+	}()
+}
+
+func (d *D) StopSelect() {
+	go func() {
+		for {
+			select {
+			case <-d.stop:
+				return
+			case j := <-d.jobs:
+				_ = j
+			}
+		}
+	}()
+}
+
+func (d *D) ContextDone(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		d.work()
+	}()
+}
+
+func (d *D) ResultSend(errc chan error) {
+	go func() {
+		errc <- nil
+	}()
+}
+
+func (d *D) CloseSignal(done chan struct{}) {
+	go func() {
+		defer close(done)
+		d.work()
+	}()
+}
+
+func (d *D) RangeWorker() {
+	go func() {
+		for j := range d.jobs {
+			_ = j
+		}
+	}()
+}
+
+func (d *D) GoodMethod() {
+	d.wg.Add(1)
+	go d.trackedLoop()
+}
+
+func (d *D) trackedLoop() {
+	defer d.wg.Done()
+	d.work()
+}
+
+func (d *D) Suppressed() {
+	//repro:vet ignore goroutinectx -- exercising the suppression path
+	go d.cb()
+}
+
+func (d *D) work() {}

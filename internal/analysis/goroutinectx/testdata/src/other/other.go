@@ -1,0 +1,9 @@
+// Package other is not one of the checked server packages, so even a
+// bare fire-and-forget launch stays quiet here.
+package other
+
+// Spawn launches without supervision; out of scope for goroutinectx.
+func Spawn(f func()) {
+	go f()
+	go func() { f() }()
+}

@@ -1,0 +1,226 @@
+// Package load type-checks packages of this module for the static
+// analyzers, without depending on golang.org/x/tools/go/packages. It
+// shells out to `go list -export -deps` for package metadata and
+// compiled export data, parses the target packages' sources, and
+// type-checks them with the standard library's gc importer reading the
+// export data of every dependency from the build cache.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed and type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listEntry is the subset of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+}
+
+const listFields = "-json=ImportPath,Dir,Export,GoFiles,DepOnly"
+
+func goList(dir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list", "-export", "-deps", listFields}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list: decode output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// DepImporter resolves import paths to type information using export
+// data from the build cache, listing lazily and caching across calls.
+// It is the fallback importer for both the main driver and the
+// analysistest fixture loader.
+type DepImporter struct {
+	dir  string // module directory to run `go list` in
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string // import path -> export data file
+	gc      types.Importer
+}
+
+// NewDepImporter returns an importer running `go list` in dir.
+func NewDepImporter(dir string, fset *token.FileSet) *DepImporter {
+	d := &DepImporter{dir: dir, fset: fset, exports: make(map[string]string)}
+	d.gc = importer.ForCompiler(fset, "gc", d.lookup)
+	return d
+}
+
+func (d *DepImporter) lookup(path string) (io.ReadCloser, error) {
+	d.mu.Lock()
+	e, ok := d.exports[path]
+	d.mu.Unlock()
+	if !ok {
+		entries, err := goList(d.dir, path)
+		if err != nil {
+			return nil, err
+		}
+		d.mu.Lock()
+		for _, entry := range entries {
+			if entry.Export != "" {
+				d.exports[entry.ImportPath] = entry.Export
+			}
+		}
+		e, ok = d.exports[path]
+		d.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+	}
+	return os.Open(e)
+}
+
+// Import implements types.Importer.
+func (d *DepImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return d.gc.Import(path)
+}
+
+// seed primes the export cache from an already-run `go list`.
+func (d *DepImporter) seed(entries []listEntry) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, e := range entries {
+		if e.Export != "" {
+			d.exports[e.ImportPath] = e.Export
+		}
+	}
+}
+
+// NewInfo returns a types.Info with every map the analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// CheckDir parses the non-test Go files in dir and type-checks them as
+// importPath using imp to resolve imports.
+func CheckDir(fset *token.FileSet, dir, importPath string, goFiles []string, imp types.Importer) (*Package, error) {
+	if len(goFiles) == 0 {
+		names, err := listDirGoFiles(dir)
+		if err != nil {
+			return nil, err
+		}
+		goFiles = names
+	}
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %w", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      pkg,
+		TypesInfo:  info,
+	}, nil
+}
+
+func listDirGoFiles(dir string) ([]string, error) {
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, de := range des {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Packages loads, parses and type-checks the module packages matching
+// patterns (e.g. "./..."), with dir as the working directory for the go
+// tool. Dependencies are resolved from export data only; targets are
+// checked from source.
+func Packages(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	entries, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewDepImporter(dir, fset)
+	imp.seed(entries)
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.DepOnly || len(e.GoFiles) == 0 {
+			continue
+		}
+		p, err := CheckDir(fset, e.Dir, e.ImportPath, e.GoFiles, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}

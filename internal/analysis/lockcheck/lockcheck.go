@@ -1,0 +1,303 @@
+// Package lockcheck enforces the repo's documented mutex discipline.
+//
+// Struct fields annotated with a "guarded by <mutex>" comment (doc or
+// trailing) may only be accessed in functions that, earlier in the same
+// function body, lock that mutex on the same base expression — or in
+// functions whose name ends in "Locked", the repo's convention for
+// "caller holds the lock". Writes additionally require the exclusive
+// lock: a preceding RLock alone is flagged.
+//
+// The check is intra-procedural and source-order based: it does not
+// prove the lock is still held at the access (an early Unlock defeats
+// it), but it reliably catches the bug class that matters here — a
+// field read or written with no lock acquisition on the path at all,
+// which is exactly how shared RIB and session state gets corrupted
+// under concurrent sessions.
+//
+// One cross-cutting rule rides along: in any package whose guarded
+// structs declare a writeMu field, every wire.WriteMessage call whose
+// writer is a field of such a struct must be under writeMu. The BGP
+// transport interleaves messages from the keepalive timer, the route
+// propagation path and the teardown path onto one net.Conn; an
+// unguarded write can interleave two frames and desynchronize the peer.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces "guarded by" field annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "flags accesses to fields documented as 'guarded by <mu>' reached without " +
+		"locking <mu> earlier in the function (functions named *Locked are exempt)",
+	Run: run,
+}
+
+// guardedField identifies one annotated field of one struct type.
+type guardedField struct {
+	structName string
+	field      string
+	guard      string
+}
+
+func run(pass *analysis.Pass) error {
+	guards := collectGuards(pass)
+	if len(guards) == 0 {
+		return nil
+	}
+	// Structs with a writeMu field get the WriteMessage rule.
+	writeMuStructs := make(map[string]bool)
+	for g := range guards {
+		if fieldOfStruct(pass, g.structName, "writeMu") {
+			writeMuStructs[g.structName] = true
+		}
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncBody(pass, guards, writeMuStructs, fd.Name.Name, fd.Body)
+		}
+	}
+	return nil
+}
+
+// collectGuards parses "guarded by <name>" annotations off struct field
+// comments, keyed by (struct type name, field name).
+func collectGuards(pass *analysis.Pass) map[guardedField]bool {
+	out := make(map[guardedField]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, f := range st.Fields.List {
+				guard := guardAnnotation(f)
+				if guard == "" {
+					continue
+				}
+				for _, name := range f.Names {
+					out[guardedField{ts.Name.Name, name.Name, guard}] = true
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+// guardAnnotation extracts the mutex name from a field's comments, or "".
+func guardAnnotation(f *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		text := cg.Text()
+		idx := strings.Index(strings.ToLower(text), "guarded by ")
+		if idx < 0 {
+			continue
+		}
+		rest := text[idx+len("guarded by "):]
+		name := strings.TrimRight(strings.Fields(rest)[0], ".,;:")
+		return name
+	}
+	return ""
+}
+
+// fieldOfStruct reports whether the named struct type in this package
+// has a field with the given name.
+func fieldOfStruct(pass *analysis.Pass, structName, field string) bool {
+	obj := pass.Pkg.Scope().Lookup(structName)
+	if obj == nil {
+		return false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == field {
+			return true
+		}
+	}
+	return false
+}
+
+// lockEvent records one mutex acquisition seen while scanning a
+// function body in source order.
+type lockEvent struct {
+	base     string // rendered base expression, e.g. "s" or "h.c"
+	guard    string // mutex field name
+	readOnly bool   // RLock rather than Lock
+	pos      token.Pos
+}
+
+// checkFuncBody scans one function body (treating nested function
+// literals as their own scopes) for guarded-field accesses.
+func checkFuncBody(pass *analysis.Pass, guards map[guardedField]bool, writeMuStructs map[string]bool, funcName string, body *ast.BlockStmt) {
+	exempt := strings.HasSuffix(funcName, "Locked")
+	var locks []lockEvent
+	var walk func(n ast.Node, writing bool) // writing: n is being assigned to
+
+	heldBefore := func(base, guard string, pos token.Pos, write bool) (held, rlockOnly bool) {
+		for _, l := range locks {
+			if l.base == base && l.guard == guard && l.pos < pos {
+				if !l.readOnly {
+					return true, false
+				}
+				held, rlockOnly = true, true
+			}
+		}
+		return held, rlockOnly
+	}
+
+	checkAccess := func(sel *ast.SelectorExpr, write bool) {
+		structName, ok := guardedStructOf(pass, sel)
+		if !ok {
+			return
+		}
+		for g := range guards {
+			if g.structName != structName || g.field != sel.Sel.Name {
+				continue
+			}
+			if exempt {
+				return
+			}
+			base := types.ExprString(sel.X)
+			held, rlockOnly := heldBefore(base, g.guard, sel.Pos(), write)
+			switch {
+			case !held:
+				pass.Reportf(sel.Pos(),
+					"%s.%s is guarded by %s.%s, which is not locked in %s (lock it, or name the function *Locked)",
+					base, g.field, base, g.guard, funcName)
+			case write && rlockOnly:
+				pass.Reportf(sel.Pos(),
+					"write to %s.%s holds only %s.%s.RLock; writes need the exclusive Lock",
+					base, g.field, base, g.guard)
+			}
+			return
+		}
+	}
+
+	checkWriteMessage := func(call *ast.CallExpr) {
+		if !analysis.IsPkgFunc(pass.TypesInfo, call, "internal/wire", "WriteMessage") || len(call.Args) == 0 {
+			return
+		}
+		sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		structName, ok := guardedStructOf(pass, sel)
+		if !ok || !writeMuStructs[structName] || exempt {
+			return
+		}
+		base := types.ExprString(sel.X)
+		if held, _ := heldBefore(base, "writeMu", call.Pos(), true); !held {
+			pass.Reportf(call.Pos(),
+				"wire.WriteMessage on %s.%s without holding %s.writeMu; concurrent writers interleave frames",
+				base, sel.Sel.Name, base)
+		}
+	}
+
+	walk = func(n ast.Node, writing bool) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			// A function literal is its own locking scope; the literal's
+			// name inherits the enclosing function for messages.
+			checkFuncBody(pass, guards, writeMuStructs, funcName+" (func literal)", n.Body)
+			return
+		case *ast.CallExpr:
+			if base, guard, readOnly, ok := lockCall(n); ok {
+				locks = append(locks, lockEvent{base: base, guard: guard, readOnly: readOnly, pos: n.Pos()})
+			}
+			checkWriteMessage(n)
+			walk(n.Fun, false)
+			for _, a := range n.Args {
+				walk(a, false)
+			}
+			return
+		case *ast.SelectorExpr:
+			checkAccess(n, writing)
+			walk(n.X, false)
+			return
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				walk(lhs, true)
+			}
+			for _, rhs := range n.Rhs {
+				walk(rhs, false)
+			}
+			return
+		case *ast.IncDecStmt:
+			walk(n.X, true)
+			return
+		case *ast.IndexExpr:
+			// Writing through an index (m[k] = v) writes the container.
+			walk(n.X, writing)
+			walk(n.Index, false)
+			return
+		}
+		// Generic traversal for all other nodes.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, false)
+			return false
+		})
+	}
+	walk(body, false)
+}
+
+// guardedStructOf resolves the struct type (declared in this package)
+// whose field sel accesses, unwrapping pointers.
+func guardedStructOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	named := analysis.NamedType(tv.Type)
+	if named == nil || named.Obj().Pkg() != pass.Pkg {
+		return "", false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return "", false
+	}
+	return named.Obj().Name(), true
+}
+
+// lockCall matches <base>.<guard>.Lock() / RLock() and returns the
+// rendered base and guard field name.
+func lockCall(call *ast.CallExpr) (base, guard string, readOnly, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+	case "RLock":
+		readOnly = true
+	default:
+		return "", "", false, false
+	}
+	inner, isSel := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	return types.ExprString(inner.X), inner.Sel.Name, readOnly, true
+}

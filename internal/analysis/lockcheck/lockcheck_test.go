@@ -1,0 +1,23 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockcheck"
+)
+
+func TestLockCheck(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"unguarded and misguarded accesses", "flagged"},
+		{"properly locked accesses", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", lockcheck.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,80 @@
+// Package clean holds access shapes lockcheck must accept.
+package clean
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Table mimics the RIB.
+type Table struct {
+	mu sync.RWMutex
+	// routes is the table body. Guarded by mu.
+	routes map[string]int
+	// gen counts reselections; guarded by mu.
+	gen int
+	// stats is unguarded: no annotation, no checking.
+	stats int
+}
+
+func (t *Table) Read() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.gen
+}
+
+func (t *Table) Write(k string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.routes[k] = 1
+	t.gen++
+}
+
+// reselectLocked relies on the *Locked naming convention: the caller
+// holds mu.
+func (t *Table) reselectLocked() {
+	t.gen++
+	for k := range t.routes {
+		t.routes[k]++
+	}
+}
+
+func (t *Table) Unguarded() int {
+	return t.stats
+}
+
+// locking inside a function literal covers accesses in that literal.
+func (t *Table) LitLocks() {
+	go func() {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		t.gen++
+	}()
+}
+
+func (t *Table) Suppressed() int {
+	//repro:vet ignore lockcheck -- exercising the suppression path
+	return t.gen
+}
+
+// Sess mimics the session write path.
+type Sess struct {
+	conn    io.Writer
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	state   int // guarded by mu
+}
+
+func (s *Sess) Send() error {
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	return wire.WriteMessage(s.conn, &wire.Keepalive{})
+}
+
+func (s *Sess) State() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}

@@ -1,0 +1,67 @@
+// Package flagged exercises the access shapes lockcheck rejects.
+package flagged
+
+import (
+	"io"
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// Table mimics the RIB: map state guarded by an RWMutex.
+type Table struct {
+	mu sync.RWMutex
+	// routes is the table body. Guarded by mu.
+	routes map[string]int
+	// gen counts reselections; guarded by mu.
+	gen int
+}
+
+func (t *Table) UnlockedRead() int {
+	return t.gen // want `t\.gen is guarded by t\.mu, which is not locked in UnlockedRead`
+}
+
+func (t *Table) UnlockedWrite(k string) {
+	t.routes[k] = 1 // want `t\.routes is guarded by t\.mu, which is not locked in UnlockedWrite`
+}
+
+func (t *Table) WriteUnderRLock() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.gen++ // want `write to t\.gen holds only t\.mu\.RLock`
+}
+
+func (t *Table) WrongReceiverLock(u *Table) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	u.gen++ // want `u\.gen is guarded by u\.mu, which is not locked in WrongReceiverLock`
+}
+
+// goroutineEscape: a function literal is its own locking scope — the
+// enclosing function's lock does not carry into it.
+func (t *Table) LitEscape() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	go func() {
+		t.gen++ // want `t\.gen is guarded by t\.mu, which is not locked`
+	}()
+}
+
+// Sess mimics the session: a conn whose writes serialize on writeMu.
+type Sess struct {
+	conn    io.Writer
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	state   int // guarded by mu
+}
+
+func (s *Sess) BareSend() error {
+	return wire.WriteMessage(s.conn, &wire.Keepalive{}) // want `wire\.WriteMessage on s\.conn without holding s\.writeMu`
+}
+
+func (s *Sess) WrongLockSend() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.state = 1
+	return wire.WriteMessage(s.conn, &wire.Keepalive{}) // want `wire\.WriteMessage on s\.conn without holding s\.writeMu`
+}

@@ -1,0 +1,17 @@
+// Package wire is a fixture stub mirroring the message-write API the
+// lockcheck analyzer keys on.
+package wire
+
+import "io"
+
+// Message is the stub message interface.
+type Message interface{ Type() uint8 }
+
+// Keepalive is a body-less stub message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return 4 }
+
+// WriteMessage writes one message.
+func WriteMessage(w io.Writer, m Message) error { return nil }

@@ -1,0 +1,119 @@
+// Package moascompare flags MOAS-list comparisons that bypass the
+// canonical set-equality helper core.List.Equal.
+//
+// The paper's alarm condition (§4.2) is *set* inequality of MOAS lists:
+// "the order in the list may differ, but the set of ASes included in
+// each route announcement must be identical". core.List keeps its
+// members canonical (sorted, deduplicated) exactly so that Equal is the
+// one correct comparison. Comparing lists any other way — reflect.
+// DeepEqual on the struct, ordered slice equality over Origins(), or
+// comparing String() renderings — either re-derives the invariant in
+// place (fragile under refactoring) or silently depends on it, and has
+// historically been how BGP monitors come to disagree with themselves
+// about identical data.
+package moascompare
+
+import (
+	"go/ast"
+	"go/token"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags MOAS-list comparisons outside core.List.Equal.
+var Analyzer = &analysis.Analyzer{
+	Name: "moascompare",
+	Doc: "flags ordered or reflective comparisons of MOAS lists/origin sets; " +
+		"the paper's alarm condition is set equality, provided only by core.List.Equal",
+	Run: run,
+}
+
+const corePath = "internal/core"
+
+func run(pass *analysis.Pass) error {
+	// The defining package may compare its own representation.
+	if analysis.HasPathSuffix(pass.Pkg.Path(), corePath) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.BinaryExpr:
+			checkBinary(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+// comparison helpers whose use on MOAS lists is flagged.
+var comparators = []struct{ path, name string }{
+	{"reflect", "DeepEqual"},
+	{"slices", "Equal"},
+	{"slices", "EqualFunc"},
+	{"slices", "Compare"},
+	{"slices", "CompareFunc"},
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	for _, c := range comparators {
+		if !analysis.IsPkgFunc(pass.TypesInfo, call, c.path, c.name) {
+			continue
+		}
+		for _, arg := range call.Args {
+			if isMOASListExpr(pass, arg) {
+				pass.Reportf(call.Pos(),
+					"MOAS lists must be compared as sets with core.List.Equal, not %s.%s", c.path, c.name)
+				return
+			}
+		}
+	}
+}
+
+func checkBinary(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	// a.String() == b.String() on MOAS lists: an ordered, render-based
+	// comparison dressed up as set equality.
+	if isListStringCall(pass, be.X) && isListStringCall(pass, be.Y) {
+		pass.Reportf(be.Pos(),
+			"comparing MOAS list String() renderings; use core.List.Equal for set equality")
+	}
+}
+
+// isMOASListExpr reports whether e is a core.List value or an origin
+// slice obtained from core.List.Origins()/Communities().
+func isMOASListExpr(pass *analysis.Pass, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if tv, ok := pass.TypesInfo.Types[e]; ok && analysis.IsPkgType(tv.Type, corePath, "List") {
+		return true
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name != "Origins" && sel.Sel.Name != "Communities" {
+		return false
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsPkgType(recv.Type, corePath, "List")
+}
+
+func isListStringCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "String" {
+		return false
+	}
+	recv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && analysis.IsPkgType(recv.Type, corePath, "List")
+}

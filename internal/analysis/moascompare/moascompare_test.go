@@ -1,0 +1,23 @@
+package moascompare_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/moascompare"
+)
+
+func TestMOASCompare(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"flagged comparisons", "flagged"},
+		{"clean and suppressed comparisons", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", moascompare.Analyzer, tc.pkg)
+		})
+	}
+}

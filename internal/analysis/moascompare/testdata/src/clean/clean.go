@@ -1,0 +1,34 @@
+// Package clean holds comparisons moascompare must accept.
+package clean
+
+import (
+	"reflect"
+	"slices"
+
+	"repro/internal/core"
+)
+
+// canonical set comparison: the one true way.
+func equal(a, b core.List) bool {
+	return a.Equal(b)
+}
+
+// non-MOAS uses of the comparison helpers are none of our business.
+func unrelated(a, b []int, m map[string]int) bool {
+	return slices.Equal(a, b) && reflect.DeepEqual(m, m)
+}
+
+// String comparisons on non-List types are fine.
+type labeled struct{}
+
+func (labeled) String() string { return "x" }
+
+func strings(a, b labeled) bool {
+	return a.String() == b.String()
+}
+
+// suppression: an acknowledged, justified exception stays quiet.
+func suppressed(a, b core.List) bool {
+	//repro:vet ignore moascompare -- exercising the suppression path
+	return reflect.DeepEqual(a, b)
+}

@@ -1,0 +1,33 @@
+// Package flagged exercises every comparison shape moascompare rejects.
+package flagged
+
+import (
+	"reflect"
+	"slices"
+
+	"repro/internal/core"
+)
+
+func deepEqualOnLists(a, b core.List) bool {
+	return reflect.DeepEqual(a, b) // want `MOAS lists must be compared as sets with core\.List\.Equal, not reflect\.DeepEqual`
+}
+
+func slicesEqualOnOrigins(a, b core.List) bool {
+	return slices.Equal(a.Origins(), b.Origins()) // want `MOAS lists must be compared as sets with core\.List\.Equal, not slices\.Equal`
+}
+
+func slicesCompareOnOrigins(a, b core.List) int {
+	return slices.Compare(a.Origins(), b.Origins()) // want `MOAS lists must be compared as sets with core\.List\.Equal, not slices\.Compare`
+}
+
+func deepEqualOnCommunities(a, b core.List) bool {
+	return reflect.DeepEqual(a.Communities(), b.Communities()) // want `MOAS lists must be compared as sets with core\.List\.Equal, not reflect\.DeepEqual`
+}
+
+func stringCompare(a, b core.List) bool {
+	return a.String() == b.String() // want `comparing MOAS list String\(\) renderings`
+}
+
+func stringCompareNeq(a, b core.List) bool {
+	return a.String() != b.String() // want `comparing MOAS list String\(\) renderings`
+}

@@ -1,0 +1,14 @@
+// Package astypes is a fixture stub mirroring the declarations the
+// moascompare analyzer keys on.
+package astypes
+
+// ASN is a 2-octet AS number.
+type ASN uint16
+
+// Community is a BGP community value.
+type Community uint32
+
+// NewCommunity packs the (ASN, value) halves.
+func NewCommunity(asn ASN, value uint16) Community {
+	return Community(uint32(asn)<<16 | uint32(value))
+}

@@ -1,0 +1,25 @@
+// Package core is a fixture stub mirroring the MOAS-list API surface
+// the moascompare analyzer keys on.
+package core
+
+import "repro/internal/astypes"
+
+// List is the MOAS list stub.
+type List struct {
+	asns []astypes.ASN
+}
+
+// NewList builds a list.
+func NewList(origins ...astypes.ASN) List { return List{asns: origins} }
+
+// Origins returns the member set.
+func (l List) Origins() []astypes.ASN { return l.asns }
+
+// Communities encodes the list.
+func (l List) Communities() []astypes.Community { return nil }
+
+// Equal is the canonical set comparison.
+func (l List) Equal(other List) bool { return len(l.asns) == len(other.asns) }
+
+// String renders the list.
+func (l List) String() string { return "{}" }

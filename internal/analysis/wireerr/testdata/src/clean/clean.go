@@ -1,0 +1,62 @@
+// Package clean holds error-handling shapes wireerr must accept.
+package clean
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+
+	"repro/internal/wire"
+)
+
+func wrapped(r io.Reader, peer string) (wire.Message, error) {
+	m, err := wire.ReadMessage(r)
+	if err != nil {
+		return nil, fmt.Errorf("read from %s: %w", peer, err)
+	}
+	return m, nil
+}
+
+func wrappedIfInit(w io.Writer, m wire.Message, peer string) error {
+	if err := wire.WriteMessage(w, m); err != nil {
+		return fmt.Errorf("write keepalive to %s: %w", peer, err)
+	}
+	return nil
+}
+
+// handling without propagating is fine: the error is consumed.
+func handled(b []byte) wire.Message {
+	m, err := wire.Decode(b)
+	if err != nil {
+		log.Printf("decode: %v", err)
+		return nil
+	}
+	return m
+}
+
+// wrapping a DIFFERENT error with %v inside the guard is not a wire
+// codec flattening.
+func otherErr(r io.Reader) error {
+	_, err := wire.ReadMessage(r)
+	if err != nil {
+		other := errors.New("secondary")
+		return fmt.Errorf("cleanup: %v (while handling %w)", other, err)
+	}
+	return nil
+}
+
+// non-wire functions with the same names are out of scope.
+type codec struct{}
+
+func (codec) Encode(m wire.Message) ([]byte, error) { return nil, nil }
+
+func localNames(c codec, m wire.Message) {
+	c.Encode(m)
+	_, _ = c.Encode(m)
+}
+
+func suppressed(w io.Writer, m wire.Message) {
+	//repro:vet ignore wireerr -- exercising the suppression path
+	_ = wire.WriteMessage(w, m)
+}

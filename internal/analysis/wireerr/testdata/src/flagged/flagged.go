@@ -1,0 +1,49 @@
+// Package flagged exercises the error-handling shapes wireerr rejects.
+package flagged
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+)
+
+func drop(w io.Writer, m wire.Message) {
+	wire.WriteMessage(w, m) // want `error from wire\.WriteMessage dropped; handle it or wrap it with %w and context`
+}
+
+func discard(w io.Writer, m wire.Message) {
+	_ = wire.WriteMessage(w, m) // want `error from wire\.WriteMessage discarded into _; handle it or wrap it with %w and context`
+}
+
+func discardMulti(b []byte) wire.Message {
+	m, _ := wire.Decode(b) // want `error from wire\.Decode discarded into _`
+	return m
+}
+
+func bareReturn(w io.Writer, m wire.Message) error {
+	return wire.WriteMessage(w, m) // want `error from wire\.WriteMessage returned unwrapped; wrap with %w and peer/message context`
+}
+
+func barePropagate(r io.Reader) (wire.Message, error) {
+	m, err := wire.ReadMessage(r)
+	if err != nil {
+		return nil, err // want `wire codec error returned unwrapped; wrap with fmt\.Errorf\("\.\.\.: %w", err\) and peer/message context`
+	}
+	return m, nil
+}
+
+func flatten(r io.Reader) (wire.Message, error) {
+	m, err := wire.ReadMessage(r)
+	if err != nil {
+		return nil, fmt.Errorf("read from peer: %v", err) // want `wire codec error flattened with %v/%s; use %w so the NOTIFICATION code survives errors\.As`
+	}
+	return m, nil
+}
+
+func flattenIfInit(b []byte) error {
+	if _, err := wire.Decode(b); err != nil {
+		return fmt.Errorf("decode: %s", err) // want `wire codec error flattened with %v/%s`
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package wire is a fixture stub mirroring the codec entry points the
+// wireerr analyzer protects.
+package wire
+
+import "io"
+
+// Message is the stub message interface.
+type Message interface{ Type() uint8 }
+
+// Keepalive is a body-less stub message.
+type Keepalive struct{}
+
+// Type implements Message.
+func (*Keepalive) Type() uint8 { return 4 }
+
+// ReadMessage reads one message.
+func ReadMessage(r io.Reader) (Message, error) { return nil, nil }
+
+// WriteMessage writes one message.
+func WriteMessage(w io.Writer, m Message) error { return nil }
+
+// Encode serializes a message.
+func Encode(m Message) ([]byte, error) { return nil, nil }
+
+// Decode parses one message.
+func Decode(b []byte) (Message, error) { return nil, nil }

@@ -1,0 +1,260 @@
+// Package wireerr enforces the error-handling contract around the
+// internal/wire codec: every error from Encode/Decode/ReadMessage/
+// WriteMessage must be handled, and when propagated it must be wrapped
+// with %w plus context (which peer, which message, which prefix).
+//
+// The wire codec is the repo's trust boundary: its *MessageError values
+// carry the NOTIFICATION code/subcode a conformant speaker must send
+// back, so dropping or flattening them (fmt.Errorf with %v, or a bare
+// return) silently degrades protocol behaviour and strips the context
+// an operator needs to attribute a malformed announcement to a peer.
+//
+// Flagged:
+//
+//	wire.WriteMessage(c, m)             // result dropped
+//	_ = wire.WriteMessage(c, m)         // explicitly discarded
+//	err := wire.ReadMessage(c)
+//	if err != nil { return err }        // propagated unwrapped
+//	... fmt.Errorf("read: %v", err)     // wrapped without %w
+//	return wire.WriteMessage(c, m)      // returned unwrapped
+//
+// Deliberate best-effort writes (teardown notifications) are annotated
+// with a suppression comment; see docs/static-analysis.md.
+package wireerr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces wrap-with-context on wire codec errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "wireerr",
+	Doc: "flags dropped or unwrapped errors from internal/wire encode/decode paths; " +
+		"they must be wrapped with %w and peer/message context",
+	Run: run,
+}
+
+const wirePath = "internal/wire"
+
+// wireFuncs are the codec entry points whose errors are protected.
+var wireFuncs = map[string]bool{
+	"Encode":       true,
+	"Decode":       true,
+	"ReadMessage":  true,
+	"WriteMessage": true,
+}
+
+func run(pass *analysis.Pass) error {
+	// The codec package itself composes these internally.
+	if analysis.HasPathSuffix(pass.Pkg.Path(), wirePath) {
+		return nil
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isWireCall(pass, call) {
+				pass.Reportf(n.Pos(), "error from wire.%s dropped; handle it or wrap it with %%w and context",
+					calleeName(pass, call))
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, n)
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if call, ok := ast.Unparen(res).(*ast.CallExpr); ok && isWireCall(pass, call) {
+					pass.Reportf(n.Pos(), "error from wire.%s returned unwrapped; wrap with %%w and peer/message context",
+						calleeName(pass, call))
+				}
+			}
+		case *ast.BlockStmt:
+			checkErrFlow(pass, n)
+		}
+		return true
+	})
+	return nil
+}
+
+func isWireCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil || !wireFuncs[f.Name()] {
+		return false
+	}
+	return analysis.HasPathSuffix(f.Pkg().Path(), wirePath)
+}
+
+func calleeName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if f := analysis.CalleeFunc(pass.TypesInfo, call); f != nil {
+		return f.Name()
+	}
+	return "?"
+}
+
+// checkAssign flags `_ = wire.X(...)` and multi-assigns that discard
+// the error position into the blank identifier.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isWireCall(pass, call) {
+		return
+	}
+	// The error is the last result of every protected wire function.
+	last := as.Lhs[len(as.Lhs)-1]
+	if id, ok := last.(*ast.Ident); ok && id.Name == "_" {
+		pass.Reportf(as.Pos(), "error from wire.%s discarded into _; handle it or wrap it with %%w and context",
+			calleeName(pass, call))
+	}
+}
+
+// checkErrFlow scans a block for the idiom
+//
+//	x, err := wire.X(...)        (or: if err := wire.X(...); err != nil)
+//	if err != nil { ... }
+//
+// and, within the guard body, flags bare `return err` and fmt.Errorf
+// wrappings of err whose format verb is not %w.
+func checkErrFlow(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		var (
+			errObj types.Object
+			guard  *ast.IfStmt
+		)
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			errObj = wireErrObj(pass, s)
+			if errObj == nil {
+				continue
+			}
+			// Find the if err != nil guard among the following statements,
+			// stopping if err is reassigned.
+			for _, next := range block.List[i+1:] {
+				if ifs, ok := next.(*ast.IfStmt); ok && guardsErr(pass, ifs.Cond, errObj) {
+					guard = ifs
+					break
+				}
+				if reassigns(pass, next, errObj) {
+					break
+				}
+			}
+		case *ast.IfStmt:
+			init, ok := s.Init.(*ast.AssignStmt)
+			if !ok {
+				continue
+			}
+			errObj = wireErrObj(pass, init)
+			if errObj != nil && guardsErr(pass, s.Cond, errObj) {
+				guard = s
+			}
+		}
+		if errObj == nil || guard == nil {
+			continue
+		}
+		checkGuardBody(pass, guard.Body, errObj)
+	}
+}
+
+// wireErrObj returns the object bound to the error result of a wire
+// call in this assignment, or nil.
+func wireErrObj(pass *analysis.Pass, as *ast.AssignStmt) types.Object {
+	if len(as.Rhs) != 1 {
+		return nil
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok || !isWireCall(pass, call) {
+		return nil
+	}
+	last, ok := as.Lhs[len(as.Lhs)-1].(*ast.Ident)
+	if !ok || last.Name == "_" {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[last]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[last]
+}
+
+// guardsErr matches `err != nil` for the given err object.
+func guardsErr(pass *analysis.Pass, cond ast.Expr, errObj types.Object) bool {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || be.Op != token.NEQ {
+		return false
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == errObj {
+			return true
+		}
+	}
+	return false
+}
+
+func reassigns(pass *analysis.Pass, stmt ast.Stmt, errObj types.Object) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				if pass.TypesInfo.Uses[id] == errObj || pass.TypesInfo.Defs[id] == errObj {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkGuardBody flags unwrapped propagation of errObj inside an
+// `if err != nil` body.
+func checkGuardBody(pass *analysis.Pass, body *ast.BlockStmt, errObj types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := ast.Unparen(res).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == errObj {
+					pass.Reportf(n.Pos(),
+						"wire codec error returned unwrapped; wrap with fmt.Errorf(\"...: %%w\", err) and peer/message context")
+				}
+			}
+		case *ast.CallExpr:
+			checkErrorf(pass, n, errObj)
+		}
+		return true
+	})
+}
+
+// checkErrorf flags fmt.Errorf calls that include errObj but whose
+// format string lacks %w.
+func checkErrorf(pass *analysis.Pass, call *ast.CallExpr, errObj types.Object) {
+	if !analysis.IsPkgFunc(pass.TypesInfo, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	usesErr := false
+	for _, arg := range call.Args[1:] {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == errObj {
+			usesErr = true
+		}
+	}
+	if !usesErr {
+		return
+	}
+	lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return
+	}
+	if !strings.Contains(format, "%w") {
+		pass.Reportf(call.Pos(), "wire codec error flattened with %%v/%%s; use %%w so the NOTIFICATION code survives errors.As")
+	}
+}

@@ -1,0 +1,23 @@
+package wireerr_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/wireerr"
+)
+
+func TestWireErr(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"dropped and unwrapped errors", "flagged"},
+		{"handled and wrapped errors", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", wireerr.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -24,12 +24,12 @@ type Archiver struct {
 	now       func() time.Time
 
 	mu       sync.Mutex
-	written  []string
-	seen     int // alarms already reported
+	written  []string // guarded by mu
+	seen     int      // alarms already reported; guarded by mu
 	stop     chan struct{}
 	stopOnce sync.Once
 	done     chan struct{}
-	started  bool
+	started  bool // guarded by mu
 }
 
 // ArchiverOption configures an Archiver.

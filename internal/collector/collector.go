@@ -44,11 +44,11 @@ type Collector struct {
 	cfg Config
 
 	mu    sync.Mutex
-	peers map[astypes.ASN]*session.Session
-	// rib[peer][prefix] mirrors each peer's announcements.
+	peers map[astypes.ASN]*session.Session // guarded by mu
+	// rib[peer][prefix] mirrors each peer's announcements. Guarded by mu.
 	rib       map[astypes.ASN]map[astypes.Prefix]route
-	snapshots int
-	closed    bool
+	snapshots int  // guarded by mu
+	closed    bool // guarded by mu
 
 	wg        sync.WaitGroup
 	listeners []net.Listener
@@ -151,8 +151,10 @@ func (c *Collector) Listen(ln net.Listener) {
 		return
 	}
 	c.listeners = append(c.listeners, ln)
-	c.mu.Unlock()
+	// Add while still holding mu with closed false: Close sets closed
+	// under mu before it Waits, so the Add cannot race the Wait.
 	c.wg.Add(1)
+	c.mu.Unlock()
 	go func() {
 		defer c.wg.Done()
 		for {

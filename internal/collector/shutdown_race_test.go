@@ -1,0 +1,32 @@
+package collector
+
+import (
+	"net"
+	"sync"
+	"testing"
+)
+
+// TestListenCloseRace hammers the Listen/Close window: the accept
+// goroutine's wg.Add must not race Close's wg.Wait. Run under -race.
+func TestListenCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		c := New(Config{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			c.Listen(ln)
+		}()
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+		wg.Wait()
+		c.Close()
+		ln.Close()
+	}
+}

@@ -168,7 +168,11 @@ type Daemon struct {
 	reconnect time.Duration
 	stop      chan struct{}
 	stopOnce  sync.Once
-	wg        sync.WaitGroup
+
+	mu      sync.Mutex
+	closing bool // guarded by mu
+
+	wg sync.WaitGroup
 }
 
 // Build constructs and starts the daemon: the MOASRR store, the
@@ -292,7 +296,15 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 	if !configured {
 		return
 	}
+	// Add under mu with the closing check: peerDown runs on a session
+	// goroutine, so an unguarded Add races Close's Wait.
+	d.mu.Lock()
+	if d.closing {
+		d.mu.Unlock()
+		return
+	}
 	d.wg.Add(1)
+	d.mu.Unlock()
 	go func() {
 		defer d.wg.Done()
 		timer := time.NewTimer(d.reconnect)
@@ -313,6 +325,9 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 
 // Close shuts the daemon down.
 func (d *Daemon) Close() error {
+	d.mu.Lock()
+	d.closing = true
+	d.mu.Unlock()
 	d.stopOnce.Do(func() { close(d.stop) })
 	err := d.Speaker.Close()
 	d.wg.Wait()

@@ -1,0 +1,42 @@
+package daemon
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/speaker"
+)
+
+// TestPeerDownCloseRace hammers the peerDown/Close window: peerDown runs
+// on a session goroutine, so its wg.Add must not race Close's wg.Wait.
+// Run under -race.
+func TestPeerDownCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		s, err := speaker.New(speaker.Config{AS: 1, RouterID: 1})
+		if err != nil {
+			t.Fatalf("new speaker: %v", err)
+		}
+		d := &Daemon{
+			Speaker: s,
+			// An address nothing listens on: redial attempts fail fast
+			// until Close stops them.
+			peerAddrs: map[astypes.ASN]string{7: "127.0.0.1:1"},
+			reconnect: time.Millisecond,
+			stop:      make(chan struct{}),
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			d.peerDown(7)
+		}()
+		go func() {
+			defer wg.Done()
+			d.Close()
+		}()
+		wg.Wait()
+		d.Close()
+	}
+}

@@ -123,11 +123,13 @@ func Compare(a, b *Route) int {
 type Table struct {
 	mu sync.RWMutex
 	// adjIn[peer][prefix] is the route most recently advertised by peer.
+	// Guarded by mu.
 	adjIn map[astypes.ASN]map[astypes.Prefix]*Route
 	// local[prefix] holds locally originated routes; they compete in the
-	// decision process like any learned route.
+	// decision process like any learned route. Guarded by mu.
 	local map[astypes.Prefix]*Route
 	// best[prefix] is the Loc-RIB: the selected route per prefix.
+	// Guarded by mu.
 	best map[astypes.Prefix]*Route
 }
 

@@ -105,11 +105,13 @@ type Session struct {
 	peerID   uint32
 	holdTime time.Duration
 
+	// writeMu serializes every wire.WriteMessage on conn: keepalives,
+	// updates, and teardown notifications interleave frames without it.
 	writeMu sync.Mutex
 
 	mu    sync.Mutex
-	state State
-	err   error
+	state State // guarded by mu
+	err   error // guarded by mu
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -161,7 +163,11 @@ func (s *Session) handshake() error {
 	// synchronously. On error paths the caller closes the connection,
 	// which unblocks a stuck writer.
 	openSent := make(chan error, 1)
-	go func() { openSent <- wire.WriteMessage(s.conn, open) }()
+	go func() {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		openSent <- wire.WriteMessage(s.conn, open)
+	}()
 	deadline := time.Now().Add(s.holdTime)
 	if err := s.conn.SetReadDeadline(deadline); err != nil {
 		return fmt.Errorf("session: set handshake deadline: %w", err)
@@ -192,7 +198,11 @@ func (s *Session) handshake() error {
 	}
 	s.setState(StateOpenConfirm)
 	kaSent := make(chan error, 1)
-	go func() { kaSent <- wire.WriteMessage(s.conn, &wire.Keepalive{}) }()
+	go func() {
+		s.writeMu.Lock()
+		defer s.writeMu.Unlock()
+		kaSent <- wire.WriteMessage(s.conn, &wire.Keepalive{})
+	}()
 	if err := s.conn.SetReadDeadline(s.readDeadline()); err != nil {
 		return fmt.Errorf("session: set deadline: %w", err)
 	}
@@ -280,7 +290,10 @@ func (s *Session) SendRouteRefresh() error {
 func (s *Session) sendKeepalive() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	return wire.WriteMessage(s.conn, &wire.Keepalive{})
+	if err := wire.WriteMessage(s.conn, &wire.Keepalive{}); err != nil {
+		return fmt.Errorf("session: send KEEPALIVE to AS %s: %w", s.peerAS, err)
+	}
+	return nil
 }
 
 func (s *Session) sendNotification(code, sub uint8) {
@@ -291,6 +304,7 @@ func (s *Session) sendNotification(code, sub uint8) {
 	_ = s.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
+	//repro:vet ignore wireerr -- best-effort teardown write; the session is already coming down
 	_ = wire.WriteMessage(s.conn, &wire.Notification{Code: code, Subcode: sub})
 }
 

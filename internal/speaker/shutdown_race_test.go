@@ -1,0 +1,84 @@
+package speaker
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// TestListenCloseRace hammers the Listen/Close window: the accept
+// goroutine's wg.Add must not race Close's wg.Wait. Run under -race.
+func TestListenCloseRace(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		s, err := New(Config{AS: 1, RouterID: 1})
+		if err != nil {
+			t.Fatalf("new: %v", err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			s.Listen(ln)
+		}()
+		go func() {
+			defer wg.Done()
+			s.Close()
+		}()
+		wg.Wait()
+		s.Close()
+		ln.Close()
+	}
+}
+
+// TestCloseWaitsForOnPeerDown pins the OnPeerDown contract: the callback
+// runs on a tracked goroutine, and Close does not return before it does.
+func TestCloseWaitsForOnPeerDown(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var finished atomic.Bool
+	a, err := New(Config{AS: 1, RouterID: 1, OnPeerDown: func(astypes.ASN) {
+		close(started)
+		<-release
+		finished.Store(true)
+	}})
+	if err != nil {
+		t.Fatalf("new a: %v", err)
+	}
+	b, err := New(Config{AS: 2, RouterID: 2})
+	if err != nil {
+		t.Fatalf("new b: %v", err)
+	}
+	defer b.Close()
+	connectPair(t, a, b)
+
+	b.Close() // takes the session down on a's side
+	<-started
+
+	closed := make(chan struct{})
+	go func() {
+		a.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+		t.Fatal("Close returned while OnPeerDown was still running")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after OnPeerDown finished")
+	}
+	if !finished.Load() {
+		t.Fatal("Close returned before OnPeerDown finished")
+	}
+}

@@ -101,8 +101,8 @@ type Config struct {
 	// every peer (with all their more-specifics) — the operational
 	// bogon/martian filter that complements MOAS checking.
 	ImportDeny []astypes.Prefix
-	// OnPeerDown, if set, is invoked (on the session's reader goroutine)
-	// after a peer session ends and its routes are flushed.
+	// OnPeerDown, if set, is invoked on its own goroutine after a peer
+	// session ends and its routes are flushed; Close waits for it.
 	OnPeerDown func(peer astypes.ASN)
 }
 
@@ -115,13 +115,16 @@ type Speaker struct {
 	// denied, when non-nil, indexes the import deny list.
 	denied *ptrie.Trie[struct{}]
 
-	mu         sync.Mutex
-	table      *rib.Table
-	peers      map[astypes.ASN]*peer
-	resolved   map[astypes.Prefix]core.List
+	mu    sync.Mutex
+	table *rib.Table // set at construction; the Table locks itself
+	// peers holds established sessions by peer AS. Guarded by mu.
+	peers map[astypes.ASN]*peer
+	// resolved caches Resolver answers per prefix. Guarded by mu.
+	resolved map[astypes.Prefix]core.List
+	// aggregates holds configured aggregate state. Guarded by mu.
 	aggregates []*aggregateState
-	listeners  []net.Listener
-	closed     bool
+	listeners  []net.Listener // guarded by mu
+	closed     bool           // guarded by mu
 
 	wg sync.WaitGroup
 }
@@ -324,8 +327,10 @@ func (s *Speaker) Listen(ln net.Listener) {
 		return
 	}
 	s.listeners = append(s.listeners, ln)
-	s.mu.Unlock()
+	// Add while still holding mu with closed false: Close sets closed
+	// under mu before it Waits, so the Add cannot race the Wait.
 	s.wg.Add(1)
+	s.mu.Unlock()
 	go func() {
 		defer s.wg.Done()
 		for {
@@ -533,7 +538,13 @@ func (s *Speaker) handlePeerDown(peerAS astypes.ASN) {
 		s.propagateLocked(ch)
 	}
 	if s.cfg.OnPeerDown != nil && !s.closed {
-		go s.cfg.OnPeerDown(peerAS)
+		// Tracked so Close waits for the callback; Add is safe here
+		// because closed is false under the same mu Close sets it in.
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.cfg.OnPeerDown(peerAS)
+		}()
 	}
 }
 
@@ -587,11 +598,26 @@ func (s *Speaker) advertiseLocked(p *peer, r *rib.Route) {
 		NLRI: []astypes.Prefix{r.Prefix},
 	}
 	if !p.enqueue(u) {
-		go p.sess.Close()
+		s.teardownLocked(p)
 		return
 	}
 	s.ctr.updatesOut.Add(1)
 	p.advertised[r.Prefix] = true
+}
+
+// teardownLocked closes a stuck peer's session on a tracked goroutine
+// (session.Close joins the reader we may be running on, so it cannot
+// run inline). After Close has set closed, the speaker is already
+// closing every session, so the duplicate teardown is skipped.
+func (s *Speaker) teardownLocked(p *peer) {
+	if s.closed {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		p.sess.Close()
+	}()
 }
 
 func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix) {
@@ -600,7 +626,7 @@ func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix) {
 	}
 	u := &wire.Update{Withdrawn: []astypes.Prefix{prefix}}
 	if !p.enqueue(u) {
-		go p.sess.Close()
+		s.teardownLocked(p)
 		return
 	}
 	s.ctr.updatesOut.Add(1)
