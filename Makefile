@@ -8,7 +8,7 @@ FUZZ_TARGETS := \
 	./internal/astypes:FuzzParseCommunity
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race fuzz-smoke check
+.PHONY: build test vet race e2e bench fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -25,6 +25,18 @@ vet:
 race:
 	$(GO) test -race ./...
 
+## e2e: the loopback observability scenario plus the telemetry suite,
+## under the race detector.
+e2e:
+	$(GO) test -race ./internal/telemetry/... ./internal/e2etest/...
+
+## bench: telemetry hot-path overhead, recorded as BENCH_telemetry.json
+## for regression tracking (one test2json event per line).
+bench:
+	$(GO) test -json -run='^$$' -bench='^BenchmarkTelemetry' -benchmem \
+		./internal/telemetry/ > BENCH_telemetry.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_telemetry.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
 ## fuzz-smoke: run each fuzz target briefly against its seed corpus.
 fuzz-smoke:
 	@set -e; for entry in $(FUZZ_TARGETS); do \
@@ -34,4 +46,4 @@ fuzz-smoke:
 	done
 
 ## check: the full verification gate CI runs on every PR.
-check: build vet test race fuzz-smoke
+check: build vet test race e2e fuzz-smoke

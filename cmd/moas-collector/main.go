@@ -18,25 +18,36 @@ import (
 
 	"repro/internal/collector"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		listen   = flag.String("listen", "127.0.0.1:1790", "address accepting BGP peerings")
-		dir      = flag.String("dir", "dumps", "snapshot output directory")
-		interval = flag.Duration("interval", time.Minute, "snapshot interval")
-		check    = flag.Bool("check", false, "run the off-line MOAS monitor on every snapshot")
+		listen      = flag.String("listen", "127.0.0.1:1790", "address accepting BGP peerings")
+		dir         = flag.String("dir", "dumps", "snapshot output directory")
+		interval    = flag.Duration("interval", time.Minute, "snapshot interval")
+		check       = flag.Bool("check", false, "run the off-line MOAS monitor on every snapshot")
+		metricsAddr = flag.String("metrics-addr", "", "admin endpoint address serving /metrics and /healthz")
 	)
 	flag.Parse()
-	if err := run(*listen, *dir, *interval, *check); err != nil {
+	if err := run(*listen, *dir, *interval, *check, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-collector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, dir string, interval time.Duration, check bool) error {
-	c := collector.New(collector.Config{RouterID: 6447})
+func run(listen, dir string, interval time.Duration, check bool, metricsAddr string) error {
+	reg := telemetry.NewRegistry("moas")
+	c := collector.New(collector.Config{RouterID: 6447, Telemetry: reg})
 	defer c.Close()
+	if metricsAddr != "" {
+		admin, err := telemetry.ServeAdmin(metricsAddr, telemetry.AdminConfig{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		log.Printf("moas-collector: metrics at http://%s/metrics", admin.Addr())
+	}
 	ln, err := net.Listen("tcp", listen)
 	if err != nil {
 		return err
@@ -46,7 +57,7 @@ func run(listen, dir string, interval time.Duration, check bool) error {
 
 	var opts []collector.ArchiverOption
 	if check {
-		mon := monitor.New()
+		mon := monitor.New(monitor.WithTelemetry(reg))
 		opts = append(opts, collector.WithMonitor(mon, func(a monitor.Alarm) {
 			log.Printf("ALARM [%s]: %s", a.Vantage, a.Conflict.Error())
 		}))

@@ -11,34 +11,40 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/astypes"
 	"repro/internal/core"
 	"repro/internal/dnsval"
 	"repro/internal/monitor"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	var (
-		moasrr  = flag.String("moasrr", "", "MOASRR database file (prefix=asn,asn lines)")
-		verbose = flag.Bool("v", false, "also list every alarm")
+		moasrr      = flag.String("moasrr", "", "MOASRR database file (prefix=asn,asn lines)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics with the run's counters after processing, until interrupted")
+		verbose     = flag.Bool("v", false, "also list every alarm")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: moas-monitor [-moasrr file] dump.txt [dump.txt ...]")
 		os.Exit(2)
 	}
-	if err := run(*moasrr, *verbose, flag.Args()); err != nil {
+	if err := run(*moasrr, *metricsAddr, *verbose, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-monitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(moasrrPath string, verbose bool, dumps []string) error {
-	var opts []monitor.Option
+func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
+	reg := telemetry.NewRegistry("moas")
+	opts := []monitor.Option{monitor.WithTelemetry(reg)}
 	if moasrrPath != "" {
 		store, err := loadMOASRR(moasrrPath)
 		if err != nil {
@@ -90,6 +96,19 @@ func run(moasrrPath string, verbose bool, dumps []string) error {
 		for _, a := range alarms {
 			fmt.Printf("  [%s] %s\n", a.Vantage, a.Conflict.Error())
 		}
+	}
+	if metricsAddr != "" {
+		// Batch tool: the scrape endpoint exposes this run's counters
+		// for collection, then the process waits for an interrupt.
+		admin, err := telemetry.ServeAdmin(metricsAddr, telemetry.AdminConfig{Registry: reg})
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
+		log.Printf("moas-monitor: metrics at http://%s/metrics (interrupt to exit)", admin.Addr())
+		stop := make(chan os.Signal, 1)
+		signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+		<-stop
 	}
 	return nil
 }

@@ -33,23 +33,27 @@ import (
 
 func main() {
 	var (
-		configPath = flag.String("config", "", "path to the JSON configuration (required)")
-		verbose    = flag.Bool("v", false, "log every MOAS alarm")
+		configPath  = flag.String("config", "", "path to the JSON configuration (required)")
+		metricsAddr = flag.String("metrics-addr", "", "admin endpoint address serving /metrics, /healthz and /debug/mib (overrides metricsAddr in the config)")
+		verbose     = flag.Bool("v", false, "log every MOAS alarm")
 	)
 	flag.Parse()
 	if *configPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: moas-speaker -config speaker.json")
 		os.Exit(2)
 	}
-	if err := run(*configPath, *verbose); err != nil {
+	if err := run(*configPath, *metricsAddr, *verbose); err != nil {
 		log.Fatal("moas-speaker: ", err)
 	}
 }
 
-func run(configPath string, verbose bool) error {
+func run(configPath, metricsAddr string, verbose bool) error {
 	cfg, err := daemon.LoadFile(configPath)
 	if err != nil {
 		return err
+	}
+	if metricsAddr != "" {
+		cfg.MetricsAddr = metricsAddr
 	}
 	d, err := daemon.Build(cfg)
 	if err != nil {
@@ -61,6 +65,9 @@ func run(configPath string, verbose bool) error {
 		cfg.AS, cfg.Validation, len(cfg.Peers))
 	if addr := d.MIBAddr(); addr != "" {
 		log.Printf("moas-speaker: MIB at http://%s/mib", addr)
+	}
+	if addr := d.MetricsAddr(); addr != "" {
+		log.Printf("moas-speaker: metrics at http://%s/metrics", addr)
 	}
 
 	stop := make(chan os.Signal, 1)

@@ -1,7 +1,9 @@
 package collector
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -9,6 +11,7 @@ import (
 
 	"repro/internal/monitor"
 	"repro/internal/routegen"
+	"repro/internal/telemetry"
 )
 
 // Archiver periodically snapshots a Collector to dump files on disk —
@@ -22,6 +25,11 @@ type Archiver struct {
 	monitor   *monitor.Monitor
 	onAlarm   func(monitor.Alarm)
 	now       func() time.Time
+
+	// Archive instrumentation, registered on the collector's registry.
+	dumpsWritten  *telemetry.Counter
+	bytesArchived *telemetry.Counter
+	writeErrors   *telemetry.Counter
 
 	mu       sync.Mutex
 	written  []string // guarded by mu
@@ -78,6 +86,12 @@ func NewArchiver(c *Collector, dir string, interval time.Duration, opts ...Archi
 		now:       time.Now,
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
+		dumpsWritten: c.reg.Counter("archiver_dumps_written_total",
+			"Snapshot dump files written to the archive directory."),
+		bytesArchived: c.reg.Counter("archiver_bytes_archived_total",
+			"Bytes of dump data written to the archive directory."),
+		writeErrors: c.reg.Counter("archiver_write_errors_total",
+			"Snapshot writes that failed (disk trouble; the next tick retries)."),
 	}
 	for _, o := range opts {
 		o.apply(a)
@@ -88,6 +102,14 @@ func NewArchiver(c *Collector, dir string, interval time.Duration, opts ...Archi
 // SnapshotNow takes and writes one snapshot immediately, returning the
 // file path.
 func (a *Archiver) SnapshotNow() (string, error) {
+	name, err := a.snapshotNow()
+	if err != nil {
+		a.writeErrors.Inc()
+	}
+	return name, err
+}
+
+func (a *Archiver) snapshotNow() (string, error) {
 	d := a.collector.Snapshot(a.now())
 	name := filepath.Join(a.dir, fmt.Sprintf("dump-%05d-%s.txt",
 		d.Day, d.Date.UTC().Format("20060102T150405Z")))
@@ -95,18 +117,41 @@ func (a *Archiver) SnapshotNow() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("collector: create snapshot: %w", err)
 	}
-	if err := routegen.WriteDump(f, d); err != nil {
+	// Count archived bytes where they leave the process, so the metric
+	// covers exactly what landed in the dump file.
+	bw := bufio.NewWriter(f)
+	cw := &countingWriter{w: bw}
+	if err := routegen.WriteDump(cw, d); err != nil {
+		f.Close()
+		return "", err
+	}
+	if err := bw.Flush(); err != nil {
 		f.Close()
 		return "", err
 	}
 	if err := f.Close(); err != nil {
 		return "", err
 	}
+	a.dumpsWritten.Inc()
+	a.bytesArchived.Add(uint64(cw.n))
 	a.mu.Lock()
 	a.written = append(a.written, name)
 	a.mu.Unlock()
 	a.checkSnapshot(d)
 	return name, nil
+}
+
+// countingWriter counts bytes successfully handed to the underlying
+// writer.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
 }
 
 func (a *Archiver) checkSnapshot(d *routegen.Dump) {

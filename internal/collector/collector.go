@@ -16,6 +16,7 @@ import (
 	"repro/internal/astypes"
 	"repro/internal/routegen"
 	"repro/internal/session"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -31,6 +32,33 @@ type Config struct {
 	RouterID uint32
 	// HoldTime for peering sessions (zero selects the session default).
 	HoldTime time.Duration
+	// Telemetry, if set, is the registry the collector (and its
+	// sessions and archiver) instruments itself on; nil creates a
+	// private "moas" registry. Registry() exposes whichever is in use.
+	Telemetry *telemetry.Registry
+}
+
+// metrics is the collector's instrumentation.
+type metrics struct {
+	updatesIn     *telemetry.Counter
+	withdrawalsIn *telemetry.Counter
+	peers         *telemetry.Gauge
+	snapshots     *telemetry.Counter
+	session       *session.Metrics
+}
+
+func newMetrics(r *telemetry.Registry) *metrics {
+	return &metrics{
+		updatesIn: r.Counter("collector_updates_in_total",
+			"UPDATE messages ingested from peers."),
+		withdrawalsIn: r.Counter("collector_withdrawals_in_total",
+			"Withdrawn prefixes ingested."),
+		peers: r.Gauge("collector_peers",
+			"Connected peer sessions."),
+		snapshots: r.Counter("collector_snapshots_total",
+			"Table snapshots assembled."),
+		session: session.NewMetrics(r),
+	}
 }
 
 // route is the collector's view of one announcement from one peer.
@@ -42,6 +70,8 @@ type route struct {
 // Collector is a passive multi-peer route archive.
 type Collector struct {
 	cfg Config
+	reg *telemetry.Registry
+	met *metrics
 
 	mu    sync.Mutex
 	peers map[astypes.ASN]*session.Session // guarded by mu
@@ -59,12 +89,22 @@ func New(cfg Config) *Collector {
 	if cfg.AS == astypes.ASNNone {
 		cfg.AS = CollectorASN
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry("moas")
+	}
 	return &Collector{
 		cfg:   cfg,
+		reg:   reg,
+		met:   newMetrics(reg),
 		peers: make(map[astypes.ASN]*session.Session),
 		rib:   make(map[astypes.ASN]map[astypes.Prefix]route),
 	}
 }
+
+// Registry returns the telemetry registry the collector instruments
+// itself on (the configured one, or the private default).
+func (c *Collector) Registry() *telemetry.Registry { return c.reg }
 
 // handler adapts session events for one peer.
 type handler struct {
@@ -73,6 +113,8 @@ type handler struct {
 
 // HandleUpdate implements session.Handler.
 func (h handler) HandleUpdate(peer astypes.ASN, u *wire.Update) {
+	h.c.met.updatesIn.Inc()
+	h.c.met.withdrawalsIn.Add(uint64(len(u.Withdrawn)))
 	h.c.mu.Lock()
 	defer h.c.mu.Unlock()
 	table := h.c.rib[peer]
@@ -98,6 +140,9 @@ func (h handler) HandleUpdate(peer astypes.ASN, u *wire.Update) {
 func (h handler) HandleDown(peer astypes.ASN, err error) {
 	h.c.mu.Lock()
 	defer h.c.mu.Unlock()
+	if _, ok := h.c.peers[peer]; ok {
+		h.c.met.peers.Dec()
+	}
 	delete(h.c.peers, peer)
 	delete(h.c.rib, peer)
 }
@@ -110,6 +155,7 @@ func (c *Collector) AddPeerConn(conn net.Conn) (astypes.ASN, error) {
 		LocalID:  c.cfg.RouterID,
 		HoldTime: c.cfg.HoldTime,
 		Handler:  handler{c: c},
+		Metrics:  c.met.session,
 	})
 	if err != nil {
 		return astypes.ASNNone, fmt.Errorf("collector: establish: %w", err)
@@ -126,6 +172,7 @@ func (c *Collector) AddPeerConn(conn net.Conn) (astypes.ASN, error) {
 		return astypes.ASNNone, fmt.Errorf("collector: duplicate peer AS %s", got)
 	}
 	c.peers[got] = sess
+	c.met.peers.Inc()
 	return got, nil
 }
 
@@ -192,6 +239,7 @@ func (c *Collector) Snapshot(at time.Time) *routegen.Dump {
 	defer c.mu.Unlock()
 	d := &routegen.Dump{Day: c.snapshots, Date: at}
 	c.snapshots++
+	c.met.snapshots.Inc()
 	peerASNs := make([]astypes.ASN, 0, len(c.rib))
 	for a := range c.rib {
 		peerASNs = append(peerASNs, a)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnsval"
 	"repro/internal/speaker"
+	"repro/internal/telemetry"
 )
 
 // Config is the on-disk daemon configuration.
@@ -35,6 +36,9 @@ type Config struct {
 	Listen []string `json:"listen"`
 	// MIBAddr, if set, serves the MIB JSON over HTTP.
 	MIBAddr string `json:"mibAddr"`
+	// MetricsAddr, if set, serves the admin endpoint: /metrics
+	// (Prometheus text or JSON), /healthz, and /debug/mib.
+	MetricsAddr string `json:"metricsAddr"`
 	// Peers to dial.
 	Peers []PeerConfig `json:"peers"`
 	// Originate lists locally announced prefixes.
@@ -160,14 +164,24 @@ type Daemon struct {
 	Speaker *speaker.Speaker
 	Store   *dnsval.Store
 
+	reg   *telemetry.Registry
+	admin *telemetry.Admin
+
 	mibServer *http.Server
 	mibErr    chan error
 	mibAddr   string
+
+	listenAddrs []string
 
 	peerAddrs map[astypes.ASN]string
 	reconnect time.Duration
 	stop      chan struct{}
 	stopOnce  sync.Once
+
+	// Daemon-level instrumentation.
+	peerUp            *telemetry.Counter
+	peerDownCtr       *telemetry.Counter
+	reconnectAttempts *telemetry.Counter
 
 	mu      sync.Mutex
 	closing bool // guarded by mu
@@ -188,12 +202,20 @@ func Build(cfg Config) (*Daemon, error) {
 		store.Register(prefix, core.NewList(asnsOf(rec.Origins)...))
 	}
 
+	reg := telemetry.NewRegistry("moas")
 	d := &Daemon{
 		Store:     store,
+		reg:       reg,
 		mibErr:    make(chan error, 1),
 		peerAddrs: make(map[astypes.ASN]string, len(cfg.Peers)),
 		reconnect: time.Duration(cfg.ReconnectSeconds) * time.Second,
 		stop:      make(chan struct{}),
+		peerUp: reg.Counter("daemon_peer_up_total",
+			"Outbound peer sessions successfully established (initial dials and re-dials)."),
+		peerDownCtr: reg.Counter("daemon_peer_down_total",
+			"Peer sessions that went down."),
+		reconnectAttempts: reg.Counter("daemon_reconnect_attempts_total",
+			"Re-dial attempts made for dropped configured peers."),
 	}
 	var deny []astypes.Prefix
 	for _, ds := range cfg.ImportDeny {
@@ -215,9 +237,10 @@ func Build(cfg Config) (*Daemon, error) {
 		HoldTime:     time.Duration(cfg.HoldTimeSeconds) * time.Second,
 		ImportDeny:   deny,
 		ListEncoding: encoding,
-	}
-	if d.reconnect > 0 {
-		spkCfg.OnPeerDown = d.peerDown
+		Telemetry:    reg,
+		// Always observe peer-down events (the counter fires regardless);
+		// peerDown gates the re-dial loop itself on d.reconnect > 0.
+		OnPeerDown: d.peerDown,
 	}
 	s, err := speaker.New(spkCfg)
 	if err != nil {
@@ -230,6 +253,9 @@ func Build(cfg Config) (*Daemon, error) {
 		if d.mibServer != nil {
 			d.mibServer.Close()
 		}
+		if d.admin != nil {
+			d.admin.Close()
+		}
 	}
 
 	for _, addr := range cfg.Listen {
@@ -238,6 +264,7 @@ func Build(cfg Config) (*Daemon, error) {
 			cleanup()
 			return nil, fmt.Errorf("daemon: listen %s: %w", addr, err)
 		}
+		d.listenAddrs = append(d.listenAddrs, ln.Addr().String())
 		s.Listen(ln)
 	}
 	for _, o := range cfg.Originate {
@@ -265,6 +292,7 @@ func Build(cfg Config) (*Daemon, error) {
 			cleanup()
 			return nil, err
 		}
+		d.peerUp.Inc()
 	}
 	if cfg.MIBAddr != "" {
 		ln, err := net.Listen("tcp", cfg.MIBAddr)
@@ -284,16 +312,50 @@ func Build(cfg Config) (*Daemon, error) {
 			close(d.mibErr)
 		}()
 	}
+	if cfg.MetricsAddr != "" {
+		admin, err := telemetry.ServeAdmin(cfg.MetricsAddr, telemetry.AdminConfig{
+			Registry: reg,
+			MIB:      s,
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		d.admin = admin
+	}
 	return d, nil
 }
 
 // MIBAddr returns the bound MIB HTTP address ("" when disabled).
 func (d *Daemon) MIBAddr() string { return d.mibAddr }
 
-// peerDown schedules re-dialing of a configured outbound peer.
+// MetricsAddr returns the bound admin endpoint address ("" when
+// disabled).
+func (d *Daemon) MetricsAddr() string {
+	if d.admin == nil {
+		return ""
+	}
+	return d.admin.Addr()
+}
+
+// ListenAddrs returns the bound inbound-peering listener addresses in
+// configuration order (resolved, so ":0" configs report real ports).
+func (d *Daemon) ListenAddrs() []string {
+	out := make([]string, len(d.listenAddrs))
+	copy(out, d.listenAddrs)
+	return out
+}
+
+// Registry returns the daemon's telemetry registry (shared with its
+// speaker and sessions).
+func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
+
+// peerDown counts the loss and, when reconnection is configured,
+// schedules re-dialing of a configured outbound peer.
 func (d *Daemon) peerDown(peer astypes.ASN) {
+	d.peerDownCtr.Inc()
 	addr, configured := d.peerAddrs[peer]
-	if !configured {
+	if !configured || d.reconnect <= 0 {
 		return
 	}
 	// Add under mu with the closing check: peerDown runs on a session
@@ -315,7 +377,9 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 				return
 			case <-timer.C:
 			}
+			d.reconnectAttempts.Inc()
 			if err := d.Speaker.Connect(addr, peer); err == nil {
+				d.peerUp.Inc()
 				return
 			}
 			timer.Reset(d.reconnect)
@@ -336,6 +400,11 @@ func (d *Daemon) Close() error {
 			err = cerr
 		}
 		<-d.mibErr
+	}
+	if d.admin != nil {
+		if cerr := d.admin.Close(); err == nil {
+			err = cerr
+		}
 	}
 	return err
 }

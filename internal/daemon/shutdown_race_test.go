@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/astypes"
 	"repro/internal/speaker"
+	"repro/internal/telemetry"
 )
 
 // TestPeerDownCloseRace hammers the peerDown/Close window: peerDown runs
@@ -18,13 +19,18 @@ func TestPeerDownCloseRace(t *testing.T) {
 		if err != nil {
 			t.Fatalf("new speaker: %v", err)
 		}
+		reg := telemetry.NewRegistry("moas")
 		d := &Daemon{
 			Speaker: s,
+			reg:     reg,
 			// An address nothing listens on: redial attempts fail fast
 			// until Close stops them.
-			peerAddrs: map[astypes.ASN]string{7: "127.0.0.1:1"},
-			reconnect: time.Millisecond,
-			stop:      make(chan struct{}),
+			peerAddrs:         map[astypes.ASN]string{7: "127.0.0.1:1"},
+			reconnect:         time.Millisecond,
+			stop:              make(chan struct{}),
+			peerUp:            reg.Counter("daemon_peer_up_total", "t"),
+			peerDownCtr:       reg.Counter("daemon_peer_down_total", "t"),
+			reconnectAttempts: reg.Counter("daemon_reconnect_attempts_total", "t"),
 		}
 		var wg sync.WaitGroup
 		wg.Add(2)

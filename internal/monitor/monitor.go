@@ -20,6 +20,7 @@ import (
 	"repro/internal/astypes"
 	"repro/internal/core"
 	"repro/internal/routegen"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -46,6 +47,31 @@ type Monitor struct {
 	origins map[astypes.Prefix]map[astypes.ASN]struct{}
 	// resolver, if set, classifies alarms into valid/invalid.
 	resolver Resolver
+	// met, if set, mirrors monitor state onto a telemetry registry.
+	met *monitorMetrics
+}
+
+// monitorMetrics is the monitor's instrumentation (WithTelemetry).
+type monitorMetrics struct {
+	entries *telemetry.Counter
+	// alarms is labeled by prefix: operators watch which prefixes are
+	// in conflict, not just how many alarms fired. The label space is
+	// bounded by the number of conflicting prefixes, which the paper
+	// measures in the tens per day, not the table size.
+	alarms *telemetry.CounterVec
+	// cases tracks prefixes currently visible with more than one origin.
+	cases *telemetry.Gauge
+}
+
+func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
+	return &monitorMetrics{
+		entries: r.Counter("monitor_entries_total",
+			"Routing-table entries ingested across all vantages."),
+		alarms: r.CounterVec("monitor_alarms_total",
+			"MOAS-list alarms raised, by conflicting prefix.", "prefix"),
+		cases: r.Gauge("monitor_moas_cases",
+			"Prefixes currently visible with more than one origin AS."),
+	}
 }
 
 // Resolver mirrors speaker.Resolver for alarm classification.
@@ -65,6 +91,16 @@ func (o resolverOption) apply(m *Monitor) { m.resolver = o.r }
 // WithResolver classifies alarms against a MOASRR database.
 func WithResolver(r Resolver) Option {
 	return resolverOption{r: r}
+}
+
+type telemetryOption struct{ r *telemetry.Registry }
+
+func (o telemetryOption) apply(m *Monitor) { m.met = newMonitorMetrics(o.r) }
+
+// WithTelemetry mirrors entry counts, per-prefix alarm counts, and the
+// live MOAS-case count onto r.
+func WithTelemetry(r *telemetry.Registry) Option {
+	return telemetryOption{r: r}
 }
 
 // New returns an empty monitor.
@@ -88,16 +124,28 @@ func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astyp
 	})
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.met != nil {
+		m.met.entries.Inc()
+	}
 	if origin, ok := path.Origin(); ok {
 		set, ok := m.origins[prefix]
 		if !ok {
 			set = make(map[astypes.ASN]struct{}, 2)
 			m.origins[prefix] = set
 		}
+		before := len(set)
 		set[origin] = struct{}{}
+		// A prefix becomes a MOAS case when its visible origin set
+		// crosses from one to two.
+		if m.met != nil && before == 1 && len(set) == 2 {
+			m.met.cases.Inc()
+		}
 	}
 	if verdict != core.VerdictConsistent && conflict != nil {
 		m.alarms = append(m.alarms, Alarm{Conflict: *conflict, Vantage: vantage})
+		if m.met != nil {
+			m.met.alarms.With(prefix.String()).Inc()
+		}
 	}
 }
 
@@ -117,6 +165,9 @@ func (m *Monitor) ObserveUpdate(vantage string, u *wire.Update) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for _, w := range u.Withdrawn {
+		if m.met != nil && len(m.origins[w]) >= 2 {
+			m.met.cases.Dec()
+		}
 		delete(m.origins, w)
 		m.checker.Forget(w)
 	}
@@ -194,6 +245,11 @@ func (m *Monitor) Reset() {
 	m.checker.Reset()
 	m.origins = make(map[astypes.Prefix]map[astypes.ASN]struct{})
 	m.alarms = nil
+	if m.met != nil {
+		// Counters are cumulative across resets by design; only the
+		// live-case gauge goes back to zero.
+		m.met.cases.Set(0)
+	}
 }
 
 // AlarmGroup aggregates the alarms of one prefix: operators care about

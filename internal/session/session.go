@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/astypes"
@@ -78,6 +79,9 @@ type Config struct {
 	HoldTime time.Duration
 	// Handler receives updates and the down event; required.
 	Handler Handler
+	// Metrics, if set, instruments this session. Typically one Metrics
+	// is shared by all sessions of a speaker.
+	Metrics *Metrics
 }
 
 // Errors surfaced by session establishment and supervision.
@@ -101,9 +105,15 @@ func (e *NotificationError) Error() string {
 type Session struct {
 	conn     net.Conn
 	cfg      Config
+	met      *Metrics // nil disables instrumentation
 	peerAS   astypes.ASN
 	peerID   uint32
 	holdTime time.Duration
+
+	// kaSentAt holds the UnixNano timestamp of the oldest KEEPALIVE we
+	// sent that has not yet been answered by a peer KEEPALIVE (0 =
+	// none outstanding) — the basis of the approximate keepalive RTT.
+	kaSentAt atomic.Int64
 
 	// writeMu serializes every wire.WriteMessage on conn: keepalives,
 	// updates, and teardown notifications interleave frames without it.
@@ -134,6 +144,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 	s := &Session{
 		conn:     conn,
 		cfg:      cfg,
+		met:      cfg.Metrics,
 		holdTime: holdTime,
 		state:    StateOpenSent,
 		stop:     make(chan struct{}),
@@ -141,6 +152,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		kaDone:   make(chan struct{}),
 	}
 	if err := s.handshake(); err != nil {
+		s.met.handshakeFailed()
 		conn.Close()
 		return nil, err
 	}
@@ -166,7 +178,11 @@ func (s *Session) handshake() error {
 	go func() {
 		s.writeMu.Lock()
 		defer s.writeMu.Unlock()
-		openSent <- wire.WriteMessage(s.conn, open)
+		err := wire.WriteMessage(s.conn, open)
+		if err == nil {
+			s.met.sentMsg(wire.MsgOpen)
+		}
+		openSent <- err
 	}()
 	deadline := time.Now().Add(s.holdTime)
 	if err := s.conn.SetReadDeadline(deadline); err != nil {
@@ -176,6 +192,7 @@ func (s *Session) handshake() error {
 	if err != nil {
 		return fmt.Errorf("session: read OPEN: %w", err)
 	}
+	s.met.recvMsg(msg.Type())
 	if err := <-openSent; err != nil {
 		return fmt.Errorf("session: send OPEN: %w", err)
 	}
@@ -201,7 +218,11 @@ func (s *Session) handshake() error {
 	go func() {
 		s.writeMu.Lock()
 		defer s.writeMu.Unlock()
-		kaSent <- wire.WriteMessage(s.conn, &wire.Keepalive{})
+		err := wire.WriteMessage(s.conn, &wire.Keepalive{})
+		if err == nil {
+			s.met.sentMsg(wire.MsgKeepalive)
+		}
+		kaSent <- err
 	}()
 	if err := s.conn.SetReadDeadline(s.readDeadline()); err != nil {
 		return fmt.Errorf("session: set deadline: %w", err)
@@ -210,6 +231,7 @@ func (s *Session) handshake() error {
 	if err != nil {
 		return fmt.Errorf("session: read confirm KEEPALIVE: %w", err)
 	}
+	s.met.recvMsg(msg.Type())
 	if err := <-kaSent; err != nil {
 		return fmt.Errorf("session: send KEEPALIVE: %w", err)
 	}
@@ -270,6 +292,7 @@ func (s *Session) SendUpdate(u *wire.Update) error {
 	if err := wire.WriteMessage(s.conn, u); err != nil {
 		return fmt.Errorf("session: send UPDATE to AS %s: %w", s.peerAS, err)
 	}
+	s.met.sentMsg(wire.MsgUpdate)
 	return nil
 }
 
@@ -284,6 +307,7 @@ func (s *Session) SendRouteRefresh() error {
 	if err := wire.WriteMessage(s.conn, rr); err != nil {
 		return fmt.Errorf("session: send ROUTE-REFRESH to AS %s: %w", s.peerAS, err)
 	}
+	s.met.sentMsg(wire.MsgRouteRefresh)
 	return nil
 }
 
@@ -293,6 +317,10 @@ func (s *Session) sendKeepalive() error {
 	if err := wire.WriteMessage(s.conn, &wire.Keepalive{}); err != nil {
 		return fmt.Errorf("session: send KEEPALIVE to AS %s: %w", s.peerAS, err)
 	}
+	s.met.sentMsg(wire.MsgKeepalive)
+	// Start an RTT measurement unless one is already outstanding: the
+	// oldest unanswered keepalive keeps the baseline.
+	s.kaSentAt.CompareAndSwap(0, time.Now().UnixNano())
 	return nil
 }
 
@@ -305,7 +333,9 @@ func (s *Session) sendNotification(code, sub uint8) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	//repro:vet ignore wireerr -- best-effort teardown write; the session is already coming down
-	_ = wire.WriteMessage(s.conn, &wire.Notification{Code: code, Subcode: sub})
+	if err := wire.WriteMessage(s.conn, &wire.Notification{Code: code, Subcode: sub}); err == nil {
+		s.met.sentMsg(wire.MsgNotification)
+	}
 }
 
 func (s *Session) readLoop() {
@@ -334,6 +364,7 @@ func (s *Session) readLoop() {
 			}
 			return
 		}
+		s.met.recvMsg(msg.Type())
 		switch m := msg.(type) {
 		case *wire.Update:
 			s.cfg.Handler.HandleUpdate(s.peerAS, m)
@@ -342,7 +373,12 @@ func (s *Session) readLoop() {
 				rh.HandleRouteRefresh(s.peerAS, m)
 			}
 		case *wire.Keepalive:
-			// Receipt already refreshed the hold timer.
+			// Receipt already refreshed the hold timer. Close out an
+			// outstanding RTT measurement: the peer's keepalive timer
+			// makes this a round-trip proxy, not a true echo.
+			if t0 := s.kaSentAt.Swap(0); t0 != 0 {
+				s.met.observeKeepaliveRTT(time.Duration(time.Now().UnixNano() - t0))
+			}
 		case *wire.Notification:
 			s.goDown(&NotificationError{Code: m.Code, Subcode: m.Subcode})
 			return

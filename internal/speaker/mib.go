@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"net/http"
 	"sort"
-	"sync/atomic"
 
 	"repro/internal/astypes"
 	"repro/internal/core"
@@ -16,7 +15,12 @@ import (
 // the MIB interface and check the MOAS List consistency." The MIB
 // snapshot exposes per-peer session entries, message counters, the
 // Loc-RIB's per-prefix MOAS lists, and the alarm log; ServeHTTP makes
-// it consumable by an external checker over HTTP/JSON.
+// it consumable by an external checker over HTTP/JSON, and the daemon
+// serves the same handler at the admin endpoint's /debug/mib.
+//
+// The counters themselves live on the speaker's telemetry registry
+// (metrics.go), so the MIB view and the /metrics exposition read the
+// same instruments.
 
 // Counters aggregates the speaker's message and validation statistics.
 // All fields are cumulative since the speaker started.
@@ -28,29 +32,6 @@ type Counters struct {
 	RoutesRejected uint64 `json:"routesRejected"`
 	LoopsDropped   uint64 `json:"loopsDropped"`
 	Alarms         uint64 `json:"alarms"`
-}
-
-// counters is the internal atomic representation.
-type counters struct {
-	updatesIn      atomic.Uint64
-	updatesOut     atomic.Uint64
-	withdrawalsIn  atomic.Uint64
-	routesAccepted atomic.Uint64
-	routesRejected atomic.Uint64
-	loopsDropped   atomic.Uint64
-	alarms         atomic.Uint64
-}
-
-func (c *counters) snapshot() Counters {
-	return Counters{
-		UpdatesIn:      c.updatesIn.Load(),
-		UpdatesOut:     c.updatesOut.Load(),
-		WithdrawalsIn:  c.withdrawalsIn.Load(),
-		RoutesAccepted: c.routesAccepted.Load(),
-		RoutesRejected: c.routesRejected.Load(),
-		LoopsDropped:   c.loopsDropped.Load(),
-		Alarms:         c.alarms.Load(),
-	}
 }
 
 // PeerEntry is one row of the MIB's peer table.
@@ -81,16 +62,32 @@ type MIB struct {
 }
 
 // MIB returns the current management snapshot.
+//
+// Snapshot ordering (kept consistent so concurrent updates cannot show
+// a peer table newer than the routes it produced):
+//
+//  1. the s.mu-guarded peer walk (peers map; each session's State is
+//     internally synchronized),
+//  2. the Loc-RIB route walk (rib.Table locks itself) — taken after
+//     s.mu is released: propagateLocked runs under s.mu, so every route
+//     visible here was propagated by a peer the walk in (1) could see,
+//  3. the counter reads (telemetry atomics, each individually exact),
+//  4. the alarm log (core.Checker locks itself).
+//
+// s.mu is deliberately NOT held across steps 2–4: BestRoutes and
+// Alarms take their own locks, and holding s.mu across them would
+// order s.mu before those locks here while the update path (handleUpdate
+// → admitLocked → checker.Check) already orders them the other way
+// around on the alarm-callback path.
 func (s *Speaker) MIB() MIB {
 	m := MIB{
-		AS:       s.cfg.AS,
-		Mode:     s.cfg.Validation.String(),
-		Counters: s.ctr.snapshot(),
+		AS:   s.cfg.AS,
+		Mode: s.cfg.Validation.String(),
 	}
 	s.mu.Lock()
-	for asn, p := range s.peers {
+	for asn, p := range s.peers { // peers guarded by mu
 		advertised := 0
-		for _, on := range p.advertised {
+		for _, on := range p.advertised { // advertised guarded by mu
 			if on {
 				advertised++
 			}
@@ -120,6 +117,11 @@ func (s *Speaker) MIB() MIB {
 		}
 		m.Routes = append(m.Routes, entry)
 	}
+
+	// Counters are read after the route walk: a route that made it into
+	// the snapshot has its accept/reject decision already counted, so
+	// the counter view is never behind the route view.
+	m.Counters = s.met.snapshot()
 	for _, a := range s.checker.Alarms() {
 		m.Alarms = append(m.Alarms, a.Error())
 	}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/ptrie"
 	"repro/internal/rib"
 	"repro/internal/session"
+	"repro/internal/telemetry"
 	"repro/internal/wire"
 )
 
@@ -104,13 +105,18 @@ type Config struct {
 	// OnPeerDown, if set, is invoked on its own goroutine after a peer
 	// session ends and its routes are flushed; Close waits for it.
 	OnPeerDown func(peer astypes.ASN)
+	// Telemetry, if set, is the registry the speaker instruments itself
+	// (and its sessions) on; nil creates a private "moas" registry, so
+	// counting is always on. Registry() exposes whichever is in use.
+	Telemetry *telemetry.Registry
 }
 
 // Speaker is a BGP speaker instance.
 type Speaker struct {
 	cfg     Config
 	checker *core.Checker
-	ctr     counters
+	reg     *telemetry.Registry
+	met     *metrics
 
 	// denied, when non-nil, indexes the import deny list.
 	denied *ptrie.Trie[struct{}]
@@ -175,8 +181,14 @@ func New(cfg Config) (*Speaker, error) {
 	if cfg.ListEncoding == 0 {
 		cfg.ListEncoding = EncodeCommunities
 	}
+	reg := cfg.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry("moas")
+	}
 	s := &Speaker{
 		cfg:      cfg,
+		reg:      reg,
+		met:      newMetrics(reg),
 		table:    rib.NewTable(),
 		peers:    make(map[astypes.ASN]*peer),
 		resolved: make(map[astypes.Prefix]core.List),
@@ -188,7 +200,7 @@ func New(cfg Config) (*Speaker, error) {
 		}
 	}
 	s.checker = core.NewChecker(core.WithAlarmFunc(func(c core.Conflict) {
-		s.ctr.alarms.Add(1)
+		s.met.alarms.Inc()
 		if cfg.OnAlarm != nil {
 			cfg.OnAlarm(c)
 		}
@@ -198,6 +210,10 @@ func New(cfg Config) (*Speaker, error) {
 
 // AS returns the speaker's AS number.
 func (s *Speaker) AS() astypes.ASN { return s.cfg.AS }
+
+// Registry returns the telemetry registry the speaker instruments
+// itself on (the configured one, or the private default).
+func (s *Speaker) Registry() *telemetry.Registry { return s.reg }
 
 // Table exposes the speaker's RIB.
 func (s *Speaker) Table() *rib.Table { return s.table }
@@ -265,6 +281,7 @@ func (s *Speaker) AddPeerConn(conn net.Conn, peerAS astypes.ASN) (astypes.ASN, e
 		PeerAS:   peerAS,
 		HoldTime: s.cfg.HoldTime,
 		Handler:  handler{s: s},
+		Metrics:  s.met.session,
 	})
 	if err != nil {
 		return astypes.ASNNone, fmt.Errorf("speaker AS %s: establish: %w", s.cfg.AS, err)
@@ -289,6 +306,7 @@ func (s *Speaker) AddPeerConn(conn net.Conn, peerAS astypes.ASN) (astypes.ASN, e
 		qdone:      make(chan struct{}),
 	}
 	s.peers[got] = p
+	s.met.peers.Inc()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -419,8 +437,8 @@ func (s *Speaker) WithdrawLocal(prefix astypes.Prefix) {
 }
 
 func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
-	s.ctr.updatesIn.Add(1)
-	s.ctr.withdrawalsIn.Add(uint64(len(u.Withdrawn)))
+	s.met.updatesIn.Inc()
+	s.met.withdrawalsIn.Add(uint64(len(u.Withdrawn)))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, w := range u.Withdrawn {
@@ -432,7 +450,7 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 	}
 	// Receiver-side sanity: the peer must have prepended itself.
 	if first, ok := u.Attrs.ASPath.First(); !ok || first != peerAS {
-		s.ctr.routesRejected.Add(uint64(len(u.NLRI)))
+		s.met.routesRejected.Add(uint64(len(u.NLRI)))
 		return
 	}
 	// Loop detection. A looped announcement is an implicit withdrawal of
@@ -440,7 +458,7 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 	// exclusion): ignoring it would leave stale routes that two speakers
 	// can keep mutually alive after the origin withdraws.
 	if u.Attrs.ASPath.Contains(s.cfg.AS) {
-		s.ctr.loopsDropped.Add(uint64(len(u.NLRI)))
+		s.met.loopsDropped.Add(uint64(len(u.NLRI)))
 		for _, prefix := range u.NLRI {
 			ch := s.table.Withdraw(peerAS, prefix)
 			s.propagateLocked(ch)
@@ -449,14 +467,14 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 	}
 	for _, prefix := range u.NLRI {
 		if s.deniedPrefix(prefix) {
-			s.ctr.routesRejected.Add(1)
+			s.met.routesRejected.Inc()
 			continue
 		}
 		if s.cfg.Validation != ValidationOff && !s.admitLocked(prefix, u.Attrs, peerAS) {
-			s.ctr.routesRejected.Add(1)
+			s.met.routesRejected.Inc()
 			continue
 		}
-		s.ctr.routesAccepted.Add(1)
+		s.met.routesAccepted.Inc()
 		route := &rib.Route{
 			Prefix:          prefix,
 			Path:            u.Attrs.ASPath.Clone(),
@@ -533,6 +551,7 @@ func (s *Speaker) handlePeerDown(peerAS astypes.ASN) {
 		return
 	}
 	delete(s.peers, peerAS)
+	s.met.peers.Dec()
 	close(p.sendQ)
 	for _, ch := range s.table.DropPeer(peerAS) {
 		s.propagateLocked(ch)
@@ -558,6 +577,9 @@ func (s *Speaker) propagateLocked(ch rib.Change) {
 	}
 	s.refreshAggregatesLocked(ch.Prefix)
 	suppressed := s.suppressedLocked(ch.Prefix)
+	if suppressed && ch.New != nil {
+		s.met.suppressed.Inc()
+	}
 	// Deterministic peer order keeps tests reproducible.
 	asns := make([]astypes.ASN, 0, len(s.peers))
 	for a := range s.peers {
@@ -601,7 +623,7 @@ func (s *Speaker) advertiseLocked(p *peer, r *rib.Route) {
 		s.teardownLocked(p)
 		return
 	}
-	s.ctr.updatesOut.Add(1)
+	s.met.updatesOut.Inc()
 	p.advertised[r.Prefix] = true
 }
 
@@ -629,7 +651,7 @@ func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix) {
 		s.teardownLocked(p)
 		return
 	}
-	s.ctr.updatesOut.Add(1)
+	s.met.updatesOut.Inc()
 	p.advertised[prefix] = false
 }
 

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one sample line per
+// series, histograms expanded into cumulative _bucket / _sum / _count
+// samples. Output order is deterministic: families by name, series by
+// label values.
+func WritePrometheus(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	for _, fam := range r.Gather() {
+		if fam.Help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(fam.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(fam.Help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(fam.Name)
+		bw.WriteByte(' ')
+		bw.WriteString(fam.Kind.String())
+		bw.WriteByte('\n')
+		for _, s := range fam.Series {
+			switch fam.Kind {
+			case KindHistogram:
+				writePromHistogram(bw, fam, s)
+			default:
+				writeSample(bw, fam.Name, fam.LabelKeys, s.LabelValues, "", "", s.Value)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+func writePromHistogram(bw *bufio.Writer, fam FamilySnapshot, s SeriesSnapshot) {
+	h := s.Histogram
+	cum := uint64(0)
+	for i, ub := range h.Bounds {
+		cum += h.Counts[i]
+		writeSample(bw, fam.Name+"_bucket", fam.LabelKeys, s.LabelValues,
+			"le", formatFloat(ub), float64(cum))
+	}
+	writeSample(bw, fam.Name+"_bucket", fam.LabelKeys, s.LabelValues,
+		"le", "+Inf", float64(h.Count))
+	writeSample(bw, fam.Name+"_sum", fam.LabelKeys, s.LabelValues, "", "", h.Sum)
+	writeSample(bw, fam.Name+"_count", fam.LabelKeys, s.LabelValues, "", "", float64(h.Count))
+}
+
+// writeSample emits one sample line; extraKey/extraVal append a
+// synthetic label (the histogram "le") after the series labels.
+func writeSample(bw *bufio.Writer, name string, keys, values []string, extraKey, extraVal string, v float64) {
+	bw.WriteString(name)
+	if len(keys) > 0 || extraKey != "" {
+		bw.WriteByte('{')
+		first := true
+		for i, k := range keys {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+			bw.WriteString(k)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if extraKey != "" {
+			if !first {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(extraKey)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(extraVal))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, "+Inf"/"-Inf"/"NaN" specials.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, +1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+)
+
+func escapeHelp(s string) string  { return helpEscaper.Replace(s) }
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the fixture both encoder golden tests share:
+// every metric kind, labeled and unlabeled series, label values needing
+// escaping, and histogram observations on, below, between and above the
+// bucket bounds.
+func goldenRegistry() *Registry {
+	r := NewRegistry("demo")
+	r.Counter("requests_total", "Total requests served.").Add(42)
+
+	msgs := r.CounterVec("msgs_total", "Messages by type.", "type")
+	msgs.With("update").Add(3)
+	msgs.With("keepalive").Add(7)
+
+	r.Gauge("peers", "Established peers.").Set(2)
+
+	esc := r.GaugeVec("weird_labels", `Help with a backslash \ and
+a newline.`, "path")
+	esc.With("C:\\dir \"quoted\"\nnext").Set(1)
+
+	// Observed values are binary-exact (powers of two and their sums) so
+	// the merged _sum is identical no matter which lock stripe each
+	// observation landed on — float addition order must not leak into
+	// golden output.
+	h := r.Histogram("rtt_seconds", "Round-trip time.", []float64{0.25, 0.5, 1, 2})
+	h.Observe(0.25) // exactly the first bound: inclusive
+	h.Observe(0.125)
+	h.Observe(0.75)
+	h.Observe(2) // exactly the last bound
+	h.Observe(32)
+	h.Observe(32) // two above every bound: only +Inf/_count/_sum move
+
+	hv := r.HistogramVec("op_seconds", "Per-op latency.", []float64{0.5}, "op")
+	hv.With("scrape").Observe(0.25)
+	hv.With("dump") // declared but never observed: all-zero series
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestGoldenPrometheus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "exposition.prom.golden", buf.Bytes())
+}
+
+func TestGoldenJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "exposition.json.golden", buf.Bytes())
+}
+
+func TestGoldenEmptyRegistry(t *testing.T) {
+	r := NewRegistry("")
+	var prom, js bytes.Buffer
+	if err := WritePrometheus(&prom, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&js, r); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "empty.prom.golden", prom.Bytes())
+	checkGolden(t, "empty.json.golden", js.Bytes())
+}

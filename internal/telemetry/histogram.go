@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default histogram bucket upper bounds, in seconds,
+// chosen for network RTT / handler-latency style measurements.
+var DefBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n bucket upper bounds starting at start and
+// multiplying by factor — the exponential analogue of the unit-binned
+// integer histograms in internal/stats, for continuous quantities whose
+// interesting range spans orders of magnitude.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("telemetry: ExpBuckets wants start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n bucket upper bounds starting at start with
+// the given width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("telemetry: LinearBuckets wants width > 0, n >= 1")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}
+
+// histStripes is the histogram's stripe count. Striping trades a little
+// snapshot cost for update-path scalability: concurrent observers on
+// different Ps land on different stripes (and so different cache lines)
+// instead of serializing on one mutex.
+const histStripes = 16
+
+// histStripe is one independently locked shard of a histogram. The
+// trailing pad keeps adjacent stripes off one cache line.
+type histStripe struct {
+	mu     sync.Mutex
+	counts []uint64 // per-bucket observation counts; guarded by mu
+	count  uint64   // total observations; guarded by mu
+	sum    float64  // sum of observed values; guarded by mu
+	_      [32]byte
+}
+
+// Histogram counts observations into cumulative-at-exposition buckets
+// with fixed upper bounds, like a Prometheus histogram. Observations
+// are spread across lock stripes; Snapshot merges them.
+//
+// Construct via Registry.Histogram / HistogramVec; the zero value is
+// not usable.
+type Histogram struct {
+	bounds  []float64 // sorted ascending; +Inf is implicit
+	stripes [histStripes]histStripe
+	// next hands out stripe indexes to the pool; see stripePool.
+	next atomic.Uint32
+	// stripePool caches a stripe index per P: a goroutine's Observe
+	// usually gets the index the last Observe on that P used, so
+	// same-CPU updates hit a warm, uncontended stripe without any
+	// goroutine-identity tricks.
+	stripePool sync.Pool
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	for i := 1; i < len(bs); i++ {
+		if bs[i] == bs[i-1] {
+			panic("telemetry: duplicate histogram bucket bound")
+		}
+	}
+	if len(bs) > 0 && math.IsInf(bs[len(bs)-1], +1) {
+		bs = bs[:len(bs)-1] // +Inf is always implicit
+	}
+	h := &Histogram{bounds: bs}
+	for i := range h.stripes {
+		// The histogram is not published yet, but locking keeps the
+		// stripe's "guarded by mu" invariant checkable, and an
+		// uncontended Lock at construction costs nothing.
+		s := &h.stripes[i]
+		s.mu.Lock()
+		s.counts = make([]uint64, len(bs))
+		s.mu.Unlock()
+	}
+	h.stripePool.New = func() any {
+		idx := h.next.Add(1) % histStripes
+		return &idx
+	}
+	return h
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	idx := h.stripePool.Get().(*uint32)
+	s := &h.stripes[*idx]
+	s.mu.Lock()
+	// Linear scan: bucket counts are small (≤ ~20) and the slice is a
+	// single cache line or two; binary search costs more in branches.
+	for i, ub := range h.bounds {
+		if v <= ub {
+			s.counts[i]++
+			break
+		}
+	}
+	s.count++
+	s.sum += v
+	s.mu.Unlock()
+	h.stripePool.Put(idx)
+}
+
+// HistogramSnapshot is a merged point-in-time histogram reading.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds (ascending, +Inf implicit).
+	Bounds []float64
+	// Counts[i] is the number of observations in (Bounds[i-1], Bounds[i]]
+	// — per-bucket, not cumulative; encoders cumulate.
+	Counts []uint64
+	// Count is the total number of observations (including > last bound).
+	Count uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+}
+
+// Snapshot merges all stripes under their locks.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.bounds)),
+	}
+	for i := range h.stripes {
+		s := &h.stripes[i]
+		s.mu.Lock()
+		for j, c := range s.counts {
+			snap.Counts[j] += c
+		}
+		snap.Count += s.count
+		snap.Sum += s.sum
+		s.mu.Unlock()
+	}
+	return snap
+}
