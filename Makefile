@@ -8,7 +8,7 @@ FUZZ_TARGETS := \
 	./internal/astypes:FuzzParseCommunity
 FUZZTIME ?= 10s
 
-.PHONY: build test vet race e2e bench fuzz-smoke check
+.PHONY: build test vet race e2e bench bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -31,11 +31,23 @@ e2e:
 	$(GO) test -race ./internal/telemetry/... ./internal/e2etest/...
 
 ## bench: telemetry hot-path overhead, recorded as BENCH_telemetry.json
-## for regression tracking (one test2json event per line).
+## for regression tracking (one test2json event per line), plus the
+## wire/RIB hot-path benchmarks recorded as BENCH_hotpath.json — the
+## *Baseline benchmarks in each pair are the pre-pooling allocating
+## paths, so the file itself documents the before/after.
 bench:
 	$(GO) test -json -run='^$$' -bench='^BenchmarkTelemetry' -benchmem \
 		./internal/telemetry/ > BENCH_telemetry.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_telemetry.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+	$(GO) test -json -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB)' -benchmem \
+		./internal/wire/ ./internal/rib/ > BENCH_hotpath.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_hotpath.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
+## bench-smoke: one-iteration run of every hot-path benchmark so the
+## codec/RIB benches can't silently rot; part of check (and so CI).
+bench-smoke:
+	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry)' \
+		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/
 
 ## fuzz-smoke: run each fuzz target briefly against its seed corpus.
 fuzz-smoke:
@@ -46,4 +58,4 @@ fuzz-smoke:
 	done
 
 ## check: the full verification gate CI runs on every PR.
-check: build vet test race e2e fuzz-smoke
+check: build vet test race e2e bench-smoke fuzz-smoke

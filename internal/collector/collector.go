@@ -10,6 +10,7 @@ package collector
 import (
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -301,9 +302,5 @@ func (c *Collector) Close() error {
 }
 
 func sortPrefixes(ps []astypes.Prefix) {
-	for i := 1; i < len(ps); i++ {
-		for j := i; j > 0 && ps[j].Compare(ps[j-1]) < 0; j-- {
-			ps[j], ps[j-1] = ps[j-1], ps[j]
-		}
-	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Compare(ps[j]) < 0 })
 }

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -54,8 +55,11 @@ type Config struct {
 	// ListEncoding is "communities" (default) or "attribute".
 	ListEncoding string `json:"listEncoding"`
 	// ReconnectSeconds, when nonzero, re-dials configured peers whose
-	// sessions drop, after this backoff.
+	// sessions drop. It is the base of a capped exponential backoff
+	// with jitter: attempt n waits between 2ⁿ·base/2 and 2ⁿ·base.
 	ReconnectSeconds int `json:"reconnectSeconds"`
+	// ReconnectMaxSeconds caps the backoff; zero selects 16× the base.
+	ReconnectMaxSeconds int `json:"reconnectMaxSeconds"`
 }
 
 // PeerConfig is one outbound peering.
@@ -145,6 +149,13 @@ func (c Config) validate() error {
 	default:
 		return fmt.Errorf("daemon: listEncoding %q (want communities or attribute)", c.ListEncoding)
 	}
+	if c.ReconnectSeconds < 0 || c.ReconnectMaxSeconds < 0 {
+		return fmt.Errorf("daemon: negative reconnect interval")
+	}
+	if c.ReconnectMaxSeconds > 0 && c.ReconnectMaxSeconds < c.ReconnectSeconds {
+		return fmt.Errorf("daemon: reconnectMaxSeconds %d below reconnectSeconds %d",
+			c.ReconnectMaxSeconds, c.ReconnectSeconds)
+	}
 	return nil
 }
 
@@ -173,10 +184,11 @@ type Daemon struct {
 
 	listenAddrs []string
 
-	peerAddrs map[astypes.ASN]string
-	reconnect time.Duration
-	stop      chan struct{}
-	stopOnce  sync.Once
+	peerAddrs    map[astypes.ASN]string
+	reconnect    time.Duration // backoff base; zero disables re-dialing
+	reconnectMax time.Duration // backoff cap
+	stop         chan struct{}
+	stopOnce     sync.Once
 
 	// Daemon-level instrumentation.
 	peerUp            *telemetry.Counter
@@ -207,15 +219,19 @@ func Build(cfg Config) (*Daemon, error) {
 		Store:     store,
 		reg:       reg,
 		mibErr:    make(chan error, 1),
-		peerAddrs: make(map[astypes.ASN]string, len(cfg.Peers)),
-		reconnect: time.Duration(cfg.ReconnectSeconds) * time.Second,
-		stop:      make(chan struct{}),
+		peerAddrs:    make(map[astypes.ASN]string, len(cfg.Peers)),
+		reconnect:    time.Duration(cfg.ReconnectSeconds) * time.Second,
+		reconnectMax: time.Duration(cfg.ReconnectMaxSeconds) * time.Second,
+		stop:         make(chan struct{}),
 		peerUp: reg.Counter("daemon_peer_up_total",
 			"Outbound peer sessions successfully established (initial dials and re-dials)."),
 		peerDownCtr: reg.Counter("daemon_peer_down_total",
 			"Peer sessions that went down."),
 		reconnectAttempts: reg.Counter("daemon_reconnect_attempts_total",
 			"Re-dial attempts made for dropped configured peers."),
+	}
+	if d.reconnectMax == 0 {
+		d.reconnectMax = 16 * d.reconnect
 	}
 	var deny []astypes.Prefix
 	for _, ds := range cfg.ImportDeny {
@@ -369,7 +385,9 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 	d.mu.Unlock()
 	go func() {
 		defer d.wg.Done()
-		timer := time.NewTimer(d.reconnect)
+		rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(peer)<<20))
+		attempt := 0
+		timer := time.NewTimer(reconnectDelay(d.reconnect, d.reconnectMax, attempt, rng))
 		defer timer.Stop()
 		for {
 			select {
@@ -382,9 +400,33 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 				d.peerUp.Inc()
 				return
 			}
-			timer.Reset(d.reconnect)
+			attempt++
+			timer.Reset(reconnectDelay(d.reconnect, d.reconnectMax, attempt, rng))
 		}
 	}()
+}
+
+// reconnectDelay computes the wait before re-dial attempt n (0-based):
+// exponential backoff 2ⁿ·base capped at max, with the final delay drawn
+// uniformly from [d/2, d]. The jitter keeps a fleet of peers that lost
+// the same remote from synchronizing their redial storms; the cap keeps
+// a long-dead peer from pushing retries out indefinitely.
+func reconnectDelay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
 }
 
 // Close shuts the daemon down.

@@ -1,7 +1,9 @@
 package daemon
 
 import (
+	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/astypes"
 )
@@ -24,6 +26,60 @@ func TestConfigValidatesNewFields(t *testing.T) {
 	}
 	if err := good.validate(); err != nil {
 		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigValidatesReconnectBounds(t *testing.T) {
+	bad := []Config{
+		{AS: 1, ReconnectSeconds: -1},
+		{AS: 1, ReconnectMaxSeconds: -1},
+		{AS: 1, ReconnectSeconds: 10, ReconnectMaxSeconds: 3},
+	}
+	for _, cfg := range bad {
+		if err := cfg.validate(); err == nil {
+			t.Errorf("config %+v accepted", cfg)
+		}
+	}
+	good := Config{AS: 1, ReconnectSeconds: 2, ReconnectMaxSeconds: 30}
+	if err := good.validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestReconnectDelaySchedule(t *testing.T) {
+	const (
+		base = time.Second
+		max  = 8 * time.Second
+	)
+	rng := rand.New(rand.NewSource(1))
+	// Every attempt's delay must land in [d/2, d] where d doubles from
+	// base until the cap; sample repeatedly to exercise the jitter.
+	for attempt := 0; attempt < 10; attempt++ {
+		want := base << attempt
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 50; i++ {
+			got := reconnectDelay(base, max, attempt, rng)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+	// The jitter must actually vary (not return a constant).
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[reconnectDelay(base, max, 0, rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("reconnectDelay produced no jitter")
+	}
+	// Degenerate inputs.
+	if reconnectDelay(0, max, 3, rng) != 0 {
+		t.Error("zero base should disable the delay")
+	}
+	if got := reconnectDelay(base, 0, 4, rng); got < base/2 || got > base {
+		t.Errorf("cap below base should clamp to base, got %v", got)
 	}
 }
 

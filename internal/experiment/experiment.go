@@ -102,6 +102,9 @@ type RunResult struct {
 	ConvergeVirtual time.Duration
 }
 
+// runJob indirects Run so tests can observe/abort sweep dispatch.
+var runJob = Run
+
 // Run executes one simulation run to quiescence.
 func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Topology == nil {
@@ -391,28 +394,45 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 		}
 	}
 
+	// Fail fast: the first Run error closes done, which aborts dispatch
+	// and makes the remaining workers drain without executing — a broken
+	// config fails in seconds instead of grinding through the full sweep.
 	var (
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
 	)
 	jobCh := make(chan job)
+	done := make(chan struct{})
 	for w := 0; w < cfg.Parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				res, err := Run(j.cfg)
+				select {
+				case <-done:
+					continue // drain without running
+				default:
+				}
+				res, err := runJob(j.cfg)
 				if err != nil {
-					errOnce.Do(func() { firstErr = err })
+					errOnce.Do(func() {
+						firstErr = err
+						close(done)
+					})
 					continue
 				}
 				results[j.point][j.mode][j.scen] = res
 			}
 		}()
 	}
+dispatch:
 	for _, j := range jobs {
-		jobCh <- j
+		select {
+		case jobCh <- j:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobCh)
 	wg.Wait()

@@ -1,7 +1,9 @@
 package experiment
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/astypes"
@@ -280,6 +282,39 @@ func TestSweepShapes(t *testing.T) {
 func TestSweepRequiresModes(t *testing.T) {
 	if _, err := Sweep(SweepConfig{Topology: paperSet(t).T25, AttackerCounts: []int{1}}); err == nil {
 		t.Error("sweep with no modes accepted")
+	}
+}
+
+func TestSweepAbortsDispatchOnFirstError(t *testing.T) {
+	defer func(orig func(RunConfig) (RunResult, error)) { runJob = orig }(runJob)
+	var attempted atomic.Int64
+	wantErr := errors.New("boom")
+	runJob = func(RunConfig) (RunResult, error) {
+		attempted.Add(1)
+		return RunResult{}, wantErr
+	}
+	topo := paperSet(t).T46
+	_, err := Sweep(SweepConfig{
+		Topology:       topo,
+		NumOrigins:     1,
+		AttackerCounts: []int{1, 6, 12},
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:        3,
+		Parallelism: 2,
+		ColdStart:   true,
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("Sweep error = %v, want %v", err, wantErr)
+	}
+	// 3 points × 2 modes × (OriginSets×AttackerSets defaulted to 3×5)
+	// scenarios = 90 jobs. With dispatch aborted after the first error,
+	// only jobs already in flight or accepted may run: at most one per
+	// worker plus the one that failed.
+	if got := attempted.Load(); got > 3 {
+		t.Errorf("sweep ran %d jobs after first error, want <= 3", got)
 	}
 }
 

@@ -118,9 +118,15 @@ func Compare(a, b *Route) int {
 	return 0
 }
 
-// Table is the full RIB state of one BGP speaker. It is safe for
-// concurrent use.
-type Table struct {
+// numShards partitions the table by prefix hash so concurrent speakers
+// (one goroutine per peer) contend on independent locks. All state for
+// one prefix — every peer's Adj-RIB-In entry, the local route, and the
+// Loc-RIB selection — lives in a single shard, so the decision process
+// never crosses a shard boundary. Must be a power of two.
+const numShards = 16
+
+// tableShard holds the RIB state for the prefixes hashing to it.
+type tableShard struct {
 	mu sync.RWMutex
 	// adjIn[peer][prefix] is the route most recently advertised by peer.
 	// Guarded by mu.
@@ -133,13 +139,41 @@ type Table struct {
 	best map[astypes.Prefix]*Route
 }
 
+// Table is the full RIB state of one BGP speaker. It is safe for
+// concurrent use.
+//
+// Published routes are immutable: once a *Route enters the table it is
+// never modified, so the read accessors (Best, BestRoutes, RoutesFrom)
+// hand out shared pointers without copying. Callers must treat returned
+// routes as read-only and Clone any route they intend to mutate. The
+// mutating entry points (Update, Originate) defensively Clone their
+// argument to uphold that invariant; the ...Owned variants skip the
+// copy when the caller transfers ownership of a freshly built route.
+type Table struct {
+	shards [numShards]tableShard
+}
+
 // NewTable returns an empty RIB.
 func NewTable() *Table {
-	return &Table{
-		adjIn: make(map[astypes.ASN]map[astypes.Prefix]*Route),
-		local: make(map[astypes.Prefix]*Route),
-		best:  make(map[astypes.Prefix]*Route),
+	t := &Table{}
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		s.adjIn = make(map[astypes.ASN]map[astypes.Prefix]*Route)
+		s.local = make(map[astypes.Prefix]*Route)
+		s.best = make(map[astypes.Prefix]*Route)
+		s.mu.Unlock()
 	}
+	return t
+}
+
+// shard maps a prefix to its shard. Fibonacci-style multiplicative
+// hashing spreads the sequential prefix blocks that simulations and
+// test topologies favor.
+func (t *Table) shard(p astypes.Prefix) *tableShard {
+	h := p.Addr*2654435761 + uint32(p.Len)*2246822519
+	h ^= h >> 16
+	return &t.shards[h&(numShards-1)]
 }
 
 // Change describes the result of applying one route event: whether the
@@ -153,84 +187,109 @@ type Change struct {
 
 // Update installs (or replaces) the route from route.FromPeer for
 // route.Prefix and re-runs the decision process for that prefix. A copy
-// of the route is stored.
+// of the route is stored, so the caller may keep mutating its argument.
 func (t *Table) Update(route *Route) Change {
-	cp := route.Clone()
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	peerTable, ok := t.adjIn[cp.FromPeer]
+	return t.UpdateOwned(route.Clone())
+}
+
+// UpdateOwned is Update without the defensive copy: ownership of route
+// (path, communities, unknown attributes and all) transfers to the
+// table, and the caller must not retain or mutate it afterwards. Use it
+// when the route was freshly built for this call.
+func (t *Table) UpdateOwned(route *Route) Change {
+	s := t.shard(route.Prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	peerTable, ok := s.adjIn[route.FromPeer]
 	if !ok {
 		peerTable = make(map[astypes.Prefix]*Route)
-		t.adjIn[cp.FromPeer] = peerTable
+		s.adjIn[route.FromPeer] = peerTable
 	}
-	peerTable[cp.Prefix] = cp
-	return t.reselectLocked(cp.Prefix)
+	peerTable[route.Prefix] = route
+	return s.reselectLocked(route.Prefix)
 }
 
 // Withdraw removes the route previously advertised by peer for prefix,
 // if any, and re-runs the decision process.
 func (t *Table) Withdraw(peer astypes.ASN, prefix astypes.Prefix) Change {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if peerTable, ok := t.adjIn[peer]; ok {
+	s := t.shard(prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if peerTable, ok := s.adjIn[peer]; ok {
 		delete(peerTable, prefix)
 		if len(peerTable) == 0 {
-			delete(t.adjIn, peer)
+			delete(s.adjIn, peer)
 		}
 	}
-	return t.reselectLocked(prefix)
+	return s.reselectLocked(prefix)
 }
 
 // Originate installs a locally originated route (FromPeer forced to
-// ASNNone) and re-runs the decision process for its prefix.
+// ASNNone) and re-runs the decision process for its prefix. A copy of
+// the route is stored.
 func (t *Table) Originate(route *Route) Change {
-	cp := route.Clone()
-	cp.FromPeer = astypes.ASNNone
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.local[cp.Prefix] = cp
-	return t.reselectLocked(cp.Prefix)
+	return t.OriginateOwned(route.Clone())
+}
+
+// OriginateOwned is Originate without the defensive copy; the same
+// ownership-transfer contract as UpdateOwned applies.
+func (t *Table) OriginateOwned(route *Route) Change {
+	route.FromPeer = astypes.ASNNone
+	s := t.shard(route.Prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.local[route.Prefix] = route
+	return s.reselectLocked(route.Prefix)
 }
 
 // WithdrawLocal removes a locally originated route.
 func (t *Table) WithdrawLocal(prefix astypes.Prefix) Change {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.local, prefix)
-	return t.reselectLocked(prefix)
+	s := t.shard(prefix)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.local, prefix)
+	return s.reselectLocked(prefix)
 }
 
 // DropPeer removes every route learned from peer (session teardown),
-// returning a change record per affected prefix.
+// returning a change record per affected prefix in deterministic prefix
+// order. Shards are processed one at a time; concurrent writers to
+// other shards proceed in parallel.
 func (t *Table) DropPeer(peer astypes.ASN) []Change {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	peerTable, ok := t.adjIn[peer]
-	if !ok {
-		return nil
-	}
-	prefixes := make([]astypes.Prefix, 0, len(peerTable))
-	for p := range peerTable {
-		prefixes = append(prefixes, p)
-	}
-	sort.Slice(prefixes, func(i, j int) bool { return prefixes[i].Compare(prefixes[j]) < 0 })
-	delete(t.adjIn, peer)
-	changes := make([]Change, 0, len(prefixes))
-	for _, p := range prefixes {
-		if ch := t.reselectLocked(p); ch.Changed {
-			changes = append(changes, ch)
+	var changes []Change
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		peerTable, ok := s.adjIn[peer]
+		if !ok {
+			s.mu.Unlock()
+			continue
 		}
+		prefixes := make([]astypes.Prefix, 0, len(peerTable))
+		for p := range peerTable {
+			prefixes = append(prefixes, p)
+		}
+		delete(s.adjIn, peer)
+		for _, p := range prefixes {
+			if ch := s.reselectLocked(p); ch.Changed {
+				changes = append(changes, ch)
+			}
+		}
+		s.mu.Unlock()
 	}
+	sort.Slice(changes, func(i, j int) bool {
+		return changes[i].Prefix.Compare(changes[j].Prefix) < 0
+	})
 	return changes
 }
 
-func (t *Table) reselectLocked(prefix astypes.Prefix) Change {
-	old := t.best[prefix]
+func (s *tableShard) reselectLocked(prefix astypes.Prefix) Change {
+	old := s.best[prefix]
 	var newBest *Route
-	if lr, ok := t.local[prefix]; ok {
+	if lr, ok := s.local[prefix]; ok {
 		newBest = lr
 	}
-	for _, peerTable := range t.adjIn {
+	for _, peerTable := range s.adjIn {
 		if r, ok := peerTable[prefix]; ok && Better(r, newBest) {
 			newBest = r
 		}
@@ -241,7 +300,7 @@ func (t *Table) reselectLocked(prefix astypes.Prefix) Change {
 	// path — and so does not move traffic to a hijacker — unless the new
 	// route is strictly preferred.
 	if old != nil && newBest != nil && old.FromPeer != newBest.FromPeer {
-		if cur := t.routeFromLocked(old.FromPeer, prefix); cur != nil && Compare(cur, newBest) == 0 {
+		if cur := s.routeFromLocked(old.FromPeer, prefix); cur != nil && Compare(cur, newBest) == 0 {
 			newBest = cur
 		}
 	}
@@ -251,20 +310,20 @@ func (t *Table) reselectLocked(prefix astypes.Prefix) Change {
 	}
 	ch.Changed = true
 	if newBest == nil {
-		delete(t.best, prefix)
+		delete(s.best, prefix)
 	} else {
-		t.best[prefix] = newBest
+		s.best[prefix] = newBest
 	}
 	return ch
 }
 
 // routeFromLocked returns the live route for prefix from the given
 // source (ASNNone selects the local table).
-func (t *Table) routeFromLocked(peer astypes.ASN, prefix astypes.Prefix) *Route {
+func (s *tableShard) routeFromLocked(peer astypes.ASN, prefix astypes.Prefix) *Route {
 	if peer == astypes.ASNNone {
-		return t.local[prefix]
+		return s.local[prefix]
 	}
-	return t.adjIn[peer][prefix]
+	return s.adjIn[peer][prefix]
 }
 
 func sameRoute(a, b *Route) bool {
@@ -308,41 +367,51 @@ func sameCommunities(a, b []astypes.Community) bool {
 	return true
 }
 
-// Best returns the selected route for prefix (a copy), or nil.
+// Best returns the selected route for prefix, or nil. The route is
+// shared, immutable table state: treat it as read-only and Clone before
+// mutating.
 func (t *Table) Best(prefix astypes.Prefix) *Route {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if r, ok := t.best[prefix]; ok {
-		return r.Clone()
-	}
-	return nil
+	s := t.shard(prefix)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.best[prefix]
 }
 
-// BestRoutes returns a copy of the Loc-RIB in deterministic prefix order.
+// BestRoutes returns the Loc-RIB in deterministic prefix order. The
+// routes are shared, immutable table state (see Best). Each shard is
+// snapshotted under its own lock; under concurrent writers the slice is
+// per-shard consistent, not a single atomic cut of the whole table.
 func (t *Table) BestRoutes() []*Route {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]*Route, 0, len(t.best))
-	for _, r := range t.best {
-		out = append(out, r.Clone())
+	out := make([]*Route, 0, t.Len())
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		for _, r := range s.best {
+			out = append(out, r)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
 	return out
 }
 
-// RoutesFrom returns copies of all routes currently held in peer's
-// Adj-RIB-In, in deterministic prefix order. Passing ASNNone returns the
-// locally originated routes.
+// RoutesFrom returns all routes currently held in peer's Adj-RIB-In, in
+// deterministic prefix order. Passing ASNNone returns the locally
+// originated routes. The routes are shared, immutable table state (see
+// Best), with the same per-shard snapshot semantics as BestRoutes.
 func (t *Table) RoutesFrom(peer astypes.ASN) []*Route {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	peerTable := t.adjIn[peer]
-	if peer == astypes.ASNNone {
-		peerTable = t.local
-	}
-	out := make([]*Route, 0, len(peerTable))
-	for _, r := range peerTable {
-		out = append(out, r.Clone())
+	var out []*Route
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		peerTable := s.adjIn[peer]
+		if peer == astypes.ASNNone {
+			peerTable = s.local
+		}
+		for _, r := range peerTable {
+			out = append(out, r)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Prefix.Compare(out[j].Prefix) < 0 })
 	return out
@@ -350,9 +419,14 @@ func (t *Table) RoutesFrom(peer astypes.ASN) []*Route {
 
 // Len returns the number of prefixes with a selected best route.
 func (t *Table) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.best)
+	n := 0
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.RLock()
+		n += len(s.best)
+		s.mu.RUnlock()
+	}
+	return n
 }
 
 // String summarizes the Loc-RIB for debugging.

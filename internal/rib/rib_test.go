@@ -168,10 +168,29 @@ func TestTableStoresClones(t *testing.T) {
 	if best := tbl.Best(prefix); best.Path.String() != "2 4" {
 		t.Errorf("table aliased caller storage: %v", best.Path)
 	}
-	best := tbl.Best(prefix)
-	best.Path.Segments[0].ASNs[0] = 77 // mutate returned copy
+	// Reads hand out the shared immutable route; a caller that needs a
+	// mutable copy clones it, and that clone must not alias the table.
+	cp := tbl.Best(prefix).Clone()
+	cp.Path.Segments[0].ASNs[0] = 77
 	if again := tbl.Best(prefix); again.Path.String() != "2 4" {
-		t.Errorf("Best returned aliased storage: %v", again.Path)
+		t.Errorf("Clone aliased table storage: %v", again.Path)
+	}
+}
+
+func TestTableOwnedVariantsSkipClone(t *testing.T) {
+	tbl := NewTable()
+	owned := route(2, 2, 4)
+	tbl.UpdateOwned(owned)
+	if best := tbl.Best(prefix); best != owned {
+		t.Error("UpdateOwned should install the route without copying")
+	}
+	lr := route(astypes.ASNNone, 4)
+	tbl.OriginateOwned(lr)
+	if got := tbl.RoutesFrom(astypes.ASNNone); len(got) != 1 || got[0] != lr {
+		t.Error("OriginateOwned should install the route without copying")
+	}
+	if best := tbl.Best(prefix); best != lr {
+		t.Error("local one-hop route should win the decision process")
 	}
 }
 

@@ -52,7 +52,11 @@ func (s State) String() string {
 
 // Handler receives session events. Calls are serialized per session.
 type Handler interface {
-	// HandleUpdate is invoked for every received UPDATE.
+	// HandleUpdate is invoked for every received UPDATE. The Update is
+	// decoded into per-session scratch storage and is valid only for
+	// the duration of the call: a handler that retains any part of it
+	// (paths, prefixes, communities, unknown-attribute bytes) must copy
+	// what it keeps before returning.
 	HandleUpdate(peer astypes.ASN, u *wire.Update)
 	// HandleDown is invoked exactly once when the session leaves
 	// Established (err describes why; nil for a clean local Close).
@@ -115,9 +119,18 @@ type Session struct {
 	// none outstanding) — the basis of the approximate keepalive RTT.
 	kaSentAt atomic.Int64
 
-	// writeMu serializes every wire.WriteMessage on conn: keepalives,
-	// updates, and teardown notifications interleave frames without it.
+	// writeMu serializes all writes on conn: keepalives, updates, and
+	// teardown notifications interleave frames without it.
 	writeMu sync.Mutex
+	// bw buffers outgoing messages so bursts coalesce into fewer conn
+	// writes and the encode path stays allocation-free. Guarded by
+	// writeMu; every writeMu critical section must Flush before
+	// releasing, or the peer never sees the messages.
+	bw *wire.Writer
+	// rd frames and decodes incoming messages into reusable scratch.
+	// Used only by the handshake and then the reader goroutine, which
+	// are sequential, never concurrent.
+	rd *wire.Reader
 
 	mu    sync.Mutex
 	state State // guarded by mu
@@ -147,6 +160,8 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		met:      cfg.Metrics,
 		holdTime: holdTime,
 		state:    StateOpenSent,
+		bw:       wire.NewWriter(conn),
+		rd:       wire.NewReader(conn),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 		kaDone:   make(chan struct{}),
@@ -178,7 +193,7 @@ func (s *Session) handshake() error {
 	go func() {
 		s.writeMu.Lock()
 		defer s.writeMu.Unlock()
-		err := wire.WriteMessage(s.conn, open)
+		err := s.writeLocked(open)
 		if err == nil {
 			s.met.sentMsg(wire.MsgOpen)
 		}
@@ -188,7 +203,7 @@ func (s *Session) handshake() error {
 	if err := s.conn.SetReadDeadline(deadline); err != nil {
 		return fmt.Errorf("session: set handshake deadline: %w", err)
 	}
-	msg, err := wire.ReadMessage(s.conn)
+	msg, err := s.rd.ReadMessage()
 	if err != nil {
 		return fmt.Errorf("session: read OPEN: %w", err)
 	}
@@ -218,7 +233,7 @@ func (s *Session) handshake() error {
 	go func() {
 		s.writeMu.Lock()
 		defer s.writeMu.Unlock()
-		err := wire.WriteMessage(s.conn, &wire.Keepalive{})
+		err := s.writeLocked(&wire.Keepalive{})
 		if err == nil {
 			s.met.sentMsg(wire.MsgKeepalive)
 		}
@@ -227,7 +242,7 @@ func (s *Session) handshake() error {
 	if err := s.conn.SetReadDeadline(s.readDeadline()); err != nil {
 		return fmt.Errorf("session: set deadline: %w", err)
 	}
-	msg, err = wire.ReadMessage(s.conn)
+	msg, err = s.rd.ReadMessage()
 	if err != nil {
 		return fmt.Errorf("session: read confirm KEEPALIVE: %w", err)
 	}
@@ -282,6 +297,16 @@ func (s *Session) setState(st State) {
 	s.mu.Unlock()
 }
 
+// writeLocked encodes m into the buffered writer and flushes it out.
+// Callers must hold writeMu.
+func (s *Session) writeLocked(m wire.Message) error {
+	if err := s.bw.WriteMessage(m); err != nil {
+		//repro:vet ignore wireerr -- every caller wraps with peer and message context
+		return err
+	}
+	return s.bw.Flush()
+}
+
 // SendUpdate transmits one UPDATE message.
 func (s *Session) SendUpdate(u *wire.Update) error {
 	if s.State() != StateEstablished {
@@ -289,11 +314,34 @@ func (s *Session) SendUpdate(u *wire.Update) error {
 	}
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if err := wire.WriteMessage(s.conn, u); err != nil {
+	if err := s.writeLocked(u); err != nil {
 		return fmt.Errorf("session: send UPDATE to AS %s: %w", s.peerAS, err)
 	}
 	s.met.sentMsg(wire.MsgUpdate)
 	return nil
+}
+
+// SendUpdates transmits a batch of UPDATE messages under one writeMu
+// acquisition, letting the buffered writer coalesce them into as few
+// connection writes as possible (a route burst after session-up, or a
+// ROUTE-REFRESH replay). Returns on the first encode/write error with
+// the number of messages already accepted.
+func (s *Session) SendUpdates(us []*wire.Update) (int, error) {
+	if s.State() != StateEstablished {
+		return 0, ErrClosed
+	}
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	for i, u := range us {
+		if err := s.bw.WriteMessage(u); err != nil {
+			return i, fmt.Errorf("session: send UPDATE batch to AS %s: %w", s.peerAS, err)
+		}
+		s.met.sentMsg(wire.MsgUpdate)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return 0, fmt.Errorf("session: flush UPDATE batch to AS %s: %w", s.peerAS, err)
+	}
+	return len(us), nil
 }
 
 // SendRouteRefresh asks the peer to re-advertise its routes (RFC 2918).
@@ -304,7 +352,7 @@ func (s *Session) SendRouteRefresh() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	rr := &wire.RouteRefresh{AFI: wire.AFIIPv4, SAFI: wire.SAFIUnicast}
-	if err := wire.WriteMessage(s.conn, rr); err != nil {
+	if err := s.writeLocked(rr); err != nil {
 		return fmt.Errorf("session: send ROUTE-REFRESH to AS %s: %w", s.peerAS, err)
 	}
 	s.met.sentMsg(wire.MsgRouteRefresh)
@@ -314,7 +362,7 @@ func (s *Session) SendRouteRefresh() error {
 func (s *Session) sendKeepalive() error {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
-	if err := wire.WriteMessage(s.conn, &wire.Keepalive{}); err != nil {
+	if err := s.writeLocked(&wire.Keepalive{}); err != nil {
 		return fmt.Errorf("session: send KEEPALIVE to AS %s: %w", s.peerAS, err)
 	}
 	s.met.sentMsg(wire.MsgKeepalive)
@@ -333,7 +381,7 @@ func (s *Session) sendNotification(code, sub uint8) {
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	//repro:vet ignore wireerr -- best-effort teardown write; the session is already coming down
-	if err := wire.WriteMessage(s.conn, &wire.Notification{Code: code, Subcode: sub}); err == nil {
+	if err := s.writeLocked(&wire.Notification{Code: code, Subcode: sub}); err == nil {
 		s.met.sentMsg(wire.MsgNotification)
 	}
 }
@@ -345,7 +393,7 @@ func (s *Session) readLoop() {
 			s.goDown(err)
 			return
 		}
-		msg, err := wire.ReadMessage(s.conn)
+		msg, err := s.rd.ReadMessage()
 		if err != nil {
 			select {
 			case <-s.stop:

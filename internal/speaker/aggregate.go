@@ -129,7 +129,9 @@ func (s *Speaker) refreshAggregateLocked(agg *aggregateState) {
 		AggregatorID:    s.cfg.RouterID,
 	}
 	agg.active = true
-	ch := s.table.Originate(route)
+	// route (path, set members) was built fresh above, so ownership
+	// transfers to the table without a clone.
+	ch := s.table.OriginateOwned(route)
 	s.propagateLocked(ch)
 }
 

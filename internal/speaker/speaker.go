@@ -163,8 +163,24 @@ func (p *peer) enqueue(u *wire.Update) bool {
 
 func (p *peer) writeLoop() {
 	defer close(p.qdone)
+	batch := make([]*wire.Update, 0, 64)
 	for u := range p.sendQ {
-		if err := p.sess.SendUpdate(u); err != nil {
+		// Drain whatever else is already queued so a propagation burst
+		// goes out as one buffered batch instead of one write per route.
+		batch = append(batch[:0], u)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-p.sendQ:
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		if _, err := p.sess.SendUpdates(batch); err != nil {
 			return
 		}
 	}
@@ -424,7 +440,9 @@ func (s *Speaker) Originate(prefix astypes.Prefix, list core.List) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ch := s.table.Originate(route)
+	// The route was built fresh above (list encoders return fresh
+	// slices), so ownership transfers to the table without a clone.
+	ch := s.table.OriginateOwned(route)
 	s.propagateLocked(ch)
 }
 
@@ -488,7 +506,9 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 			AggregatorID:    u.Attrs.AggregatorID,
 			Unknown:         wire.CloneUnknownAttrs(u.Attrs.Unknown),
 		}
-		ch := s.table.Update(route)
+		// route deep-copied everything it keeps from the decoder-scratch
+		// Update above, so the table takes ownership without re-cloning.
+		ch := s.table.UpdateOwned(route)
 		s.propagateLocked(ch)
 	}
 }
@@ -580,7 +600,13 @@ func (s *Speaker) propagateLocked(ch rib.Change) {
 	if suppressed && ch.New != nil {
 		s.met.suppressed.Inc()
 	}
-	// Deterministic peer order keeps tests reproducible.
+	// Deterministic peer order keeps tests reproducible. The export
+	// UPDATE is built once and shared by every peer: updates are
+	// immutable once enqueued, and the encoder only reads them.
+	var u *wire.Update
+	if ch.New != nil && !suppressed {
+		u = s.exportUpdate(ch.New)
+	}
 	asns := make([]astypes.ASN, 0, len(s.peers))
 	for a := range s.peers {
 		asns = append(asns, a)
@@ -588,43 +614,53 @@ func (s *Speaker) propagateLocked(ch rib.Change) {
 	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
 	for _, a := range asns {
 		p := s.peers[a]
-		if ch.New == nil || suppressed {
+		if u == nil {
 			s.withdrawFromLocked(p, ch.Prefix)
 			continue
 		}
-		s.advertiseLocked(p, ch.New)
+		s.enqueueUpdateLocked(p, u, ch.Prefix)
 	}
 }
 
-func (s *Speaker) advertiseLocked(p *peer, r *rib.Route) {
+// exportUpdate builds the UPDATE advertising route r to peers. The
+// result aliases r's immutable slices (communities, unknown attrs), so
+// it must be treated as read-only, which every enqueue/encode path is.
+func (s *Speaker) exportUpdate(r *rib.Route) *wire.Update {
 	// A locally originated route already carries this AS as its path;
 	// learned routes are prepended on export.
 	path := r.Path
 	if r.FromPeer != astypes.ASNNone {
 		path = path.Prepend(s.cfg.AS)
 	}
-	u := &wire.Update{
+	return &wire.Update{
 		Attrs: wire.PathAttrs{
 			HasOrigin:       true,
 			Origin:          r.Origin,
 			ASPath:          path,
 			HasNextHop:      true,
 			NextHop:         s.cfg.NextHop,
-			Communities:     append([]astypes.Community(nil), r.Communities...),
+			Communities:     r.Communities,
 			AtomicAggregate: r.AtomicAggregate,
 			HasAggregator:   r.AggregatorAS != astypes.ASNNone,
 			AggregatorAS:    r.AggregatorAS,
 			AggregatorID:    r.AggregatorID,
-			Unknown:         wire.CloneUnknownAttrs(r.Unknown),
+			Unknown:         r.Unknown,
 		},
 		NLRI: []astypes.Prefix{r.Prefix},
 	}
+}
+
+func (s *Speaker) advertiseLocked(p *peer, r *rib.Route) {
+	s.enqueueUpdateLocked(p, s.exportUpdate(r), r.Prefix)
+}
+
+func (s *Speaker) enqueueUpdateLocked(p *peer, u *wire.Update, prefix astypes.Prefix) {
 	if !p.enqueue(u) {
 		s.teardownLocked(p)
 		return
 	}
 	s.met.updatesOut.Inc()
-	p.advertised[r.Prefix] = true
+	p.advertised[prefix] = true
 }
 
 // teardownLocked closes a stuck peer's session on a tracked goroutine

@@ -1,0 +1,297 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+// moasUpdate builds the representative MOAS UPDATE used across the
+// hot-path tests and benchmarks: a 4-hop path, a 2-entry MOAS list in
+// communities, one NLRI prefix.
+func moasUpdate() *Update {
+	return &Update{
+		Attrs: PathAttrs{
+			HasOrigin:  true,
+			Origin:     OriginIGP,
+			ASPath:     astypes.NewSeqPath(701, 1239, 3561, 4),
+			HasNextHop: true,
+			NextHop:    0x0a000001,
+			Communities: []astypes.Community{
+				astypes.NewCommunity(4, 0x7fde),
+				astypes.NewCommunity(226, 0x7fde),
+			},
+		},
+		NLRI: []astypes.Prefix{astypes.MustPrefix(0x83b30000, 16)},
+	}
+}
+
+func TestDecoderScratchReuseAcrossMessages(t *testing.T) {
+	var d Decoder
+	first := moasUpdate()
+	second := &Update{
+		Withdrawn: []astypes.Prefix{astypes.MustPrefix(0x0a000000, 8)},
+		Attrs: PathAttrs{
+			HasOrigin:  true,
+			Origin:     OriginEGP,
+			ASPath:     astypes.NewSeqPath(9, 10),
+			HasNextHop: true,
+			NextHop:    7,
+			Unknown:    []UnknownAttr{NewOptionalTransitive(240, []byte{1, 2, 3})},
+		},
+		NLRI: []astypes.Prefix{astypes.MustPrefix(0x14000000, 8)},
+	}
+	bufA, err := Encode(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := Encode(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode A, then B, then A again: each decode must fully describe
+	// its own message with no residue from the previous one.
+	for i, want := range []*Update{first, second, first} {
+		buf := bufA
+		if i == 1 {
+			buf = bufB
+		}
+		msg, err := d.Decode(buf)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		got, ok := msg.(*Update)
+		if !ok {
+			t.Fatalf("decode %d: got %T", i, msg)
+		}
+		reenc, err := Encode(got)
+		if err != nil {
+			t.Fatalf("re-encode %d: %v", i, err)
+		}
+		wantBuf, _ := Encode(want)
+		if !bytes.Equal(reenc, wantBuf) {
+			t.Errorf("decode %d: scratch residue: got %x want %x", i, reenc, wantBuf)
+		}
+	}
+}
+
+func TestDecoderNonUpdateMessages(t *testing.T) {
+	var d Decoder
+	open := &Open{Version: Version4, AS: 701, HoldTime: 90, BGPID: 7}
+	buf, err := Encode(open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := d.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := msg.(*Open); !ok || got.AS != 701 {
+		t.Errorf("Decoder mangled OPEN: %+v", msg)
+	}
+}
+
+// TestReadMessageFailsFastOnBadMarker is the desync regression test:
+// the marker must be rejected from the header alone, before any body
+// byte is consumed, with the RFC 4271 §6.1 header error.
+func TestReadMessageFailsFastOnBadMarker(t *testing.T) {
+	frame, err := Encode(moasUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[0] = 0x00 // corrupt the marker
+	src := bytes.NewReader(frame)
+	_, err = ReadMessage(src)
+	var me *MessageError
+	if !errors.As(err, &me) || me.Code != ErrCodeHeader || me.Subcode != SubConnNotSynced {
+		t.Fatalf("err = %v, want header/not-synced MessageError", err)
+	}
+	// Fail-fast property: only the 19 header bytes may have been
+	// consumed; the declared body must still be unread.
+	if remaining := src.Len(); remaining != len(frame)-HeaderLen {
+		t.Errorf("reader consumed %d bytes past the header", len(frame)-HeaderLen-remaining)
+	}
+}
+
+func TestReadMessageFailsFastOnBadLength(t *testing.T) {
+	frame, err := Encode(&Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[16], frame[17] = 0xff, 0xff // declared length > MaxMessageLen
+	_, err = ReadMessage(bytes.NewReader(frame))
+	var me *MessageError
+	if !errors.As(err, &me) || me.Code != ErrCodeHeader || me.Subcode != SubBadLength {
+		t.Fatalf("err = %v, want header/bad-length MessageError", err)
+	}
+}
+
+func TestReaderStreamsMessages(t *testing.T) {
+	var stream bytes.Buffer
+	upd := moasUpdate()
+	for i := 0; i < 3; i++ {
+		if err := WriteMessage(&stream, upd); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteMessage(&stream, &Keepalive{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rd := NewReader(&stream)
+	for i := 0; i < 3; i++ {
+		msg, err := rd.ReadMessage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, ok := msg.(*Update)
+		if !ok || len(u.NLRI) != 1 || u.NLRI[0] != upd.NLRI[0] {
+			t.Fatalf("message %d: %+v", 2*i, msg)
+		}
+		if msg, err = rd.ReadMessage(); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := msg.(*Keepalive); !ok {
+			t.Fatalf("message %d: %T, want KEEPALIVE", 2*i+1, msg)
+		}
+	}
+	if _, err := rd.ReadMessage(); err != io.EOF {
+		t.Errorf("end of stream: %v, want io.EOF", err)
+	}
+}
+
+func TestWriterBuffersAndFlushes(t *testing.T) {
+	var sink bytes.Buffer
+	wr := NewWriter(&sink)
+	if err := wr.WriteMessage(&Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != 0 {
+		t.Error("Writer wrote before Flush")
+	}
+	if wr.Buffered() != HeaderLen {
+		t.Errorf("Buffered = %d, want %d", wr.Buffered(), HeaderLen)
+	}
+	if err := wr.WriteMessage(moasUpdate()); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Buffered() != 0 {
+		t.Error("Flush left bytes buffered")
+	}
+	// Both messages must decode back from the coalesced write.
+	rd := NewReader(&sink)
+	if m, err := rd.ReadMessage(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(*Keepalive); !ok {
+		t.Fatalf("first message %T", m)
+	}
+	if m, err := rd.ReadMessage(); err != nil {
+		t.Fatal(err)
+	} else if _, ok := m.(*Update); !ok {
+		t.Fatalf("second message %T", m)
+	}
+}
+
+func TestWriterAutoFlushesAtHighWater(t *testing.T) {
+	var sink bytes.Buffer
+	wr := NewWriter(&sink)
+	// Enough keepalives to cross MaxMessageLen forces an early write so
+	// the buffer never grows past its initial capacity.
+	n := MaxMessageLen/HeaderLen + 2
+	for i := 0; i < n; i++ {
+		if err := wr.WriteMessage(&Keepalive{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sink.Len() == 0 {
+		t.Error("no auto-flush despite exceeding the high-water mark")
+	}
+	if err := wr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Len() != n*HeaderLen {
+		t.Errorf("sink holds %d bytes, want %d", sink.Len(), n*HeaderLen)
+	}
+}
+
+type errWriter struct{}
+
+func (errWriter) Write([]byte) (int, error) { return 0, errors.New("sink broken") }
+
+func TestWriterFlushErrorDiscards(t *testing.T) {
+	wr := NewWriter(errWriter{})
+	if err := wr.WriteMessage(&Keepalive{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wr.Flush(); err == nil {
+		t.Fatal("Flush swallowed the write error")
+	}
+	if wr.Buffered() != 0 {
+		t.Error("failed Flush retained buffered data")
+	}
+}
+
+// TestKeepaliveRoundTripZeroAlloc locks in the zero-allocation
+// steady state of a keepalive round-trip over Writer/Reader.
+func TestKeepaliveRoundTripZeroAlloc(t *testing.T) {
+	var pipe bytes.Buffer
+	wr := NewWriter(&pipe)
+	rd := NewReader(&pipe)
+	ka := &Keepalive{}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := wr.WriteMessage(ka); err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rd.ReadMessage(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("keepalive round-trip allocates %v per run, want 0", avg)
+	}
+}
+
+// TestUpdateRoundTripZeroAlloc locks in the zero-allocation steady
+// state of the full UPDATE encode→frame→decode path.
+func TestUpdateRoundTripZeroAlloc(t *testing.T) {
+	var pipe bytes.Buffer
+	wr := NewWriter(&pipe)
+	rd := NewReader(&pipe)
+	upd := moasUpdate()
+	avg := testing.AllocsPerRun(200, func() {
+		if err := wr.WriteMessage(upd); err != nil {
+			t.Fatal(err)
+		}
+		if err := wr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rd.ReadMessage(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("UPDATE round-trip allocates %v per run, want 0", avg)
+	}
+}
+
+// TestPooledWriteMessageZeroAlloc locks in the pooled buffer on the
+// package-level write path.
+func TestPooledWriteMessageZeroAlloc(t *testing.T) {
+	upd := moasUpdate()
+	avg := testing.AllocsPerRun(200, func() {
+		if err := WriteMessage(io.Discard, upd); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("pooled WriteMessage allocates %v per run, want 0", avg)
+	}
+}

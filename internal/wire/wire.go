@@ -332,114 +332,152 @@ const (
 func (*Update) Type() MsgType { return MsgUpdate }
 
 func (u *Update) encodeBody(dst []byte) ([]byte, error) {
-	withdrawn, err := encodePrefixes(nil, u.Withdrawn)
+	// Both length-prefixed sections are appended in place and their
+	// lengths fixed up afterwards, so encoding a full UPDATE never
+	// builds intermediate slices.
+	wOff := len(dst)
+	dst = append(dst, 0, 0) // withdrawn routes length, fixed up below
+	dst, err := encodePrefixes(dst, u.Withdrawn)
 	if err != nil {
 		return nil, fmt.Errorf("encode withdrawn routes: %w", err)
 	}
-	attrs, err := u.Attrs.encode(nil, len(u.NLRI) > 0)
+	if len(dst)-wOff-2 > 0xffff {
+		return nil, fmt.Errorf("encode withdrawn routes: section %d bytes", len(dst)-wOff-2)
+	}
+	binary.BigEndian.PutUint16(dst[wOff:], uint16(len(dst)-wOff-2))
+	aOff := len(dst)
+	dst = append(dst, 0, 0) // total path attribute length, fixed up below
+	dst, err = u.Attrs.encode(dst, len(u.NLRI) > 0)
 	if err != nil {
 		return nil, err
 	}
-	nlri, err := encodePrefixes(nil, u.NLRI)
+	if len(dst)-aOff-2 > 0xffff {
+		return nil, fmt.Errorf("encode attributes: section %d bytes", len(dst)-aOff-2)
+	}
+	binary.BigEndian.PutUint16(dst[aOff:], uint16(len(dst)-aOff-2))
+	dst, err = encodePrefixes(dst, u.NLRI)
 	if err != nil {
 		return nil, fmt.Errorf("encode NLRI: %w", err)
-	}
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(withdrawn)))
-	dst = append(dst, withdrawn...)
-	dst = binary.BigEndian.AppendUint16(dst, uint16(len(attrs)))
-	dst = append(dst, attrs...)
-	return append(dst, nlri...), nil
-}
-
-func (a *PathAttrs) encode(dst []byte, mandatory bool) ([]byte, error) {
-	appendAttr := func(flags, code uint8, val []byte) error {
-		if len(val) > 0xffff {
-			return fmt.Errorf("attribute %d too long: %d bytes", code, len(val))
-		}
-		// The extended-length bit describes this encoding, not the
-		// attribute; recompute it from the actual value size.
-		flags &^= flagExtLen
-		if len(val) > 0xff {
-			flags |= flagExtLen
-			dst = append(dst, flags, code)
-			dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
-		} else {
-			dst = append(dst, flags, code, uint8(len(val)))
-		}
-		dst = append(dst, val...)
-		return nil
-	}
-	if a.HasOrigin || mandatory {
-		if err := appendAttr(flagTransitive, attrOrigin, []byte{uint8(a.Origin)}); err != nil {
-			return nil, err
-		}
-	}
-	if len(a.ASPath.Segments) > 0 || mandatory {
-		var pv []byte
-		for _, seg := range a.ASPath.Segments {
-			if len(seg.ASNs) > 255 {
-				return nil, fmt.Errorf("AS_PATH segment with %d ASNs exceeds 255", len(seg.ASNs))
-			}
-			pv = append(pv, uint8(seg.Type), uint8(len(seg.ASNs)))
-			for _, asn := range seg.ASNs {
-				pv = binary.BigEndian.AppendUint16(pv, uint16(asn))
-			}
-		}
-		if err := appendAttr(flagTransitive, attrASPath, pv); err != nil {
-			return nil, err
-		}
-	}
-	if a.HasNextHop || mandatory {
-		if err := appendAttr(flagTransitive, attrNextHop, binary.BigEndian.AppendUint32(nil, a.NextHop)); err != nil {
-			return nil, err
-		}
-	}
-	if a.HasLocalPref {
-		if err := appendAttr(flagTransitive, attrLocalPref, binary.BigEndian.AppendUint32(nil, a.LocalPref)); err != nil {
-			return nil, err
-		}
-	}
-	if a.AtomicAggregate {
-		if err := appendAttr(flagTransitive, attrAtomicAggregate, nil); err != nil {
-			return nil, err
-		}
-	}
-	if a.HasAggregator {
-		av := binary.BigEndian.AppendUint16(nil, uint16(a.AggregatorAS))
-		av = binary.BigEndian.AppendUint32(av, a.AggregatorID)
-		if err := appendAttr(flagOptional|flagTransitive, attrAggregator, av); err != nil {
-			return nil, err
-		}
-	}
-	if len(a.Communities) > 0 {
-		cv := make([]byte, 0, 4*len(a.Communities))
-		for _, c := range a.Communities {
-			cv = binary.BigEndian.AppendUint32(cv, uint32(c))
-		}
-		if err := appendAttr(flagOptional|flagTransitive, attrCommunity, cv); err != nil {
-			return nil, err
-		}
-	}
-	for _, u := range a.Unknown {
-		if err := appendAttr(u.Flags|flagPartial, u.Code, u.Value); err != nil {
-			return nil, err
-		}
 	}
 	return dst, nil
 }
 
-func decodeUpdate(body []byte) (*Update, error) {
+// appendAttrHeader appends one attribute header for a value of vLen
+// bytes; the caller appends the value itself. The extended-length bit
+// describes this encoding, not the attribute, so it is recomputed from
+// the actual value size.
+func appendAttrHeader(dst []byte, flags, code uint8, vLen int) ([]byte, error) {
+	if vLen > 0xffff {
+		return nil, fmt.Errorf("attribute %d too long: %d bytes", code, vLen)
+	}
+	flags &^= flagExtLen
+	if vLen > 0xff {
+		flags |= flagExtLen
+		dst = append(dst, flags, code)
+		return binary.BigEndian.AppendUint16(dst, uint16(vLen)), nil
+	}
+	return append(dst, flags, code, uint8(vLen)), nil
+}
+
+func (a *PathAttrs) encode(dst []byte, mandatory bool) ([]byte, error) {
+	var err error
+	if a.HasOrigin || mandatory {
+		if dst, err = appendAttrHeader(dst, flagTransitive, attrOrigin, 1); err != nil {
+			return nil, err
+		}
+		dst = append(dst, uint8(a.Origin))
+	}
+	if len(a.ASPath.Segments) > 0 || mandatory {
+		pLen := 0
+		for _, seg := range a.ASPath.Segments {
+			if len(seg.ASNs) > 255 {
+				return nil, fmt.Errorf("AS_PATH segment with %d ASNs exceeds 255", len(seg.ASNs))
+			}
+			pLen += 2 + 2*len(seg.ASNs)
+		}
+		if dst, err = appendAttrHeader(dst, flagTransitive, attrASPath, pLen); err != nil {
+			return nil, err
+		}
+		for _, seg := range a.ASPath.Segments {
+			dst = append(dst, uint8(seg.Type), uint8(len(seg.ASNs)))
+			for _, asn := range seg.ASNs {
+				dst = binary.BigEndian.AppendUint16(dst, uint16(asn))
+			}
+		}
+	}
+	if a.HasNextHop || mandatory {
+		if dst, err = appendAttrHeader(dst, flagTransitive, attrNextHop, 4); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, a.NextHop)
+	}
+	if a.HasLocalPref {
+		if dst, err = appendAttrHeader(dst, flagTransitive, attrLocalPref, 4); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint32(dst, a.LocalPref)
+	}
+	if a.AtomicAggregate {
+		if dst, err = appendAttrHeader(dst, flagTransitive, attrAtomicAggregate, 0); err != nil {
+			return nil, err
+		}
+	}
+	if a.HasAggregator {
+		if dst, err = appendAttrHeader(dst, flagOptional|flagTransitive, attrAggregator, 6); err != nil {
+			return nil, err
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(a.AggregatorAS))
+		dst = binary.BigEndian.AppendUint32(dst, a.AggregatorID)
+	}
+	if len(a.Communities) > 0 {
+		if dst, err = appendAttrHeader(dst, flagOptional|flagTransitive, attrCommunity, 4*len(a.Communities)); err != nil {
+			return nil, err
+		}
+		for _, c := range a.Communities {
+			dst = binary.BigEndian.AppendUint32(dst, uint32(c))
+		}
+	}
+	for _, u := range a.Unknown {
+		if dst, err = appendAttrHeader(dst, u.Flags|flagPartial, u.Code, len(u.Value)); err != nil {
+			return nil, err
+		}
+		dst = append(dst, u.Value...)
+	}
+	return dst, nil
+}
+
+// reset clears the attribute set for reuse, keeping the capacity of the
+// decoded slices so steady-state decoding does not reallocate.
+func (a *PathAttrs) reset() {
+	comms := a.Communities[:0]
+	unknown := a.Unknown[:0]
+	segs := a.ASPath.Segments[:0]
+	*a = PathAttrs{
+		Communities: comms,
+		Unknown:     unknown,
+		ASPath:      astypes.ASPath{Segments: segs},
+	}
+}
+
+// decodeUpdateInto parses an UPDATE body into u, which is reset first.
+// A non-nil d supplies reusable decode scratch and makes the decoded
+// message alias both d and body: unknown-attribute values point into
+// body, and slices are reused on d's next Decode. With d == nil every
+// byte is copied and the result is independently owned.
+func decodeUpdateInto(u *Update, d *Decoder, body []byte) (*Update, error) {
+	u.Withdrawn = u.Withdrawn[:0]
+	u.NLRI = u.NLRI[:0]
+	u.Attrs.reset()
 	if len(body) < 4 {
 		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "UPDATE body %d bytes", len(body))
 	}
-	u := &Update{}
 	wLen := int(binary.BigEndian.Uint16(body[:2]))
 	rest := body[2:]
 	if wLen > len(rest) {
 		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "withdrawn length %d exceeds body", wLen)
 	}
 	var err error
-	u.Withdrawn, err = decodePrefixes(rest[:wLen])
+	u.Withdrawn, err = decodePrefixes(u.Withdrawn, rest[:wLen])
 	if err != nil {
 		return nil, msgErrf(ErrCodeUpdate, SubMalformedNLRI, "withdrawn routes: %v", err)
 	}
@@ -452,10 +490,10 @@ func decodeUpdate(body []byte) (*Update, error) {
 	if aLen > len(rest) {
 		return nil, msgErrf(ErrCodeUpdate, SubMalformedAttrList, "attribute length %d exceeds body", aLen)
 	}
-	if err := u.Attrs.decode(rest[:aLen]); err != nil {
+	if err := u.Attrs.decode(rest[:aLen], d); err != nil {
 		return nil, err
 	}
-	u.NLRI, err = decodePrefixes(rest[aLen:])
+	u.NLRI, err = decodePrefixes(u.NLRI, rest[aLen:])
 	if err != nil {
 		return nil, msgErrf(ErrCodeUpdate, SubMalformedNLRI, "NLRI: %v", err)
 	}
@@ -470,8 +508,10 @@ func decodeUpdate(body []byte) (*Update, error) {
 	return u, nil
 }
 
-func (a *PathAttrs) decode(data []byte) error {
-	seen := make(map[uint8]bool)
+func (a *PathAttrs) decode(data []byte, d *Decoder) error {
+	// Duplicate detection on the stack: a map here costs an allocation
+	// per UPDATE decoded.
+	var seen [256]bool
 	for len(data) > 0 {
 		if len(data) < 3 {
 			return msgErrf(ErrCodeUpdate, SubMalformedAttrList, "truncated attribute header")
@@ -510,11 +550,9 @@ func (a *PathAttrs) decode(data []byte) error {
 			}
 			a.HasOrigin, a.Origin = true, OriginCode(val[0])
 		case attrASPath:
-			path, err := decodeASPath(val)
-			if err != nil {
+			if err := decodeASPathInto(&a.ASPath, d, val); err != nil {
 				return err
 			}
-			a.ASPath = path
 		case attrNextHop:
 			if vLen != 4 {
 				return msgErrf(ErrCodeUpdate, SubInvalidNextHop, "NEXT_HOP length %d", vLen)
@@ -549,12 +587,18 @@ func (a *PathAttrs) decode(data []byte) error {
 				return msgErrf(ErrCodeUpdate, SubUnrecognizedAttr, "well-known attribute %d unrecognized", code)
 			}
 			if flags&flagTransitive != 0 {
+				value := val
+				if d == nil {
+					// Copy so the decoded message outlives the input
+					// buffer; scratch decoding aliases it instead.
+					value = append([]byte(nil), val...)
+				}
 				a.Unknown = append(a.Unknown, UnknownAttr{
 					// Strip the length-encoding bit: it is recomputed on
 					// re-encode and must not leak into stored state.
 					Flags: flags &^ flagExtLen,
 					Code:  code,
-					Value: append([]byte(nil), val...),
+					Value: value,
 				})
 			}
 			// Optional non-transitive unknown attributes are silently dropped.
@@ -563,28 +607,68 @@ func (a *PathAttrs) decode(data []byte) error {
 	return nil
 }
 
-func decodeASPath(val []byte) (astypes.ASPath, error) {
-	var path astypes.ASPath
+// decodeASPathInto parses an AS_PATH attribute value into path. With a
+// non-nil Decoder the segment ASN storage comes from d's flat scratch
+// slice (valid until d's next Decode); otherwise each segment allocates
+// its own backing array.
+func decodeASPathInto(path *astypes.ASPath, d *Decoder, val []byte) error {
+	segs := path.Segments[:0]
+	var asns []astypes.ASN
+	if d != nil {
+		// Pre-size the flat scratch so appends below never reallocate
+		// (a mid-decode growth would strand earlier segments on the old
+		// backing array).
+		total := 0
+		for rest := val; len(rest) > 0; {
+			if len(rest) < 2 {
+				break // the main loop reports the framing error
+			}
+			count := int(rest[1])
+			total += count
+			need := 2 + 2*count
+			if len(rest) < need {
+				break
+			}
+			rest = rest[need:]
+		}
+		if cap(d.asns) < total {
+			d.asns = make([]astypes.ASN, 0, total)
+		}
+		asns = d.asns[:0]
+	}
 	for len(val) > 0 {
 		if len(val) < 2 {
-			return astypes.ASPath{}, msgErrf(ErrCodeUpdate, SubMalformedASPath, "truncated segment header")
+			return msgErrf(ErrCodeUpdate, SubMalformedASPath, "truncated segment header")
 		}
 		segType, count := val[0], int(val[1])
 		if segType != uint8(astypes.SegSequence) && segType != uint8(astypes.SegSet) {
-			return astypes.ASPath{}, msgErrf(ErrCodeUpdate, SubMalformedASPath, "segment type %d", segType)
+			return msgErrf(ErrCodeUpdate, SubMalformedASPath, "segment type %d", segType)
 		}
 		need := 2 + 2*count
 		if len(val) < need {
-			return astypes.ASPath{}, msgErrf(ErrCodeUpdate, SubMalformedASPath, "segment needs %d bytes, have %d", need, len(val))
+			return msgErrf(ErrCodeUpdate, SubMalformedASPath, "segment needs %d bytes, have %d", need, len(val))
 		}
-		seg := astypes.Segment{Type: astypes.SegmentType(segType), ASNs: make([]astypes.ASN, count)}
-		for i := 0; i < count; i++ {
-			seg.ASNs[i] = astypes.ASN(binary.BigEndian.Uint16(val[2+2*i : 4+2*i]))
+		var segASNs []astypes.ASN
+		if d != nil {
+			start := len(asns)
+			for i := 0; i < count; i++ {
+				asns = append(asns, astypes.ASN(binary.BigEndian.Uint16(val[2+2*i:4+2*i])))
+			}
+			segASNs = asns[start:len(asns):len(asns)]
+		} else {
+			segASNs = make([]astypes.ASN, count)
+			for i := 0; i < count; i++ {
+				segASNs[i] = astypes.ASN(binary.BigEndian.Uint16(val[2+2*i : 4+2*i]))
+			}
 		}
-		path.Segments = append(path.Segments, seg)
+		segs = append(segs, astypes.Segment{Type: astypes.SegmentType(segType), ASNs: segASNs})
 		val = val[need:]
 	}
-	return path, nil
+	path.Segments = segs
+	if d != nil {
+		d.asns = asns
+	}
+	return nil
 }
 
 func encodePrefixes(dst []byte, prefixes []astypes.Prefix) ([]byte, error) {
@@ -601,8 +685,8 @@ func encodePrefixes(dst []byte, prefixes []astypes.Prefix) ([]byte, error) {
 	return dst, nil
 }
 
-func decodePrefixes(data []byte) ([]astypes.Prefix, error) {
-	var out []astypes.Prefix
+// decodePrefixes appends the prefixes encoded in data to out.
+func decodePrefixes(out []astypes.Prefix, data []byte) ([]astypes.Prefix, error) {
 	for len(data) > 0 {
 		length := data[0]
 		if length > 32 {
@@ -633,44 +717,63 @@ func decodePrefixes(data []byte) ([]astypes.Prefix, error) {
 	return out, nil
 }
 
-// Encode serializes a full message (header + body).
-func Encode(m Message) ([]byte, error) {
-	buf := make([]byte, HeaderLen, HeaderLen+64)
-	for i := 0; i < markerLen; i++ {
-		buf[i] = 0xff
-	}
-	buf[18] = uint8(m.Type())
-	buf, err := m.encodeBody(buf)
+// AppendMessage serializes a full message (header + body) onto dst and
+// returns the extended slice. When dst has spare capacity no allocation
+// occurs; this is the zero-allocation core that Encode, WriteMessage
+// and Writer share.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+		0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff,
+		0, 0, uint8(m.Type()))
+	dst, err := m.encodeBody(dst)
 	if err != nil {
 		return nil, fmt.Errorf("encode %s: %w", m.Type(), err)
 	}
-	if len(buf) > MaxMessageLen {
-		return nil, fmt.Errorf("encode %s: message %d bytes exceeds max %d", m.Type(), len(buf), MaxMessageLen)
+	if len(dst)-start > MaxMessageLen {
+		return nil, fmt.Errorf("encode %s: message %d bytes exceeds max %d", m.Type(), len(dst)-start, MaxMessageLen)
 	}
-	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
-	return buf, nil
+	binary.BigEndian.PutUint16(dst[start+16:start+18], uint16(len(dst)-start))
+	return dst, nil
 }
 
-// Decode parses one complete message from buf (header included).
-func Decode(buf []byte) (Message, error) {
+// Encode serializes a full message (header + body) into a fresh buffer.
+func Encode(m Message) ([]byte, error) {
+	return AppendMessage(make([]byte, 0, HeaderLen+64), m)
+}
+
+// checkHeader validates the marker, declared length, and framing of one
+// complete message and returns its type code and body.
+func checkHeader(buf []byte) (MsgType, []byte, error) {
 	if len(buf) < HeaderLen {
-		return nil, msgErrf(ErrCodeHeader, SubBadLength, "message %d bytes < header", len(buf))
+		return 0, nil, msgErrf(ErrCodeHeader, SubBadLength, "message %d bytes < header", len(buf))
 	}
 	for i := 0; i < markerLen; i++ {
 		if buf[i] != 0xff {
-			return nil, msgErrf(ErrCodeHeader, SubConnNotSynced, "bad marker")
+			return 0, nil, msgErrf(ErrCodeHeader, SubConnNotSynced, "bad marker")
 		}
 	}
 	totalLen := int(binary.BigEndian.Uint16(buf[16:18]))
 	if totalLen != len(buf) || totalLen > MaxMessageLen {
-		return nil, msgErrf(ErrCodeHeader, SubBadLength, "declared length %d, have %d", totalLen, len(buf))
+		return 0, nil, msgErrf(ErrCodeHeader, SubBadLength, "declared length %d, have %d", totalLen, len(buf))
 	}
-	body := buf[HeaderLen:]
-	switch MsgType(buf[18]) {
+	return MsgType(buf[18]), buf[HeaderLen:], nil
+}
+
+// Decode parses one complete message from buf (header included). The
+// returned message owns all of its memory; use a Decoder for the
+// allocation-free variant.
+func Decode(buf []byte) (Message, error) {
+	t, body, err := checkHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	switch t {
 	case MsgOpen:
 		return decodeOpen(body)
 	case MsgUpdate:
-		return decodeUpdate(body)
+		return decodeUpdateInto(&Update{}, nil, body)
 	case MsgNotification:
 		return decodeNotification(body)
 	case MsgKeepalive:
@@ -681,38 +784,66 @@ func Decode(buf []byte) (Message, error) {
 	case MsgRouteRefresh:
 		return decodeRouteRefresh(body)
 	default:
-		return nil, msgErrf(ErrCodeHeader, SubBadType, "type %d", buf[18])
+		return nil, msgErrf(ErrCodeHeader, SubBadType, "type %d", uint8(t))
 	}
 }
 
-// ReadMessage reads exactly one message from r, using the header length
-// field to frame it.
-func ReadMessage(r io.Reader) (Message, error) {
-	hdr := make([]byte, HeaderLen)
-	if _, err := io.ReadFull(r, hdr); err != nil {
-		return nil, err
+// readFrame reads one framed message from r into buf (which must hold
+// MaxMessageLen bytes) and returns its total length. The 16-byte marker
+// is validated as part of the header read — before any body byte is
+// consumed — so a desynchronized peer fails fast with ErrCodeHeader/
+// SubConnNotSynced instead of feeding up to MaxMessageLen of garbage
+// through the body read.
+func readFrame(r io.Reader, buf []byte) (int, error) {
+	if _, err := io.ReadFull(r, buf[:HeaderLen]); err != nil {
+		return 0, err
 	}
-	totalLen := int(binary.BigEndian.Uint16(hdr[16:18]))
+	for i := 0; i < markerLen; i++ {
+		if buf[i] != 0xff {
+			return 0, msgErrf(ErrCodeHeader, SubConnNotSynced, "bad marker")
+		}
+	}
+	totalLen := int(binary.BigEndian.Uint16(buf[16:18]))
 	if totalLen < HeaderLen || totalLen > MaxMessageLen {
-		return nil, msgErrf(ErrCodeHeader, SubBadLength, "declared length %d", totalLen)
+		return 0, msgErrf(ErrCodeHeader, SubBadLength, "declared length %d", totalLen)
 	}
-	buf := make([]byte, totalLen)
-	copy(buf, hdr)
-	if _, err := io.ReadFull(r, buf[HeaderLen:]); err != nil {
+	if _, err := io.ReadFull(r, buf[HeaderLen:totalLen]); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
 		}
-		return nil, err
+		return 0, err
 	}
-	return Decode(buf)
+	return totalLen, nil
 }
 
-// WriteMessage encodes and writes one message to w.
-func WriteMessage(w io.Writer, m Message) error {
-	buf, err := Encode(m)
+// ReadMessage reads exactly one message from r, using the header length
+// field to frame it. The read buffer is pooled; the returned message
+// owns all of its memory. Long-lived readers should prefer a Reader,
+// which also reuses the decoded message.
+func ReadMessage(r io.Reader) (Message, error) {
+	bp := msgBufPool.Get().(*[]byte)
+	buf := (*bp)[:MaxMessageLen]
+	n, err := readFrame(r, buf)
 	if err != nil {
+		msgBufPool.Put(bp)
+		return nil, err
+	}
+	m, err := Decode(buf[:n])
+	msgBufPool.Put(bp)
+	return m, err
+}
+
+// WriteMessage encodes and writes one message to w as a single Write,
+// using a pooled encode buffer.
+func WriteMessage(w io.Writer, m Message) error {
+	bp := msgBufPool.Get().(*[]byte)
+	buf, err := AppendMessage((*bp)[:0], m)
+	if err != nil {
+		msgBufPool.Put(bp)
 		return err
 	}
 	_, err = w.Write(buf)
+	*bp = buf[:0]
+	msgBufPool.Put(bp)
 	return err
 }
