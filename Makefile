@@ -34,7 +34,11 @@ e2e:
 ## for regression tracking (one test2json event per line), plus the
 ## wire/RIB hot-path benchmarks recorded as BENCH_hotpath.json — the
 ## *Baseline benchmarks in each pair are the pre-pooling allocating
-## paths, so the file itself documents the before/after.
+## paths, so the file itself documents the before/after. BENCH_eval.json
+## records the end-to-end evaluation pipeline (figure sweeps, the §3
+## measurement study, the event engine) against its *Baseline pairs:
+## fresh-network sweeps, the serial map-of-maps measurement pipeline,
+## and closure-boxed event scheduling.
 bench:
 	$(GO) test -json -run='^$$' -bench='^BenchmarkTelemetry' -benchmem \
 		./internal/telemetry/ > BENCH_telemetry.json
@@ -42,12 +46,20 @@ bench:
 	$(GO) test -json -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB)' -benchmem \
 		./internal/wire/ ./internal/rib/ > BENCH_hotpath.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_hotpath.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+	$(GO) test -json -run='^$$' -benchmem -benchtime=2x \
+		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkFigure10TopologySize|BenchmarkFigure11PartialDeployment|BenchmarkMeasureStudy)(Baseline)?$$' \
+		. > BENCH_eval.json
+	$(GO) test -json -run='^$$' -bench='^BenchmarkEngineEvents(Baseline)?$$' -benchmem \
+		./internal/sim/ >> BENCH_eval.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_eval.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
-## bench-smoke: one-iteration run of every hot-path benchmark so the
-## codec/RIB benches can't silently rot; part of check (and so CI).
+## bench-smoke: one-iteration run of every hot-path and evaluation
+## benchmark so they can't silently rot; part of check (and so CI).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry)' \
-		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/
+	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents)' \
+		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/
+	$(GO) test -run='^$$' -benchtime=1x -benchmem \
+		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkMeasureStudy)(Baseline)?$$' .
 
 ## fuzz-smoke: run each fuzz target briefly against its seed corpus.
 fuzz-smoke:

@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -88,8 +89,10 @@ func BenchmarkFigure5DurationHistogram(b *testing.B) {
 
 // figureSweep runs one (topology, origins, modes) sweep at the paper's
 // anchor attacker fractions (~4% and ~30%) and returns the result.
+// fresh forces a new simulated network per run (the pre-pooling
+// behaviour); the default draws networks from the per-topology pool.
 func figureSweep(b *testing.B, topo *topology.SampleResult, name string,
-	origins int, modes []experiment.ModeSpec) *experiment.SweepResult {
+	origins int, modes []experiment.ModeSpec, fresh bool) *experiment.SweepResult {
 	b.Helper()
 	n := topo.Graph.NumNodes()
 	low := n * 4 / 100
@@ -105,6 +108,7 @@ func figureSweep(b *testing.B, topo *topology.SampleResult, name string,
 		Modes:          modes,
 		Seed:           42,
 		ColdStart:      true,
+		FreshNetworks:  fresh,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -124,7 +128,7 @@ func BenchmarkFigure9Effectiveness(b *testing.B) {
 	set := benchTopologies(b)
 	var res *experiment.SweepResult
 	for i := 0; i < b.N; i++ {
-		res = figureSweep(b, set.T46, "46", 1, normalVsFull)
+		res = figureSweep(b, set.T46, "46", 1, normalVsFull, false)
 	}
 	lo, hi := res.Points[0], res.Points[1]
 	b.ReportMetric(lo.MeanFalsePct[0], "normal@4%")
@@ -133,12 +137,22 @@ func BenchmarkFigure9Effectiveness(b *testing.B) {
 	b.ReportMetric(hi.MeanFalsePct[1], "full@30%")
 }
 
+// BenchmarkFigure9EffectivenessBaseline is the same sweep with network
+// pooling disabled: every simulation run pays full network
+// construction, as before the Reset/pool path existed.
+func BenchmarkFigure9EffectivenessBaseline(b *testing.B) {
+	set := benchTopologies(b)
+	for i := 0; i < b.N; i++ {
+		figureSweep(b, set.T46, "46", 1, normalVsFull, true)
+	}
+}
+
 // BenchmarkFigure9TwoOrigins is Figure 9(b): two origin ASes.
 func BenchmarkFigure9TwoOrigins(b *testing.B) {
 	set := benchTopologies(b)
 	var res *experiment.SweepResult
 	for i := 0; i < b.N; i++ {
-		res = figureSweep(b, set.T46, "46", 2, normalVsFull)
+		res = figureSweep(b, set.T46, "46", 2, normalVsFull, false)
 	}
 	hi := res.Points[1]
 	b.ReportMetric(hi.MeanFalsePct[0], "normal@30%")
@@ -157,12 +171,25 @@ func BenchmarkFigure10TopologySize(b *testing.B) {
 	results := make(map[string]*experiment.SweepResult, 3)
 	for i := 0; i < b.N; i++ {
 		for _, topo := range topos {
-			results[topo.name] = figureSweep(b, topo.s, topo.name, 1, normalVsFull)
+			results[topo.name] = figureSweep(b, topo.s, topo.name, 1, normalVsFull, false)
 		}
 	}
 	for _, topo := range topos {
 		hi := results[topo.name].Points[1]
 		b.ReportMetric(hi.MeanFalsePct[1], "full@30%-"+topo.name+"AS")
+	}
+}
+
+// BenchmarkFigure10TopologySizeBaseline disables network pooling.
+func BenchmarkFigure10TopologySizeBaseline(b *testing.B) {
+	set := benchTopologies(b)
+	for i := 0; i < b.N; i++ {
+		for _, topo := range []struct {
+			name string
+			s    *topology.SampleResult
+		}{{"25", set.T25}, {"46", set.T46}, {"63", set.T63}} {
+			figureSweep(b, topo.s, topo.name, 1, normalVsFull, true)
+		}
 	}
 }
 
@@ -182,7 +209,7 @@ func BenchmarkFigure11PartialDeployment(b *testing.B) {
 	results := make(map[string]*experiment.SweepResult, 2)
 	for i := 0; i < b.N; i++ {
 		for _, topo := range topos {
-			results[topo.name] = figureSweep(b, topo.s, topo.name, 1, modes)
+			results[topo.name] = figureSweep(b, topo.s, topo.name, 1, modes, false)
 		}
 	}
 	for _, topo := range topos {
@@ -191,6 +218,70 @@ func BenchmarkFigure11PartialDeployment(b *testing.B) {
 		b.ReportMetric(hi.MeanFalsePct[1], "half@30%-"+topo.name+"AS")
 		b.ReportMetric(hi.MeanFalsePct[2], "full@30%-"+topo.name+"AS")
 	}
+}
+
+// BenchmarkFigure11PartialDeploymentBaseline disables network pooling.
+func BenchmarkFigure11PartialDeploymentBaseline(b *testing.B) {
+	set := benchTopologies(b)
+	modes := []experiment.ModeSpec{
+		{Label: "Normal BGP", Detection: experiment.DetectionOff},
+		{Label: "Half MOAS Detection", Detection: experiment.DetectionPartial, DeployFraction: 0.5},
+		{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+	}
+	for i := 0; i < b.N; i++ {
+		for _, topo := range []struct {
+			name string
+			s    *topology.SampleResult
+		}{{"46", set.T46}, {"63", set.T63}} {
+			figureSweep(b, topo.s, topo.name, 1, modes, true)
+		}
+	}
+}
+
+// BenchmarkMeasureStudy runs the full §3 measurement study — 1279
+// daily dumps generated by a bounded worker pool, observed in day
+// order by the flat accumulator — and reports the headline case count.
+func BenchmarkMeasureStudy(b *testing.B) {
+	g, err := routegen.New(routegen.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var summary measure.Summary
+	for i := 0; i < b.N; i++ {
+		a, err := measure.RunParallel(g, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		summary = a.Summarize()
+	}
+	b.ReportMetric(float64(summary.TotalCases), "total-cases")
+}
+
+// BenchmarkMeasureStudyBaseline is the pre-optimization pipeline: one
+// freshly allocated dump per day, observed serially through the
+// map-of-maps accumulator.
+func BenchmarkMeasureStudyBaseline(b *testing.B) {
+	g, err := routegen.New(routegen.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var summary measure.Summary
+	for i := 0; i < b.N; i++ {
+		a := measure.NewAnalysis()
+		for day := 0; day < g.Days(); day++ {
+			d, err := g.DumpForDay(day)
+			if err != nil {
+				b.Fatal(err)
+			}
+			a.ObserveBaseline(d)
+		}
+		summary = a.Summarize()
+	}
+	b.ReportMetric(float64(summary.TotalCases), "total-cases")
 }
 
 // BenchmarkAblationForgedSupersetList: the §4.1 forging attacker. The

@@ -11,6 +11,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/measure"
 	"repro/internal/routegen"
@@ -27,15 +28,22 @@ func main() {
 		emitFrom  = flag.Int("emit-from", 0, "first day to emit with -emit-dumps")
 		csvDir    = flag.String("csv", "", "directory to write fig4.csv and fig5.csv into")
 		binary    = flag.Bool("binary", false, "emit dumps in the binary archive format")
+		par       = flag.Int("parallelism", 0, "dump-generation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	if err := run(*seed, *days, *fig4, *fig5, *emitDumps, *emitFrom, *emitCount, *csvDir, *binary); err != nil {
+	if err := run(*seed, *days, *fig4, *fig5, *emitDumps, *emitFrom, *emitCount, *csvDir, *binary, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-measure:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCount int, csvDir string, binary bool) error {
+func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCount int, csvDir string, binary bool, parallelism int) error {
+	if parallelism < 0 {
+		return fmt.Errorf("parallelism %d must be >= 0 (0 = GOMAXPROCS)", parallelism)
+	}
+	if parallelism == 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	cfg := routegen.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Days = days
@@ -48,7 +56,7 @@ func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCo
 		return emitDumps(gen, emitDir, emitFrom, emitCount, binary)
 	}
 
-	analysis, err := measure.Run(gen)
+	analysis, err := measure.RunParallel(gen, parallelism)
 	if err != nil {
 		return err
 	}

@@ -7,14 +7,23 @@ import (
 )
 
 func TestRunShortWindow(t *testing.T) {
-	if err := run(7, 30 /* days */, true, true, "", 0, 0, "", false); err != nil {
+	if err := run(7, 30 /* days */, true, true, "", 0, 0, "", false, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunParallelismFlag(t *testing.T) {
+	if err := run(7, 30, false, false, "", 0, 0, "", false, -1); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if err := run(7, 30, false, false, "", 0, 0, "", false, 3); err != nil {
+		t.Fatalf("parallelism 3: %v", err)
 	}
 }
 
 func TestRunEmitDumpsAndCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(7, 30, false, false, dir, 2, 3, "", false); err != nil {
+	if err := run(7, 30, false, false, dir, 2, 3, "", false, 0); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -25,7 +34,7 @@ func TestRunEmitDumpsAndCSV(t *testing.T) {
 		t.Fatalf("emitted %d dumps, want 3", len(entries))
 	}
 	binDir := t.TempDir()
-	if err := run(7, 30, false, false, binDir, 0, 1, "", true); err != nil {
+	if err := run(7, 30, false, false, binDir, 0, 1, "", true, 0); err != nil {
 		t.Fatal(err)
 	}
 	bins, _ := os.ReadDir(binDir)
@@ -34,7 +43,7 @@ func TestRunEmitDumpsAndCSV(t *testing.T) {
 	}
 
 	csvDir := t.TempDir()
-	if err := run(7, 30, false, false, "", 0, 0, csvDir, false); err != nil {
+	if err := run(7, 30, false, false, "", 0, 0, csvDir, false, 0); err != nil {
 		t.Fatal(err)
 	}
 	for _, name := range []string{"fig4.csv", "fig5.csv"} {

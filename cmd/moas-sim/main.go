@@ -33,16 +33,21 @@ func main() {
 		cold    = flag.Bool("cold-start", true, "announce valid routes and attack simultaneously")
 		forge   = flag.Bool("forge-list", false, "attackers forge a superset MOAS list (§4.1)")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		par     = flag.Int("parallelism", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	outputCSV = *csvOut
-	if err := run(*exp, *seed, *origins, *maxPct, *cold, *forge); err != nil {
+	if err := run(*exp, *seed, *origins, *maxPct, *cold, *forge, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(exp int, seed int64, origins int, maxPct float64, cold, forge bool) error {
+func run(exp int, seed int64, origins int, maxPct float64, cold, forge bool, parallelism int) error {
+	if parallelism < 0 {
+		return fmt.Errorf("parallelism %d must be >= 0 (0 = GOMAXPROCS)", parallelism)
+	}
+	sweepParallelism = parallelism
 	set, err := topology.BuildPaperTopologies(seed)
 	if err != nil {
 		return err
@@ -118,8 +123,12 @@ func runFigure11(set *topology.PaperSet, seed int64, maxPct float64, cold, forge
 	return nil
 }
 
-// outputCSV switches sweepAndPrint to CSV emission.
-var outputCSV bool
+// outputCSV switches sweepAndPrint to CSV emission; sweepParallelism
+// bounds concurrent simulation runs (0 = GOMAXPROCS).
+var (
+	outputCSV        bool
+	sweepParallelism int
+)
 
 func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
 	modes []experiment.ModeSpec, seed int64, maxPct float64, cold, forge bool) error {
@@ -132,6 +141,7 @@ func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
 		Seed:              seed,
 		ColdStart:         cold,
 		ForgeSupersetList: forge,
+		Parallelism:       sweepParallelism,
 	})
 	if err != nil {
 		return err

@@ -4,16 +4,25 @@ import "testing"
 
 func TestRunExperiments(t *testing.T) {
 	for exp := 1; exp <= 3; exp++ {
-		if err := run(exp, 42, 1, 6 /* small sweep */, true, false); err != nil {
+		if err := run(exp, 42, 1, 6 /* small sweep */, true, false, 0); err != nil {
 			t.Fatalf("experiment %d: %v", exp, err)
 		}
 	}
-	if err := run(9, 42, 1, 6, true, false); err == nil {
+	if err := run(9, 42, 1, 6, true, false, 0); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 	outputCSV = true
 	defer func() { outputCSV = false }()
-	if err := run(1, 42, 1, 6, true, false); err != nil {
+	if err := run(1, 42, 1, 6, true, false, 0); err != nil {
 		t.Fatalf("csv mode: %v", err)
+	}
+}
+
+func TestRunParallelismFlag(t *testing.T) {
+	if err := run(1, 42, 1, 6, true, false, -1); err == nil {
+		t.Error("negative parallelism accepted")
+	}
+	if err := run(1, 42, 1, 6, true, false, 2); err != nil {
+		t.Fatalf("parallelism 2: %v", err)
 	}
 }

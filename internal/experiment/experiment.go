@@ -85,6 +85,11 @@ type RunConfig struct {
 	// ValleyFree applies Gao-Rexford export policy over relationships
 	// inferred from the topology (ablation; the paper's model floods).
 	ValleyFree bool
+	// FreshNetwork disables the per-topology network pool and builds a
+	// new simbgp.Network for this run, the pre-pooling behaviour. It
+	// exists as the in-tree baseline for the evaluation benchmarks
+	// (Benchmark*Baseline); results are identical either way.
+	FreshNetwork bool
 }
 
 // RunResult is the outcome of one run.
@@ -104,6 +109,42 @@ type RunResult struct {
 
 // runJob indirects Run so tests can observe/abort sweep dispatch.
 var runJob = Run
+
+// netPools holds one sync.Pool of reusable *simbgp.Network per
+// *topology.Graph. A sweep of hundreds of runs on one topology draws
+// its networks from here and rewinds them with Reset instead of
+// rebuilding every node, RIB shard, and adjacency map per run.
+var netPools sync.Map // *topology.Graph -> *sync.Pool
+
+// relCache memoizes topology.InferRelations per graph: relationships
+// are a pure function of the topology, and re-inferring them for every
+// ValleyFree run dominated sweep setup. Relations are read-only after
+// construction, so sharing across concurrent runs is safe.
+var relCache sync.Map // *topology.Graph -> *topology.Relations
+
+// acquireNetwork returns a run-ready network for simCfg plus a release
+// function to call once the run's results have been read out. Pooled
+// networks are rewound with Reset; fresh ones are built from scratch.
+func acquireNetwork(simCfg simbgp.Config, fresh bool) (*simbgp.Network, func(), error) {
+	if fresh {
+		net, err := simbgp.NewNetwork(simCfg)
+		return net, func() {}, err
+	}
+	p, _ := netPools.LoadOrStore(simCfg.Topology, &sync.Pool{})
+	pool := p.(*sync.Pool)
+	if v := pool.Get(); v != nil {
+		net := v.(*simbgp.Network)
+		if err := net.Reset(simCfg); err != nil {
+			return nil, nil, err
+		}
+		return net, func() { pool.Put(net) }, nil
+	}
+	net, err := simbgp.NewNetwork(simCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, func() { pool.Put(net) }, nil
+}
 
 // Run executes one simulation run to quiescence.
 func Run(cfg RunConfig) (RunResult, error) {
@@ -125,12 +166,21 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Resolver: resolver,
 	}
 	if cfg.ValleyFree {
-		simCfg.Relations = topology.InferRelations(cfg.Topology.Graph, cfg.Topology.Transit)
+		if r, ok := relCache.Load(cfg.Topology.Graph); ok {
+			simCfg.Relations = r.(*topology.Relations)
+		} else {
+			rel := topology.InferRelations(cfg.Topology.Graph, cfg.Topology.Transit)
+			relCache.Store(cfg.Topology.Graph, rel)
+			simCfg.Relations = rel
+		}
 	}
-	net, err := simbgp.NewNetwork(simCfg)
+	net, release, err := acquireNetwork(simCfg, cfg.FreshNetwork)
 	if err != nil {
 		return RunResult{}, fmt.Errorf("experiment: %w", err)
 	}
+	// Even a half-configured network goes back to the pool: the next
+	// Reset rewinds whatever state this run left behind.
+	defer release()
 
 	if err := applyDetection(net, cfg); err != nil {
 		return RunResult{}, err
@@ -181,7 +231,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	forwarding := net.TakeForwardingCensus(VictimPrefix, valid)
 	alarms := 0
 	for _, asn := range net.Nodes() {
-		alarms += len(net.Node(asn).Alarms())
+		alarms += net.Node(asn).AlarmCount()
 	}
 	return RunResult{
 		Census:          census,
@@ -304,6 +354,9 @@ type SweepConfig struct {
 	StripMOASInTransit bool
 	// ValleyFree propagates to every run.
 	ValleyFree bool
+	// FreshNetworks propagates RunConfig.FreshNetwork to every run
+	// (benchmark baseline knob).
+	FreshNetworks bool
 }
 
 // Point is one x-position of a sweep: the attacker percentage and, per
@@ -388,6 +441,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 						ColdStart:          cfg.ColdStart,
 						StripMOASInTransit: cfg.StripMOASInTransit,
 						ValleyFree:         cfg.ValleyFree,
+						FreshNetwork:       cfg.FreshNetworks,
 					},
 				})
 			}

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"errors"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -422,5 +423,83 @@ func TestForwardingCensusDominatesRIBCensus(t *testing.T) {
 					p.NumAttackers, mi, p.MeanForwardPct[mi], p.MeanFalsePct[mi])
 			}
 		}
+	}
+}
+
+func TestRunPooledMatchesFresh(t *testing.T) {
+	topo := paperSet(t).T46
+	scenarios, err := Selections(topo, 2, 5, 1, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scen := range scenarios {
+		for _, det := range []Detection{DetectionOff, DetectionFull, DetectionPartial} {
+			cfg := RunConfig{
+				Topology:       topo,
+				Scenario:       scen,
+				Detection:      det,
+				DeployFraction: 0.5,
+			}
+			fresh := cfg
+			fresh.FreshNetwork = true
+			want, err := Run(fresh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Run pooled twice so the second draw reuses a network the
+			// first one dirtied.
+			for i := 0; i < 2; i++ {
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("pooled run %d diverges from fresh (%v): %+v vs %+v", i, det, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSweepParallelismDeterministic is the parallel-vs-serial
+// determinism gate: a sweep's result must not depend on worker count.
+func TestSweepParallelismDeterministic(t *testing.T) {
+	topo := paperSet(t).T46
+	base := SweepConfig{
+		Topology:       topo,
+		TopologyName:   "46",
+		NumOrigins:     1,
+		AttackerCounts: []int{1, 4},
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		Seed:      21,
+		ColdStart: true,
+	}
+	serial := base
+	serial.Parallelism = 1
+	want, err := Sweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := base
+	parallel.Parallelism = 8
+	got, err := Sweep(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("sweep diverges across parallelism:\n 1: %+v\n 8: %+v", want, got)
+	}
+	// And pooled must equal the fresh-network baseline at full width.
+	baseline := base
+	baseline.FreshNetworks = true
+	fresh, err := Sweep(baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, want) {
+		t.Errorf("fresh-network sweep diverges from pooled:\n fresh: %+v\n pooled: %+v", fresh, want)
 	}
 }

@@ -8,6 +8,7 @@ package measure
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/astypes"
@@ -36,6 +37,44 @@ type Analysis struct {
 	originSizes *stats.Histogram
 	// maxOrigins[prefix] tracks the largest origin set ever seen.
 	maxOrigins map[astypes.Prefix]int
+
+	// Per-day scratch reused across Observe calls: prefix -> slot in
+	// scratchSets. Replaces the old map[Prefix]map[ASN]struct{} so the
+	// per-day pass allocates nothing once warm.
+	scratchIdx  map[astypes.Prefix]int32
+	scratchSets []originSet
+}
+
+// originSet is a small dedup set of origin ASes. Origin sets are tiny
+// (the paper: 96% have two, almost all the rest three), so the common
+// case lives inline; spill keeps larger sets correct.
+type originSet struct {
+	count  int32
+	inline [8]astypes.ASN
+	spill  []astypes.ASN
+}
+
+func (s *originSet) add(asn astypes.ASN) {
+	n := int(s.count)
+	if n > len(s.inline) {
+		n = len(s.inline)
+	}
+	for i := 0; i < n; i++ {
+		if s.inline[i] == asn {
+			return
+		}
+	}
+	for _, a := range s.spill {
+		if a == asn {
+			return
+		}
+	}
+	if int(s.count) < len(s.inline) {
+		s.inline[s.count] = asn
+	} else {
+		s.spill = append(s.spill, asn)
+	}
+	s.count++
 }
 
 // NewAnalysis returns an empty analysis.
@@ -47,8 +86,49 @@ func NewAnalysis() *Analysis {
 	}
 }
 
-// Observe ingests one day's dump.
+// Observe ingests one day's dump. The per-day origin grouping uses a
+// flat accumulator (one index map plus a slot slice, both reused
+// across days) rather than a freshly built map of maps; results are
+// identical to ObserveBaseline.
 func (a *Analysis) Observe(d *routegen.Dump) {
+	if a.scratchIdx == nil {
+		a.scratchIdx = make(map[astypes.Prefix]int32, 4096)
+	} else {
+		clear(a.scratchIdx)
+	}
+	a.scratchSets = a.scratchSets[:0]
+	for _, e := range d.Entries {
+		origin, ok := e.Path.Origin()
+		if !ok {
+			continue
+		}
+		i, ok := a.scratchIdx[e.Prefix]
+		if !ok {
+			i = int32(len(a.scratchSets))
+			a.scratchSets = append(a.scratchSets, originSet{})
+			a.scratchIdx[e.Prefix] = i
+		}
+		a.scratchSets[i].add(origin)
+	}
+	cases := 0
+	for prefix, i := range a.scratchIdx {
+		n := int(a.scratchSets[i].count)
+		if n < 2 {
+			continue
+		}
+		cases++
+		a.durationDays[prefix]++
+		a.originSizes.Add(n)
+		if n > a.maxOrigins[prefix] {
+			a.maxOrigins[prefix] = n
+		}
+	}
+	a.daily = append(a.daily, DailyCount{Day: d.Day, Date: d.Date, Cases: cases})
+}
+
+// ObserveBaseline is the pre-optimization Observe, kept as the
+// benchmark baseline: it rebuilds a map-of-maps every day.
+func (a *Analysis) ObserveBaseline(d *routegen.Dump) {
 	origins := make(map[astypes.Prefix]map[astypes.ASN]struct{})
 	for _, e := range d.Entries {
 		origin, ok := e.Path.Origin()
@@ -140,10 +220,9 @@ func (a *Analysis) Summarize() Summary {
 			s.MaxDaily = dc.Cases
 			s.MaxDailyDate = dc.Date
 		}
-		if dc.Cases > s.MaxSimultaneousMultiOrigin {
-			s.MaxSimultaneousMultiOrigin = dc.Cases
-		}
 	}
+	// Both report the maximum of the same daily series; track it once.
+	s.MaxSimultaneousMultiOrigin = s.MaxDaily
 	for year, counts := range byYear {
 		s.MedianDailyByYear[year] = stats.MedianInts(counts)
 	}
@@ -170,11 +249,7 @@ func sortedYears(m map[int]float64) []int {
 	for y := range m {
 		years = append(years, y)
 	}
-	for i := 1; i < len(years); i++ {
-		for j := i; j > 0 && years[j] < years[j-1]; j-- {
-			years[j], years[j-1] = years[j-1], years[j]
-		}
-	}
+	sort.Ints(years)
 	return years
 }
 
@@ -182,6 +257,22 @@ func sortedYears(m map[int]float64) []int {
 func Run(g *routegen.Generator) (*Analysis, error) {
 	a := NewAnalysis()
 	if err := g.Series(func(d *routegen.Dump) error {
+		a.Observe(d)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	return a, nil
+}
+
+// RunParallel is Run with dump generation fanned out over a bounded
+// worker pool (see routegen.SeriesParallel). Observe still runs on the
+// calling goroutine in strict day order, so the resulting Analysis is
+// identical to Run's. workers <= 1 degrades to the serial pipeline;
+// workers == 0 should be resolved to GOMAXPROCS by the caller.
+func RunParallel(g *routegen.Generator, workers int) (*Analysis, error) {
+	a := NewAnalysis()
+	if err := g.SeriesParallel(workers, func(d *routegen.Dump) error {
 		a.Observe(d)
 		return nil
 	}); err != nil {

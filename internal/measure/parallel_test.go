@@ -1,0 +1,118 @@
+package measure
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/routegen"
+)
+
+// reducedConfig trims the study window enough to afford several full
+// pipeline runs (including under -race) while keeping every case kind
+// and both mass-fault events in play.
+func reducedConfig() routegen.Config {
+	cfg := routegen.DefaultConfig()
+	cfg.Days = 200
+	cfg.SingleOriginPrefixes = 800
+	cfg.BaseCases = 120
+	cfg.GrowthCases = 80
+	cfg.ChurnCases = 60
+	cfg.ShortFaultCases = 40
+	cfg.Events = []routegen.FaultEvent{
+		{Day: 60, Duration: 1, FaultAS: 8584, Prefixes: 300},
+		{Day: 120, Duration: 1, RepeatOffsets: []int{4}, FaultAS: 15412, UpstreamAS: 3561, Prefixes: 150},
+	}
+	return cfg
+}
+
+func analysisReports(t *testing.T, a *Analysis) (Summary, []DailyCount, map[int]int) {
+	t.Helper()
+	durations := make(map[int]int)
+	for _, bin := range a.DurationHistogram().Bins() {
+		durations[bin.Value] = bin.Count
+	}
+	return a.Summarize(), a.Daily(), durations
+}
+
+// TestObserveMatchesBaseline pins the flat accumulator to the
+// map-of-maps implementation it replaced: identical statistics over
+// the same dump series.
+func TestObserveMatchesBaseline(t *testing.T) {
+	g, err := routegen.New(reducedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, baseline := NewAnalysis(), NewAnalysis()
+	if err := g.Series(func(d *routegen.Dump) error {
+		flat.Observe(d)
+		baseline.ObserveBaseline(d)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fs, fd, fh := analysisReports(t, flat)
+	bs, bd, bh := analysisReports(t, baseline)
+	if !reflect.DeepEqual(fs, bs) {
+		t.Errorf("summary diverged:\nflat     %+v\nbaseline %+v", fs, bs)
+	}
+	if !reflect.DeepEqual(fd, bd) {
+		t.Error("daily series diverged")
+	}
+	if !reflect.DeepEqual(fh, bh) {
+		t.Error("duration histogram diverged")
+	}
+}
+
+// TestRunParallelMatchesRun is the measurement-study determinism gate:
+// the parallel pipeline must produce an Analysis indistinguishable
+// from the serial one, for any worker count.
+func TestRunParallelMatchesRun(t *testing.T) {
+	g, err := routegen.New(reducedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Run(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, sd, sh := analysisReports(t, serial)
+	for _, workers := range []int{1, 2, 8} {
+		par, err := RunParallel(g, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		ps, pd, ph := analysisReports(t, par)
+		if !reflect.DeepEqual(ps, ss) {
+			t.Errorf("workers=%d summary diverged:\nparallel %+v\nserial   %+v", workers, ps, ss)
+		}
+		if !reflect.DeepEqual(pd, sd) {
+			t.Errorf("workers=%d daily series diverged", workers)
+		}
+		if !reflect.DeepEqual(ph, sh) {
+			t.Errorf("workers=%d duration histogram diverged", workers)
+		}
+	}
+}
+
+// TestObserveOriginSpill covers origin sets larger than the inline
+// capacity of the flat accumulator's small-set representation.
+func TestObserveOriginSpill(t *testing.T) {
+	entries := make([]routegen.Entry, 0, 24)
+	for i := 0; i < 12; i++ {
+		// 12 distinct origins, each announced twice.
+		origin := astypes.ASN(1000 + i)
+		entries = append(entries, entry("10.0.0.0/8", origin), entry("10.0.0.0/8", origin))
+	}
+	flat, baseline := NewAnalysis(), NewAnalysis()
+	flat.Observe(dump(0, entries...))
+	baseline.ObserveBaseline(dump(0, entries...))
+	fs, _, _ := analysisReports(t, flat)
+	bs, _, _ := analysisReports(t, baseline)
+	if !reflect.DeepEqual(fs, bs) {
+		t.Errorf("spill summary diverged:\nflat     %+v\nbaseline %+v", fs, bs)
+	}
+	if n := flat.maxOrigins[entries[0].Prefix]; n != 12 {
+		t.Errorf("max origins = %d, want 12", n)
+	}
+}

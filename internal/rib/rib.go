@@ -417,6 +417,33 @@ func (t *Table) RoutesFrom(peer astypes.ASN) []*Route {
 	return out
 }
 
+// RouteFrom returns the route currently held for prefix from the given
+// source (ASNNone selects the locally originated route), or nil. It
+// touches exactly one shard — callers that need one peer's route for
+// one prefix should prefer it over scanning RoutesFrom.
+func (t *Table) RouteFrom(peer astypes.ASN, prefix astypes.Prefix) *Route {
+	s := t.shard(prefix)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.routeFromLocked(peer, prefix)
+}
+
+// Clear empties the table in place, retaining the shard maps (and the
+// per-peer Adj-RIB-In buckets) so a pooled simulation node can rerun
+// without re-growing them.
+func (t *Table) Clear() {
+	for i := range t.shards {
+		s := &t.shards[i]
+		s.mu.Lock()
+		for _, peerTable := range s.adjIn {
+			clear(peerTable)
+		}
+		clear(s.local)
+		clear(s.best)
+		s.mu.Unlock()
+	}
+}
+
 // Len returns the number of prefixes with a selected best route.
 func (t *Table) Len() int {
 	n := 0

@@ -229,3 +229,64 @@ func TestBestRoutesSortedAndOriginAS(t *testing.T) {
 		t.Error("OriginAS wrong")
 	}
 }
+
+func TestRouteFrom(t *testing.T) {
+	tbl := NewTable()
+	r2 := route(2, 2, 4)
+	r3 := route(3, 3, 5, 4)
+	tbl.Update(r2)
+	tbl.Update(r3)
+	lr := route(astypes.ASNNone, 7)
+	tbl.Originate(lr)
+	if got := tbl.RouteFrom(2, prefix); got == nil || got.FromPeer != 2 || got.Path.Hops() != 2 {
+		t.Errorf("RouteFrom(2) = %+v", got)
+	}
+	if got := tbl.RouteFrom(3, prefix); got == nil || got.Path.Hops() != 3 {
+		t.Errorf("RouteFrom(3) = %+v", got)
+	}
+	if got := tbl.RouteFrom(astypes.ASNNone, prefix); got == nil || got.FromPeer != astypes.ASNNone {
+		t.Errorf("RouteFrom(ASNNone) = %+v", got)
+	}
+	if got := tbl.RouteFrom(9, prefix); got != nil {
+		t.Errorf("RouteFrom(unknown peer) = %+v, want nil", got)
+	}
+	other := astypes.MustPrefix(0x0a000000, 8)
+	if got := tbl.RouteFrom(2, other); got != nil {
+		t.Errorf("RouteFrom(unknown prefix) = %+v, want nil", got)
+	}
+}
+
+func TestClearEmptiesAndStaysUsable(t *testing.T) {
+	tbl := NewTable()
+	pA := astypes.MustPrefix(0x0a000000, 8)
+	rA := route(2, 2, 4)
+	rA.Prefix = pA
+	tbl.Update(rA)
+	tbl.Update(route(3, 3, 5, 4))
+	tbl.Originate(route(astypes.ASNNone, 7))
+	if tbl.Len() == 0 {
+		t.Fatal("setup: table empty")
+	}
+	tbl.Clear()
+	if tbl.Len() != 0 {
+		t.Errorf("Len after Clear = %d", tbl.Len())
+	}
+	if tbl.Best(prefix) != nil || tbl.Best(pA) != nil {
+		t.Error("Best should be nil after Clear")
+	}
+	if got := tbl.RouteFrom(2, pA); got != nil {
+		t.Errorf("RouteFrom after Clear = %+v", got)
+	}
+	if got := tbl.RoutesFrom(astypes.ASNNone); len(got) != 0 {
+		t.Errorf("local routes after Clear = %+v", got)
+	}
+	// The cleared table must behave exactly like a fresh one.
+	tbl.Update(route(2, 2, 4))
+	tbl.Update(route(3, 3, 5, 4))
+	if best := tbl.Best(prefix); best == nil || best.FromPeer != 2 {
+		t.Errorf("post-Clear decision process broken: %+v", tbl.Best(prefix))
+	}
+	if ch := tbl.Withdraw(2, prefix); !ch.Changed || ch.New.FromPeer != 3 {
+		t.Errorf("post-Clear withdraw: %+v", ch)
+	}
+}

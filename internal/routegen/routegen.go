@@ -23,6 +23,8 @@ package routegen
 import (
 	"fmt"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/astypes"
@@ -194,11 +196,22 @@ func (e Entry) Origin() astypes.ASN {
 	return o
 }
 
-// Dump is one day's table snapshot.
+// Dump is one day's table snapshot. A Dump returned by DumpForDay is
+// independent and may be retained; a Dump filled via DumpForDayInto
+// (including the dumps handed to Series and SeriesParallel callbacks)
+// owns reusable backing storage and is only valid until the next
+// DumpForDayInto call on it.
 type Dump struct {
 	Day     int
 	Date    time.Time
 	Entries []Entry
+
+	// Arena storage backing the fabricated case paths, reused across
+	// DumpForDayInto calls so steady-state generation does not allocate
+	// per entry.
+	asnArena []astypes.ASN
+	segArena []astypes.Segment
+	override map[astypes.Prefix]bool
 }
 
 // Generator produces the dump series. It is immutable after New and safe
@@ -349,45 +362,174 @@ func (g *Generator) DateOf(day int) time.Time {
 // DumpForDay assembles the table snapshot for one day. Baseline entries
 // appear every day; a MOAS case active on the day contributes one entry
 // per origin (replacing the baseline entry for that prefix, if any).
+// The returned Dump is freshly allocated and may be retained.
 func (g *Generator) DumpForDay(day int) (*Dump, error) {
-	if day < 0 || day >= g.cfg.Days {
-		return nil, fmt.Errorf("routegen: day %d out of [0, %d)", day, g.cfg.Days)
-	}
-	d := &Dump{Day: day, Date: g.DateOf(day)}
-	// Per-day deterministic rng for path fabrication.
-	rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(day)*0x9e3779b9))
-
-	override := make(map[astypes.Prefix]bool)
-	for _, c := range g.cases {
-		if day < c.start || day > c.end {
-			continue
-		}
-		override[c.prefix] = true
-		for _, origin := range c.origins {
-			d.Entries = append(d.Entries, Entry{
-				Prefix: c.prefix,
-				Path:   collectorPath(rng, origin),
-			})
-		}
-	}
-	for _, e := range g.baseline {
-		if !override[e.Prefix] {
-			d.Entries = append(d.Entries, e)
-		}
+	d := new(Dump)
+	if err := g.DumpForDayInto(day, d); err != nil {
+		return nil, err
 	}
 	return d, nil
 }
 
+// DumpForDayInto assembles the snapshot for one day into d, reusing
+// d's entry slice and path arenas. The dump's contents are valid until
+// the next DumpForDayInto call on the same d. Output is byte-for-byte
+// identical to DumpForDay for the same day.
+func (g *Generator) DumpForDayInto(day int, d *Dump) error {
+	if day < 0 || day >= g.cfg.Days {
+		return fmt.Errorf("routegen: day %d out of [0, %d)", day, g.cfg.Days)
+	}
+	d.Day = day
+	d.Date = g.DateOf(day)
+	d.Entries = d.Entries[:0]
+	d.asnArena = d.asnArena[:0]
+	d.segArena = d.segArena[:0]
+	if d.override == nil {
+		d.override = make(map[astypes.Prefix]bool, 1024)
+	} else {
+		clear(d.override)
+	}
+	// Per-day deterministic rng for path fabrication.
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(day)*0x9e3779b9))
+
+	for _, c := range g.cases {
+		if day < c.start || day > c.end {
+			continue
+		}
+		d.override[c.prefix] = true
+		for _, origin := range c.origins {
+			d.appendCaseEntry(rng, c.prefix, origin)
+		}
+	}
+	for _, e := range g.baseline {
+		if !d.override[e.Prefix] {
+			d.Entries = append(d.Entries, e)
+		}
+	}
+	return nil
+}
+
+// appendCaseEntry fabricates one collector-view entry, carving the AS
+// path out of the dump's arenas instead of allocating per entry. The
+// rng draw order matches collectorPath exactly so both construction
+// paths yield identical dumps. Earlier entries keep aliasing the old
+// backing array if an arena grows, so capping each carve at its length
+// is enough to keep entries disjoint.
+func (d *Dump) appendCaseEntry(rng *rand.Rand, prefix astypes.Prefix, origin astypes.ASN) {
+	start := len(d.asnArena)
+	d.asnArena = append(d.asnArena, collectorASN, transitASN(rng))
+	if rng.Float64() < 0.5 {
+		d.asnArena = append(d.asnArena, transitASN(rng))
+	}
+	d.asnArena = append(d.asnArena, origin)
+	hops := d.asnArena[start:len(d.asnArena):len(d.asnArena)]
+	segStart := len(d.segArena)
+	d.segArena = append(d.segArena, astypes.Segment{Type: astypes.SegSequence, ASNs: hops})
+	d.Entries = append(d.Entries, Entry{
+		Prefix: prefix,
+		Path:   astypes.ASPath{Segments: d.segArena[segStart:len(d.segArena):len(d.segArena)]},
+	})
+}
+
 // Series iterates over all days, invoking fn for each dump in order.
-// Generation is O(day) memory; dumps are not retained.
+// Generation is O(day) memory; one Dump is reused across the whole
+// iteration, so fn must not retain it past its return.
 func (g *Generator) Series(fn func(*Dump) error) error {
+	var d Dump
 	for day := 0; day < g.cfg.Days; day++ {
-		d, err := g.DumpForDay(day)
-		if err != nil {
+		if err := g.DumpForDayInto(day, &d); err != nil {
 			return err
 		}
-		if err := fn(d); err != nil {
+		if err := fn(&d); err != nil {
 			return fmt.Errorf("routegen: day %d: %w", day, err)
+		}
+	}
+	return nil
+}
+
+// SeriesParallel is Series with the per-day generation fanned out over
+// a bounded worker pool. DumpForDay is pure per day, so workers claim
+// days from an atomic counter and a consumer-side reorder buffer
+// delivers the dumps to fn strictly in day order — the callback sees
+// exactly the serial sequence. fn runs on the calling goroutine; dumps
+// are pooled, so fn must not retain one past its return. workers <= 1
+// degrades to the serial Series.
+func (g *Generator) SeriesParallel(workers int, fn func(*Dump) error) error {
+	if workers <= 1 {
+		return g.Series(fn)
+	}
+	days := g.cfg.Days
+	if workers > days {
+		workers = days
+	}
+	// The token window bounds how many generated-but-unconsumed dumps
+	// can exist, which in turn bounds the reorder buffer. Tokens are
+	// acquired BEFORE claiming a day: claiming first could park every
+	// worker on days far ahead of the next day fn needs, with no token
+	// ever released — a deadlock.
+	window := 2 * workers
+	type dayResult struct {
+		day  int
+		dump *Dump
+	}
+	var (
+		next    int64
+		results = make(chan dayResult, window)
+		tokens  = make(chan struct{}, window)
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+		pool    = sync.Pool{New: func() any { return new(Dump) }}
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case tokens <- struct{}{}:
+				case <-done:
+					return
+				}
+				day := int(atomic.AddInt64(&next, 1)) - 1
+				if day >= days {
+					<-tokens
+					return
+				}
+				d := pool.Get().(*Dump)
+				// day is in range by construction, so this cannot fail.
+				if err := g.DumpForDayInto(day, d); err != nil {
+					panic(err)
+				}
+				select {
+				case results <- dayResult{day: day, dump: d}:
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+	defer func() {
+		close(done)
+		wg.Wait()
+	}()
+
+	pending := make(map[int]*Dump, window)
+	for nextEmit := 0; nextEmit < days; {
+		r := <-results
+		pending[r.day] = r.dump
+		for {
+			d, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			err := fn(d)
+			pool.Put(d)
+			<-tokens
+			if err != nil {
+				return fmt.Errorf("routegen: day %d: %w", nextEmit, err)
+			}
+			nextEmit++
 		}
 	}
 	return nil

@@ -2,7 +2,6 @@ package simbgp
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/astypes"
 )
@@ -12,7 +11,7 @@ import (
 // propagate the resulting changes, modelling a BGP session teardown.
 // Messages already in flight on the link are discarded.
 func (n *Network) FailLink(a, b astypes.ASN) error {
-	na, nb := n.nodes[a], n.nodes[b]
+	na, nb := n.Node(a), n.Node(b)
 	if na == nil || nb == nil {
 		return fmt.Errorf("simbgp: no link %s-%s", a, b)
 	}
@@ -31,7 +30,7 @@ func (n *Network) FailLink(a, b astypes.ASN) error {
 // re-advertise their current best routes to each other, as a fresh BGP
 // session would after table exchange.
 func (n *Network) RestoreLink(a, b astypes.ASN) error {
-	na, nb := n.nodes[a], n.nodes[b]
+	na, nb := n.Node(a), n.Node(b)
 	if na == nil || nb == nil {
 		return fmt.Errorf("simbgp: no link %s-%s", a, b)
 	}
@@ -40,8 +39,8 @@ func (n *Network) RestoreLink(a, b astypes.ASN) error {
 			return
 		}
 		delete(n.failedLinks, linkKey(a, b))
-		na.addNeighbor(b)
-		nb.addNeighbor(a)
+		na.restoreNeighbor(b)
+		nb.restoreNeighbor(a)
 		na.refreshTo(b)
 		nb.refreshTo(a)
 	})
@@ -60,34 +59,33 @@ func linkKey(a, b astypes.ASN) [2]astypes.ASN {
 	return [2]astypes.ASN{a, b}
 }
 
+// hasNeighbor reports whether peer is an adjacent, currently-up
+// neighbor.
 func (nd *Node) hasNeighbor(peer astypes.ASN) bool {
-	for _, nb := range nd.neighbors {
-		if nb == peer {
-			return true
-		}
-	}
-	return false
+	s := nd.slotOf(peer)
+	return s >= 0 && !nd.neighborDown[s]
 }
 
-func (nd *Node) addNeighbor(peer astypes.ASN) {
-	if nd.hasNeighbor(peer) {
+// restoreNeighbor brings a failed adjacency slot back up.
+func (nd *Node) restoreNeighbor(peer astypes.ASN) {
+	if s := nd.slotOf(peer); s >= 0 {
+		nd.neighborDown[s] = false
+	}
+}
+
+// dropNeighbor marks the peer's adjacency slot down and flushes every
+// route learned from it, propagating the fallout. The advertised
+// bookkeeping for the slot resets: a restored session starts from a
+// clean table exchange.
+func (nd *Node) dropNeighbor(peer astypes.ASN) {
+	s := nd.slotOf(peer)
+	if s < 0 {
 		return
 	}
-	nd.neighbors = append(nd.neighbors, peer)
-	sort.Slice(nd.neighbors, func(i, j int) bool { return nd.neighbors[i] < nd.neighbors[j] })
-}
-
-// dropNeighbor removes peer from the adjacency and flushes every route
-// learned from it, propagating the fallout.
-func (nd *Node) dropNeighbor(peer astypes.ASN) {
-	out := nd.neighbors[:0]
-	for _, nb := range nd.neighbors {
-		if nb != peer {
-			out = append(out, nb)
-		}
+	nd.neighborDown[s] = true
+	if sent := nd.advertised[s]; sent != nil {
+		clear(sent)
 	}
-	nd.neighbors = out
-	delete(nd.advertised, peer)
 	for _, ch := range nd.table.DropPeer(peer) {
 		nd.propagate(ch)
 	}
@@ -96,7 +94,12 @@ func (nd *Node) dropNeighbor(peer astypes.ASN) {
 // refreshTo advertises the node's entire Loc-RIB to one (re-joined)
 // neighbor, as a fresh session's initial table exchange would.
 func (nd *Node) refreshTo(peer astypes.ASN) {
+	s := nd.slotOf(peer)
+	if s < 0 {
+		return
+	}
 	for _, r := range nd.table.BestRoutes() {
-		nd.emitTo(peer, r.Prefix, r)
+		var adv outMsg
+		nd.emitToSlot(s, r.Prefix, r, &adv)
 	}
 }

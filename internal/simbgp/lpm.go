@@ -28,22 +28,26 @@ func (nd *Node) lpmTrie() *ptrie.Trie[astypes.Prefix] {
 // reports where it lands: the origin AS that finally claims the packet
 // (delivered=true) or no route / a loop (delivered=false).
 func (n *Network) ForwardAddr(src astypes.ASN, addr uint32) (landing astypes.ASN, delivered bool) {
-	return n.forwardAddr(src, addr, make(map[astypes.ASN]*ptrie.Trie[astypes.Prefix]))
+	node := n.Node(src)
+	if node == nil {
+		return astypes.ASNNone, false
+	}
+	return n.forwardAddr(node, addr, make([]*ptrie.Trie[astypes.Prefix], len(n.nodes)))
 }
 
-func (n *Network) forwardAddr(src astypes.ASN, addr uint32, tries map[astypes.ASN]*ptrie.Trie[astypes.Prefix]) (astypes.ASN, bool) {
-	cur := src
-	visited := make(map[astypes.ASN]bool)
+func (n *Network) forwardAddr(src *Node, addr uint32, tries []*ptrie.Trie[astypes.Prefix]) (astypes.ASN, bool) {
+	n.visitEpoch++
+	epoch := n.visitEpoch
+	node := src
 	for {
-		if visited[cur] {
+		if n.visited[node.idx] == epoch {
 			return astypes.ASNNone, false
 		}
-		visited[cur] = true
-		node := n.nodes[cur]
-		trie := tries[cur]
+		n.visited[node.idx] = epoch
+		trie := tries[node.idx]
 		if trie == nil {
 			trie = node.lpmTrie()
-			tries[cur] = trie
+			tries[node.idx] = trie
 		}
 		_, prefix, ok := trie.LongestMatch(addr)
 		if !ok {
@@ -54,9 +58,9 @@ func (n *Network) forwardAddr(src astypes.ASN, addr uint32, tries map[astypes.AS
 			return astypes.ASNNone, false
 		}
 		if best.FromPeer == astypes.ASNNone {
-			return cur, true
+			return node.asn, true
 		}
-		cur = best.FromPeer
+		node = n.Node(best.FromPeer)
 	}
 }
 
@@ -77,14 +81,14 @@ func (n *Network) TakeLPMCensus(addr uint32, valid core.List) LPMCensus {
 	var c LPMCensus
 	// Forwarding tables are snapshotted once per node across the whole
 	// census.
-	tries := make(map[astypes.ASN]*ptrie.Trie[astypes.Prefix], len(n.nodes))
-	for _, asn := range n.Nodes() {
-		node := n.nodes[asn]
+	tries := make([]*ptrie.Trie[astypes.Prefix], len(n.nodes))
+	for i := range n.nodes {
+		node := &n.nodes[i]
 		if node.attacker {
 			continue
 		}
 		c.NonAttackers++
-		landing, delivered := n.forwardAddr(asn, addr, tries)
+		landing, delivered := n.forwardAddr(node, addr, tries)
 		switch {
 		case !delivered:
 			c.NoRoute++

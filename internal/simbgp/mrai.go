@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/sim"
 )
 
 // MRAI — the MinRouteAdvertisementInterval of RFC 4271 §9.2.1.1 — rate
@@ -57,7 +58,8 @@ func (nd *Node) shouldDefer(peer astypes.ASN, prefix astypes.Prefix) bool {
 	if !m.scheduled[peer] {
 		m.scheduled[peer] = true
 		delay := last + m.interval - now
-		nd.net.engine.Schedule(delay, func() { nd.flushMRAI(peer) })
+		nd.net.engine.ScheduleTyped(delay,
+			sim.Typed{Kind: evMRAIFlush, A: uint32(nd.idx), B: uint32(peer)})
 	}
 	return true
 }

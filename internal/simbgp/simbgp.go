@@ -12,6 +12,15 @@
 // for the DNS MOASRR lookup of §4.4), and then refuse to install or
 // propagate routes from origins outside the resolved valid set —
 // "they stop the further propagation of a false route" (§5.2).
+//
+// Layout is optimized for the experiment harness, which runs hundreds
+// of simulations per sweep: nodes live in a dense slice indexed by a
+// per-topology ASN→index table (maps only at the API boundary), message
+// delivery and MRAI fires are typed engine events carrying indices and
+// pooled message slots (no closure per message), one propagated
+// advertisement is built once and shared across all receiving peers,
+// and Reset rewinds a network for reuse without reallocating nodes,
+// RIB shards, or adjacency state.
 package simbgp
 
 import (
@@ -86,16 +95,41 @@ type Config struct {
 	Relations *topology.Relations
 }
 
+// Typed event kinds dispatched by Network.Dispatch.
+const (
+	// evDeliver delivers in-flight message B (a slot in Network.inflight)
+	// to node index A.
+	evDeliver uint32 = iota + 1
+	// evMRAIFlush fires node A's MRAI timer for peer ASN B.
+	evMRAIFlush
+)
+
 // Network is a simulated AS-level BGP internetwork.
 type Network struct {
-	engine      *sim.Engine
-	nodes       map[astypes.ASN]*Node
+	engine *sim.Engine
+	topo   *topology.Graph
+	// nodes is the dense node array; byASN maps an ASN to its index and
+	// asns caches the sorted ASN list. nodes is allocated once and never
+	// regrown, so *Node pointers stay valid across Reset.
+	nodes       []Node
+	byASN       map[astypes.ASN]int32
+	asns        []astypes.ASN
 	resolver    Resolver
 	linkDelay   func(a, b astypes.ASN) time.Duration
 	msgCount    uint64
 	failedLinks map[[2]astypes.ASN]bool
 	relations   *topology.Relations
 	tracer      *Tracer
+	// inflight holds the payload of every scheduled-but-undelivered
+	// message; freeMsgs recycles vacated slots so steady-state delivery
+	// allocates nothing once the high-water mark is reached.
+	inflight []message
+	freeMsgs []uint32
+	// visited/visitEpoch are the forwarding-walk scratch: a slot is
+	// "visited" when it equals the current epoch, so clearing between
+	// walks is one integer increment.
+	visited    []uint32
+	visitEpoch uint32
 }
 
 // DefaultLinkDelay derives a deterministic delay in [10ms, 35ms) from
@@ -111,53 +145,113 @@ func NewNetwork(cfg Config) (*Network, error) {
 	if cfg.Topology == nil || cfg.Topology.NumNodes() == 0 {
 		return nil, fmt.Errorf("simbgp: empty topology")
 	}
+	n := &Network{
+		engine:      sim.NewEngine(),
+		topo:        cfg.Topology,
+		failedLinks: make(map[[2]astypes.ASN]bool),
+	}
+	n.engine.SetDispatcher(n)
+	asns := cfg.Topology.Nodes()
+	n.asns = asns
+	n.byASN = make(map[astypes.ASN]int32, len(asns))
+	for i, a := range asns {
+		n.byASN[a] = int32(i)
+	}
+	n.nodes = make([]Node, len(asns))
+	n.visited = make([]uint32, len(asns))
+	for i, a := range asns {
+		nd := &n.nodes[i]
+		nd.asn = a
+		nd.idx = int32(i)
+		nd.net = n
+		nd.neighbors = cfg.Topology.Neighbors(a)
+		nd.neighborIdx = make([]int32, len(nd.neighbors))
+		for s, p := range nd.neighbors {
+			nd.neighborIdx[s] = n.byASN[p]
+		}
+		nd.neighborDown = make([]bool, len(nd.neighbors))
+		nd.advertised = make([]map[astypes.Prefix]bool, len(nd.neighbors))
+		nd.table = rib.NewTable()
+		nd.resolved = make(map[astypes.Prefix]core.List)
+	}
+	n.applyConfig(cfg)
+	return n, nil
+}
+
+// applyConfig installs the per-run configuration shared by NewNetwork
+// and Reset.
+func (n *Network) applyConfig(cfg Config) {
 	delay := cfg.LinkDelay
 	if delay == nil {
 		delay = DefaultLinkDelay
 	}
-	var engineOpts []sim.EngineOption
-	if cfg.EventLimit > 0 {
-		engineOpts = append(engineOpts, sim.WithEventLimit(cfg.EventLimit))
+	n.linkDelay = delay
+	n.resolver = cfg.Resolver
+	n.relations = cfg.Relations
+	n.engine.SetEventLimit(cfg.EventLimit)
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		nd.mode = ModeNormal
+		nd.mrai = newMRAIState(cfg.MRAI)
 	}
-	n := &Network{
-		engine:      sim.NewEngine(engineOpts...),
-		nodes:       make(map[astypes.ASN]*Node, cfg.Topology.NumNodes()),
-		resolver:    cfg.Resolver,
-		linkDelay:   delay,
-		failedLinks: make(map[[2]astypes.ASN]bool),
-		relations:   cfg.Relations,
+}
+
+// Reset rewinds the network for a fresh run under cfg, reusing every
+// node, RIB shard, and adjacency structure in place. cfg.Topology must
+// be the exact *topology.Graph the network was built with (the dense
+// index layout is derived from it); any resolver, delay function,
+// relations, MRAI, or event limit may change between runs. Existing
+// *Node pointers remain valid.
+func (n *Network) Reset(cfg Config) error {
+	if cfg.Topology != n.topo {
+		return fmt.Errorf("simbgp: Reset requires the network's own topology")
 	}
-	for _, asn := range cfg.Topology.Nodes() {
-		n.nodes[asn] = &Node{
-			asn:       asn,
-			mode:      ModeNormal,
-			net:       n,
-			neighbors: cfg.Topology.Neighbors(asn),
-			table:     rib.NewTable(),
-			resolved:  make(map[astypes.Prefix]core.List),
-			alarms:    nil,
-			mrai:      newMRAIState(cfg.MRAI),
+	n.engine.Reset()
+	n.msgCount = 0
+	n.tracer = nil
+	n.visitEpoch = 0
+	clear(n.visited)
+	clear(n.failedLinks)
+	clear(n.inflight) // release shared path/community references
+	n.inflight = n.inflight[:0]
+	n.freeMsgs = n.freeMsgs[:0]
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		nd.attacker = false
+		nd.stripMOAS = false
+		nd.table.Clear()
+		clear(nd.resolved)
+		nd.alarms = nil
+		for s := range nd.advertised {
+			if sent := nd.advertised[s]; sent != nil {
+				clear(sent)
+			}
+			nd.neighborDown[s] = false
 		}
 	}
-	return n, nil
+	n.applyConfig(cfg)
+	return nil
 }
 
 // Node returns the node for asn, or nil.
-func (n *Network) Node(asn astypes.ASN) *Node { return n.nodes[asn] }
+func (n *Network) Node(asn astypes.ASN) *Node {
+	if i, ok := n.byASN[asn]; ok {
+		return &n.nodes[i]
+	}
+	return nil
+}
 
 // Nodes returns all node ASNs in ascending order.
 func (n *Network) Nodes() []astypes.ASN {
-	out := make([]astypes.ASN, 0, len(n.nodes))
-	for a := range n.nodes {
-		out = append(out, a)
-	}
-	return astypes.SortASNs(out)
+	out := make([]astypes.ASN, len(n.asns))
+	copy(out, n.asns)
+	return out
 }
 
 // SetMode configures a node's MOAS-checking mode.
 func (n *Network) SetMode(asn astypes.ASN, m Mode) error {
-	node, ok := n.nodes[asn]
-	if !ok {
+	node := n.Node(asn)
+	if node == nil {
 		return fmt.Errorf("simbgp: no node AS %s", asn)
 	}
 	node.mode = m
@@ -169,8 +263,8 @@ func (n *Network) SetMode(asn astypes.ASN, m Mode) error {
 // transitive communities (and the tampering attacker of the ablation
 // benches).
 func (n *Network) SetStripMOAS(asn astypes.ASN, strip bool) error {
-	node, ok := n.nodes[asn]
-	if !ok {
+	node := n.Node(asn)
+	if node == nil {
 		return fmt.Errorf("simbgp: no node AS %s", asn)
 	}
 	node.stripMOAS = strip
@@ -187,7 +281,10 @@ func (n *Network) Engine() *sim.Engine { return n.engine }
 // Run drives the simulation to quiescence.
 func (n *Network) Run() error { return n.engine.Run() }
 
-// message is one simulated BGP UPDATE (or withdrawal) on a link.
+// message is one simulated BGP UPDATE (or withdrawal) on a link. The
+// path and communities may be shared by every in-flight copy of one
+// advertisement and by the sender's RIB: they are read-only in transit,
+// and rib.Table.Update clones on install.
 type message struct {
 	from        astypes.ASN
 	prefix      astypes.Prefix
@@ -196,12 +293,63 @@ type message struct {
 	communities []astypes.Community
 }
 
+// Dispatch executes typed engine events (sim.Dispatcher).
+func (n *Network) Dispatch(ev sim.Typed) {
+	switch ev.Kind {
+	case evDeliver:
+		n.deliver(ev.A, ev.B)
+	case evMRAIFlush:
+		n.nodes[ev.A].flushMRAI(astypes.ASN(ev.B))
+	}
+}
+
+// deliver hands inflight slot `slot` to node index toIdx, releasing the
+// slot. Link failure is re-checked at delivery time, so messages in
+// flight when the link fails are lost with it.
+func (n *Network) deliver(toIdx, slot uint32) {
+	msg := n.inflight[slot]
+	n.inflight[slot] = message{}
+	n.freeMsgs = append(n.freeMsgs, slot)
+	dst := &n.nodes[toIdx]
+	if len(n.failedLinks) != 0 && n.failedLinks[linkKey(msg.from, dst.asn)] {
+		return
+	}
+	n.msgCount++
+	dst.receive(msg)
+}
+
+// allocSlot parks msg in the inflight pool and returns its slot.
+func (n *Network) allocSlot(msg message) uint32 {
+	if k := len(n.freeMsgs); k > 0 {
+		slot := n.freeMsgs[k-1]
+		n.freeMsgs = n.freeMsgs[:k-1]
+		n.inflight[slot] = msg
+		return slot
+	}
+	n.inflight = append(n.inflight, msg)
+	return uint32(len(n.inflight) - 1)
+}
+
+// sendSlot schedules msg from nd to its neighbor in adjacency slot s.
+func (n *Network) sendSlot(nd *Node, s int, msg message) {
+	if nd.neighborDown[s] {
+		return
+	}
+	to := nd.neighbors[s]
+	if len(n.failedLinks) != 0 && n.failedLinks[linkKey(nd.asn, to)] {
+		return
+	}
+	slot := n.allocSlot(msg)
+	n.engine.ScheduleTyped(n.linkDelay(nd.asn, to),
+		sim.Typed{Kind: evDeliver, A: uint32(nd.neighborIdx[s]), B: slot})
+}
+
 // Originate makes asn announce prefix with the given MOAS list attached.
 // An empty list attaches no communities (the implicit rule applies at
 // receivers). The announcement is scheduled at the current virtual time.
 func (n *Network) Originate(asn astypes.ASN, prefix astypes.Prefix, list core.List) error {
-	node, ok := n.nodes[asn]
-	if !ok {
+	node := n.Node(asn)
+	if node == nil {
 		return fmt.Errorf("simbgp: no node AS %s", asn)
 	}
 	n.engine.Schedule(0, func() { node.originate(prefix, list, false) })
@@ -212,8 +360,8 @@ func (n *Network) Originate(asn astypes.ASN, prefix astypes.Prefix, list core.Li
 // forged list, if non-empty, is attached verbatim — e.g. a superset list
 // including the attacker (§4.1) or a copy of the valid list.
 func (n *Network) OriginateInvalid(asn astypes.ASN, prefix astypes.Prefix, forged core.List) error {
-	node, ok := n.nodes[asn]
-	if !ok {
+	node := n.Node(asn)
+	if node == nil {
 		return fmt.Errorf("simbgp: no node AS %s", asn)
 	}
 	n.engine.Schedule(0, func() { node.originate(prefix, forged, true) })
@@ -228,8 +376,8 @@ func (n *Network) OriginateInvalid(asn astypes.ASN, prefix astypes.Prefix, forge
 // list checking entirely; only path authentication (the paper cites
 // predecessor signing) would catch it.
 func (n *Network) OriginateForgedPath(asn astypes.ASN, prefix astypes.Prefix, forged astypes.ASPath, list core.List) error {
-	node, ok := n.nodes[asn]
-	if !ok {
+	node := n.Node(asn)
+	if node == nil {
 		return fmt.Errorf("simbgp: no node AS %s", asn)
 	}
 	n.engine.Schedule(0, func() {
@@ -250,46 +398,36 @@ func (n *Network) OriginateForgedPath(asn astypes.ASN, prefix astypes.Prefix, fo
 
 // Withdraw makes asn withdraw its locally originated route for prefix.
 func (n *Network) Withdraw(asn astypes.ASN, prefix astypes.Prefix) error {
-	node, ok := n.nodes[asn]
-	if !ok {
+	node := n.Node(asn)
+	if node == nil {
 		return fmt.Errorf("simbgp: no node AS %s", asn)
 	}
 	n.engine.Schedule(0, func() { node.withdrawLocal(prefix) })
 	return nil
 }
 
-func (n *Network) send(from, to astypes.ASN, msg message) {
-	if n.failedLinks[linkKey(from, to)] {
-		return
-	}
-	dst := n.nodes[to]
-	n.engine.Schedule(n.linkDelay(from, to), func() {
-		// Failure is re-checked at delivery time, so messages in flight
-		// when the link fails are lost with it.
-		if n.failedLinks[linkKey(from, to)] {
-			return
-		}
-		n.msgCount++
-		dst.receive(msg)
-	})
-}
-
 // Node is one simulated AS.
 type Node struct {
 	asn       astypes.ASN
+	idx       int32
 	mode      Mode
 	attacker  bool
 	stripMOAS bool
 	net       *Network
-	neighbors []astypes.ASN
-	table     *rib.Table
+	// neighbors is the node's adjacency in ascending ASN order,
+	// immutable after construction. neighborIdx holds the dense node
+	// index per slot; neighborDown marks slots whose link is currently
+	// failed; advertised tracks what was last sent per slot per prefix
+	// so withdrawals are only sent for previously advertised prefixes.
+	neighbors    []astypes.ASN
+	neighborIdx  []int32
+	neighborDown []bool
+	advertised   []map[astypes.Prefix]bool
+	table        *rib.Table
 	// resolved caches the outcome of conflict resolution per prefix (the
 	// "DNS answer"), emulating a router that has investigated an alarm.
 	resolved map[astypes.Prefix]core.List
 	alarms   []core.Conflict
-	// advertised tracks what was last sent per neighbor per prefix so
-	// withdrawals are only sent for previously advertised prefixes.
-	advertised map[astypes.ASN]map[astypes.Prefix]bool
 	// mrai is non-nil when the MinRouteAdvertisementInterval is enabled.
 	mrai *mraiState
 }
@@ -310,12 +448,34 @@ func (nd *Node) Alarms() []core.Conflict {
 	return out
 }
 
+// AlarmCount returns the number of MOAS conflicts the node has raised,
+// without copying them out.
+func (nd *Node) AlarmCount() int { return len(nd.alarms) }
+
 // Best returns the node's selected route for prefix, or nil.
 func (nd *Node) Best(prefix astypes.Prefix) *rib.Route { return nd.table.Best(prefix) }
 
 // Table exposes the node's RIB (read-mostly; the simulation is
 // single-threaded per engine).
 func (nd *Node) Table() *rib.Table { return nd.table }
+
+// slotOf returns the adjacency slot of peer (binary search over the
+// sorted neighbor list), or -1.
+func (nd *Node) slotOf(peer astypes.ASN) int {
+	lo, hi := 0, len(nd.neighbors)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nd.neighbors[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(nd.neighbors) && nd.neighbors[lo] == peer {
+		return lo
+	}
+	return -1
+}
 
 func (nd *Node) originate(prefix astypes.Prefix, list core.List, invalid bool) {
 	if invalid {
@@ -424,7 +584,9 @@ func (nd *Node) admit(msg message) bool {
 }
 
 // heldLists collects the distinct effective MOAS lists of all routes the
-// node currently holds for prefix.
+// node currently holds for prefix. Each source is a single-shard
+// RouteFrom lookup (a down peer's routes were flushed when its link
+// failed, so skipping down slots is only an optimization).
 func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
 	var lists []core.List
 	add := func(r *rib.Route) {
@@ -439,17 +601,16 @@ func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
 		}
 		lists = append(lists, eff)
 	}
-	for _, peer := range nd.neighbors {
-		for _, r := range nd.table.RoutesFrom(peer) {
-			if r.Prefix == prefix {
-				add(r)
-			}
+	for s, peer := range nd.neighbors {
+		if nd.neighborDown[s] {
+			continue
 		}
-	}
-	for _, r := range nd.table.RoutesFrom(astypes.ASNNone) {
-		if r.Prefix == prefix {
+		if r := nd.table.RouteFrom(peer, prefix); r != nil {
 			add(r)
 		}
+	}
+	if r := nd.table.RouteFrom(astypes.ASNNone, prefix); r != nil {
+		add(r)
 	}
 	return lists
 }
@@ -474,15 +635,41 @@ func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.L
 // purgeInvalid withdraws any installed route for prefix whose origin is
 // outside the resolved valid set.
 func (nd *Node) purgeInvalid(prefix astypes.Prefix, truth core.List) {
-	for _, peer := range nd.neighbors {
-		for _, r := range nd.table.RoutesFrom(peer) {
-			if r.Prefix != prefix {
-				continue
-			}
-			if !truth.Contains(r.OriginAS()) {
-				ch := nd.table.Withdraw(peer, prefix)
-				nd.propagate(ch)
-			}
+	for s, peer := range nd.neighbors {
+		if nd.neighborDown[s] {
+			continue
+		}
+		r := nd.table.RouteFrom(peer, prefix)
+		if r != nil && !truth.Contains(r.OriginAS()) {
+			ch := nd.table.Withdraw(peer, prefix)
+			nd.propagate(ch)
+		}
+	}
+}
+
+// outMsg is the advertisement a propagation builds lazily and then
+// shares across every receiving peer: one Prepend'ed path and one
+// community slice instead of per-peer copies. Sharing is safe because
+// in-transit messages are read-only and receivers clone on install.
+type outMsg struct {
+	built bool
+	path  astypes.ASPath
+	comms []astypes.Community
+}
+
+func (o *outMsg) build(nd *Node, route *rib.Route) {
+	if o.built {
+		return
+	}
+	o.built = true
+	// A locally originated route already carries this AS as its path;
+	// learned routes are prepended on export.
+	o.path = route.Path
+	o.comms = route.Communities
+	if route.FromPeer != astypes.ASNNone {
+		o.path = o.path.Prepend(nd.asn)
+		if nd.stripMOAS {
+			o.comms = core.StripMOAS(o.comms)
 		}
 	}
 }
@@ -502,32 +689,46 @@ func (nd *Node) propagate(ch rib.Change) {
 		}
 		nd.net.trace(EvBestChanged, nd.asn, astypes.ASNNone, ch.Prefix, path)
 	}
-	for _, peer := range nd.neighbors {
+	var adv outMsg
+	for s, peer := range nd.neighbors {
+		if nd.neighborDown[s] {
+			continue
+		}
 		if ch.New != nil && nd.mayExport(ch.New, peer) && nd.shouldDefer(peer, ch.Prefix) {
 			continue
 		}
-		nd.emitTo(peer, ch.Prefix, ch.New)
+		nd.emitToSlot(s, ch.Prefix, ch.New, &adv)
 	}
 }
 
 // emitTo sends the route (or a withdrawal when route is nil or export
-// policy forbids it) for prefix to one peer, maintaining the advertised
-// bookkeeping.
+// policy forbids it) for prefix to one peer by ASN — the slow-path
+// entry used by MRAI flushes and link restores.
 func (nd *Node) emitTo(peer astypes.ASN, prefix astypes.Prefix, route *rib.Route) {
-	if nd.advertised == nil {
-		nd.advertised = make(map[astypes.ASN]map[astypes.Prefix]bool)
+	s := nd.slotOf(peer)
+	if s < 0 {
+		return
 	}
-	sent := nd.advertised[peer]
+	var adv outMsg
+	nd.emitToSlot(s, prefix, route, &adv)
+}
+
+// emitToSlot sends the route (or a withdrawal) for prefix to the peer
+// in adjacency slot s, maintaining the advertised bookkeeping. adv is
+// the shared advertisement cache for this propagation round.
+func (nd *Node) emitToSlot(s int, prefix astypes.Prefix, route *rib.Route, adv *outMsg) {
+	peer := nd.neighbors[s]
+	sent := nd.advertised[s]
 	if sent == nil {
 		sent = make(map[astypes.Prefix]bool)
-		nd.advertised[peer] = sent
+		nd.advertised[s] = sent
 	}
 	if route == nil || !nd.mayExport(route, peer) {
 		if !sent[prefix] {
 			return
 		}
 		sent[prefix] = false
-		nd.net.send(nd.asn, peer, message{
+		nd.net.sendSlot(nd, s, message{
 			from:     nd.asn,
 			prefix:   prefix,
 			withdraw: true,
@@ -535,21 +736,12 @@ func (nd *Node) emitTo(peer astypes.ASN, prefix astypes.Prefix, route *rib.Route
 		return
 	}
 	sent[prefix] = true
-	// A locally originated route already carries this AS as its path;
-	// learned routes are prepended on export.
-	path := route.Path
-	if route.FromPeer != astypes.ASNNone {
-		path = path.Prepend(nd.asn)
-	}
-	comms := append([]astypes.Community(nil), route.Communities...)
-	if nd.stripMOAS && route.FromPeer != astypes.ASNNone {
-		comms = core.StripMOAS(comms)
-	}
-	nd.net.send(nd.asn, peer, message{
+	adv.build(nd, route)
+	nd.net.sendSlot(nd, s, message{
 		from:        nd.asn,
 		prefix:      prefix,
-		path:        path,
-		communities: comms,
+		path:        adv.path,
+		communities: adv.comms,
 	})
 }
 
@@ -609,8 +801,8 @@ func (c Census) FalsePct() float64 {
 // adopting the false routes", §5.2).
 func (n *Network) TakeCensus(prefix astypes.Prefix, valid core.List) Census {
 	var c Census
-	for _, asn := range n.Nodes() {
-		node := n.nodes[asn]
+	for i := range n.nodes {
+		node := &n.nodes[i]
 		if node.attacker {
 			continue
 		}
@@ -636,13 +828,13 @@ func (n *Network) TakeCensus(prefix astypes.Prefix, valid core.List) Census {
 // extended output.
 func (n *Network) TakeForwardingCensus(prefix astypes.Prefix, valid core.List) Census {
 	var c Census
-	for _, asn := range n.Nodes() {
-		node := n.nodes[asn]
+	for i := range n.nodes {
+		node := &n.nodes[i]
 		if node.attacker {
 			continue
 		}
 		c.NonAttackers++
-		switch n.forwardOutcome(asn, prefix, valid) {
+		switch n.forwardOutcome(node, prefix, valid) {
 		case outcomeNoRoute:
 			c.NoRoute++
 		case outcomeHijacked:
@@ -666,15 +858,15 @@ const (
 // forwardOutcome walks the AS-level forwarding path a packet for prefix
 // takes from src, reporting whether it is delivered to a valid origin,
 // captured by an attacker/false origin, or dropped for lack of a route.
-func (n *Network) forwardOutcome(src astypes.ASN, prefix astypes.Prefix, valid core.List) forwardResult {
-	cur := src
-	visited := make(map[astypes.ASN]bool)
+func (n *Network) forwardOutcome(src *Node, prefix astypes.Prefix, valid core.List) forwardResult {
+	n.visitEpoch++
+	epoch := n.visitEpoch
+	node := src
 	for {
-		if visited[cur] {
+		if n.visited[node.idx] == epoch {
 			return outcomeNoRoute // forwarding loop: packet never delivered
 		}
-		visited[cur] = true
-		node := n.nodes[cur]
+		n.visited[node.idx] = epoch
 		if node.attacker {
 			return outcomeHijacked
 		}
@@ -683,12 +875,12 @@ func (n *Network) forwardOutcome(src astypes.ASN, prefix astypes.Prefix, valid c
 			return outcomeNoRoute
 		}
 		if best.FromPeer == astypes.ASNNone {
-			// cur originates the route itself.
-			if valid.Contains(cur) {
+			// node originates the route itself.
+			if valid.Contains(node.asn) {
 				return outcomeDelivered
 			}
 			return outcomeHijacked
 		}
-		cur = best.FromPeer
+		node = n.Node(best.FromPeer)
 	}
 }

@@ -306,7 +306,7 @@ func TestForwardingCensusSeesProviderCapture(t *testing.T) {
 			fwd.AdoptedFalse, rib.AdoptedFalse)
 	}
 	// AS 9's traffic necessarily enters the attacker.
-	if n.forwardOutcome(9, victim, core.NewList(1)) != outcomeHijacked {
+	if n.forwardOutcome(n.Node(9), victim, core.NewList(1)) != outcomeHijacked {
 		t.Error("AS 9's traffic should be hijacked")
 	}
 }
