@@ -5,7 +5,8 @@ FUZZ_TARGETS := \
 	./internal/wire:FuzzDecode \
 	./internal/astypes:FuzzParsePrefix \
 	./internal/astypes:FuzzParseASPath \
-	./internal/astypes:FuzzParseCommunity
+	./internal/astypes:FuzzParseCommunity \
+	./internal/trace:FuzzTraceDecode
 FUZZTIME ?= 10s
 
 .PHONY: build test vet race e2e bench bench-smoke fuzz-smoke check
@@ -38,7 +39,8 @@ e2e:
 ## records the end-to-end evaluation pipeline (figure sweeps, the §3
 ## measurement study, the event engine) against its *Baseline pairs:
 ## fresh-network sweeps, the serial map-of-maps measurement pipeline,
-## and closure-boxed event scheduling.
+## and closure-boxed event scheduling. BENCH_trace.json records the
+## flight-recorder record path against its disabled/nil baselines.
 bench:
 	$(GO) test -json -run='^$$' -bench='^BenchmarkTelemetry' -benchmem \
 		./internal/telemetry/ > BENCH_telemetry.json
@@ -52,12 +54,15 @@ bench:
 	$(GO) test -json -run='^$$' -bench='^BenchmarkEngineEvents(Baseline)?$$' -benchmem \
 		./internal/sim/ >> BENCH_eval.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_eval.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+	$(GO) test -json -run='^$$' -bench='^BenchmarkTrace' -benchmem \
+		./internal/trace/ > BENCH_trace.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_trace.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
 ## bench-smoke: one-iteration run of every hot-path and evaluation
 ## benchmark so they can't silently rot; part of check (and so CI).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents)' \
-		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/
+	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace)' \
+		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/
 	$(GO) test -run='^$$' -benchtime=1x -benchmem \
 		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkMeasureStudy)(Baseline)?$$' .
 

@@ -19,6 +19,7 @@ import (
 	"repro/internal/collector"
 	"repro/internal/monitor"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -28,20 +29,35 @@ func main() {
 		interval    = flag.Duration("interval", time.Minute, "snapshot interval")
 		check       = flag.Bool("check", false, "run the off-line MOAS monitor on every snapshot")
 		metricsAddr = flag.String("metrics-addr", "", "admin endpoint address serving /metrics and /healthz")
+		traceEvents = flag.Int("trace-events", 0, "flight-recorder ring size; nonzero serves /debug/trace and /debug/alarms on the admin endpoint")
+		pprof       = flag.Bool("pprof", false, "mount net/http/pprof on the admin endpoint")
 	)
 	flag.Parse()
-	if err := run(*listen, *dir, *interval, *check, *metricsAddr); err != nil {
+	if *traceEvents < 0 {
+		fmt.Fprintln(os.Stderr, "moas-collector: negative -trace-events")
+		os.Exit(1)
+	}
+	if err := run(*listen, *dir, *interval, *check, *metricsAddr, *traceEvents, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-collector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, dir string, interval time.Duration, check bool, metricsAddr string) error {
+func run(listen, dir string, interval time.Duration, check bool, metricsAddr string, traceEvents int, pprof bool) error {
 	reg := telemetry.NewRegistry("moas")
-	c := collector.New(collector.Config{RouterID: 6447, Telemetry: reg})
+	telemetry.RegisterBuildInfo(reg)
+	var rec *trace.Recorder
+	if traceEvents > 0 {
+		rec = trace.NewRecorder(traceEvents)
+	}
+	c := collector.New(collector.Config{RouterID: 6447, Telemetry: reg, Trace: rec})
 	defer c.Close()
 	if metricsAddr != "" {
-		admin, err := telemetry.ServeAdmin(metricsAddr, telemetry.AdminConfig{Registry: reg})
+		adminCfg := telemetry.AdminConfig{Registry: reg, Pprof: pprof}
+		if rec != nil {
+			adminCfg.Debug = trace.Routes(rec)
+		}
+		admin, err := telemetry.ServeAdmin(metricsAddr, adminCfg)
 		if err != nil {
 			return err
 		}
@@ -57,7 +73,11 @@ func run(listen, dir string, interval time.Duration, check bool, metricsAddr str
 
 	var opts []collector.ArchiverOption
 	if check {
-		mon := monitor.New(monitor.WithTelemetry(reg))
+		monOpts := []monitor.Option{monitor.WithTelemetry(reg)}
+		if rec != nil {
+			monOpts = append(monOpts, monitor.WithTrace(rec))
+		}
+		mon := monitor.New(monOpts...)
 		opts = append(opts, collector.WithMonitor(mon, func(a monitor.Alarm) {
 			log.Printf("ALARM [%s]: %s", a.Vantage, a.Conflict.Error())
 		}))

@@ -44,6 +44,7 @@ func main() {
 
 func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
 	reg := telemetry.NewRegistry("moas")
+	telemetry.RegisterBuildInfo(reg)
 	opts := []monitor.Option{monitor.WithTelemetry(reg)}
 	if moasrrPath != "" {
 		store, err := loadMOASRR(moasrrPath)

@@ -20,8 +20,17 @@ func main() {
 		skipMeasure = flag.Bool("skip-measurement", false, "skip the §3 measurement study")
 		skipSim     = flag.Bool("skip-simulation", false, "skip the §5 simulation study")
 		out         = flag.String("o", "", "write the report to a file instead of stdout")
+		alarms      = flag.Bool("alarms", false, "render the forensic MOAS alarm bundles of one traced hijack as a table instead of the full report")
+		forge       = flag.Bool("forge-list", false, "with -alarms: the attacker forges a superset MOAS list (§4.1)")
 	)
 	flag.Parse()
+	if *alarms {
+		if err := runAlarms(*seed, *forge, *out); err != nil {
+			fmt.Fprintln(os.Stderr, "moas-report:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*seed, *measureSeed, *maxPct, *skipMeasure, *skipSim, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-report:", err)
 		os.Exit(1)
@@ -50,4 +59,21 @@ func run(seed, measureSeed int64, maxPct float64, skipMeasure, skipSim bool, out
 		w = f
 	}
 	return rep.WriteMarkdown(w)
+}
+
+func runAlarms(seed int64, forge bool, out string) error {
+	bundles, err := report.AlarmStudy(seed, forge)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return report.WriteAlarmTable(w, bundles)
 }

@@ -34,9 +34,17 @@ func main() {
 		forge   = flag.Bool("forge-list", false, "attackers forge a superset MOAS list (§4.1)")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		par     = flag.Int("parallelism", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
+		traced  = flag.Bool("trace", false, "replay one hijack on the 25-AS topology with the flight recorder attached and print the propagation timeline, per-AS adoption, and forensic alarm bundles")
 	)
 	flag.Parse()
 	outputCSV = *csvOut
+	if *traced {
+		if err := runTrace(os.Stdout, *seed, *forge); err != nil {
+			fmt.Fprintln(os.Stderr, "moas-sim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*exp, *seed, *origins, *maxPct, *cold, *forge, *par); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-sim:", err)
 		os.Exit(1)

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/astypes"
+	"repro/internal/experiment"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// runTrace replays one hijack on the 25-AS topology twice — normal BGP
+// and full MOAS detection — with a flight recorder attached, and writes
+// the per-prefix propagation timeline, the per-AS adoption outcome, and
+// the forensic alarm bundles. All timestamps are virtual simulation
+// time, so the same seed produces byte-identical output.
+func runTrace(w io.Writer, seed int64, forge bool) error {
+	set, err := topology.BuildPaperTopologies(seed)
+	if err != nil {
+		return err
+	}
+	topo := set.T25
+	scens, err := experiment.Selections(topo, 1, 1, 1, 1, seed)
+	if err != nil {
+		return err
+	}
+	scen := scens[0]
+	legit, attacker := scen.Origins[0], scen.Attackers[0]
+	fmt.Fprintf(w, "Propagation trace: 25-AS topology, seed %d\n", seed)
+	fmt.Fprintf(w, "victim prefix %s, origin AS%d, attacker AS%d, forged superset list: %v\n",
+		experiment.VictimPrefix, legit, attacker, forge)
+
+	modes := []struct {
+		label string
+		det   experiment.Detection
+	}{
+		{"normal BGP (detection off)", experiment.DetectionOff},
+		{"full MOAS detection", experiment.DetectionFull},
+	}
+	for _, m := range modes {
+		rec := trace.NewRecorder(8192, trace.WithoutWallClock())
+		res, err := experiment.Run(experiment.RunConfig{
+			Topology:          topo,
+			Scenario:          scen,
+			Detection:         m.det,
+			ForgeSupersetList: forge,
+			Recorder:          rec,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\n== %s ==\n", m.label)
+		writeTimeline(w, rec)
+		writeAdoption(w, topo.Graph.Nodes(), rec, legit, attacker)
+		fmt.Fprintf(w, "summary: %d/%d non-attacker ASes on the false route, %d alarms, %d messages, converged at %s\n",
+			res.Census.AdoptedFalse, res.Census.NonAttackers, res.Alarms,
+			res.Messages, time.Duration(res.ConvergeVirtual))
+		for _, b := range rec.Alarms() {
+			fmt.Fprint(w, string(trace.AppendBundleText(nil, &b)))
+		}
+	}
+	return nil
+}
+
+func writeTimeline(w io.Writer, rec *trace.Recorder) {
+	events := rec.Events()
+	fmt.Fprintf(w, "timeline (%d events, %d dropped):\n", len(events), rec.Dropped())
+	var buf []byte
+	for i := range events {
+		buf = trace.AppendEventText(buf[:0], &events[i])
+		fmt.Fprint(w, string(buf))
+	}
+}
+
+// writeAdoption derives each AS's final route for the victim prefix
+// from its last rib event: the origin of the installed best route says
+// whether the node ended on the valid route or the forged one.
+func writeAdoption(w io.Writer, nodes []astypes.ASN, rec *trace.Recorder, legit, attacker astypes.ASN) {
+	last := make(map[astypes.ASN]trace.Event)
+	rejected := make(map[astypes.ASN]int)
+	for _, e := range rec.Events() {
+		switch e.Kind {
+		case trace.KindRIB:
+			last[e.Node] = e
+		case trace.KindValidate:
+			if e.Detail == trace.DetailRejected {
+				rejected[e.Node]++
+			}
+		}
+	}
+	fmt.Fprintf(w, "adoption (%d nodes):\n", len(nodes))
+	for _, asn := range nodes {
+		var state string
+		e, ok := last[asn]
+		switch {
+		case asn == attacker:
+			state = "attacker"
+		case !ok, e.Detail == trace.DetailWithdrawn:
+			state = "no route"
+		case e.Origin == attacker:
+			state = "FALSE route via the attacker"
+		case e.Origin == legit:
+			state = "valid route"
+		default:
+			state = fmt.Sprintf("route via AS%d", e.Origin)
+		}
+		if n := rejected[asn]; n > 0 {
+			suffix := ""
+			if n != 1 {
+				suffix = "s"
+			}
+			state += fmt.Sprintf(" (rejected %d forged announcement%s)", n, suffix)
+		}
+		fmt.Fprintf(w, "  AS%-5d %s\n", uint16(asn), state)
+	}
+}

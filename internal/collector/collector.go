@@ -18,6 +18,7 @@ import (
 	"repro/internal/routegen"
 	"repro/internal/session"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -37,6 +38,9 @@ type Config struct {
 	// sessions and archiver) instruments itself on; nil creates a
 	// private "moas" registry. Registry() exposes whichever is in use.
 	Telemetry *telemetry.Registry
+	// Trace, if set, is the flight recorder the collector's sessions
+	// record message-received events on.
+	Trace *trace.Recorder
 }
 
 // metrics is the collector's instrumentation.
@@ -157,6 +161,7 @@ func (c *Collector) AddPeerConn(conn net.Conn) (astypes.ASN, error) {
 		HoldTime: c.cfg.HoldTime,
 		Handler:  handler{c: c},
 		Metrics:  c.met.session,
+		Trace:    c.cfg.Trace,
 	})
 	if err != nil {
 		return astypes.ASNNone, fmt.Errorf("collector: establish: %w", err)

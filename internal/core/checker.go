@@ -50,6 +50,10 @@ type Announcement struct {
 	// It takes precedence over the community encoding.
 	AttrList *List
 	FromPeer astypes.ASN // ASNNone for locally originated routes
+	// Span is the trace span of the message that carried the
+	// announcement (0 when untraced); it flows into any Conflict so
+	// alarm forensics can point back at the exact UPDATE.
+	Span uint64
 }
 
 // effectiveList resolves the announcement's MOAS list with the full
@@ -130,6 +134,9 @@ func (c *Checker) Check(a Announcement) (Verdict, *Conflict) {
 			Received: eff,
 			Origin:   origin,
 			FromPeer: a.FromPeer,
+			Span:     a.Span,
+			Path:     a.Path.Clone(),
+			Verdict:  VerdictOriginNotListed,
 		}
 		c.alarms = append(c.alarms, conflict)
 		if c.onA != nil {
@@ -151,6 +158,9 @@ func (c *Checker) Check(a Announcement) (Verdict, *Conflict) {
 		Received: eff,
 		Origin:   origin,
 		FromPeer: a.FromPeer,
+		Span:     a.Span,
+		Path:     a.Path.Clone(),
+		Verdict:  VerdictConflict,
 	}
 	c.alarms = append(c.alarms, conflict)
 	if c.onA != nil {

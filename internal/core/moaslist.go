@@ -191,6 +191,12 @@ type Conflict struct {
 	Received List // the inconsistent list on the incoming route
 	Origin   astypes.ASN
 	FromPeer astypes.ASN // ASNNone when locally originated/unknown
+	// Path is the offending route's AS path (owned by the Conflict) and
+	// Span the trace span of the UPDATE that carried it; together with
+	// Verdict they feed the forensic alarm bundle.
+	Path    astypes.ASPath
+	Span    uint64
+	Verdict Verdict
 }
 
 // Error renders a human-readable description; Conflict implements error

@@ -22,6 +22,7 @@ import (
 	"repro/internal/dnsval"
 	"repro/internal/speaker"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Config is the on-disk daemon configuration.
@@ -40,6 +41,13 @@ type Config struct {
 	// MetricsAddr, if set, serves the admin endpoint: /metrics
 	// (Prometheus text or JSON), /healthz, and /debug/mib.
 	MetricsAddr string `json:"metricsAddr"`
+	// TraceEvents, when nonzero, enables the flight recorder with a ring
+	// of (about) that many events; /debug/trace and /debug/alarms appear
+	// on the admin endpoint. Sizes round up to a power of two.
+	TraceEvents int `json:"traceEvents"`
+	// Pprof mounts net/http/pprof under /debug/pprof/ on the admin
+	// endpoint.
+	Pprof bool `json:"pprof"`
 	// Peers to dial.
 	Peers []PeerConfig `json:"peers"`
 	// Originate lists locally announced prefixes.
@@ -149,6 +157,9 @@ func (c Config) validate() error {
 	default:
 		return fmt.Errorf("daemon: listEncoding %q (want communities or attribute)", c.ListEncoding)
 	}
+	if c.TraceEvents < 0 {
+		return fmt.Errorf("daemon: negative traceEvents")
+	}
 	if c.ReconnectSeconds < 0 || c.ReconnectMaxSeconds < 0 {
 		return fmt.Errorf("daemon: negative reconnect interval")
 	}
@@ -177,6 +188,7 @@ type Daemon struct {
 
 	reg   *telemetry.Registry
 	admin *telemetry.Admin
+	trace *trace.Recorder // nil when tracing is disabled
 
 	mibServer *http.Server
 	mibErr    chan error
@@ -215,10 +227,16 @@ func Build(cfg Config) (*Daemon, error) {
 	}
 
 	reg := telemetry.NewRegistry("moas")
+	telemetry.RegisterBuildInfo(reg)
+	var rec *trace.Recorder
+	if cfg.TraceEvents > 0 {
+		rec = trace.NewRecorder(cfg.TraceEvents)
+	}
 	d := &Daemon{
-		Store:     store,
-		reg:       reg,
-		mibErr:    make(chan error, 1),
+		Store:        store,
+		reg:          reg,
+		trace:        rec,
+		mibErr:       make(chan error, 1),
 		peerAddrs:    make(map[astypes.ASN]string, len(cfg.Peers)),
 		reconnect:    time.Duration(cfg.ReconnectSeconds) * time.Second,
 		reconnectMax: time.Duration(cfg.ReconnectMaxSeconds) * time.Second,
@@ -254,6 +272,7 @@ func Build(cfg Config) (*Daemon, error) {
 		ImportDeny:   deny,
 		ListEncoding: encoding,
 		Telemetry:    reg,
+		Trace:        rec,
 		// Always observe peer-down events (the counter fires regardless);
 		// peerDown gates the re-dial loop itself on d.reconnect > 0.
 		OnPeerDown: d.peerDown,
@@ -329,10 +348,15 @@ func Build(cfg Config) (*Daemon, error) {
 		}()
 	}
 	if cfg.MetricsAddr != "" {
-		admin, err := telemetry.ServeAdmin(cfg.MetricsAddr, telemetry.AdminConfig{
+		adminCfg := telemetry.AdminConfig{
 			Registry: reg,
 			MIB:      s,
-		})
+			Pprof:    cfg.Pprof,
+		}
+		if rec != nil {
+			adminCfg.Debug = trace.Routes(rec)
+		}
+		admin, err := telemetry.ServeAdmin(cfg.MetricsAddr, adminCfg)
 		if err != nil {
 			cleanup()
 			return nil, err
@@ -365,6 +389,10 @@ func (d *Daemon) ListenAddrs() []string {
 // Registry returns the daemon's telemetry registry (shared with its
 // speaker and sessions).
 func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
+
+// Trace returns the daemon's flight recorder, or nil when traceEvents
+// is zero.
+func (d *Daemon) Trace() *trace.Recorder { return d.trace }
 
 // peerDown counts the loss and, when reconnection is configured,
 // schedules re-dialing of a configured outbound peer.

@@ -2,12 +2,14 @@ package e2etest
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/astypes"
 	"repro/internal/core"
 	"repro/internal/speaker"
+	"repro/internal/trace"
 )
 
 // TestForgedOriginObservability runs the paper's attack scenario end to
@@ -129,6 +131,73 @@ func TestForgedOriginObservability(t *testing.T) {
 	if mib.Counters.Alarms != uint64(final.Counter("moas_speaker_moas_alarms_total")) {
 		t.Errorf("MIB counters (%d alarms) disagree with /metrics (%v)",
 			mib.Counters.Alarms, final.Counter("moas_speaker_moas_alarms_total"))
+	}
+
+	// The flight recorder captured exactly one forensic bundle for the
+	// attack, and /debug/alarms names the forged AS, both MOAS lists,
+	// and the offending path.
+	var bundles []trace.AlarmBundle
+	if err := json.Unmarshal([]byte(h.get(t, "/debug/alarms", "")), &bundles); err != nil {
+		t.Fatalf("decode /debug/alarms: %v", err)
+	}
+	if len(bundles) != 1 {
+		t.Fatalf("/debug/alarms bundles = %d, want exactly 1", len(bundles))
+	}
+	b := bundles[0]
+	if b.Prefix != prefixStr || b.Verdict != "conflict" {
+		t.Errorf("bundle identity: %+v", b)
+	}
+	if b.Node != validatorAS || b.FromPeer != forgedAS || b.Origin != forgedAS {
+		t.Errorf("bundle endpoints: node=%d fromPeer=%d origin=%d", b.Node, b.FromPeer, b.Origin)
+	}
+	if want := []uint16{forgedAS, legitAS}; !reflect.DeepEqual(b.Origins, want) {
+		t.Errorf("conflicting-origin set = %v, want %v", b.Origins, want)
+	}
+	if !reflect.DeepEqual(b.Existing, []uint16{legitAS}) || !reflect.DeepEqual(b.Received, []uint16{forgedAS}) {
+		t.Errorf("MOAS lists: existing=%v received=%v", b.Existing, b.Received)
+	}
+	pathHasForged := false
+	for _, asn := range b.Path {
+		if asn == forgedAS {
+			pathHasForged = true
+		}
+	}
+	if !pathHasForged {
+		t.Errorf("offending path %v does not name the forged AS", b.Path)
+	}
+	if b.Span == 0 {
+		t.Error("bundle missing the triggering message's span")
+	}
+
+	// The same bundle is addressable by ID, and the live timeline names
+	// the attack's causal chain.
+	var byID trace.AlarmBundle
+	if err := json.Unmarshal([]byte(h.get(t, "/debug/alarms/0", "")), &byID); err != nil {
+		t.Fatalf("decode /debug/alarms/0: %v", err)
+	}
+	if byID.ID != 0 || byID.Origin != forgedAS {
+		t.Errorf("/debug/alarms/0: %+v", byID)
+	}
+	timeline := h.get(t, "/debug/trace", "")
+	for _, want := range []string{prefixStr, "alarm", "validate", "conflict"} {
+		if !strings.Contains(timeline, want) {
+			t.Errorf("/debug/trace missing %q", want)
+		}
+	}
+
+	// pprof serves on the same admin port, and build_info identifies
+	// the binary in the scrape the operator already has open.
+	if body := h.get(t, "/debug/pprof/cmdline", ""); body == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	foundBuildInfo := false
+	for series := range final {
+		if strings.HasPrefix(series, "moas_build_info{") {
+			foundBuildInfo = true
+		}
+	}
+	if !foundBuildInfo {
+		t.Error("moas_build_info missing from the scrape")
 	}
 }
 

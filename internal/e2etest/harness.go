@@ -62,6 +62,8 @@ func Boot(t *testing.T, prefix string, legitOrigin uint16) *Harness {
 		Validation:  "drop",
 		Listen:      []string{"127.0.0.1:0"},
 		MetricsAddr: "127.0.0.1:0",
+		TraceEvents: 256,
+		Pprof:       true,
 		Peers: []daemon.PeerConfig{
 			{Addr: cln.Addr().String(), AS: uint16(collector.CollectorASN)},
 		},

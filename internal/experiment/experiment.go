@@ -19,6 +19,7 @@ import (
 	"repro/internal/simbgp"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/internal/trace"
 )
 
 // VictimPrefix is the prefix under attack in every run; its identity is
@@ -90,6 +91,11 @@ type RunConfig struct {
 	// exists as the in-tree baseline for the evaluation benchmarks
 	// (Benchmark*Baseline); results are identical either way.
 	FreshNetwork bool
+	// Recorder, if set, is attached to the network for the run's
+	// duration: the flight recorder captures per-prefix propagation
+	// events and forensic alarm bundles in virtual time (moas-sim
+	// -trace). Pooled networks detach it on Reset before reuse.
+	Recorder *trace.Recorder
 }
 
 // RunResult is the outcome of one run.
@@ -181,6 +187,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	// Even a half-configured network goes back to the pool: the next
 	// Reset rewinds whatever state this run left behind.
 	defer release()
+	if cfg.Recorder != nil {
+		net.AttachRecorder(cfg.Recorder)
+	}
 
 	if err := applyDetection(net, cfg); err != nil {
 		return RunResult{}, err

@@ -21,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/routegen"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -49,6 +50,9 @@ type Monitor struct {
 	resolver Resolver
 	// met, if set, mirrors monitor state onto a telemetry registry.
 	met *monitorMetrics
+	// rec, if set, records validate events and forensic alarm bundles
+	// on a flight recorder (WithTrace).
+	rec *trace.Recorder
 }
 
 // monitorMetrics is the monitor's instrumentation (WithTelemetry).
@@ -103,6 +107,17 @@ func WithTelemetry(r *telemetry.Registry) Option {
 	return telemetryOption{r: r}
 }
 
+type traceOption struct{ rec *trace.Recorder }
+
+func (o traceOption) apply(m *Monitor) { m.rec = o.rec }
+
+// WithTrace records a validate event per ingested entry and a forensic
+// bundle per alarm (the vantage name lands in the bundle's Note) on
+// rec.
+func WithTrace(rec *trace.Recorder) Option {
+	return traceOption{rec: rec}
+}
+
 // New returns an empty monitor.
 func New(opts ...Option) *Monitor {
 	m := &Monitor{
@@ -122,6 +137,25 @@ func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astyp
 		Path:        path,
 		Communities: comms,
 	})
+	if m.rec.Enabled() {
+		origin, _ := path.Origin()
+		m.rec.Record(trace.Event{
+			Kind:   trace.KindValidate,
+			Detail: verdictDetail(verdict),
+			Origin: origin,
+			Prefix: prefix,
+		})
+		if verdict != core.VerdictConsistent && conflict != nil {
+			m.rec.RecordAlarm(prefix, trace.AlarmBundle{
+				Origin:   uint16(conflict.Origin),
+				Verdict:  verdict.String(),
+				Note:     vantage,
+				Existing: trace.ASNs(conflict.Existing.Origins()),
+				Received: trace.ASNs(conflict.Received.Origins()),
+				Path:     trace.PathASNs(conflict.Path),
+			})
+		}
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.met != nil {
@@ -146,6 +180,18 @@ func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astyp
 		if m.met != nil {
 			m.met.alarms.With(prefix.String()).Inc()
 		}
+	}
+}
+
+// verdictDetail maps a checker verdict to its trace detail.
+func verdictDetail(v core.Verdict) trace.Detail {
+	switch v {
+	case core.VerdictConflict:
+		return trace.DetailConflict
+	case core.VerdictOriginNotListed:
+		return trace.DetailOriginNotListed
+	default:
+		return trace.DetailConsistent
 	}
 }
 

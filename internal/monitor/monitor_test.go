@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dnsval"
 	"repro/internal/routegen"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -180,5 +182,40 @@ func TestAlarmSummaryGroupsByPrefix(t *testing.T) {
 	}
 	if got := New().AlarmSummary(); len(got) != 0 {
 		t.Errorf("empty monitor summary = %v", got)
+	}
+}
+
+func TestMonitorWithTrace(t *testing.T) {
+	rec := trace.NewRecorder(64)
+	m := New(WithTrace(rec))
+	m.ObserveEntry("rv-a", prefix, astypes.NewSeqPath(701, 4), nil)
+	m.ObserveEntry("rv-b", prefix, astypes.NewSeqPath(1239, 52), nil)
+
+	var details []trace.Detail
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindValidate && e.Prefix == prefix {
+			details = append(details, e.Detail)
+		}
+	}
+	want := []trace.Detail{trace.DetailConsistent, trace.DetailConflict}
+	if !reflect.DeepEqual(details, want) {
+		t.Errorf("validate details = %v, want %v", details, want)
+	}
+
+	if rec.AlarmCount() != 1 {
+		t.Fatalf("alarm bundles = %d", rec.AlarmCount())
+	}
+	b, _ := rec.Alarm(0)
+	if b.Note != "rv-b" {
+		t.Errorf("bundle note = %q, want the vantage name", b.Note)
+	}
+	if b.Prefix != prefix.String() || b.Origin != 52 {
+		t.Errorf("bundle identity: %+v", b)
+	}
+	if !reflect.DeepEqual(b.Origins, []uint16{4, 52}) {
+		t.Errorf("competing origins = %v", b.Origins)
+	}
+	if !reflect.DeepEqual(b.Path, []uint16{1239, 52}) {
+		t.Errorf("offending path = %v", b.Path)
 	}
 }

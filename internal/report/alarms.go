@@ -1,0 +1,71 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/experiment"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// AlarmStudy replays one hijack on the 25-AS topology under full MOAS
+// detection with a flight recorder attached and returns the forensic
+// bundles the detecting ASes captured. Bundles are in alarm order and
+// carry virtual timestamps, so the same seed yields the same bundles.
+func AlarmStudy(seed int64, forge bool) ([]trace.AlarmBundle, error) {
+	set, err := topology.BuildPaperTopologies(seed)
+	if err != nil {
+		return nil, err
+	}
+	scens, err := experiment.Selections(set.T25, 1, 1, 1, 1, seed)
+	if err != nil {
+		return nil, err
+	}
+	rec := trace.NewRecorder(8192, trace.WithoutWallClock())
+	if _, err := experiment.Run(experiment.RunConfig{
+		Topology:          set.T25,
+		Scenario:          scens[0],
+		Detection:         experiment.DetectionFull,
+		ForgeSupersetList: forge,
+		Recorder:          rec,
+	}); err != nil {
+		return nil, err
+	}
+	return rec.Alarms(), nil
+}
+
+// WriteAlarmTable renders forensic bundles as an aligned operator
+// table: one row per alarm with the detecting AS, the offending
+// announcement's provenance, and the competing MOAS lists, followed by
+// the full per-bundle forensics.
+func WriteAlarmTable(w io.Writer, bundles []trace.AlarmBundle) error {
+	if len(bundles) == 0 {
+		_, err := fmt.Fprintln(w, "no MOAS alarms captured")
+		return err
+	}
+	header := fmt.Sprintf("%-3s %-11s %-18s %-8s %-7s %-7s %-22s %s",
+		"id", "virtual", "prefix", "verdict", "node", "origin", "lists (exist/recv)", "path")
+	fmt.Fprintln(w, header)
+	for i := range bundles {
+		b := &bundles[i]
+		lists := fmt.Sprintf("%v/%v", b.Existing, b.Received)
+		if _, err := fmt.Fprintf(w, "%-3d %-11s %-18s %-8s AS%-5d AS%-5d %-22s %v\n",
+			b.ID, virtualStamp(b), b.Prefix, b.Verdict, b.Node, b.Origin, lists, b.Path); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintln(w)
+	var buf []byte
+	for i := range bundles {
+		buf = trace.AppendBundleText(buf[:0], &bundles[i])
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func virtualStamp(b *trace.AlarmBundle) string {
+	return fmt.Sprintf("%dms", b.VNanos/1e6)
+}

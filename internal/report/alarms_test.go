@@ -1,0 +1,43 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlarmStudyAndTable(t *testing.T) {
+	bundles, err := AlarmStudy(42, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("full detection captured no forensic bundles")
+	}
+	for _, b := range bundles {
+		if b.Verdict != "conflict" || b.Prefix != "131.179.0.0/16" {
+			t.Errorf("bundle: %+v", b)
+		}
+		if len(b.Origins) != 2 {
+			t.Errorf("competing origins: %v", b.Origins)
+		}
+	}
+
+	var sb strings.Builder
+	if err := WriteAlarmTable(&sb, bundles); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"id", "verdict", "conflict", "alarm #0: MOAS conflict", "lists:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+
+	var empty strings.Builder
+	if err := WriteAlarmTable(&empty, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(empty.String(), "no MOAS alarms") {
+		t.Errorf("empty table: %q", empty.String())
+	}
+}

@@ -176,6 +176,38 @@ func (t *Table) shard(p astypes.Prefix) *tableShard {
 	return &t.shards[h&(numShards-1)]
 }
 
+// Reason classifies why a Change changed, for trace events and debug
+// output; it adds nothing the Old/New pair doesn't imply, but saves
+// every consumer re-deriving it.
+type Reason uint8
+
+// Change reasons.
+const (
+	// ReasonNone: the decision process ran but the best route held.
+	ReasonNone Reason = iota
+	// ReasonInstalled: a prefix with no best route gained one.
+	ReasonInstalled
+	// ReasonReplaced: the best route switched to a different selection.
+	ReasonReplaced
+	// ReasonWithdrawn: the last route for the prefix went away.
+	ReasonWithdrawn
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonInstalled:
+		return "installed"
+	case ReasonReplaced:
+		return "replaced"
+	case ReasonWithdrawn:
+		return "withdrawn"
+	default:
+		return "unknown"
+	}
+}
+
 // Change describes the result of applying one route event: whether the
 // best route for the prefix changed, and the old and new selections (nil
 // means no route).
@@ -183,6 +215,9 @@ type Change struct {
 	Prefix   astypes.Prefix
 	Old, New *Route
 	Changed  bool
+	// Reason is ReasonNone when Changed is false, else the flavour of
+	// the change.
+	Reason Reason
 }
 
 // Update installs (or replaces) the route from route.FromPeer for
@@ -309,6 +344,14 @@ func (s *tableShard) reselectLocked(prefix astypes.Prefix) Change {
 		return ch
 	}
 	ch.Changed = true
+	switch {
+	case old == nil:
+		ch.Reason = ReasonInstalled
+	case newBest == nil:
+		ch.Reason = ReasonWithdrawn
+	default:
+		ch.Reason = ReasonReplaced
+	}
 	if newBest == nil {
 		delete(s.best, prefix)
 	} else {

@@ -290,3 +290,40 @@ func TestClearEmptiesAndStaysUsable(t *testing.T) {
 		t.Errorf("post-Clear withdraw: %+v", ch)
 	}
 }
+
+// TestChangeReason: every Changed=true result carries the matching
+// Reason, and a no-op reselect stays ReasonNone.
+func TestChangeReason(t *testing.T) {
+	tbl := NewTable()
+
+	ch := tbl.Update(route(2, 2, 4))
+	if !ch.Changed || ch.Reason != ReasonInstalled {
+		t.Errorf("first install: changed=%v reason=%v", ch.Changed, ch.Reason)
+	}
+	// A strictly worse route from another peer changes nothing.
+	ch = tbl.Update(route(3, 3, 5, 4))
+	if ch.Changed || ch.Reason != ReasonNone {
+		t.Errorf("worse route: changed=%v reason=%v", ch.Changed, ch.Reason)
+	}
+	// A strictly better route replaces the best.
+	better := route(9, 9)
+	better.LocalPref = 200
+	ch = tbl.Update(better)
+	if !ch.Changed || ch.Reason != ReasonReplaced {
+		t.Errorf("better route: changed=%v reason=%v", ch.Changed, ch.Reason)
+	}
+	// Withdrawing the best falls back to a remaining route.
+	ch = tbl.Withdraw(9, prefix)
+	if !ch.Changed || ch.Reason != ReasonReplaced || ch.New == nil {
+		t.Errorf("fallback: changed=%v reason=%v new=%v", ch.Changed, ch.Reason, ch.New)
+	}
+	// Withdrawing everything empties the prefix.
+	tbl.Withdraw(3, prefix)
+	ch = tbl.Withdraw(2, prefix)
+	if !ch.Changed || ch.Reason != ReasonWithdrawn || ch.New != nil {
+		t.Errorf("final withdraw: changed=%v reason=%v new=%v", ch.Changed, ch.Reason, ch.New)
+	}
+	if s := ReasonReplaced.String(); s != "replaced" {
+		t.Errorf("Reason string: %q", s)
+	}
+}

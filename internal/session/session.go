@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -71,6 +72,15 @@ type RefreshHandler interface {
 	HandleRouteRefresh(peer astypes.ASN, r *wire.RouteRefresh)
 }
 
+// SpanHandler is optionally implemented by Handlers that thread trace
+// span IDs through the pipeline. When implemented, it is invoked for
+// every UPDATE instead of HandleUpdate, with the message's span (the
+// per-session ordinal minted by wire.Decoder). The Update lifetime
+// contract is the same as HandleUpdate's.
+type SpanHandler interface {
+	HandleUpdateSpan(peer astypes.ASN, u *wire.Update, span uint64)
+}
+
 // Config parameterizes a session.
 type Config struct {
 	// LocalAS and LocalID identify this speaker.
@@ -86,6 +96,10 @@ type Config struct {
 	// Metrics, if set, instruments this session. Typically one Metrics
 	// is shared by all sessions of a speaker.
 	Metrics *Metrics
+	// Trace, if set, records a flight-recorder event per received
+	// UPDATE. Nil (or a disabled recorder) adds nothing to the receive
+	// path beyond one nil check / atomic load.
+	Trace *trace.Recorder
 }
 
 // Errors surfaced by session establishment and supervision.
@@ -131,6 +145,9 @@ type Session struct {
 	// Used only by the handshake and then the reader goroutine, which
 	// are sequential, never concurrent.
 	rd *wire.Reader
+	// spanH is cfg.Handler's SpanHandler face, resolved once at
+	// Establish so the read loop pays no per-message type assertion.
+	spanH SpanHandler
 
 	mu    sync.Mutex
 	state State // guarded by mu
@@ -166,6 +183,7 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		done:     make(chan struct{}),
 		kaDone:   make(chan struct{}),
 	}
+	s.spanH, _ = cfg.Handler.(SpanHandler)
 	if err := s.handshake(); err != nil {
 		s.met.handshakeFailed()
 		conn.Close()
@@ -415,7 +433,12 @@ func (s *Session) readLoop() {
 		s.met.recvMsg(msg.Type())
 		switch m := msg.(type) {
 		case *wire.Update:
-			s.cfg.Handler.HandleUpdate(s.peerAS, m)
+			s.recordRecv(m)
+			if s.spanH != nil {
+				s.spanH.HandleUpdateSpan(s.peerAS, m, s.rd.Span())
+			} else {
+				s.cfg.Handler.HandleUpdate(s.peerAS, m)
+			}
 		case *wire.RouteRefresh:
 			if rh, ok := s.cfg.Handler.(RefreshHandler); ok {
 				rh.HandleRouteRefresh(s.peerAS, m)
@@ -436,6 +459,33 @@ func (s *Session) readLoop() {
 			return
 		}
 	}
+}
+
+// recordRecv captures the flight-recorder event for one received
+// UPDATE: the first announced (or, failing that, withdrawn) prefix
+// identifies the message, Aux carries the total route count, and a
+// pure withdrawal is flagged as such.
+func (s *Session) recordRecv(u *wire.Update) {
+	if !s.cfg.Trace.Enabled() {
+		return
+	}
+	e := trace.Event{
+		Span: s.rd.Span(),
+		Kind: trace.KindRecv,
+		Node: s.cfg.LocalAS,
+		Peer: s.peerAS,
+		Aux:  uint32(len(u.NLRI) + len(u.Withdrawn)),
+	}
+	if len(u.NLRI) > 0 {
+		e.Prefix = u.NLRI[0]
+		if origin, ok := u.Attrs.ASPath.Origin(); ok {
+			e.Origin = origin
+		}
+	} else if len(u.Withdrawn) > 0 {
+		e.Prefix = u.Withdrawn[0]
+		e.Detail = trace.DetailWithdrawal
+	}
+	s.cfg.Trace.Record(e)
 }
 
 func (s *Session) keepaliveLoop() {

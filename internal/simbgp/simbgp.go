@@ -32,6 +32,7 @@ import (
 	"repro/internal/rib"
 	"repro/internal/sim"
 	"repro/internal/topology"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -120,6 +121,7 @@ type Network struct {
 	failedLinks map[[2]astypes.ASN]bool
 	relations   *topology.Relations
 	tracer      *Tracer
+	recorder    *trace.Recorder
 	// inflight holds the payload of every scheduled-but-undelivered
 	// message; freeMsgs recycles vacated slots so steady-state delivery
 	// allocates nothing once the high-water mark is reached.
@@ -209,6 +211,7 @@ func (n *Network) Reset(cfg Config) error {
 	n.engine.Reset()
 	n.msgCount = 0
 	n.tracer = nil
+	n.recorder = nil
 	n.visitEpoch = 0
 	clear(n.visited)
 	clear(n.failedLinks)
@@ -558,7 +561,7 @@ func (nd *Node) admit(msg message) bool {
 	// A route whose own origin is missing from its attached list is
 	// bogus on its face (§4.1).
 	if !eff.Contains(origin) {
-		nd.raiseAndResolve(msg.prefix, core.List{}, eff, origin, msg.from)
+		nd.raiseAndResolve(msg.prefix, core.List{}, eff, origin, msg.from, msg.path, core.VerdictOriginNotListed)
 		if truth, ok := nd.resolved[msg.prefix]; ok {
 			return truth.Contains(origin)
 		}
@@ -569,7 +572,7 @@ func (nd *Node) admit(msg message) bool {
 	// for the prefix (Adj-RIB-Ins and local).
 	for _, held := range nd.heldLists(msg.prefix) {
 		if !held.Equal(eff) {
-			nd.raiseAndResolve(msg.prefix, held, eff, origin, msg.from)
+			nd.raiseAndResolve(msg.prefix, held, eff, origin, msg.from, msg.path, core.VerdictConflict)
 			truth, ok := nd.resolved[msg.prefix]
 			if !ok {
 				// Unresolvable conflict: be conservative, reject the
@@ -615,14 +618,30 @@ func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
 	return lists
 }
 
-func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN) {
-	nd.net.trace(EvAlarm, nd.asn, from, prefix, astypes.ASPath{})
+func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN, path astypes.ASPath, verdict core.Verdict) {
+	nd.net.trace(EvAlarm, nd.asn, from, prefix, path)
+	if rec := nd.net.recorder; rec.Enabled() {
+		// In-transit simulation paths are immutable, so the bundle can
+		// reference path without cloning.
+		rec.RecordAlarm(prefix, trace.AlarmBundle{
+			VNanos:   int64(nd.net.engine.Now()),
+			Node:     uint16(nd.asn),
+			FromPeer: uint16(from),
+			Origin:   uint16(origin),
+			Verdict:  verdict.String(),
+			Existing: trace.ASNs(existing.Origins()),
+			Received: trace.ASNs(received.Origins()),
+			Path:     trace.PathASNs(path),
+		})
+	}
 	nd.alarms = append(nd.alarms, core.Conflict{
 		Prefix:   prefix,
 		Existing: existing,
 		Received: received,
 		Origin:   origin,
 		FromPeer: from,
+		Path:     path,
+		Verdict:  verdict,
 	})
 	if nd.net.resolver == nil {
 		return
@@ -682,7 +701,7 @@ func (nd *Node) propagate(ch rib.Change) {
 	if !ch.Changed {
 		return
 	}
-	if nd.net.tracer != nil {
+	if nd.net.tracing() {
 		path := astypes.ASPath{}
 		if ch.New != nil {
 			path = ch.New.Path

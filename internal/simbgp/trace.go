@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/trace"
 )
 
 // Event tracing: an optional hook recording every routing-plane event
@@ -140,16 +141,65 @@ func (t *Tracer) CountKind(kind EventKind) int {
 // one). Pass nil to disable tracing.
 func (n *Network) Attach(t *Tracer) { n.tracer = t }
 
+// AttachRecorder mirrors simulation events onto a flight recorder in
+// the live path's event vocabulary (replacing any previous recorder):
+// announcements and withdrawals become recv events, best-route changes
+// become rib events, rejections become validate events, and alarms
+// arrive as forensic bundles via raiseAndResolve. Event VNanos carry
+// virtual simulation time. Pass nil to disable.
+func (n *Network) AttachRecorder(rec *trace.Recorder) { n.recorder = rec }
+
+// tracing reports whether any event sink is attached; propagation paths
+// consult it before assembling event arguments.
+func (n *Network) tracing() bool { return n.tracer != nil || n.recorder != nil }
+
 func (n *Network) trace(kind EventKind, node, peer astypes.ASN, prefix astypes.Prefix, path astypes.ASPath) {
-	if n.tracer == nil {
+	if n.tracer != nil {
+		n.tracer.record(TraceEvent{
+			At:     n.engine.Now(),
+			Kind:   kind,
+			Node:   node,
+			Peer:   peer,
+			Prefix: prefix,
+			Path:   path,
+		})
+	}
+	n.recordFlight(kind, node, peer, prefix, path)
+}
+
+// recordFlight translates one simulation event for the flight recorder.
+// EvAlarm is deliberately skipped: RecordAlarm in raiseAndResolve emits
+// the alarm event together with its forensic bundle.
+func (n *Network) recordFlight(kind EventKind, node, peer astypes.ASN, prefix astypes.Prefix, path astypes.ASPath) {
+	if !n.recorder.Enabled() {
 		return
 	}
-	n.tracer.record(TraceEvent{
-		At:     n.engine.Now(),
-		Kind:   kind,
+	e := trace.Event{
+		VNanos: int64(n.engine.Now()),
 		Node:   node,
 		Peer:   peer,
 		Prefix: prefix,
-		Path:   path,
-	})
+	}
+	origin, hasOrigin := path.Origin()
+	e.Origin = origin
+	switch kind {
+	case EvAnnounce:
+		e.Kind = trace.KindRecv
+	case EvWithdrawMsg:
+		e.Kind = trace.KindRecv
+		e.Detail = trace.DetailWithdrawal
+	case EvBestChanged:
+		e.Kind = trace.KindRIB
+		if hasOrigin {
+			e.Detail = trace.DetailInstalled
+		} else {
+			e.Detail = trace.DetailWithdrawn
+		}
+	case EvRejected:
+		e.Kind = trace.KindValidate
+		e.Detail = trace.DetailRejected
+	default:
+		return
+	}
+	n.recorder.Record(e)
 }

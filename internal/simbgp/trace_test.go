@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/astypes"
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 func TestTracerRecordsConvergence(t *testing.T) {
@@ -73,5 +74,64 @@ func TestTracerRingEviction(t *testing.T) {
 	}
 	if NewTracer(0) == nil {
 		t.Error("zero capacity should clamp, not fail")
+	}
+}
+
+func TestRecorderMirrorsSimulation(t *testing.T) {
+	n := newNet(t, lineTopology(1, 2, 9), core.NewList(1))
+	detectAll(t, n, 9)
+	rec := trace.NewRecorder(1024, trace.WithoutWallClock())
+	n.AttachRecorder(rec)
+	if err := n.Originate(1, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.OriginateInvalid(9, victim, core.List{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	kinds := map[trace.Kind]int{}
+	for _, e := range rec.Events() {
+		kinds[e.Kind]++
+		if e.Nanos != 0 {
+			t.Fatal("virtual-clock recorder must not stamp wall time")
+		}
+	}
+	if kinds[trace.KindRecv] == 0 || kinds[trace.KindRIB] == 0 {
+		t.Errorf("missing mirrored events: %v", kinds)
+	}
+	if kinds[trace.KindValidate] == 0 {
+		t.Errorf("detector rejection not mirrored: %v", kinds)
+	}
+	// The alarm event arrives exactly once per bundle (not double-fed
+	// through the generic event hook).
+	if kinds[trace.KindAlarm] != rec.AlarmCount() {
+		t.Errorf("%d alarm events vs %d bundles", kinds[trace.KindAlarm], rec.AlarmCount())
+	}
+	if rec.AlarmCount() == 0 {
+		t.Fatal("no forensic bundles captured")
+	}
+	// Link delays decide which origin's route reaches the detector
+	// second (and so triggers the conflict); assert the bundle is
+	// self-consistent rather than pinning the race.
+	b, _ := rec.Alarm(0)
+	if b.Node != 2 || b.Verdict != "conflict" {
+		t.Errorf("bundle: %+v", b)
+	}
+	if got := b.Origins; len(got) != 2 || got[0] != 1 || got[1] != 9 {
+		t.Errorf("competing origins: %v", got)
+	}
+	if len(b.Path) == 0 || b.Path[len(b.Path)-1] != b.Origin {
+		t.Errorf("offending path %v must end at origin %d", b.Path, b.Origin)
+	}
+
+	// Reset must detach the recorder along with the tracer.
+	if err := n.Reset(Config{Topology: n.topo}); err != nil {
+		t.Fatal(err)
+	}
+	if n.recorder != nil {
+		t.Error("Reset left the recorder attached")
 	}
 }

@@ -60,7 +60,7 @@ func (s *Speaker) RemoveAggregate(prefix astypes.Prefix) error {
 		s.aggregates = append(s.aggregates[:i], s.aggregates[i+1:]...)
 		if agg.active {
 			ch := s.table.WithdrawLocal(prefix)
-			s.propagateLocked(ch)
+			s.propagateLocked(ch, 0)
 		}
 		return nil
 	}
@@ -104,7 +104,7 @@ func (s *Speaker) refreshAggregateLocked(agg *aggregateState) {
 		if agg.active {
 			agg.active = false
 			ch := s.table.WithdrawLocal(agg.prefix)
-			s.propagateLocked(ch)
+			s.propagateLocked(ch, 0)
 		}
 		return
 	}
@@ -132,7 +132,7 @@ func (s *Speaker) refreshAggregateLocked(agg *aggregateState) {
 	// route (path, set members) was built fresh above, so ownership
 	// transfers to the table without a clone.
 	ch := s.table.OriginateOwned(route)
-	s.propagateLocked(ch)
+	s.propagateLocked(ch, 0)
 }
 
 // suppressedLocked reports whether prefix must not be advertised

@@ -25,6 +25,7 @@ import (
 	"repro/internal/rib"
 	"repro/internal/session"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -109,6 +110,10 @@ type Config struct {
 	// (and its sessions) on; nil creates a private "moas" registry, so
 	// counting is always on. Registry() exposes whichever is in use.
 	Telemetry *telemetry.Registry
+	// Trace, if set, is the flight recorder the speaker (and its
+	// sessions) record pipeline events on: message receipt, validation
+	// verdicts, RIB decisions, exports, and alarm forensics.
+	Trace *trace.Recorder
 }
 
 // Speaker is a BGP speaker instance.
@@ -217,11 +222,31 @@ func New(cfg Config) (*Speaker, error) {
 	}
 	s.checker = core.NewChecker(core.WithAlarmFunc(func(c core.Conflict) {
 		s.met.alarms.Inc()
+		s.recordAlarm(&c)
 		if cfg.OnAlarm != nil {
 			cfg.OnAlarm(c)
 		}
 	}))
 	return s, nil
+}
+
+// recordAlarm snapshots the forensic bundle for one detected conflict:
+// both competing MOAS lists, the offending path, and the prefix's event
+// timeline from the flight recorder.
+func (s *Speaker) recordAlarm(c *core.Conflict) {
+	if !s.cfg.Trace.Enabled() {
+		return
+	}
+	s.cfg.Trace.RecordAlarm(c.Prefix, trace.AlarmBundle{
+		Span:     c.Span,
+		Node:     uint16(s.cfg.AS),
+		FromPeer: uint16(c.FromPeer),
+		Origin:   uint16(c.Origin),
+		Verdict:  c.Verdict.String(),
+		Existing: trace.ASNs(c.Existing.Origins()),
+		Received: trace.ASNs(c.Received.Origins()),
+		Path:     trace.PathASNs(c.Path),
+	})
 }
 
 // AS returns the speaker's AS number.
@@ -244,7 +269,14 @@ type handler struct {
 }
 
 func (h handler) HandleUpdate(peerAS astypes.ASN, u *wire.Update) {
-	h.s.handleUpdate(peerAS, u)
+	h.s.handleUpdate(peerAS, u, 0)
+}
+
+// HandleUpdateSpan is the traced delivery path: the session hands over
+// the message's span so every downstream event correlates back to the
+// exact UPDATE.
+func (h handler) HandleUpdateSpan(peerAS astypes.ASN, u *wire.Update, span uint64) {
+	h.s.handleUpdate(peerAS, u, span)
 }
 
 func (h handler) HandleDown(peerAS astypes.ASN, err error) {
@@ -298,6 +330,7 @@ func (s *Speaker) AddPeerConn(conn net.Conn, peerAS astypes.ASN) (astypes.ASN, e
 		HoldTime: s.cfg.HoldTime,
 		Handler:  handler{s: s},
 		Metrics:  s.met.session,
+		Trace:    s.cfg.Trace,
 	})
 	if err != nil {
 		return astypes.ASNNone, fmt.Errorf("speaker AS %s: establish: %w", s.cfg.AS, err)
@@ -443,7 +476,7 @@ func (s *Speaker) Originate(prefix astypes.Prefix, list core.List) {
 	// The route was built fresh above (list encoders return fresh
 	// slices), so ownership transfers to the table without a clone.
 	ch := s.table.OriginateOwned(route)
-	s.propagateLocked(ch)
+	s.propagateLocked(ch, 0)
 }
 
 // WithdrawLocal withdraws a locally originated prefix.
@@ -451,17 +484,18 @@ func (s *Speaker) WithdrawLocal(prefix astypes.Prefix) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ch := s.table.WithdrawLocal(prefix)
-	s.propagateLocked(ch)
+	s.propagateLocked(ch, 0)
 }
 
-func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
+func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update, span uint64) {
 	s.met.updatesIn.Inc()
 	s.met.withdrawalsIn.Add(uint64(len(u.Withdrawn)))
+	origin, _ := u.Attrs.ASPath.Origin()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, w := range u.Withdrawn {
 		ch := s.table.Withdraw(peerAS, w)
-		s.propagateLocked(ch)
+		s.propagateLocked(ch, span)
 	}
 	if len(u.NLRI) == 0 {
 		return
@@ -469,6 +503,9 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 	// Receiver-side sanity: the peer must have prepended itself.
 	if first, ok := u.Attrs.ASPath.First(); !ok || first != peerAS {
 		s.met.routesRejected.Add(uint64(len(u.NLRI)))
+		for _, prefix := range u.NLRI {
+			s.recordValidate(prefix, peerAS, origin, trace.DetailRejected, span)
+		}
 		return
 	}
 	// Loop detection. A looped announcement is an implicit withdrawal of
@@ -479,17 +516,19 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 		s.met.loopsDropped.Add(uint64(len(u.NLRI)))
 		for _, prefix := range u.NLRI {
 			ch := s.table.Withdraw(peerAS, prefix)
-			s.propagateLocked(ch)
+			s.propagateLocked(ch, span)
 		}
 		return
 	}
 	for _, prefix := range u.NLRI {
 		if s.deniedPrefix(prefix) {
 			s.met.routesRejected.Inc()
+			s.recordValidate(prefix, peerAS, origin, trace.DetailRejected, span)
 			continue
 		}
-		if s.cfg.Validation != ValidationOff && !s.admitLocked(prefix, u.Attrs, peerAS) {
+		if s.cfg.Validation != ValidationOff && !s.admitLocked(prefix, u.Attrs, peerAS, span) {
 			s.met.routesRejected.Inc()
+			s.recordValidate(prefix, peerAS, origin, trace.DetailRejected, span)
 			continue
 		}
 		s.met.routesAccepted.Inc()
@@ -509,12 +548,28 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update) {
 		// route deep-copied everything it keeps from the decoder-scratch
 		// Update above, so the table takes ownership without re-cloning.
 		ch := s.table.UpdateOwned(route)
-		s.propagateLocked(ch)
+		s.propagateLocked(ch, span)
 	}
 }
 
+// recordValidate captures a validation-stage trace event.
+func (s *Speaker) recordValidate(prefix astypes.Prefix, peerAS, origin astypes.ASN, detail trace.Detail, span uint64) {
+	if !s.cfg.Trace.Enabled() {
+		return
+	}
+	s.cfg.Trace.Record(trace.Event{
+		Span:   span,
+		Kind:   trace.KindValidate,
+		Detail: detail,
+		Node:   s.cfg.AS,
+		Peer:   peerAS,
+		Origin: origin,
+		Prefix: prefix,
+	})
+}
+
 // admitLocked applies the MOAS check to one NLRI of an UPDATE.
-func (s *Speaker) admitLocked(prefix astypes.Prefix, attrs wire.PathAttrs, peerAS astypes.ASN) bool {
+func (s *Speaker) admitLocked(prefix astypes.Prefix, attrs wire.PathAttrs, peerAS astypes.ASN, span uint64) bool {
 	origin, _ := attrs.ASPath.Origin()
 	if truth, ok := s.resolved[prefix]; ok && s.cfg.Validation == ValidationDrop {
 		return truth.Contains(origin)
@@ -531,7 +586,16 @@ func (s *Speaker) admitLocked(prefix astypes.Prefix, attrs wire.PathAttrs, peerA
 		Communities: attrs.Communities,
 		AttrList:    attrList,
 		FromPeer:    peerAS,
+		Span:        span,
 	})
+	switch verdict {
+	case core.VerdictConsistent:
+		s.recordValidate(prefix, peerAS, origin, trace.DetailConsistent, span)
+	case core.VerdictConflict:
+		s.recordValidate(prefix, peerAS, origin, trace.DetailConflict, span)
+	case core.VerdictOriginNotListed:
+		s.recordValidate(prefix, peerAS, origin, trace.DetailOriginNotListed, span)
+	}
 	if verdict == core.VerdictConsistent {
 		return true
 	}
@@ -557,7 +621,7 @@ func (s *Speaker) purgeInvalidLocked(prefix astypes.Prefix, truth core.List) {
 		for _, r := range s.table.RoutesFrom(peerAS) {
 			if r.Prefix == prefix && !truth.Contains(r.OriginAS()) {
 				ch := s.table.Withdraw(peerAS, prefix)
-				s.propagateLocked(ch)
+				s.propagateLocked(ch, 0)
 			}
 		}
 	}
@@ -574,7 +638,7 @@ func (s *Speaker) handlePeerDown(peerAS astypes.ASN) {
 	s.met.peers.Dec()
 	close(p.sendQ)
 	for _, ch := range s.table.DropPeer(peerAS) {
-		s.propagateLocked(ch)
+		s.propagateLocked(ch, 0)
 	}
 	if s.cfg.OnPeerDown != nil && !s.closed {
 		// Tracked so Close waits for the callback; Add is safe here
@@ -590,11 +654,13 @@ func (s *Speaker) handlePeerDown(peerAS astypes.ASN) {
 // propagateLocked reacts to a best-route change: advertise the new best
 // (or a withdrawal) to every established peer, re-evaluate any
 // aggregates the prefix contributes to, and honor summary-only
-// suppression.
-func (s *Speaker) propagateLocked(ch rib.Change) {
+// suppression. span correlates the change to the UPDATE that caused it
+// (0 for local events: origination, peer teardown, aggregation).
+func (s *Speaker) propagateLocked(ch rib.Change, span uint64) {
 	if !ch.Changed {
 		return
 	}
+	s.recordRIB(ch, span)
 	s.refreshAggregatesLocked(ch.Prefix)
 	suppressed := s.suppressedLocked(ch.Prefix)
 	if suppressed && ch.New != nil {
@@ -615,11 +681,37 @@ func (s *Speaker) propagateLocked(ch rib.Change) {
 	for _, a := range asns {
 		p := s.peers[a]
 		if u == nil {
-			s.withdrawFromLocked(p, ch.Prefix)
+			s.withdrawFromLocked(p, ch.Prefix, span)
 			continue
 		}
-		s.enqueueUpdateLocked(p, u, ch.Prefix)
+		s.enqueueUpdateLocked(p, u, ch.Prefix, span)
 	}
+}
+
+// recordRIB captures the decision-process trace event for one change.
+func (s *Speaker) recordRIB(ch rib.Change, span uint64) {
+	if !s.cfg.Trace.Enabled() {
+		return
+	}
+	e := trace.Event{
+		Span:   span,
+		Kind:   trace.KindRIB,
+		Node:   s.cfg.AS,
+		Prefix: ch.Prefix,
+	}
+	switch ch.Reason {
+	case rib.ReasonInstalled:
+		e.Detail = trace.DetailInstalled
+	case rib.ReasonReplaced:
+		e.Detail = trace.DetailReplaced
+	case rib.ReasonWithdrawn:
+		e.Detail = trace.DetailWithdrawn
+	}
+	if ch.New != nil {
+		e.Peer = ch.New.FromPeer
+		e.Origin = ch.New.OriginAS()
+	}
+	s.cfg.Trace.Record(e)
 }
 
 // exportUpdate builds the UPDATE advertising route r to peers. The
@@ -651,16 +743,28 @@ func (s *Speaker) exportUpdate(r *rib.Route) *wire.Update {
 }
 
 func (s *Speaker) advertiseLocked(p *peer, r *rib.Route) {
-	s.enqueueUpdateLocked(p, s.exportUpdate(r), r.Prefix)
+	s.enqueueUpdateLocked(p, s.exportUpdate(r), r.Prefix, 0)
 }
 
-func (s *Speaker) enqueueUpdateLocked(p *peer, u *wire.Update, prefix astypes.Prefix) {
+func (s *Speaker) enqueueUpdateLocked(p *peer, u *wire.Update, prefix astypes.Prefix, span uint64) {
 	if !p.enqueue(u) {
 		s.teardownLocked(p)
 		return
 	}
 	s.met.updatesOut.Inc()
 	p.advertised[prefix] = true
+	if s.cfg.Trace.Enabled() {
+		origin, _ := u.Attrs.ASPath.Origin()
+		s.cfg.Trace.Record(trace.Event{
+			Span:   span,
+			Kind:   trace.KindExport,
+			Detail: trace.DetailAdvertise,
+			Node:   s.cfg.AS,
+			Peer:   p.asn,
+			Origin: origin,
+			Prefix: prefix,
+		})
+	}
 }
 
 // teardownLocked closes a stuck peer's session on a tracked goroutine
@@ -678,7 +782,7 @@ func (s *Speaker) teardownLocked(p *peer) {
 	}()
 }
 
-func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix) {
+func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix, span uint64) {
 	if !p.advertised[prefix] {
 		return
 	}
@@ -689,6 +793,16 @@ func (s *Speaker) withdrawFromLocked(p *peer, prefix astypes.Prefix) {
 	}
 	s.met.updatesOut.Inc()
 	p.advertised[prefix] = false
+	if s.cfg.Trace.Enabled() {
+		s.cfg.Trace.Record(trace.Event{
+			Span:   span,
+			Kind:   trace.KindExport,
+			Detail: trace.DetailWithdrawal,
+			Node:   s.cfg.AS,
+			Peer:   p.asn,
+			Prefix: prefix,
+		})
+	}
 }
 
 // Close shuts down every session and listener and waits for all speaker

@@ -1,0 +1,97 @@
+package speaker
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// TestTracedPipelineAndAlarmForensics drives the legit-then-forged
+// scenario through a traced validating speaker and checks the full
+// event chain (recv → validate → rib → export) plus the forensic
+// bundle captured for the conflict.
+func TestTracedPipelineAndAlarmForensics(t *testing.T) {
+	prefix := astypes.MustPrefix(0x83b30000, 16) // 131.179.0.0/16
+	rec := trace.NewRecorder(1024)
+
+	validator, err := New(Config{
+		AS:         100,
+		RouterID:   100,
+		Validation: ValidationDrop,
+		Trace:      rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { validator.Close() })
+	legit := newSpeaker(t, 65001, ValidationOff, nil)
+	forged := newSpeaker(t, 64999, ValidationOff, nil)
+	connectPair(t, validator, legit)
+	connectPair(t, validator, forged)
+
+	legit.Originate(prefix, core.NewList(65001))
+	waitFor(t, func() bool { return validator.Table().Best(prefix) != nil }, "legit route at validator")
+
+	forged.Originate(prefix, core.List{}) // implicit {64999}: MOAS conflict
+	waitFor(t, func() bool { return rec.AlarmCount() == 1 }, "forensic bundle capture")
+
+	b, ok := rec.Alarm(0)
+	if !ok {
+		t.Fatal("bundle 0 missing")
+	}
+	if b.Prefix != "131.179.0.0/16" || b.Verdict != "conflict" {
+		t.Errorf("bundle identity: %+v", b)
+	}
+	if b.Node != 100 || b.FromPeer != 64999 || b.Origin != 64999 {
+		t.Errorf("bundle endpoints: node=%d fromPeer=%d origin=%d", b.Node, b.FromPeer, b.Origin)
+	}
+	if want := []uint16{64999, 65001}; !reflect.DeepEqual(b.Origins, want) {
+		t.Errorf("competing origins: %v, want %v", b.Origins, want)
+	}
+	if !reflect.DeepEqual(b.Existing, []uint16{65001}) || !reflect.DeepEqual(b.Received, []uint16{64999}) {
+		t.Errorf("MOAS lists: existing=%v received=%v", b.Existing, b.Received)
+	}
+	if !reflect.DeepEqual(b.Path, []uint16{64999}) {
+		t.Errorf("offending path: %v", b.Path)
+	}
+	if b.Span == 0 {
+		t.Error("bundle missing the triggering message's span")
+	}
+	if len(b.Timeline) == 0 || b.Timeline[len(b.Timeline)-1].Kind != trace.KindAlarm {
+		t.Errorf("timeline must end with the alarm: %+v", b.Timeline)
+	}
+
+	// The ring holds the full causal chain for the prefix.
+	kinds := map[trace.Kind]bool{}
+	var valDetails []trace.Detail
+	for _, e := range rec.Events() {
+		if e.Prefix.String() != "131.179.0.0/16" {
+			continue
+		}
+		kinds[e.Kind] = true
+		if e.Kind == trace.KindValidate {
+			valDetails = append(valDetails, e.Detail)
+		}
+	}
+	for _, k := range []trace.Kind{trace.KindRecv, trace.KindValidate, trace.KindRIB, trace.KindExport, trace.KindAlarm} {
+		if !kinds[k] {
+			t.Errorf("no %s event recorded for the prefix", k)
+		}
+	}
+	// The legit route validated consistent; the forged one conflicted
+	// and was ultimately rejected.
+	hasDetail := func(d trace.Detail) bool {
+		for _, v := range valDetails {
+			if v == d {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasDetail(trace.DetailConsistent) || !hasDetail(trace.DetailConflict) || !hasDetail(trace.DetailRejected) {
+		t.Errorf("validate details: %v", valDetails)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -24,6 +25,13 @@ type AdminConfig struct {
 	// ShutdownTimeout bounds the graceful drain in Close before open
 	// connections are cut. Zero selects 2s.
 	ShutdownTimeout time.Duration
+	// Debug maps extra URL patterns to handlers (e.g. the flight
+	// recorder's /debug/trace and /debug/alarms routes from
+	// trace.Routes). Patterns follow http.ServeMux semantics.
+	Debug map[string]http.Handler
+	// Pprof, when true, mounts net/http/pprof under /debug/pprof/ so a
+	// live process can be profiled through the same admin port.
+	Pprof bool
 }
 
 // Admin is a running admin HTTP endpoint serving /metrics (Prometheus
@@ -76,6 +84,18 @@ func (a *Admin) Handler() http.Handler {
 	mux.HandleFunc("/healthz", a.handleHealthz)
 	if a.cfg.MIB != nil {
 		mux.Handle("/debug/mib", a.cfg.MIB)
+	}
+	for pattern, h := range a.cfg.Debug {
+		mux.Handle(pattern, h)
+	}
+	if a.cfg.Pprof {
+		// http.DefaultServeMux registration in net/http/pprof doesn't
+		// apply to this mux; mount the handlers explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	return mux
 }

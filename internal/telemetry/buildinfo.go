@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo registers the conventional build_info gauge on r: a
+// constant 1 labeled with the module version, the Go toolchain version,
+// and the VCS revision the binary was built from (when stamped by the
+// Go tool). Fields the build didn't stamp report "unknown", so scrapers
+// always see all three labels.
+func RegisterBuildInfo(r *Registry) {
+	version, revision := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				revision = s.Value
+			}
+		}
+	}
+	r.GaugeVec("build_info",
+		"Build metadata: a constant 1 labeled with version, Go toolchain, and VCS revision.",
+		"version", "goversion", "revision").
+		With(version, runtime.Version(), revision).Set(1)
+}

@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterBuildInfo(t *testing.T) {
+	r := NewRegistry("t")
+	RegisterBuildInfo(r)
+
+	var prom strings.Builder
+	if err := WritePrometheus(&prom, r); err != nil {
+		t.Fatal(err)
+	}
+	text := prom.String()
+	if !strings.Contains(text, "t_build_info{") {
+		t.Fatalf("build_info missing from text exposition:\n%s", text)
+	}
+	if !strings.Contains(text, `goversion="`+runtime.Version()+`"`) {
+		t.Errorf("goversion label missing:\n%s", text)
+	}
+	for _, label := range []string{`version="`, `revision="`} {
+		if !strings.Contains(text, label) {
+			t.Errorf("label %s missing:\n%s", label, text)
+		}
+	}
+
+	var js strings.Builder
+	if err := WriteJSON(&js, r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"t_build_info"`) {
+		t.Errorf("build_info missing from JSON exposition:\n%s", js.String())
+	}
+
+	// The gauge's value is the conventional constant 1.
+	for _, fam := range r.Gather() {
+		if fam.Name == "t_build_info" {
+			if len(fam.Series) != 1 || fam.Series[0].Value != 1 {
+				t.Errorf("build_info series: %+v", fam.Series)
+			}
+			return
+		}
+	}
+	t.Error("build_info family not gathered")
+}
+
+func TestAdminDebugAndPprofRoutes(t *testing.T) {
+	r := NewRegistry("t")
+	extra := http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("traced"))
+	})
+	a, err := ServeAdmin("127.0.0.1:0", AdminConfig{
+		Registry: r,
+		Debug:    map[string]http.Handler{"/debug/trace": extra},
+		Pprof:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	if got := get(t, "http://"+a.Addr()+"/debug/trace"); got != "traced" {
+		t.Errorf("/debug/trace = %q", got)
+	}
+	if got := get(t, "http://"+a.Addr()+"/debug/pprof/cmdline"); got == "" {
+		t.Error("/debug/pprof/cmdline empty")
+	}
+	if got := get(t, "http://"+a.Addr()+"/debug/pprof/"); !strings.Contains(got, "pprof") {
+		t.Errorf("/debug/pprof/ index: %q", got)
+	}
+}

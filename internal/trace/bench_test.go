@@ -1,0 +1,52 @@
+package trace
+
+import "testing"
+
+// BenchmarkTraceRecord measures the enabled record path — the cost
+// every traced message pays at each pipeline stage. The acceptance bar
+// is 0 allocs/op.
+func BenchmarkTraceRecord(b *testing.B) {
+	r := NewRecorder(4096) // wall clock on: the live-path configuration
+	e := testEvent(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(e)
+	}
+}
+
+// BenchmarkTraceRecordDisabled is the baseline an untraced run pays on
+// the session receive path: one atomic load, 0 allocs, a few ns.
+func BenchmarkTraceRecordDisabled(b *testing.B) {
+	r := NewRecorder(4096)
+	r.SetEnabled(false)
+	e := testEvent(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(e)
+	}
+}
+
+// BenchmarkTraceRecordNil is the cost with tracing absent entirely (nil
+// recorder), the default for binaries built without -trace-events.
+func BenchmarkTraceRecordNil(b *testing.B) {
+	var r *Recorder
+	e := testEvent(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Record(e)
+	}
+}
+
+// BenchmarkTraceAppendJSON measures the admin-endpoint event encoder.
+func BenchmarkTraceAppendJSON(b *testing.B) {
+	e := testEvent(1)
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = AppendEventJSON(buf[:0], &e)
+	}
+}

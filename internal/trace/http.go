@@ -1,0 +1,114 @@
+// Admin-endpoint handlers for the flight recorder. Routes plugs into
+// the telemetry admin server's Debug map (telemetry.AdminConfig) so
+// every binary that serves /metrics can also serve its trace ring and
+// alarm forensics.
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Routes returns the debug handlers for a recorder, keyed by URL
+// pattern in the form http.ServeMux expects:
+//
+//	/debug/trace      recent ring events; text by default, ?format=json
+//	                  for one JSON object per line, ?n= to limit count
+//	/debug/alarms     all retained forensic bundles as a JSON array
+//	/debug/alarms/    a single bundle by ID (/debug/alarms/3)
+//
+// A nil recorder yields handlers that answer 503, so wiring is
+// unconditional at call sites.
+func Routes(r *Recorder) map[string]http.Handler {
+	return map[string]http.Handler{
+		"/debug/trace":   traceHandler{r},
+		"/debug/alarms":  alarmListHandler{r},
+		"/debug/alarms/": alarmHandler{r},
+	}
+}
+
+func recorderUnavailable(w http.ResponseWriter, r *Recorder) bool {
+	if r == nil {
+		http.Error(w, "tracing not enabled", http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
+type traceHandler struct{ rec *Recorder }
+
+func (h traceHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if recorderUnavailable(w, h.rec) {
+		return
+	}
+	events := h.rec.Events()
+	if s := req.URL.Query().Get("n"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, "invalid n", http.StatusBadRequest)
+			return
+		}
+		if n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	var buf []byte
+	if req.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		buf = append(buf, '[')
+		for i := range events {
+			if i > 0 {
+				buf = append(buf, ',', '\n')
+			}
+			buf = AppendEventJSON(buf, &events[i])
+		}
+		buf = append(buf, ']', '\n')
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for i := range events {
+			buf = AppendEventText(buf, &events[i])
+		}
+	}
+	w.Write(buf)
+}
+
+type alarmListHandler struct{ rec *Recorder }
+
+func (h alarmListHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if recorderUnavailable(w, h.rec) {
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	bundles := h.rec.Alarms()
+	if bundles == nil {
+		bundles = []AlarmBundle{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(bundles)
+}
+
+type alarmHandler struct{ rec *Recorder }
+
+func (h alarmHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if recorderUnavailable(w, h.rec) {
+		return
+	}
+	idStr := strings.TrimPrefix(req.URL.Path, "/debug/alarms/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 {
+		http.Error(w, "invalid alarm id", http.StatusBadRequest)
+		return
+	}
+	b, ok := h.rec.Alarm(id)
+	if !ok {
+		http.Error(w, "no such alarm (evicted or never raised)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(b)
+}

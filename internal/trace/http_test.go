@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func serveRoute(t *testing.T, routes map[string]http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	mux := http.NewServeMux()
+	for pattern, h := range routes {
+		mux.Handle(pattern, h)
+	}
+	req := httptest.NewRequest(http.MethodGet, url, nil)
+	w := httptest.NewRecorder()
+	mux.ServeHTTP(w, req)
+	return w
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	r := NewRecorder(16, WithoutWallClock())
+	for i := 0; i < 4; i++ {
+		r.Record(testEvent(i))
+	}
+	routes := Routes(r)
+
+	w := serveRoute(t, routes, "/debug/trace")
+	if w.Code != http.StatusOK {
+		t.Fatalf("/debug/trace: status %d", w.Code)
+	}
+	if body := w.Body.String(); strings.Count(body, "\n") != 4 || !strings.Contains(body, "131.179.0.0/16") {
+		t.Errorf("text body: %q", body)
+	}
+
+	w = serveRoute(t, routes, "/debug/trace?format=json")
+	var events []Event
+	if err := json.Unmarshal(w.Body.Bytes(), &events); err != nil {
+		t.Fatalf("json body: %v\n%s", err, w.Body.String())
+	}
+	if len(events) != 4 || events[3].Span != 3 {
+		t.Errorf("json events: %+v", events)
+	}
+
+	w = serveRoute(t, routes, "/debug/trace?n=2&format=json")
+	events = nil
+	if err := json.Unmarshal(w.Body.Bytes(), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0].Span != 2 {
+		t.Errorf("limited events: %+v", events)
+	}
+
+	if w = serveRoute(t, routes, "/debug/trace?n=bogus"); w.Code != http.StatusBadRequest {
+		t.Errorf("bad n: status %d", w.Code)
+	}
+}
+
+func TestAlarmEndpoints(t *testing.T) {
+	r := NewRecorder(64, WithoutWallClock())
+	routes := Routes(r)
+
+	// Empty alarm list is a JSON array, not null.
+	w := serveRoute(t, routes, "/debug/alarms")
+	if got := strings.TrimSpace(w.Body.String()); got != "[]" {
+		t.Errorf("empty alarms: %q", got)
+	}
+
+	r.Record(Event{Span: 7, Kind: KindRecv, Node: 100, Peer: 64999, Origin: 64999, Prefix: testPrefix})
+	r.RecordAlarm(testPrefix, AlarmBundle{
+		Span: 7, Node: 100, FromPeer: 64999, Origin: 64999, Verdict: "conflict",
+		Existing: []uint16{65001}, Received: []uint16{64999}, Path: []uint16{64999},
+	})
+
+	w = serveRoute(t, routes, "/debug/alarms")
+	var bundles []AlarmBundle
+	if err := json.Unmarshal(w.Body.Bytes(), &bundles); err != nil {
+		t.Fatalf("alarms json: %v\n%s", err, w.Body.String())
+	}
+	if len(bundles) != 1 || bundles[0].Prefix != "131.179.0.0/16" || len(bundles[0].Timeline) != 2 {
+		t.Fatalf("bundles: %+v", bundles)
+	}
+
+	w = serveRoute(t, routes, "/debug/alarms/0")
+	var b AlarmBundle
+	if err := json.Unmarshal(w.Body.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.ID != 0 || b.Origin != 64999 {
+		t.Errorf("alarm 0: %+v", b)
+	}
+
+	if w = serveRoute(t, routes, "/debug/alarms/99"); w.Code != http.StatusNotFound {
+		t.Errorf("missing alarm: status %d", w.Code)
+	}
+	if w = serveRoute(t, routes, "/debug/alarms/nope"); w.Code != http.StatusBadRequest {
+		t.Errorf("bad alarm id: status %d", w.Code)
+	}
+}
+
+func TestRoutesNilRecorder(t *testing.T) {
+	routes := Routes(nil)
+	for _, url := range []string{"/debug/trace", "/debug/alarms", "/debug/alarms/0"} {
+		if w := serveRoute(t, routes, url); w.Code != http.StatusServiceUnavailable {
+			t.Errorf("%s with nil recorder: status %d", url, w.Code)
+		}
+	}
+}

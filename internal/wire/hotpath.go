@@ -33,6 +33,10 @@ type Decoder struct {
 	upd Update
 	// asns is the flat backing store for decoded AS-path segments.
 	asns []astypes.ASN
+	// span counts successfully decoded messages: the per-session message
+	// ordinal trace events correlate on. Plain (non-atomic) on purpose —
+	// a Decoder already requires single-goroutine use.
+	span uint64
 }
 
 // Decode parses one complete message from buf (header included),
@@ -42,11 +46,21 @@ func (d *Decoder) Decode(buf []byte) (Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	var m Message
 	if t == MsgUpdate {
-		return decodeUpdateInto(&d.upd, d, body)
+		m, err = decodeUpdateInto(&d.upd, d, body)
+	} else {
+		m, err = Decode(buf)
 	}
-	return Decode(buf)
+	if err == nil {
+		d.span++
+	}
+	return m, err
 }
+
+// Span returns the ordinal of the most recently decoded message,
+// starting at 1; 0 means nothing has decoded yet.
+func (d *Decoder) Span() uint64 { return d.span }
 
 // Reader frames and decodes messages from one connection with zero
 // steady-state allocations: the read buffer is owned by the Reader and
@@ -73,6 +87,10 @@ func (rd *Reader) ReadMessage() (Message, error) {
 	}
 	return rd.dec.Decode(rd.buf[:n])
 }
+
+// Span returns the ordinal of the most recently decoded message (see
+// Decoder.Span).
+func (rd *Reader) Span() uint64 { return rd.dec.Span() }
 
 // Writer accumulates encoded messages in an owned buffer and writes
 // them out on explicit Flush points, so back-to-back sends (a route

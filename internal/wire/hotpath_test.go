@@ -295,3 +295,68 @@ func TestPooledWriteMessageZeroAlloc(t *testing.T) {
 		t.Errorf("pooled WriteMessage allocates %v per run, want 0", avg)
 	}
 }
+
+// TestDecoderSpan: spans are per-session message ordinals — they
+// advance on every successful decode (any message type) and stand
+// still on failures, so trace events never share a span across
+// distinct messages.
+func TestDecoderSpan(t *testing.T) {
+	var d Decoder
+	if d.Span() != 0 {
+		t.Fatalf("fresh Decoder span = %d, want 0", d.Span())
+	}
+	updBuf, err := Encode(moasUpdate())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kaBuf, err := Encode(&Keepalive{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Decode(updBuf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Span() != 1 {
+		t.Errorf("span after UPDATE = %d, want 1", d.Span())
+	}
+	if _, err := d.Decode(kaBuf); err != nil {
+		t.Fatal(err)
+	}
+	if d.Span() != 2 {
+		t.Errorf("span after KEEPALIVE = %d, want 2", d.Span())
+	}
+	bad := append([]byte(nil), updBuf...)
+	bad[0] = 0 // corrupt marker
+	if _, err := d.Decode(bad); err == nil {
+		t.Fatal("corrupt message decoded")
+	}
+	if d.Span() != 2 {
+		t.Errorf("span advanced on failed decode: %d", d.Span())
+	}
+}
+
+func TestReaderSpan(t *testing.T) {
+	var stream bytes.Buffer
+	for i := 0; i < 3; i++ {
+		buf, err := Encode(moasUpdate())
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(buf)
+	}
+	rd := NewReader(&stream)
+	for want := uint64(1); want <= 3; want++ {
+		if _, err := rd.ReadMessage(); err != nil {
+			t.Fatal(err)
+		}
+		if rd.Span() != want {
+			t.Errorf("Reader span = %d, want %d", rd.Span(), want)
+		}
+	}
+	if _, err := rd.ReadMessage(); err != io.EOF {
+		t.Fatalf("EOF read: %v", err)
+	}
+	if rd.Span() != 3 {
+		t.Errorf("span changed at EOF: %d", rd.Span())
+	}
+}
