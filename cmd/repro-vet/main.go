@@ -2,12 +2,13 @@
 // static analyzers: invariants of the MOAS-detection reproduction that
 // the compiler and stock go vet cannot see. It loads the requested
 // packages (default ./...), runs every registered analyzer, prints
-// findings in the usual file:line:col form, and exits nonzero when any
-// finding survives suppression.
+// findings in the usual file:line:col form (or one JSON object per
+// line with -json), and exits nonzero when any finding survives
+// suppression.
 //
 // Usage:
 //
-//	repro-vet [-dir module] [-run name,name] [-list] [patterns...]
+//	repro-vet [-dir module] [-run name,name] [-list] [-json] [patterns...]
 //
 // Suppress a finding at a specific site with:
 //
@@ -17,8 +18,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -27,17 +30,28 @@ import (
 	"repro/internal/analysis/load"
 )
 
+// jsonFinding is the -json wire form: one object per finding per line,
+// stable field names for CI artifact consumers.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("repro-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		dir     = fs.String("dir", ".", "module directory to analyze")
-		runList = fs.String("run", "", "comma-separated analyzer names to run (default all)")
-		list    = fs.Bool("list", false, "list registered analyzers and exit")
+		dir      = fs.String("dir", ".", "module directory to analyze")
+		runList  = fs.String("run", "", "comma-separated analyzer names to run (default all)")
+		list     = fs.Bool("list", false, "list registered analyzers and exit")
+		jsonMode = fs.Bool("json", false, "emit one JSON finding object per line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -75,6 +89,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
+	enc := json.NewEncoder(stdout)
 	findings := 0
 	for _, pkg := range pkgs {
 		// The analyzers' own fixture-free packages are still analyzed;
@@ -91,7 +106,17 @@ func run(args []string, stdout, stderr *os.File) int {
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Fprintln(stdout, d)
+			if *jsonMode {
+				enc.Encode(jsonFinding{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Fprintln(stdout, d)
+			}
 			findings++
 		}
 	}

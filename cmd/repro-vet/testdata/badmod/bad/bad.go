@@ -1,0 +1,9 @@
+// Package bad drops span provenance, giving the driver tests a
+// guaranteed spanthread finding.
+package bad
+
+import "badmod/internal/core"
+
+func Make(p core.Prefix) core.Conflict {
+	return core.Conflict{Prefix: p}
+}

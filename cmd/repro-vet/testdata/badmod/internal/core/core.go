@@ -1,0 +1,13 @@
+// Package core mirrors repro/internal/core's forensic types so the
+// driver tests can trigger spanthread findings in a tiny module.
+package core
+
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+type Conflict struct {
+	Prefix Prefix
+	Span   uint64
+}

@@ -1,0 +1,7 @@
+// Package measure sits inside the determinism scope (path suffix
+// internal/measure) and deliberately reads the wall clock.
+package measure
+
+import "time"
+
+func Wall() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,486 @@
+// Package allocfree statically enforces the repo's zero-allocation
+// contract on the annotated hot paths (the PR 3 wire encode/decode
+// path, rib.Best, the PR 5 trace record path, and the PR 4 simbgp
+// delivery path). Functions carrying a //repro:allocfree annotation in
+// their doc comment must not contain allocating constructs:
+//
+//   - growing append on non-scratch slices (a slice is scratch when it
+//     reaches the function as a parameter, a field, or a value derived
+//     from one — the append-in-place idiom the codec is built on)
+//   - map, slice, or &struct composite literals, make, and new
+//   - closures capturing variables (each capture boxes onto the heap)
+//   - string <-> []byte / []rune conversions
+//   - interface boxing at call sites (a concrete, non-pointer-shaped
+//     value passed where an interface is expected)
+//   - fmt.* calls
+//
+// Cold failure paths are carved out: allocating constructs inside a
+// return statement whose final result is a non-nil error are exempt,
+// because AllocsPerRun guards measure the success path and NOTIFICATION
+// errors are by definition off it. Everything else needs a reasoned
+// //repro:vet ignore.
+//
+// The check is intra-procedural: annotate every function on the hot
+// path, not just the entry point. The dynamic AllocsPerRun guards stay;
+// this analyzer catches the regression before a benchmark ever runs,
+// and on paths the benchmarks do not exercise.
+package allocfree
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Marker is the annotation that opts a function into the check.
+const Marker = "//repro:allocfree"
+
+// Analyzer enforces the zero-allocation contract on annotated functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "allocfree",
+	Doc: "flags allocating constructs (growing append, composite-literal/make/new, capturing " +
+		"closures, string<->[]byte conversions, interface boxing, fmt calls) in functions " +
+		"annotated //repro:allocfree",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !annotated(fd) {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// annotated reports whether the function's doc comment carries the
+// //repro:allocfree marker.
+func annotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), Marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// checker carries the per-function state of one checkFunc invocation.
+type checker struct {
+	pass *analysis.Pass
+	name string
+	// scratch marks local variables with scratch provenance: parameters,
+	// named results, and locals assigned from a parameter, field, or
+	// another scratch value (possibly through an append-in-place call).
+	// Appending to a scratch slice reuses caller-owned capacity and is
+	// amortized allocation-free; appending to anything else grows a
+	// fresh backing array.
+	scratch map[types.Object]bool
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	c := &checker{pass: pass, name: fd.Name.Name, scratch: make(map[types.Object]bool)}
+	// Parameters (including the receiver) and named results are scratch
+	// roots.
+	mark := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, n := range f.Names {
+				if obj := pass.TypesInfo.Defs[n]; obj != nil {
+					c.scratch[obj] = true
+				}
+			}
+		}
+	}
+	mark(fd.Recv)
+	mark(fd.Type.Params)
+	mark(fd.Type.Results)
+
+	// Pre-pass: propagate scratch provenance through assignments,
+	// optimistically (a var is scratch if any assignment anywhere in the
+	// function gives it scratch provenance). Flow-insensitivity errs
+	// toward fewer false positives.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) == 0 {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := c.objOf(id)
+				if obj == nil || c.scratch[obj] {
+					continue
+				}
+				// x := expr / x, y := expr (single rhs: provenance of the
+				// whole rhs covers every lhs).
+				var rhs ast.Expr
+				if len(as.Rhs) == len(as.Lhs) {
+					rhs = as.Rhs[i]
+				} else if len(as.Rhs) == 1 {
+					rhs = as.Rhs[0]
+				}
+				if rhs != nil && c.isScratch(rhs) {
+					c.scratch[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	c.walk(fd.Body, false)
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Defs[id]
+}
+
+// isScratch reports whether e denotes caller-owned (or field-anchored)
+// storage that append may grow without a steady-state allocation.
+func (c *checker) isScratch(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := c.objOf(e)
+		if obj == nil {
+			return false
+		}
+		if c.scratch[obj] {
+			return true
+		}
+		// Package-level scratch (e.g. a pool-backed buffer var).
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true
+		}
+		return false
+	case *ast.SelectorExpr:
+		// A field of anything (receiver state, config, pool) is scratch:
+		// growth is amortized against the owner's lifetime.
+		return true
+	case *ast.IndexExpr:
+		return c.isScratch(e.X)
+	case *ast.SliceExpr:
+		return c.isScratch(e.X)
+	case *ast.CallExpr:
+		// append follows its destination: the result owns the same
+		// backing array (or its in-place growth).
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+				return len(e.Args) > 0 && c.isScratch(e.Args[0])
+			}
+		}
+		// The append-in-place idiom: a function handed a scratch slice
+		// returns it extended (wire.AppendMessage, binary.AppendUint16,
+		// encodePrefixes...). Only slice-typed arguments carry that
+		// provenance; a scratch scalar (p.Len) must not taint the result.
+		for _, a := range e.Args {
+			tv, ok := c.pass.TypesInfo.Types[a]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+				continue
+			}
+			if c.isScratch(a) {
+				return true
+			}
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// walk checks one statement/expression tree. coldReturn is true inside
+// a return statement whose final result is a non-nil error — the cold
+// failure path the contract does not cover.
+func (c *checker) walk(n ast.Node, coldReturn bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ReturnStmt:
+		cold := coldReturn || c.isErrorReturn(n)
+		for _, r := range n.Results {
+			c.walk(r, cold)
+		}
+		return
+	case *ast.FuncLit:
+		if !coldReturn {
+			if capt := c.captured(n); capt != "" {
+				c.pass.Reportf(n.Pos(),
+					"closure captures %s in allocfree function %s (captured variables are heap-allocated)",
+					capt, c.name)
+			}
+		}
+		// The literal's body runs as part of the annotated path; check it
+		// with the same rules.
+		c.walk(n.Body, coldReturn)
+		return
+	case *ast.CallExpr:
+		c.checkCall(n, coldReturn)
+		c.walk(n.Fun, coldReturn)
+		for _, a := range n.Args {
+			c.walk(a, coldReturn)
+		}
+		return
+	case *ast.UnaryExpr:
+		if n.Op == token.AND {
+			if cl, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				if !coldReturn {
+					c.pass.Reportf(n.Pos(),
+						"&%s literal allocates in allocfree function %s",
+						typeLabel(c.pass, cl), c.name)
+				}
+				// Contents already reported via the outer flag.
+				return
+			}
+		}
+		c.walk(n.X, coldReturn)
+		return
+	case *ast.CompositeLit:
+		if tv, ok := c.pass.TypesInfo.Types[n]; ok && tv.Type != nil && !coldReturn {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				c.pass.Reportf(n.Pos(), "map literal allocates in allocfree function %s", c.name)
+			case *types.Slice:
+				if len(n.Elts) > 0 { // []T{} of len 0 is backed by zerobase
+					c.pass.Reportf(n.Pos(), "slice literal allocates in allocfree function %s", c.name)
+				}
+			}
+		}
+		for _, e := range n.Elts {
+			c.walk(e, coldReturn)
+		}
+		return
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		c.walk(child, coldReturn)
+		return false
+	})
+}
+
+// isErrorReturn reports whether ret's final expression is a non-nil
+// value of type error — the cold-path exemption.
+func (c *checker) isErrorReturn(ret *ast.ReturnStmt) bool {
+	if len(ret.Results) == 0 {
+		return false
+	}
+	last := ast.Unparen(ret.Results[len(ret.Results)-1])
+	if id, ok := last.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[last]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return types.Identical(tv.Type, types.Universe.Lookup("error").Type())
+}
+
+// checkCall applies the call-site rules: append discipline, make/new,
+// string conversions, fmt, and interface boxing of arguments.
+func (c *checker) checkCall(call *ast.CallExpr, coldReturn bool) {
+	if coldReturn {
+		return
+	}
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins and conversions.
+	if id, ok := fun.(*ast.Ident); ok {
+		switch c.pass.TypesInfo.Uses[id].(type) {
+		case *types.Builtin:
+			switch id.Name {
+			case "append":
+				if len(call.Args) > 0 && !c.isScratch(call.Args[0]) {
+					c.pass.Reportf(call.Pos(),
+						"append to non-scratch slice %s in allocfree function %s (grow caller-owned or field-anchored storage instead)",
+						types.ExprString(call.Args[0]), c.name)
+				}
+			case "make":
+				c.pass.Reportf(call.Pos(), "make allocates in allocfree function %s", c.name)
+			case "new":
+				c.pass.Reportf(call.Pos(), "new allocates in allocfree function %s", c.name)
+			}
+			return
+		}
+	}
+	if tv, ok := c.pass.TypesInfo.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+
+	// fmt calls.
+	if f := analysis.CalleeFunc(c.pass.TypesInfo, call); f != nil && f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+		c.pass.Reportf(call.Pos(), "fmt.%s call in allocfree function %s (fmt formats through interfaces and allocates)",
+			f.Name(), c.name)
+		return
+	}
+
+	// Interface boxing of arguments.
+	c.checkBoxing(call)
+}
+
+// checkConversion flags string <-> byte/rune-slice conversions, which
+// copy the data.
+func (c *checker) checkConversion(call *ast.CallExpr, to types.Type) {
+	arg := ast.Unparen(call.Args[0])
+	if id, ok := arg.(*ast.Ident); ok && id.Name == "nil" {
+		return
+	}
+	tv, ok := c.pass.TypesInfo.Types[arg]
+	if !ok || tv.Type == nil {
+		return
+	}
+	from := tv.Type
+	if isString(to) && isByteOrRuneSlice(from) {
+		c.pass.Reportf(call.Pos(), "[]byte-to-string conversion copies in allocfree function %s", c.name)
+	}
+	if isByteOrRuneSlice(to) && isString(from) {
+		c.pass.Reportf(call.Pos(), "string-to-%s conversion copies in allocfree function %s",
+			types.TypeString(to, nil), c.name)
+	}
+}
+
+// checkBoxing flags concrete, non-pointer-shaped values passed where an
+// interface parameter is expected. Pointer-shaped kinds (pointers,
+// funcs, chans, maps, unsafe.Pointer) fit in an interface word without
+// allocating; everything else is boxed onto the heap.
+func (c *checker) checkBoxing(call *ast.CallExpr) {
+	sig := callSignature(c.pass.TypesInfo, call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis != token.NoPos {
+				continue // x... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := c.pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+			continue // nil or constant (constants intern in small-value caches)
+		}
+		at := tv.Type
+		if types.IsInterface(at) || pointerShaped(at) {
+			continue
+		}
+		c.pass.Reportf(arg.Pos(),
+			"%s value boxed into interface argument in allocfree function %s (pass a pointer or restructure the call)",
+			types.TypeString(at, relativeTo(c.pass.Pkg)), c.name)
+	}
+}
+
+func relativeTo(pkg *types.Package) types.Qualifier {
+	return func(p *types.Package) string {
+		if p == pkg {
+			return ""
+		}
+		return p.Name()
+	}
+}
+
+// callSignature resolves the signature of the called function, if the
+// call is not a conversion or builtin.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[ast.Unparen(call.Fun)]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// captured returns the name of a variable the literal captures from an
+// enclosing function scope, or "".
+func (c *checker) captured(lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || v.IsField() || v.Pkg() != c.pass.Pkg {
+			return true
+		}
+		// Package-level variables are not captures.
+		if v.Parent() == c.pass.Pkg.Scope() {
+			return true
+		}
+		// Declared outside the literal's extent -> captured.
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}
+
+func typeLabel(pass *analysis.Pass, cl *ast.CompositeLit) string {
+	if tv, ok := pass.TypesInfo.Types[cl]; ok && tv.Type != nil {
+		return types.TypeString(tv.Type, relativeTo(pass.Pkg))
+	}
+	return "composite"
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// pointerShaped reports whether a value of type t is stored directly in
+// an interface word (no heap box on conversion).
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		b := t.Underlying().(*types.Basic)
+		return b.Kind() == types.UnsafePointer
+	}
+	return false
+}

@@ -1,0 +1,23 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/allocfree"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"allocating constructs and the naive encode rewrite", "flagged"},
+		{"append-in-place wire encode copy and scratch idioms", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", allocfree.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,78 @@
+// Package flagged exercises every allocating construct allocfree
+// rejects, anchored by a deliberately-allocating rewrite of the wire
+// UPDATE encode path (fresh section buffers and concatenation instead
+// of append-in-place).
+package flagged
+
+import "fmt"
+
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+type Update struct {
+	Withdrawn []Prefix
+	NLRI      []Prefix
+}
+
+// encodeBodyNaive is the UPDATE encode path rewritten the naive way:
+// build each section in a fresh slice, then concatenate.
+//
+//repro:allocfree
+func (u *Update) encodeBodyNaive() ([]byte, error) {
+	section := make([]byte, 0, 16) // want `make allocates in allocfree function encodeBodyNaive`
+	for _, p := range u.Withdrawn {
+		section = append(section, p.Len) // want `append to non-scratch slice section`
+	}
+	var body []byte
+	body = append(body, section...) // want `append to non-scratch slice body`
+	return body, nil
+}
+
+//repro:allocfree
+func mapLit() map[uint32]bool {
+	return map[uint32]bool{} // want `map literal allocates in allocfree function mapLit`
+}
+
+//repro:allocfree
+func sliceLit(n uint8) []byte {
+	return []byte{n, 0} // want `slice literal allocates in allocfree function sliceLit`
+}
+
+//repro:allocfree
+func structPtr(p Prefix) *Prefix {
+	return &Prefix{Addr: p.Addr} // want `&Prefix literal allocates in allocfree function structPtr`
+}
+
+//repro:allocfree
+func newAlloc() *Update {
+	return new(Update) // want `new allocates in allocfree function newAlloc`
+}
+
+//repro:allocfree
+func capture(n int) func() int {
+	return func() int { return n } // want `closure captures n in allocfree function capture`
+}
+
+//repro:allocfree
+func toString(b []byte) string {
+	return string(b) // want `\[\]byte-to-string conversion copies in allocfree function toString`
+}
+
+//repro:allocfree
+func toBytes(s string) []byte {
+	return []byte(s) // want `string-to-\[\]byte conversion copies in allocfree function toBytes`
+}
+
+func digest(v interface{}) {}
+
+//repro:allocfree
+func boxes(p Prefix) {
+	digest(p) // want `Prefix value boxed into interface argument in allocfree function boxes`
+}
+
+//repro:allocfree
+func format(n int) string {
+	return fmt.Sprintf("n=%d", n) // want `fmt\.Sprintf call in allocfree function format`
+}

@@ -1,0 +1,171 @@
+// Package atomiccheck enforces all-or-nothing atomic access: a struct
+// field or package-level variable touched through a sync/atomic
+// function anywhere in the package must be touched atomically
+// everywhere in the package. Mixing atomic.AddUint64(&s.n, 1) with a
+// plain `s.n` read is a data race the race detector only catches when
+// both sides happen to execute in a soaked test; this analyzer catches
+// the mix at compile time.
+//
+// Two repo conventions are exempt:
+//
+//   - functions whose name ends in "Locked" — the repo's "caller holds
+//     the lock" convention; a mutex may serialize plain access on one
+//     side of a publication boundary (telemetry snapshots do this)
+//   - structs carrying the internal/trace seqlock idiom: a field named
+//     "mark" of type sync/atomic.Uint32/Uint64. The mark word's
+//     store-release/load-acquire pairs publish the other fields, so
+//     plain access to them between mark transitions is the design,
+//     not a bug.
+//
+// Fields typed as sync/atomic.Uint64 etc. need no checking — the type
+// system already forbids plain access — so the analyzer is about the
+// old-style atomic function calls on plainly typed words.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces consistent atomic access.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc: "flags plain reads/writes of fields or package vars that are accessed via sync/atomic " +
+		"elsewhere in the package (*Locked functions and seqlock mark-word structs exempt)",
+	Run: run,
+}
+
+// target identifies one atomically-accessed storage location: a struct
+// field (structName set) or a package-level var (structName empty).
+type target struct {
+	structName string
+	name       string
+}
+
+func run(pass *analysis.Pass) error {
+	atomicSites := make(map[ast.Node]bool) // the &x arg nodes of atomic calls
+	targets := make(map[target]bool)
+
+	// Pass 1: find every sync/atomic call and record its target.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			f := analysis.CalleeFunc(pass.TypesInfo, call)
+			if f == nil || f.Pkg() == nil || f.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods of atomic.Uint64 etc.: typed, safe
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			u, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			if t, ok := targetOf(pass, u.X); ok {
+				targets[t] = true
+				atomicSites[u.X] = true
+			}
+			return true
+		})
+	}
+	if len(targets) == 0 {
+		return nil
+	}
+
+	// Pass 2: flag plain accesses to the same targets.
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				expr, ok := n.(ast.Expr)
+				if !ok || atomicSites[n] {
+					return true
+				}
+				t, ok := targetOf(pass, expr)
+				if !ok || !targets[t] {
+					return true
+				}
+				if t.structName != "" && hasSeqlockMark(pass, t.structName) {
+					return true
+				}
+				label := t.name
+				if t.structName != "" {
+					label = t.structName + "." + t.name
+				}
+				pass.Reportf(expr.Pos(),
+					"plain access to %s, which is accessed via sync/atomic elsewhere in this package "+
+						"(use atomic ops everywhere, or move the access into a *Locked function)",
+					label)
+				return false
+			})
+		}
+	}
+	return nil
+}
+
+// targetOf resolves an expression to an atomic-checkable storage
+// location: a named-struct field selector or a package-level variable.
+func targetOf(pass *analysis.Pass, e ast.Expr) (target, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		sel, ok := pass.TypesInfo.Selections[e]
+		if !ok || sel.Kind() != types.FieldVal {
+			return target{}, false
+		}
+		named := analysis.NamedType(sel.Recv())
+		if named == nil || named.Obj().Pkg() != pass.Pkg {
+			return target{}, false
+		}
+		return target{structName: named.Obj().Name(), name: e.Sel.Name}, true
+	case *ast.Ident:
+		v, ok := pass.TypesInfo.Uses[e].(*types.Var)
+		if !ok || v.Pkg() != pass.Pkg || v.Parent() != pass.Pkg.Scope() {
+			return target{}, false
+		}
+		return target{name: v.Name()}, true
+	}
+	return target{}, false
+}
+
+// hasSeqlockMark reports whether the named struct declares the trace
+// seqlock idiom: an atomic.Uint32/Uint64 field named "mark".
+func hasSeqlockMark(pass *analysis.Pass, structName string) bool {
+	obj := pass.Pkg.Scope().Lookup(structName)
+	if obj == nil {
+		return false
+	}
+	st, ok := obj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "mark" {
+			continue
+		}
+		named := analysis.NamedType(f.Type())
+		if named == nil || named.Obj().Pkg() == nil {
+			continue
+		}
+		if named.Obj().Pkg().Path() == "sync/atomic" &&
+			strings.HasPrefix(named.Obj().Name(), "Uint") {
+			return true
+		}
+	}
+	return false
+}

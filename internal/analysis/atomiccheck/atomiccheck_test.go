@@ -1,0 +1,23 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/atomiccheck"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"mixed atomic and plain access", "flagged"},
+		{"seqlock, Locked-suffix, and typed atomics", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", atomiccheck.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,56 @@
+// Package clean holds the access patterns atomiccheck must accept: the
+// trace seqlock idiom, *Locked snapshot functions, and typed atomics.
+package clean
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// slot mirrors the internal/trace seqlock: the mark word's
+// store-release/load-acquire pairs publish seq, so plain access between
+// mark transitions is the design, not a race.
+type slot struct {
+	mark atomic.Uint64
+	seq  uint64
+}
+
+func (s *slot) store(v uint64) {
+	s.mark.Add(1)
+	atomic.StoreUint64(&s.seq, v)
+	s.mark.Add(1)
+}
+
+func (s *slot) read() uint64 {
+	return s.seq
+}
+
+// Counter pairs an atomic fast path with a mutex-serialized snapshot
+// path; the plain read lives in a *Locked function per repo convention.
+type Counter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *Counter) Inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *Counter) Snapshot() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.snapshotLocked()
+}
+
+func (c *Counter) snapshotLocked() uint64 {
+	return c.n
+}
+
+// Typed fields need no checking: the type system forbids plain access.
+type Typed struct {
+	n atomic.Uint64
+}
+
+func (t *Typed) Inc() uint64 { return t.n.Add(1) }
+
+var _ = []interface{}{(*slot).store, (*slot).read}

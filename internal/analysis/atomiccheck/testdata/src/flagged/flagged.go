@@ -1,0 +1,28 @@
+// Package flagged mixes sync/atomic and plain access to the same
+// storage locations — the races atomiccheck exists to catch.
+package flagged
+
+import "sync/atomic"
+
+// Stats counts deliveries; n is atomic on the write side only.
+type Stats struct {
+	n uint64
+}
+
+func (s *Stats) Inc() {
+	atomic.AddUint64(&s.n, 1)
+}
+
+func (s *Stats) Read() uint64 {
+	return s.n // want `plain access to Stats\.n`
+}
+
+var dropped int64
+
+func Drop() {
+	atomic.AddInt64(&dropped, 1)
+}
+
+func Dropped() int64 {
+	return dropped // want `plain access to dropped`
+}

@@ -1,0 +1,231 @@
+// Package determinism statically enforces the evaluation pipeline's
+// byte-identical-to-serial contract (PR 4): a sweep with a fixed seed
+// must produce the same bytes whether it runs on one worker or N. The
+// check applies to the deterministic packages — internal/sim,
+// internal/simbgp, internal/experiment, internal/routegen and
+// internal/measure — and flags the three constructs that historically
+// break the contract:
+//
+//   - ranging over a map while appending to a slice, scheduling events,
+//     sending on a channel, or printing — Go randomizes map iteration
+//     order, so anything order-sensitive fed from a map range is
+//     nondeterministic unless the collected slice is sorted afterwards
+//     in the same function (which is recognized and exempt)
+//   - time.Now / time.Since / time.Until / time.Sleep and the global
+//     math/rand functions — virtual time comes from the sim engine and
+//     randomness from per-run rand.New(rand.NewSource(seed)) instances;
+//     wall-clock or shared-state sources differ across runs
+//   - select statements with two or more value-binding receive cases —
+//     when several results are ready, select picks uniformly at random;
+//     result collection must drain one data channel (a bare <-done
+//     cancellation case does not count)
+//
+// Packages outside the deterministic set are not checked.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces the deterministic-evaluation contract.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "flags map-range order dependence, wall-clock/global-rand use, and multi-receive " +
+		"selects in the deterministic evaluation packages (sim, simbgp, experiment, routegen, measure)",
+	Run: run,
+}
+
+// scopeSuffixes are the packages under the byte-identical-to-serial
+// contract.
+var scopeSuffixes = []string{
+	"internal/sim",
+	"internal/simbgp",
+	"internal/experiment",
+	"internal/routegen",
+	"internal/measure",
+}
+
+// allowedRandFuncs are the package-level math/rand functions that
+// construct seeded per-run state rather than consuming the global
+// source.
+var allowedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	inScope := false
+	for _, s := range scopeSuffixes {
+		if analysis.HasPathSuffix(pass.Pkg.Path(), s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// sortedExprs collects the rendered arguments of every sort call in
+	// the function; a map-range append into one of them is ordered
+	// before use and therefore exempt.
+	sorted := sortedExprs(pass, fd.Body)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkTimeAndRand(pass, n, fd.Name.Name)
+		case *ast.RangeStmt:
+			if isMapType(pass, n.X) {
+				checkMapRange(pass, n, fd.Name.Name, sorted)
+			}
+		case *ast.SelectStmt:
+			checkSelect(pass, n, fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// checkTimeAndRand flags wall-clock reads and global math/rand use.
+func checkTimeAndRand(pass *analysis.Pass, call *ast.CallExpr, funcName string) {
+	f := analysis.CalleeFunc(pass.TypesInfo, call)
+	if f == nil || f.Pkg() == nil {
+		return
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return // methods (e.g. a local *rand.Rand, engine.Now) are fine
+	}
+	switch f.Pkg().Path() {
+	case "time":
+		switch f.Name() {
+		case "Now", "Since", "Until", "Sleep":
+			pass.Reportf(call.Pos(),
+				"time.%s in deterministic package (use the sim engine's virtual clock; wall time differs across runs) in %s",
+				f.Name(), funcName)
+		}
+	case "math/rand", "math/rand/v2":
+		if !allowedRandFuncs[f.Name()] {
+			pass.Reportf(call.Pos(),
+				"global math/rand.%s in deterministic package (draw from a per-run rand.New(rand.NewSource(seed))) in %s",
+				f.Name(), funcName)
+		}
+	}
+}
+
+// checkMapRange flags order-sensitive sinks inside a map-range body.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt, funcName string, sorted map[string]bool) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" {
+					continue
+				}
+				if len(call.Args) == 0 {
+					continue
+				}
+				base := types.ExprString(call.Args[0])
+				if sorted[base] {
+					continue
+				}
+				pass.Reportf(call.Pos(),
+					"append to %s inside a map range in %s: element order follows map iteration order (sort %s afterwards, or iterate sorted keys)",
+					base, funcName, base)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send inside a map range in %s: delivery order follows map iteration order", funcName)
+		case *ast.CallExpr:
+			if f := analysis.CalleeFunc(pass.TypesInfo, n); f != nil {
+				switch f.Name() {
+				case "Schedule", "ScheduleTyped", "ScheduleAt":
+					pass.Reportf(n.Pos(),
+						"%s inside a map range in %s: event order follows map iteration order (iterate sorted keys)",
+						f.Name(), funcName)
+				case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln", "Sprint", "Sprintf", "Sprintln":
+					if f.Pkg() != nil && f.Pkg().Path() == "fmt" {
+						pass.Reportf(n.Pos(),
+							"fmt.%s inside a map range in %s: output order follows map iteration order", f.Name(), funcName)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkSelect flags selects that bind received values from two or more
+// channels: when both are ready the winner is random, so a result
+// merger built this way interleaves nondeterministically.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt, funcName string) {
+	binding := 0
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		if as, ok := comm.Comm.(*ast.AssignStmt); ok && len(as.Rhs) == 1 {
+			if u, ok := ast.Unparen(as.Rhs[0]).(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				binding++
+			}
+		}
+	}
+	if binding >= 2 {
+		pass.Reportf(sel.Pos(),
+			"select with %d value-binding receives in %s: ready-channel choice is random; collect results from one channel (reorder-buffer pattern)",
+			binding, funcName)
+	}
+}
+
+// sortedExprs returns the rendered form of every argument passed to a
+// sort.* or slices.Sort* call in the body.
+func sortedExprs(pass *analysis.Pass, body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		f := analysis.CalleeFunc(pass.TypesInfo, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		if p := f.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, a := range call.Args {
+			out[types.ExprString(a)] = true
+		}
+		return true
+	})
+	return out
+}
+
+func isMapType(pass *analysis.Pass, x ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[x]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}

@@ -1,0 +1,24 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"nondeterministic constructs in scope", "detflagged/internal/measure"},
+		{"deterministic idioms in scope", "detclean/internal/sim"},
+		{"out-of-scope package unchecked", "outofscope"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", determinism.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,53 @@
+// Package sim (fixture) holds deterministic shapes the analyzer must
+// accept: map ranges whose collected slice is sorted before use, seeded
+// per-run rand instances, and single-data-channel result collection.
+package sim
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// sortedKeys collects map keys and sorts them in the same function:
+// order independence is restored, so the append is exempt.
+func sortedKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// seeded draws from a per-run source; rand.New/rand.NewSource construct
+// state rather than consuming the global source, and r.Intn is a
+// method on the local instance.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(6)
+}
+
+// drain collects results from one data channel; the done case is a
+// bare receive and does not bind a value.
+func drain(results chan int, done chan struct{}) int {
+	total := 0
+	for {
+		select {
+		case v := <-results:
+			total += v
+		case <-done:
+			return total
+		}
+	}
+}
+
+// aggregate ranges over a map with an order-independent sink.
+func aggregate(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+var _ = []interface{}{sortedKeys, seeded, drain, aggregate}

@@ -1,0 +1,63 @@
+// Package measure (fixture) exercises the constructs determinism
+// rejects inside the deterministic package set; the import path ends in
+// internal/measure, putting it in scope.
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now in deterministic package`
+}
+
+func globalRand() int {
+	return rand.Intn(6) // want `global math/rand\.Intn in deterministic package`
+}
+
+func collectKeys(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range`
+	}
+	return keys
+}
+
+func fanOut(m map[int]string, ch chan int) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+type engine struct{}
+
+func (engine) Schedule(at int) {}
+
+func scheduleAll(e engine, m map[int]bool) {
+	for k := range m {
+		e.Schedule(k) // want `Schedule inside a map range`
+	}
+}
+
+func dump(m map[int]string) {
+	for k, v := range m {
+		fmt.Printf("%d=%s\n", k, v) // want `fmt\.Printf inside a map range`
+	}
+}
+
+func merge(a, b chan int) int {
+	total := 0
+	for i := 0; i < 2; i++ {
+		select { // want `select with 2 value-binding receives`
+		case v := <-a:
+			total += v
+		case v := <-b:
+			total += v
+		}
+	}
+	return total
+}
+
+var _ = []interface{}{wallClock, globalRand, collectKeys, fanOut, scheduleAll, dump, merge}

@@ -1,0 +1,12 @@
+// Package outofscope is outside the deterministic package set: wall
+// clock and global rand are allowed here, so nothing is reported.
+package outofscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Wall() int64 { return time.Now().UnixNano() }
+
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,147 @@
+package load_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/load"
+)
+
+// writeModule lays out a throwaway module under t.TempDir and returns
+// its root. files maps relative paths to contents.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module tmpmod\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestGenericFunctions loads a package whose API is generic: the new
+// analyzers walk TypesInfo of instantiated and uninstantiated generic
+// code, so loading must type-check it without error.
+func TestGenericFunctions(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"generic.go": `package tmpmod
+
+type Number interface {
+	~int | ~int64 | ~float64
+}
+
+func Sum[T Number](xs []T) T {
+	var total T
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+func Keys[K comparable, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+var _ = Sum([]int{1, 2, 3})
+var _ = Keys(map[string]int{"a": 1})
+`,
+	})
+	pkgs, err := load.Packages(dir, "./...")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Types == nil || pkg.TypesInfo == nil {
+		t.Fatal("package missing type information")
+	}
+	if obj := pkg.Types.Scope().Lookup("Sum"); obj == nil {
+		t.Fatal("generic function Sum not in package scope")
+	}
+}
+
+// TestBuildTaggedFiles loads a package with a constrained file: go list
+// reports only the files selected for the current build context, so a
+// file excluded by its tag must not break loading or leak into Files.
+func TestBuildTaggedFiles(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"main.go": `package tmpmod
+
+func Live() int { return on() }
+`,
+		"on_default.go": `//go:build !neverenabled
+
+package tmpmod
+
+func on() int { return 1 }
+`,
+		"off_tagged.go": `//go:build neverenabled
+
+package tmpmod
+
+// This file references an undefined symbol: if the loader ever feeds
+// it to the type checker the test fails loudly.
+func off() int { return doesNotExist() }
+`,
+	})
+	pkgs, err := load.Packages(dir, "./...")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	for _, f := range pkgs[0].Files {
+		name := filepath.Base(pkgs[0].Fset.Position(f.Pos()).Filename)
+		if name == "off_tagged.go" {
+			t.Fatal("build-tag-excluded file was loaded")
+		}
+	}
+}
+
+// TestTestFilesExcluded pins the loader contract the analyzers rely on:
+// _test.go files are never analyzed, even when present in the package
+// directory.
+func TestTestFilesExcluded(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"lib.go": `package tmpmod
+
+func Lib() int { return 1 }
+`,
+		"lib_test.go": `package tmpmod
+
+import "testing"
+
+func TestLib(t *testing.T) {
+	if Lib() != 1 {
+		t.Fatal("nope")
+	}
+}
+`,
+	})
+	pkgs, err := load.Packages(dir, "./...")
+	if err != nil {
+		t.Fatalf("Packages: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := filepath.Base(pkg.Fset.Position(f.Pos()).Filename)
+			if name == "lib_test.go" {
+				t.Fatal("_test.go file was loaded for analysis")
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package spanthread enforces the forensic span-threading contract
+// (PR 5): every value that enters the MOAS forensic chain must state
+// its message-span provenance explicitly, so a refactor of the live
+// path (the planned stage-pipeline restructuring in particular) cannot
+// silently drop the wire.Decoder ordinal that lets an operator trace an
+// alarm back to the exact UPDATE that caused it.
+//
+// Two rules:
+//
+//   - composite literals of core.Announcement, core.Conflict, and
+//     trace.AlarmBundle must carry an explicit Span: key. Span zero is
+//     a legitimate value ("no message context"), but it must be written
+//     down — an omitted field and a deliberate zero are
+//     indistinguishable at the literal and mean different things to a
+//     reviewer. Positional literals are flagged for the same reason.
+//   - composite literals of rib.Change that state Changed: true must
+//     also state a Reason: the trace/forensic consumers classify
+//     changes by Reason, and a defaulted ReasonNone on a real change
+//     reads as "decision process ran, nothing happened".
+//
+// Empty literals (T{}) are zero-value sentinels, not forensic records,
+// and are exempt.
+package spanthread
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces span/reason threading on the forensic chain.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanthread",
+	Doc: "flags core.Announcement/core.Conflict/trace.AlarmBundle literals without an explicit " +
+		"Span and rib.Change literals with Changed: true but no Reason",
+	Run: run,
+}
+
+// spanTypes are the forensic types that must state Span explicitly,
+// keyed by (package path suffix, type name).
+var spanTypes = []struct{ pkg, name string }{
+	{"internal/core", "Announcement"},
+	{"internal/core", "Conflict"},
+	{"internal/trace", "AlarmBundle"},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[cl]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			for _, st := range spanTypes {
+				if analysis.IsPkgType(tv.Type, st.pkg, st.name) {
+					checkSpan(pass, cl, st.name)
+					return true
+				}
+			}
+			if analysis.IsPkgType(tv.Type, "internal/rib", "Change") {
+				checkChangeReason(pass, cl)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSpan requires an explicit Span key on a non-empty keyed literal.
+func checkSpan(pass *analysis.Pass, cl *ast.CompositeLit, typeName string) {
+	if len(cl.Elts) == 0 {
+		return // zero-value sentinel
+	}
+	keyed := true
+	for _, e := range cl.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			keyed = false
+			break
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Span" {
+			return
+		}
+	}
+	if !keyed {
+		pass.Reportf(cl.Pos(),
+			"%s built with a positional literal: use a keyed literal with an explicit Span so forensic provenance survives refactors",
+			typeName)
+		return
+	}
+	pass.Reportf(cl.Pos(),
+		"%s literal without an explicit Span: thread the message span through (state Span: 0 deliberately if no message context exists)",
+		typeName)
+}
+
+// checkChangeReason requires Reason alongside Changed: true.
+func checkChangeReason(pass *analysis.Pass, cl *ast.CompositeLit) {
+	changedTrue, hasReason := false, false
+	for _, e := range cl.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			return // positional Change literals are not part of the contract
+		}
+		id, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		switch id.Name {
+		case "Changed":
+			if v, ok := kv.Value.(*ast.Ident); ok && v.Name == "true" {
+				changedTrue = true
+			}
+		case "Reason":
+			hasReason = true
+		}
+	}
+	if changedTrue && !hasReason {
+		pass.Reportf(cl.Pos(),
+			"rib.Change with Changed: true but no Reason: trace and forensic consumers classify changes by Reason")
+	}
+}

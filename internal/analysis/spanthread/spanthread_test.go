@@ -1,0 +1,23 @@
+package spanthread_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spanthread"
+)
+
+func TestSpanThread(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"dropped span and reason provenance", "flagged"},
+		{"explicit spans and sentinels", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", spanthread.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,32 @@
+// Package clean threads span provenance explicitly everywhere.
+package clean
+
+import (
+	"repro/internal/core"
+	"repro/internal/rib"
+	"repro/internal/trace"
+)
+
+func conflict(p core.Prefix, span uint64) core.Conflict {
+	return core.Conflict{Prefix: p, Span: span}
+}
+
+// Zero-value sentinels are not forensic records.
+func sentinel() trace.AlarmBundle {
+	return trace.AlarmBundle{}
+}
+
+// A deliberate "no message context" span is stated, not omitted.
+func untraced(p core.Prefix) core.Announcement {
+	return core.Announcement{Prefix: p, Span: 0}
+}
+
+func change() rib.Change {
+	return rib.Change{Changed: true, Reason: rib.ReasonNewBest}
+}
+
+func noChange() rib.Change {
+	return rib.Change{Changed: false}
+}
+
+var _ = []interface{}{conflict, sentinel, untraced, change, noChange}

@@ -1,0 +1,33 @@
+// Package flagged drops span provenance on the forensic chain.
+package flagged
+
+import (
+	"repro/internal/core"
+	"repro/internal/rib"
+	"repro/internal/trace"
+)
+
+func conflictNoSpan(p core.Prefix, origin core.ASN) core.Conflict {
+	return core.Conflict{ // want `Conflict literal without an explicit Span`
+		Prefix: p,
+		Origin: origin,
+	}
+}
+
+func announcementNoSpan(p core.Prefix) core.Announcement {
+	return core.Announcement{Prefix: p} // want `Announcement literal without an explicit Span`
+}
+
+func bundleNoSpan(id int) trace.AlarmBundle {
+	return trace.AlarmBundle{ID: id} // want `AlarmBundle literal without an explicit Span`
+}
+
+func positional(p core.Prefix, origin, from core.ASN) core.Conflict {
+	return core.Conflict{p, origin, from, 7} // want `Conflict built with a positional literal`
+}
+
+func changeNoReason() rib.Change {
+	return rib.Change{Changed: true} // want `rib\.Change with Changed: true but no Reason`
+}
+
+var _ = []interface{}{conflictNoSpan, announcementNoSpan, bundleNoSpan, positional, changeNoReason}

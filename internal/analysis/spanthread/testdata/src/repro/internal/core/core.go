@@ -1,0 +1,23 @@
+// Package core stubs repro/internal/core with the declarations
+// spanthread keys on.
+package core
+
+type Prefix struct {
+	Addr uint32
+	Len  uint8
+}
+
+type ASN uint16
+
+type Announcement struct {
+	Prefix   Prefix
+	FromPeer ASN
+	Span     uint64
+}
+
+type Conflict struct {
+	Prefix   Prefix
+	Origin   ASN
+	FromPeer ASN
+	Span     uint64
+}

@@ -1,0 +1,16 @@
+// Package rib stubs repro/internal/rib with the declarations
+// spanthread keys on.
+package rib
+
+type Reason uint8
+
+const (
+	ReasonNone Reason = iota
+	ReasonNewBest
+	ReasonWithdraw
+)
+
+type Change struct {
+	Changed bool
+	Reason  Reason
+}

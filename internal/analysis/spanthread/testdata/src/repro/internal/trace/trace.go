@@ -1,0 +1,10 @@
+// Package trace stubs repro/internal/trace with the declarations
+// spanthread keys on.
+package trace
+
+type AlarmBundle struct {
+	ID    int
+	Nanos int64
+	Span  uint64
+	Node  uint16
+}

@@ -16,6 +16,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/astypes"
 	"repro/internal/core"
@@ -53,6 +54,10 @@ type Monitor struct {
 	// rec, if set, records validate events and forensic alarm bundles
 	// on a flight recorder (WithTrace).
 	rec *trace.Recorder
+	// seq mints one span per ingested entry, so an alarm bundle points
+	// back at the exact snapshot entry that triggered it even when
+	// feeds are ingested in parallel. Atomic: minted before mu is taken.
+	seq atomic.Uint64
 }
 
 // monitorMetrics is the monitor's instrumentation (WithTelemetry).
@@ -132,10 +137,15 @@ func New(opts ...Option) *Monitor {
 
 // ObserveEntry ingests one routing-table entry from the named vantage.
 func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astypes.ASPath, comms []astypes.Community) {
+	// The monitor has no wire decoder to mint spans, so each ingested
+	// entry gets its own ordinal: bundle forensics can then say "the
+	// Nth entry of this run" rather than nothing.
+	span := m.seq.Add(1)
 	verdict, conflict := m.checker.Check(core.Announcement{
 		Prefix:      prefix,
 		Path:        path,
 		Communities: comms,
+		Span:        span,
 	})
 	if m.rec.Enabled() {
 		origin, _ := path.Origin()
@@ -147,6 +157,7 @@ func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astyp
 		})
 		if verdict != core.VerdictConsistent && conflict != nil {
 			m.rec.RecordAlarm(prefix, trace.AlarmBundle{
+				Span:     conflict.Span,
 				Origin:   uint16(conflict.Origin),
 				Verdict:  verdict.String(),
 				Note:     vantage,

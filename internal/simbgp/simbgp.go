@@ -309,6 +309,8 @@ func (n *Network) Dispatch(ev sim.Typed) {
 // deliver hands inflight slot `slot` to node index toIdx, releasing the
 // slot. Link failure is re-checked at delivery time, so messages in
 // flight when the link fails are lost with it.
+//
+//repro:allocfree
 func (n *Network) deliver(toIdx, slot uint32) {
 	msg := n.inflight[slot]
 	n.inflight[slot] = message{}
@@ -318,10 +320,15 @@ func (n *Network) deliver(toIdx, slot uint32) {
 		return
 	}
 	n.msgCount++
-	dst.receive(msg)
+	// The delivery ordinal doubles as the trace span: alarm forensics
+	// can point at "the Nth message delivered in this run", which is
+	// stable under the deterministic engine.
+	dst.receive(msg, n.msgCount)
 }
 
 // allocSlot parks msg in the inflight pool and returns its slot.
+//
+//repro:allocfree
 func (n *Network) allocSlot(msg message) uint32 {
 	if k := len(n.freeMsgs); k > 0 {
 		slot := n.freeMsgs[k-1]
@@ -334,6 +341,8 @@ func (n *Network) allocSlot(msg message) uint32 {
 }
 
 // sendSlot schedules msg from nd to its neighbor in adjacency slot s.
+//
+//repro:allocfree
 func (n *Network) sendSlot(nd *Node, s int, msg message) {
 	if nd.neighborDown[s] {
 		return
@@ -501,7 +510,7 @@ func (nd *Node) withdrawLocal(prefix astypes.Prefix) {
 	nd.propagate(ch)
 }
 
-func (nd *Node) receive(msg message) {
+func (nd *Node) receive(msg message, span uint64) {
 	if msg.withdraw {
 		nd.net.trace(EvWithdrawMsg, nd.asn, msg.from, msg.prefix, astypes.ASPath{})
 		ch := nd.table.Withdraw(msg.from, msg.prefix)
@@ -520,7 +529,7 @@ func (nd *Node) receive(msg message) {
 		nd.propagate(ch)
 		return
 	}
-	if nd.mode == ModeDetect && !nd.admit(msg) {
+	if nd.mode == ModeDetect && !nd.admit(msg, span) {
 		nd.net.trace(EvRejected, nd.asn, msg.from, msg.prefix, msg.path)
 		// Rejected as invalid: treat the bogus announcement as a no-op.
 		// Any previously accepted route from this peer is deliberately
@@ -545,7 +554,7 @@ func (nd *Node) receive(msg message) {
 
 // admit applies the paper's MOAS check to an incoming announcement,
 // returning false if the route must be suppressed.
-func (nd *Node) admit(msg message) bool {
+func (nd *Node) admit(msg message, span uint64) bool {
 	eff, err := core.EffectiveList(msg.communities, msg.path)
 	if err != nil {
 		return false
@@ -561,7 +570,7 @@ func (nd *Node) admit(msg message) bool {
 	// A route whose own origin is missing from its attached list is
 	// bogus on its face (§4.1).
 	if !eff.Contains(origin) {
-		nd.raiseAndResolve(msg.prefix, core.List{}, eff, origin, msg.from, msg.path, core.VerdictOriginNotListed)
+		nd.raiseAndResolve(msg.prefix, core.List{}, eff, origin, msg.from, msg.path, core.VerdictOriginNotListed, span)
 		if truth, ok := nd.resolved[msg.prefix]; ok {
 			return truth.Contains(origin)
 		}
@@ -572,7 +581,7 @@ func (nd *Node) admit(msg message) bool {
 	// for the prefix (Adj-RIB-Ins and local).
 	for _, held := range nd.heldLists(msg.prefix) {
 		if !held.Equal(eff) {
-			nd.raiseAndResolve(msg.prefix, held, eff, origin, msg.from, msg.path, core.VerdictConflict)
+			nd.raiseAndResolve(msg.prefix, held, eff, origin, msg.from, msg.path, core.VerdictConflict, span)
 			truth, ok := nd.resolved[msg.prefix]
 			if !ok {
 				// Unresolvable conflict: be conservative, reject the
@@ -618,12 +627,13 @@ func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
 	return lists
 }
 
-func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN, path astypes.ASPath, verdict core.Verdict) {
+func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN, path astypes.ASPath, verdict core.Verdict, span uint64) {
 	nd.net.trace(EvAlarm, nd.asn, from, prefix, path)
 	if rec := nd.net.recorder; rec.Enabled() {
 		// In-transit simulation paths are immutable, so the bundle can
 		// reference path without cloning.
 		rec.RecordAlarm(prefix, trace.AlarmBundle{
+			Span:     span,
 			VNanos:   int64(nd.net.engine.Now()),
 			Node:     uint16(nd.asn),
 			FromPeer: uint16(from),
@@ -641,6 +651,7 @@ func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.L
 		Origin:   origin,
 		FromPeer: from,
 		Path:     path,
+		Span:     span,
 		Verdict:  verdict,
 	})
 	if nd.net.resolver == nil {
@@ -735,10 +746,13 @@ func (nd *Node) emitTo(peer astypes.ASN, prefix astypes.Prefix, route *rib.Route
 // emitToSlot sends the route (or a withdrawal) for prefix to the peer
 // in adjacency slot s, maintaining the advertised bookkeeping. adv is
 // the shared advertisement cache for this propagation round.
+//
+//repro:allocfree
 func (nd *Node) emitToSlot(s int, prefix astypes.Prefix, route *rib.Route, adv *outMsg) {
 	peer := nd.neighbors[s]
 	sent := nd.advertised[s]
 	if sent == nil {
+		//repro:vet ignore allocfree -- lazy one-time init of the per-slot advertised set, reused for the run's lifetime
 		sent = make(map[astypes.Prefix]bool)
 		nd.advertised[s] = sent
 	}

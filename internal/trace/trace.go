@@ -144,6 +144,7 @@ type slot struct {
 	w    [6]atomic.Uint64
 }
 
+//repro:allocfree
 func (s *slot) store(e *Event) {
 	s.w[0].Store(uint64(e.Nanos))
 	s.w[1].Store(uint64(e.VNanos))
@@ -154,6 +155,7 @@ func (s *slot) store(e *Event) {
 	s.w[5].Store(uint64(e.Aux))
 }
 
+//repro:allocfree
 func (s *slot) load(e *Event) {
 	e.Nanos = int64(s.w[0].Load())
 	e.VNanos = int64(s.w[1].Load())
@@ -261,6 +263,8 @@ func (r *Recorder) Cap() int { return len(r.slots) }
 
 // Record captures one event. Nil-safe and allocation-free; a disabled
 // recorder pays one atomic load.
+//
+//repro:allocfree
 func (r *Recorder) Record(e Event) {
 	if r == nil || !r.on.Load() {
 		return
