@@ -6,10 +6,13 @@ FUZZ_TARGETS := \
 	./internal/astypes:FuzzParsePrefix \
 	./internal/astypes:FuzzParseASPath \
 	./internal/astypes:FuzzParseCommunity \
-	./internal/trace:FuzzTraceDecode
+	./internal/trace:FuzzTraceDecode \
+	./internal/mrt:FuzzMRTDecode \
+	./internal/mrt:FuzzWriterRoundTrip \
+	./internal/mrt/rislive:FuzzRISLiveJSON
 FUZZTIME ?= 10s
 
-.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-smoke fuzz-smoke check
+.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -82,12 +85,22 @@ bench:
 	$(GO) test -json -run='^$$' -bench='^BenchmarkTrace' -benchmem \
 		./internal/trace/ > BENCH_trace.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_trace.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+	$(MAKE) bench-ingest
+
+## bench-ingest: the MRT ingestion benchmarks — a cold ≥100k-prefix
+## table load and the steady-state (zero-alloc) churn path — recorded
+## as BENCH_ingest.json; split out so CI can produce the artifact
+## without the full bench sweep.
+bench-ingest:
+	$(GO) test -json -run='^$$' -bench='^BenchmarkMRT' -benchmem \
+		./internal/mrt/ > BENCH_ingest.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_ingest.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
 ## bench-smoke: one-iteration run of every hot-path and evaluation
 ## benchmark so they can't silently rot; part of check (and so CI).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace)' \
-		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/
+	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace|BenchmarkMRT)' \
+		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/ ./internal/mrt/
 	$(GO) test -run='^$$' -benchtime=1x -benchmem \
 		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkMeasureStudy)(Baseline)?$$' .
 

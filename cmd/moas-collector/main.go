@@ -4,9 +4,16 @@
 // and (with -moasrr) checks every snapshot through the off-line MOAS
 // monitor, printing alarms as they appear — the §4.2 off-line
 // deployment, live.
+//
+// Two internet-scale ingest paths complement the TCP peerings:
+// -mrt-replay feeds an archived MRT table dump / update trace through
+// the same session→RIB→alarm path (span IDs point back at the archive
+// records), and -ris-live consumes a RIS-Live-style streaming JSON feed
+// with a bounded channel and an explicit backpressure policy.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -16,10 +23,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/astypes"
 	"repro/internal/collector"
 	"repro/internal/monitor"
+	"repro/internal/mrt"
+	"repro/internal/mrt/rislive"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -31,58 +42,131 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "admin endpoint address serving /metrics and /healthz")
 		traceEvents = flag.Int("trace-events", 0, "flight-recorder ring size; nonzero serves /debug/trace and /debug/alarms on the admin endpoint")
 		pprof       = flag.Bool("pprof", false, "mount net/http/pprof on the admin endpoint")
+		mrtReplay   = flag.String("mrt-replay", "", "MRT file (raw, .gz or .bz2) to replay through the RIB and monitor at startup")
+		risLive     = flag.String("ris-live", "", "RIS-Live streaming JSON endpoint to ingest (implies -check)")
+		risBuffer   = flag.Int("ris-buffer", rislive.DefaultBuffer, "bounded-channel capacity for -ris-live")
+		risPolicy   = flag.String("ris-policy", "block", "backpressure policy for -ris-live: block or drop")
 	)
 	flag.Parse()
 	if *traceEvents < 0 {
 		fmt.Fprintln(os.Stderr, "moas-collector: negative -trace-events")
 		os.Exit(1)
 	}
-	if err := run(*listen, *dir, *interval, *check, *metricsAddr, *traceEvents, *pprof); err != nil {
+	policy, err := rislive.ParsePolicy(*risPolicy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "moas-collector:", err)
+		os.Exit(1)
+	}
+	cfg := runConfig{
+		listen:      *listen,
+		dir:         *dir,
+		interval:    *interval,
+		check:       *check,
+		metricsAddr: *metricsAddr,
+		traceEvents: *traceEvents,
+		pprof:       *pprof,
+		mrtReplay:   *mrtReplay,
+		risLive:     *risLive,
+		risBuffer:   *risBuffer,
+		risPolicy:   policy,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-collector:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, dir string, interval time.Duration, check bool, metricsAddr string, traceEvents int, pprof bool) error {
+type runConfig struct {
+	listen      string
+	dir         string
+	interval    time.Duration
+	check       bool
+	metricsAddr string
+	traceEvents int
+	pprof       bool
+	mrtReplay   string
+	risLive     string
+	risBuffer   int
+	risPolicy   rislive.Policy
+}
+
+func run(cfg runConfig) error {
 	reg := telemetry.NewRegistry("moas")
 	telemetry.RegisterBuildInfo(reg)
 	var rec *trace.Recorder
-	if traceEvents > 0 {
-		rec = trace.NewRecorder(traceEvents)
+	if cfg.traceEvents > 0 {
+		rec = trace.NewRecorder(cfg.traceEvents)
 	}
 	c := collector.New(collector.Config{RouterID: 6447, Telemetry: reg, Trace: rec})
 	defer c.Close()
-	if metricsAddr != "" {
-		adminCfg := telemetry.AdminConfig{Registry: reg, Pprof: pprof}
+	if cfg.metricsAddr != "" {
+		adminCfg := telemetry.AdminConfig{Registry: reg, Pprof: cfg.pprof}
 		if rec != nil {
 			adminCfg.Debug = trace.Routes(rec)
 		}
-		admin, err := telemetry.ServeAdmin(metricsAddr, adminCfg)
+		admin, err := telemetry.ServeAdmin(cfg.metricsAddr, adminCfg)
 		if err != nil {
 			return err
 		}
 		defer admin.Close()
 		log.Printf("moas-collector: metrics at http://%s/metrics", admin.Addr())
 	}
-	ln, err := net.Listen("tcp", listen)
+	ln, err := net.Listen("tcp", cfg.listen)
 	if err != nil {
 		return err
 	}
 	c.Listen(ln)
 	log.Printf("moas-collector: AS %d listening on %s", collector.CollectorASN, ln.Addr())
 
-	var opts []collector.ArchiverOption
-	if check {
+	// The monitor exists whenever anything feeds it: snapshot checking,
+	// an MRT replay, or a live stream.
+	var mon *monitor.Monitor
+	if cfg.check || cfg.mrtReplay != "" || cfg.risLive != "" {
 		monOpts := []monitor.Option{monitor.WithTelemetry(reg)}
 		if rec != nil {
 			monOpts = append(monOpts, monitor.WithTrace(rec))
 		}
-		mon := monitor.New(monOpts...)
+		mon = monitor.New(monOpts...)
+	}
+
+	if cfg.mrtReplay != "" {
+		if err := replayMRT(c, mon, cfg.mrtReplay); err != nil {
+			return err
+		}
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var stage *rislive.Stage
+	if cfg.risLive != "" {
+		stage = rislive.NewStage(rislive.Config{
+			URL:      cfg.risLive,
+			Buffer:   cfg.risBuffer,
+			Policy:   cfg.risPolicy,
+			Registry: reg,
+		})
+		go func() {
+			if err := stage.Run(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("moas-collector: ris-live stream: %v", err)
+			}
+		}()
+		go func() {
+			for ev := range stage.Events() {
+				c.Inject(ev.PeerASN, &ev.Update)
+				mon.ObserveUpdateSpan("ris:"+ev.Host, &ev.Update, ev.Span)
+			}
+		}()
+		log.Printf("moas-collector: ingesting %s (buffer %d, policy %s)",
+			cfg.risLive, cfg.risBuffer, cfg.risPolicy)
+	}
+
+	var opts []collector.ArchiverOption
+	if cfg.check && mon != nil {
 		opts = append(opts, collector.WithMonitor(mon, func(a monitor.Alarm) {
 			log.Printf("ALARM [%s]: %s", a.Vantage, a.Conflict.Error())
 		}))
 	}
-	arch, err := collector.NewArchiver(c, dir, interval, opts...)
+	arch, err := collector.NewArchiver(c, cfg.dir, cfg.interval, opts...)
 	if err != nil {
 		return err
 	}
@@ -90,14 +174,62 @@ func run(listen, dir string, interval time.Duration, check bool, metricsAddr str
 	if err := arch.Start(); err != nil {
 		return err
 	}
-	log.Printf("moas-collector: archiving to %s every %s", dir, interval)
+	log.Printf("moas-collector: archiving to %s every %s", cfg.dir, cfg.interval)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
+	cancel()
+	if stage != nil {
+		cnt := stage.Counters()
+		log.Printf("moas-collector: ris-live received %d delivered %d dropped %d parse-errors %d reconnects %d",
+			cnt.Received, cnt.Delivered, cnt.Dropped, cnt.ParseErrors, cnt.Reconnects)
+	}
 	log.Println("moas-collector: final snapshot and shutdown")
 	if name, err := arch.SnapshotNow(); err == nil {
 		log.Println("moas-collector: wrote", name)
 	}
+	return nil
+}
+
+// replayMRT streams one archive through the monitor, mirroring every
+// record into the collector RIB so subsequent snapshots include the
+// replayed table.
+func replayMRT(c *collector.Collector, mon *monitor.Monitor, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	start := time.Now()
+	var inject wire.Update
+	res, err := mon.ReplayMRTFunc("mrt:"+path, f, func(rec *mrt.Record) {
+		switch rec.Kind {
+		case mrt.KindRIB:
+			// Each RIB entry becomes a one-prefix announcement from its
+			// peer; Inject clones, so reusing one scratch update is safe.
+			for i := range rec.Entries {
+				e := &rec.Entries[i]
+				inject = wire.Update{NLRI: []astypes.Prefix{rec.Prefix}}
+				inject.Attrs.ASPath = e.Path
+				inject.Attrs.Communities = e.Communities
+				inject.Attrs.HasOrigin = true
+				inject.Attrs.Origin = e.Origin
+				inject.Attrs.HasNextHop = true
+				inject.Attrs.NextHop = e.NextHop
+				c.Inject(e.PeerAS, &inject)
+			}
+		case mrt.KindMessage:
+			if rec.Update != nil {
+				c.Inject(rec.PeerAS, rec.Update)
+			}
+		}
+	})
+	if err != nil {
+		return fmt.Errorf("replay %s: %w", path, err)
+	}
+	log.Printf("moas-collector: replayed %s in %s: %d records (%d RIB prefixes, %d entries, %d updates), %d skipped, %d malformed, %d AS4-substituted",
+		path, time.Since(start).Round(time.Millisecond), res.Stats.Records, res.Stats.RIBPrefixes,
+		res.Stats.RIBEntries, res.Stats.Updates, res.Stats.Skipped, res.Malformed, res.Stats.AS4Substituted)
 	return nil
 }

@@ -29,12 +29,45 @@ func main() {
 		csvDir    = flag.String("csv", "", "directory to write fig4.csv and fig5.csv into")
 		binary    = flag.Bool("binary", false, "emit dumps in the binary archive format")
 		par       = flag.Int("parallelism", 0, "dump-generation workers (0 = GOMAXPROCS)")
+		mrtDir    = flag.String("mrt", "", "directory of MRT archives to measure instead of the synthetic series (one file per study day)")
 	)
 	flag.Parse()
-	if err := run(*seed, *days, *fig4, *fig5, *emitDumps, *emitFrom, *emitCount, *csvDir, *binary, *par); err != nil {
+	var err error
+	if *mrtDir != "" {
+		err = runMRT(*mrtDir, *fig4, *fig5, *csvDir)
+	} else {
+		err = run(*seed, *days, *fig4, *fig5, *emitDumps, *emitFrom, *emitCount, *csvDir, *binary, *par)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "moas-measure:", err)
 		os.Exit(1)
 	}
+}
+
+// runMRT runs the origin-set study over a directory of real MRT
+// archives (RouteViews/RIS table dumps or update traces), one file per
+// study day, via the measure.ObserveMRT adapter.
+func runMRT(dir string, fig4, fig5 bool, csvDir string) error {
+	analysis := measure.NewAnalysis()
+	files, err := analysis.ObserveMRTDir(dir)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== MRT ingest ==")
+	for _, f := range files {
+		fmt.Printf("%-40s records=%d rib-prefixes=%d rib-entries=%d updates=%d skipped=%d malformed=%d as4-substituted=%d\n",
+			f.Name, f.Result.Stats.Records, f.Result.Stats.RIBPrefixes, f.Result.Stats.RIBEntries,
+			f.Result.Stats.Updates, f.Result.Stats.Skipped, f.Result.Malformed, f.Result.Stats.AS4Substituted)
+	}
+	fmt.Println("\n== Summary (paper §3) ==")
+	fmt.Print(analysis.Summarize())
+	if csvDir != "" {
+		if err := writeCSVs(analysis, csvDir); err != nil {
+			return err
+		}
+	}
+	printFigures(analysis, fig4, fig5)
+	return nil
 }
 
 func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCount int, csvDir string, binary bool, parallelism int) error {
@@ -69,6 +102,11 @@ func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCo
 		}
 	}
 
+	printFigures(analysis, fig4, fig5)
+	return nil
+}
+
+func printFigures(analysis *measure.Analysis, fig4, fig5 bool) {
 	if fig4 {
 		fmt.Println("\n== Figure 4: daily MOAS case counts ==")
 		fmt.Printf("%-8s %-12s %s\n", "day", "date", "cases")
@@ -83,7 +121,6 @@ func run(seed int64, days int, fig4, fig5 bool, emitDir string, emitFrom, emitCo
 			fmt.Printf("%-16d %d\n", bin.Value, bin.Count)
 		}
 	}
-	return nil
 }
 
 func writeCSVs(analysis *measure.Analysis, dir string) error {

@@ -2,9 +2,12 @@
 // byte-identical-to-serial contract (PR 4): a sweep with a fixed seed
 // must produce the same bytes whether it runs on one worker or N. The
 // check applies to the deterministic packages — internal/sim,
-// internal/simbgp, internal/experiment, internal/routegen and
-// internal/measure — and flags the three constructs that historically
-// break the contract:
+// internal/simbgp, internal/experiment, internal/routegen,
+// internal/measure and internal/mrt (an archive must decode to the
+// same records on every run; its rislive sibling deliberately stays
+// outside the scope, since reconnect jitter and wall-clock timestamps
+// are part of that package's job) — and flags the three constructs
+// that historically break the contract:
 //
 //   - ranging over a map while appending to a slice, scheduling events,
 //     sending on a channel, or printing — Go randomizes map iteration
@@ -35,7 +38,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flags map-range order dependence, wall-clock/global-rand use, and multi-receive " +
-		"selects in the deterministic evaluation packages (sim, simbgp, experiment, routegen, measure)",
+		"selects in the deterministic evaluation packages (sim, simbgp, experiment, routegen, measure, mrt)",
 	Run: run,
 }
 
@@ -47,6 +50,7 @@ var scopeSuffixes = []string{
 	"internal/experiment",
 	"internal/routegen",
 	"internal/measure",
+	"internal/mrt",
 }
 
 // allowedRandFuncs are the package-level math/rand functions that

@@ -1,0 +1,36 @@
+// Package backoff provides the capped exponential backoff with jitter
+// shared by every reconnecting component: the daemon's peer re-dial
+// loop and the RIS-Live streaming ingest stage. Centralizing the
+// schedule keeps the fleet-desynchronization property (jittered waits)
+// uniform across subsystems.
+package backoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Delay computes the wait before retry attempt n (0-based): exponential
+// backoff 2ⁿ·base capped at max, with the final delay drawn uniformly
+// from [d/2, d]. The jitter keeps a fleet of clients that lost the same
+// remote from synchronizing their retry storms; the cap keeps a
+// long-dead remote from pushing retries out indefinitely. A base of
+// zero (or less) disables the delay entirely; a cap below the base
+// clamps to the base.
+func Delay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	if max < base {
+		max = base
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(rng.Int63n(int64(d-half)+1))
+}

@@ -1,0 +1,44 @@
+package backoff
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDelaySchedule(t *testing.T) {
+	const (
+		base = time.Second
+		max  = 8 * time.Second
+	)
+	rng := rand.New(rand.NewSource(1))
+	// Every attempt's delay must land in [d/2, d] where d doubles from
+	// base until the cap; sample repeatedly to exercise the jitter.
+	for attempt := 0; attempt < 10; attempt++ {
+		want := base << attempt
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 50; i++ {
+			got := Delay(base, max, attempt, rng)
+			if got < want/2 || got > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want/2, want)
+			}
+		}
+	}
+	// The jitter must actually vary (not return a constant).
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[Delay(base, max, 0, rng)] = true
+	}
+	if len(seen) < 2 {
+		t.Error("Delay produced no jitter")
+	}
+	// Degenerate inputs.
+	if Delay(0, max, 3, rng) != 0 {
+		t.Error("zero base should disable the delay")
+	}
+	if got := Delay(base, 0, 4, rng); got < base/2 || got > base {
+		t.Errorf("cap below base should clamp to base, got %v", got)
+	}
+}

@@ -141,6 +141,14 @@ func (h handler) HandleUpdate(peer astypes.ASN, u *wire.Update) {
 	}
 }
 
+// Inject feeds one UPDATE into the collector's RIB as if peer had sent
+// it over a session — the entry point MRT replays and streaming-feed
+// stages use to reach snapshots without a TCP peering. The update is
+// cloned on ingest, so u may alias decoder scratch.
+func (c *Collector) Inject(peer astypes.ASN, u *wire.Update) {
+	handler{c: c}.HandleUpdate(peer, u)
+}
+
 // HandleDown implements session.Handler.
 func (h handler) HandleDown(peer astypes.ASN, err error) {
 	h.c.mu.Lock()

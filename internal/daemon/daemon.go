@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/dnsval"
 	"repro/internal/speaker"
@@ -434,27 +435,12 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 	}()
 }
 
-// reconnectDelay computes the wait before re-dial attempt n (0-based):
-// exponential backoff 2ⁿ·base capped at max, with the final delay drawn
-// uniformly from [d/2, d]. The jitter keeps a fleet of peers that lost
-// the same remote from synchronizing their redial storms; the cap keeps
-// a long-dead peer from pushing retries out indefinitely.
+// reconnectDelay computes the wait before re-dial attempt n (0-based);
+// the schedule itself (capped exponential backoff with jitter) lives in
+// internal/backoff so the RIS-Live ingest stage reuses the exact same
+// machinery.
 func reconnectDelay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
-	if base <= 0 {
-		return 0
-	}
-	if max < base {
-		max = base
-	}
-	d := base
-	for i := 0; i < attempt && d < max; i++ {
-		d *= 2
-	}
-	if d > max {
-		d = max
-	}
-	half := d / 2
-	return half + time.Duration(rng.Int63n(int64(d-half)+1))
+	return backoff.Delay(base, max, attempt, rng)
 }
 
 // Close shuts the daemon down.

@@ -91,25 +91,43 @@ func NewAnalysis() *Analysis {
 // across days) rather than a freshly built map of maps; results are
 // identical to ObserveBaseline.
 func (a *Analysis) Observe(d *routegen.Dump) {
+	a.beginDay()
+	for _, e := range d.Entries {
+		if origin, ok := e.Path.Origin(); ok {
+			a.noteOrigin(e.Prefix, origin)
+		}
+	}
+	a.endDay(d.Day, d.Date)
+}
+
+// beginDay resets the per-day scratch; every (prefix, origin) sighting
+// of the day then flows through noteOrigin, and endDay folds the day
+// into the running statistics. Observe and the MRT adapter share this
+// accumulator so synthetic dumps and real archives are measured by the
+// exact same code.
+func (a *Analysis) beginDay() {
 	if a.scratchIdx == nil {
 		a.scratchIdx = make(map[astypes.Prefix]int32, 4096)
 	} else {
 		clear(a.scratchIdx)
 	}
 	a.scratchSets = a.scratchSets[:0]
-	for _, e := range d.Entries {
-		origin, ok := e.Path.Origin()
-		if !ok {
-			continue
-		}
-		i, ok := a.scratchIdx[e.Prefix]
-		if !ok {
-			i = int32(len(a.scratchSets))
-			a.scratchSets = append(a.scratchSets, originSet{})
-			a.scratchIdx[e.Prefix] = i
-		}
-		a.scratchSets[i].add(origin)
+}
+
+// noteOrigin records one (prefix, origin) sighting for the current day.
+func (a *Analysis) noteOrigin(prefix astypes.Prefix, origin astypes.ASN) {
+	i, ok := a.scratchIdx[prefix]
+	if !ok {
+		i = int32(len(a.scratchSets))
+		a.scratchSets = append(a.scratchSets, originSet{})
+		a.scratchIdx[prefix] = i
 	}
+	a.scratchSets[i].add(origin)
+}
+
+// endDay folds the day's accumulated origin sets into the running
+// statistics and appends the daily case count.
+func (a *Analysis) endDay(day int, date time.Time) {
 	cases := 0
 	for prefix, i := range a.scratchIdx {
 		n := int(a.scratchSets[i].count)
@@ -123,7 +141,7 @@ func (a *Analysis) Observe(d *routegen.Dump) {
 			a.maxOrigins[prefix] = n
 		}
 	}
-	a.daily = append(a.daily, DailyCount{Day: d.Day, Date: d.Date, Cases: cases})
+	a.daily = append(a.daily, DailyCount{Day: day, Date: date, Cases: cases})
 }
 
 // ObserveBaseline is the pre-optimization Observe, kept as the

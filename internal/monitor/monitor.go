@@ -140,7 +140,13 @@ func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astyp
 	// The monitor has no wire decoder to mint spans, so each ingested
 	// entry gets its own ordinal: bundle forensics can then say "the
 	// Nth entry of this run" rather than nothing.
-	span := m.seq.Add(1)
+	m.ObserveEntrySpan(vantage, prefix, path, comms, m.seq.Add(1))
+}
+
+// ObserveEntrySpan is ObserveEntry with a caller-supplied span: replay
+// paths pass the source record's ordinal so an alarm bundle points back
+// at the exact archived record that raised it.
+func (m *Monitor) ObserveEntrySpan(vantage string, prefix astypes.Prefix, path astypes.ASPath, comms []astypes.Community, span uint64) {
 	verdict, conflict := m.checker.Check(core.Announcement{
 		Prefix:      prefix,
 		Path:        path,
@@ -218,6 +224,23 @@ func (m *Monitor) ObserveDump(vantage string, d *routegen.Dump) {
 func (m *Monitor) ObserveUpdate(vantage string, u *wire.Update) {
 	for _, prefix := range u.NLRI {
 		m.ObserveEntry(vantage, prefix, u.Attrs.ASPath, u.Attrs.Communities)
+	}
+	m.forgetWithdrawn(u)
+}
+
+// ObserveUpdateSpan is ObserveUpdate with a caller-supplied span shared
+// by every NLRI prefix of the update: one replayed record, one span.
+func (m *Monitor) ObserveUpdateSpan(vantage string, u *wire.Update, span uint64) {
+	for _, prefix := range u.NLRI {
+		m.ObserveEntrySpan(vantage, prefix, u.Attrs.ASPath, u.Attrs.Communities, span)
+	}
+	m.forgetWithdrawn(u)
+}
+
+// forgetWithdrawn drops the withdrawn prefixes of u from the MOAS view.
+func (m *Monitor) forgetWithdrawn(u *wire.Update) {
+	if len(u.Withdrawn) == 0 {
+		return
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()

@@ -1,0 +1,133 @@
+package mrt
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/astypes"
+)
+
+// timeZero is the fixed timestamp fuzzed records carry.
+var timeZero = time.Unix(0, 0).UTC()
+
+// FuzzMRTDecode feeds arbitrary bytes through the reader. Invariants:
+// no panic, terminal errors are sticky, every successful record
+// advances both the span and the stream offset, and stats never go
+// backwards. Seeds are the golden fixtures plus their truncations and
+// a few corruptions of each.
+func FuzzMRTDecode(f *testing.F) {
+	seeds := [][]byte{
+		mustHex(f, hexPeerIndex),
+		mustHex(f, hexRIB),
+		mustHex(f, hexUpdateAS2),
+		mustHex(f, hexUpdateAS4),
+		mustHex(f, hexStateChange),
+		mustHex(f, hexUpdateET),
+		mustHex(f, hexSkipped),
+		mustHex(f, hexTruncHeader),
+		mustHex(f, hexTruncBody),
+		goldenStream(f),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		if len(s) > headerLen {
+			// Flip a body byte and truncate mid-body.
+			c := append([]byte(nil), s...)
+			c[headerLen] ^= 0xff
+			f.Add(c)
+			f.Add(s[:headerLen+1])
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return // corrupt gzip/bzip2 framing detected at construction
+		}
+		var (
+			lastSpan   uint64
+			lastOffset int64 = -1
+			prev       Stats
+		)
+		for i := 0; i <= len(data)+1; i++ {
+			rec, err := rd.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					return
+				}
+				if IsTerminal(err) {
+					// Sticky: one more call must return the identical error.
+					if _, err2 := rd.Next(); err2 != err {
+						t.Fatalf("terminal error not sticky: %v then %v", err, err2)
+					}
+					return
+				}
+				continue // recoverable body error; stream goes on
+			}
+			if rec.Span <= lastSpan {
+				t.Fatalf("span did not advance: %d after %d", rec.Span, lastSpan)
+			}
+			if rec.Offset <= lastOffset {
+				t.Fatalf("offset did not advance: %d after %d", rec.Offset, lastOffset)
+			}
+			lastSpan, lastOffset = rec.Span, rec.Offset
+			s := rd.Stats()
+			if s.Records < prev.Records || s.RIBEntries < prev.RIBEntries || s.Updates < prev.Updates {
+				t.Fatalf("stats went backwards: %+v after %+v", s, prev)
+			}
+			prev = s
+		}
+		t.Fatal("reader did not terminate after len(data)+1 records")
+	})
+}
+
+// FuzzWriterRoundTrip is the encode side: any RIB table the Writer
+// accepts must decode back. The fuzzer mutates the raw knobs.
+func FuzzWriterRoundTrip(f *testing.F) {
+	f.Add(uint32(1), uint32(0x0A000000), uint8(24), uint16(65001), uint32(0xC0000201))
+	f.Add(uint32(9), uint32(0), uint8(0), uint16(1), uint32(1))
+	f.Fuzz(func(t *testing.T, seq, addr uint32, plen uint8, as uint16, nexthop uint32) {
+		if plen > 32 || as == 0 {
+			return
+		}
+		if plen < 32 {
+			addr &^= 1<<(32-plen) - 1
+		}
+		prefix, err := astypes.NewPrefix(addr, plen)
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		peers := []Peer{{BGPID: 1, IP: 2, AS: uint32(as)}}
+		if err := w.WritePeerIndex(timeZero, 1, "fuzz", peers); err != nil {
+			t.Fatal(err)
+		}
+		want := []RIBEntry{{
+			PeerAS:  peers[0].ASN(),
+			Origin:  0,
+			Path:    astypes.NewSeqPath(peers[0].ASN()),
+			NextHop: nexthop,
+		}}
+		if err := w.WriteRIB(timeZero, seq, prefix, want); err != nil {
+			t.Fatal(err)
+		}
+		rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rd.Next(); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := rd.Next()
+		if err != nil {
+			t.Fatalf("decoding written RIB: %v", err)
+		}
+		if rec.Seq != seq || rec.Prefix != prefix || len(rec.Entries) != 1 ||
+			rec.Entries[0].PeerAS != want[0].PeerAS || rec.Entries[0].NextHop != nexthop {
+			t.Fatalf("round trip mismatch: %+v", rec)
+		}
+	})
+}

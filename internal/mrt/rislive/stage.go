@@ -1,0 +1,286 @@
+package rislive
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backoff"
+	"repro/internal/telemetry"
+)
+
+// Policy selects what the Stage does when the bounded channel is full.
+type Policy int
+
+const (
+	// PolicyBlock stalls the feed reader until the consumer catches up.
+	// Over a real connection the stall propagates into TCP backpressure;
+	// no event is ever lost, at the cost of the feed lagging.
+	PolicyBlock Policy = iota
+	// PolicyDrop discards the newest event and counts it, keeping the
+	// feed reader at line rate. Delivered + Dropped always equals
+	// Received exactly (the soak test enforces it).
+	PolicyDrop
+)
+
+func (p Policy) String() string {
+	if p == PolicyDrop {
+		return "drop"
+	}
+	return "block"
+}
+
+// ParsePolicy maps the flag spellings to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "drop":
+		return PolicyDrop, nil
+	default:
+		return 0, fmt.Errorf("rislive: unknown backpressure policy %q (want block or drop)", s)
+	}
+}
+
+// DefaultBuffer is the bounded-channel capacity when Config leaves it
+// zero: enough to ride out consumer hiccups of a few thousand events
+// without unbounded memory.
+const DefaultBuffer = 1024
+
+// Config parameterizes a Stage.
+type Config struct {
+	// URL is the streaming endpoint (NDJSON over HTTP), e.g.
+	// https://ris-live.ripe.net/v1/stream/?format=json&client=repro.
+	URL string
+	// Buffer is the bounded-channel capacity (DefaultBuffer when 0).
+	Buffer int
+	// Policy selects the full-channel behavior.
+	Policy Policy
+	// ReconnectBase and ReconnectMax bound the shared backoff schedule
+	// (1s and 30s when zero).
+	ReconnectBase time.Duration
+	ReconnectMax  time.Duration
+	// Client overrides the HTTP client (http.DefaultClient when nil).
+	Client *http.Client
+	// Registry receives the stage's counters when non-nil.
+	Registry *telemetry.Registry
+	// Seed fixes the reconnect jitter for tests; 0 seeds from the
+	// wall clock.
+	Seed int64
+}
+
+// Counters is a snapshot of the stage's accounting. Received counts
+// decoded UPDATE events entering delivery; Delivered + Dropped ==
+// Received holds exactly at any quiescent point.
+type Counters struct {
+	Received    uint64
+	Delivered   uint64
+	Dropped     uint64
+	ParseErrors uint64
+	Skipped     uint64 // well-formed lines with nothing to deliver
+	Reconnects  uint64
+}
+
+// Stage pumps a RIS-Live feed into a bounded channel. Create with
+// NewStage, consume Events(), and drive it with Run (HTTP + reconnect)
+// or RunReader (one already-open stream, e.g. a recorded file).
+type Stage struct {
+	cfg Config
+	out chan *Event
+
+	received    atomic.Uint64
+	delivered   atomic.Uint64
+	dropped     atomic.Uint64
+	parseErrors atomic.Uint64
+	skipped     atomic.Uint64
+	reconnects  atomic.Uint64
+
+	// Mirrored telemetry counters (nil when no registry was given).
+	mReceived    *telemetry.Counter
+	mDelivered   *telemetry.Counter
+	mDropped     *telemetry.Counter
+	mParseErrors *telemetry.Counter
+	mReconnects  *telemetry.Counter
+	mQueue       *telemetry.Gauge
+}
+
+// NewStage returns a Stage with the channel allocated but no connection
+// made yet.
+func NewStage(cfg Config) *Stage {
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = DefaultBuffer
+	}
+	if cfg.ReconnectBase <= 0 {
+		cfg.ReconnectBase = time.Second
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 30 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = http.DefaultClient
+	}
+	s := &Stage{cfg: cfg, out: make(chan *Event, cfg.Buffer)}
+	if r := cfg.Registry; r != nil {
+		s.mReceived = r.Counter("rislive_received_total", "UPDATE events decoded from the feed.")
+		s.mDelivered = r.Counter("rislive_delivered_total", "Events handed to the consumer.")
+		s.mDropped = r.Counter("rislive_dropped_total", "Events discarded by the drop policy.")
+		s.mParseErrors = r.Counter("rislive_parse_errors_total", "Feed lines that failed to decode.")
+		s.mReconnects = r.Counter("rislive_reconnects_total", "Feed connection attempts after the first.")
+		s.mQueue = r.Gauge("rislive_queue_depth", "Events buffered in the bounded channel.")
+	}
+	return s
+}
+
+// Events returns the bounded output channel. It is closed when Run or
+// RunReader returns.
+func (s *Stage) Events() <-chan *Event { return s.out }
+
+// Counters returns a snapshot of the stage's accounting.
+func (s *Stage) Counters() Counters {
+	return Counters{
+		Received:    s.received.Load(),
+		Delivered:   s.delivered.Load(),
+		Dropped:     s.dropped.Load(),
+		ParseErrors: s.parseErrors.Load(),
+		Skipped:     s.skipped.Load(),
+		Reconnects:  s.reconnects.Load(),
+	}
+}
+
+// Run streams from the configured URL until ctx is canceled,
+// reconnecting on any connection failure with the shared
+// capped-exponential-jittered backoff (the same schedule as the
+// daemon's peer re-dial loop). The output channel is closed on return.
+func (s *Stage) Run(ctx context.Context) error {
+	defer close(s.out)
+	seed := s.cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := s.connectOnce(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = err // any disconnect reason leads to the same backoff
+		delay := backoff.Delay(s.cfg.ReconnectBase, s.cfg.ReconnectMax, attempt, rng)
+		attempt++
+		s.reconnects.Add(1)
+		if s.mReconnects != nil {
+			s.mReconnects.Inc()
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(delay):
+		}
+	}
+}
+
+// connectOnce opens the HTTP stream and ingests it until it breaks.
+func (s *Stage) connectOnce(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.cfg.URL, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("rislive: feed returned %s", resp.Status)
+	}
+	return s.ingest(ctx, resp.Body)
+}
+
+// RunReader ingests one already-open NDJSON stream (a recorded feed
+// file, a test pipe) to EOF, then closes the output channel. No
+// reconnect: the stream is all there is.
+func (s *Stage) RunReader(ctx context.Context, r io.Reader) error {
+	defer close(s.out)
+	err := s.ingest(ctx, r)
+	if errors.Is(err, io.EOF) {
+		return nil
+	}
+	return err
+}
+
+// maxLine bounds one feed line; RIS UPDATE bursts run a few hundred KiB
+// at most.
+const maxLine = 4 << 20
+
+// ingest decodes lines from r and delivers them under the configured
+// policy until the stream or ctx ends.
+func (s *Stage) ingest(ctx context.Context, r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxLine)
+	for sc.Scan() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		ev, err := Decode(line)
+		if err != nil {
+			s.parseErrors.Add(1)
+			if s.mParseErrors != nil {
+				s.mParseErrors.Inc()
+			}
+			continue
+		}
+		if ev == nil {
+			s.skipped.Add(1)
+			continue
+		}
+		ev.Span = s.received.Add(1)
+		if s.mReceived != nil {
+			s.mReceived.Inc()
+		}
+		switch s.cfg.Policy {
+		case PolicyDrop:
+			select {
+			case s.out <- ev:
+				s.delivered.Add(1)
+				if s.mDelivered != nil {
+					s.mDelivered.Inc()
+				}
+			default:
+				s.dropped.Add(1)
+				if s.mDropped != nil {
+					s.mDropped.Inc()
+				}
+			}
+		default: // PolicyBlock
+			select {
+			case s.out <- ev:
+				s.delivered.Add(1)
+				if s.mDelivered != nil {
+					s.mDelivered.Inc()
+				}
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		if s.mQueue != nil {
+			s.mQueue.Set(int64(len(s.out)))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF
+}
