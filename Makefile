@@ -12,7 +12,7 @@ FUZZ_TARGETS := \
 	./internal/mrt/rislive:FuzzRISLiveJSON
 FUZZTIME ?= 10s
 
-.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-smoke fuzz-smoke check
+.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-rov bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -86,6 +86,7 @@ bench:
 		./internal/trace/ > BENCH_trace.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_trace.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 	$(MAKE) bench-ingest
+	$(MAKE) bench-rov
 
 ## bench-ingest: the MRT ingestion benchmarks — a cold ≥100k-prefix
 ## table load and the steady-state (zero-alloc) churn path — recorded
@@ -96,11 +97,19 @@ bench-ingest:
 		./internal/mrt/ > BENCH_ingest.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_ingest.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
+## bench-rov: the RPKI/ROV benchmarks — the allocation-free covering-ROA
+## lookup (0 allocs/op is also pinned by TestValidateAllocFree) and the
+## RTR delta-apply churn path — recorded as BENCH_rov.json.
+bench-rov:
+	$(GO) test -json -run='^$$' -bench='^BenchmarkROV' -benchmem \
+		./internal/rpki/ > BENCH_rov.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_rov.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
 ## bench-smoke: one-iteration run of every hot-path and evaluation
 ## benchmark so they can't silently rot; part of check (and so CI).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace|BenchmarkMRT)' \
-		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/ ./internal/mrt/
+	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace|BenchmarkMRT|BenchmarkROV)' \
+		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/ ./internal/mrt/ ./internal/rpki/
 	$(GO) test -run='^$$' -benchtime=1x -benchmem \
 		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkMeasureStudy)(Baseline)?$$' .
 

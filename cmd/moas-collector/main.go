@@ -28,6 +28,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/mrt"
 	"repro/internal/mrt/rislive"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -46,6 +47,8 @@ func main() {
 		risLive     = flag.String("ris-live", "", "RIS-Live streaming JSON endpoint to ingest (implies -check)")
 		risBuffer   = flag.Int("ris-buffer", rislive.DefaultBuffer, "bounded-channel capacity for -ris-live")
 		risPolicy   = flag.String("ris-policy", "block", "backpressure policy for -ris-live: block or drop")
+		roaFile     = flag.String("roa-file", "", "ROA file (prefix=origin[@maxlen],...) cross-validating monitor alarms against the RPKI")
+		rtrAddr     = flag.String("rtr-addr", "", "RTR-style cache server keeping the ROA store synchronized")
 	)
 	flag.Parse()
 	if *traceEvents < 0 {
@@ -69,6 +72,8 @@ func main() {
 		risLive:     *risLive,
 		risBuffer:   *risBuffer,
 		risPolicy:   policy,
+		roaFile:     *roaFile,
+		rtrAddr:     *rtrAddr,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-collector:", err)
@@ -88,6 +93,8 @@ type runConfig struct {
 	risLive     string
 	risBuffer   int
 	risPolicy   rislive.Policy
+	roaFile     string
+	rtrAddr     string
 }
 
 func run(cfg runConfig) error {
@@ -118,6 +125,23 @@ func run(cfg runConfig) error {
 	c.Listen(ln)
 	log.Printf("moas-collector: AS %d listening on %s", collector.CollectorASN, ln.Addr())
 
+	// Any ROA source turns on RPKI/ROV cross-validation: monitor alarms
+	// then carry a benign-moas / likely-misconfig / likely-hijack class.
+	var roaStore *rpki.Store
+	if cfg.roaFile != "" || cfg.rtrAddr != "" {
+		roaStore = rpki.NewStore()
+		if cfg.roaFile != "" {
+			roas, err := rpki.ParseFile(cfg.roaFile)
+			if err != nil {
+				return err
+			}
+			for _, r := range roas {
+				roaStore.Add(r)
+			}
+			log.Printf("moas-collector: loaded %d ROAs from %s", roaStore.Len(), cfg.roaFile)
+		}
+	}
+
 	// The monitor exists whenever anything feeds it: snapshot checking,
 	// an MRT replay, or a live stream.
 	var mon *monitor.Monitor
@@ -125,6 +149,9 @@ func run(cfg runConfig) error {
 		monOpts := []monitor.Option{monitor.WithTelemetry(reg)}
 		if rec != nil {
 			monOpts = append(monOpts, monitor.WithTrace(rec))
+		}
+		if roaStore != nil {
+			monOpts = append(monOpts, monitor.WithRPKI(roaStore))
 		}
 		mon = monitor.New(monOpts...)
 	}
@@ -137,6 +164,18 @@ func run(cfg runConfig) error {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+	if cfg.rtrAddr != "" {
+		client, err := rpki.NewClient(rpki.ClientConfig{
+			Addr:     cfg.rtrAddr,
+			Store:    roaStore,
+			Registry: reg,
+		})
+		if err != nil {
+			return err
+		}
+		go client.Run(ctx)
+		log.Printf("moas-collector: syncing ROAs from RTR cache %s", cfg.rtrAddr)
+	}
 	var stage *rislive.Stage
 	if cfg.risLive != "" {
 		stage = rislive.NewStage(rislive.Config{
@@ -163,7 +202,7 @@ func run(cfg runConfig) error {
 	var opts []collector.ArchiverOption
 	if cfg.check && mon != nil {
 		opts = append(opts, collector.WithMonitor(mon, func(a monitor.Alarm) {
-			log.Printf("ALARM [%s]: %s", a.Vantage, a.Conflict.Error())
+			log.Printf("ALARM [%s] class=%s: %s", a.Vantage, a.Class, a.Conflict.Error())
 		}))
 	}
 	arch, err := collector.NewArchiver(c, cfg.dir, cfg.interval, opts...)

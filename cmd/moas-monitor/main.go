@@ -9,6 +9,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,11 +18,13 @@ import (
 	"path/filepath"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/astypes"
 	"repro/internal/core"
 	"repro/internal/dnsval"
 	"repro/internal/monitor"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 )
 
@@ -30,19 +33,21 @@ func main() {
 		moasrr      = flag.String("moasrr", "", "MOASRR database file (prefix=asn,asn lines)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics with the run's counters after processing, until interrupted")
 		verbose     = flag.Bool("v", false, "also list every alarm")
+		roaFile     = flag.String("roa-file", "", "ROA file (prefix=origin[@maxlen],...) cross-validating alarms against the RPKI")
+		rtrAddr     = flag.String("rtr-addr", "", "RTR-style cache server to pull ROAs from before processing")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: moas-monitor [-moasrr file] dump.txt [dump.txt ...]")
+		fmt.Fprintln(os.Stderr, "usage: moas-monitor [-moasrr file] [-roa-file file | -rtr-addr host:port] dump.txt [dump.txt ...]")
 		os.Exit(2)
 	}
-	if err := run(*moasrr, *metricsAddr, *verbose, flag.Args()); err != nil {
+	if err := run(*moasrr, *metricsAddr, *roaFile, *rtrAddr, *verbose, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "moas-monitor:", err)
 		os.Exit(1)
 	}
 }
 
-func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
+func run(moasrrPath, metricsAddr, roaFile, rtrAddr string, verbose bool, dumps []string) error {
 	reg := telemetry.NewRegistry("moas")
 	telemetry.RegisterBuildInfo(reg)
 	opts := []monitor.Option{monitor.WithTelemetry(reg)}
@@ -52,6 +57,13 @@ func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
 			return err
 		}
 		opts = append(opts, monitor.WithResolver(store))
+	}
+	roaStore, err := loadROAs(roaFile, rtrAddr, reg)
+	if err != nil {
+		return err
+	}
+	if roaStore != nil {
+		opts = append(opts, monitor.WithRPKI(roaStore))
 	}
 	m := monitor.New(opts...)
 	for _, path := range dumps {
@@ -85,6 +97,16 @@ func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
 
 	alarms := m.Alarms()
 	fmt.Printf("%d MOAS-list alarm(s)\n", len(alarms))
+	if roaStore != nil {
+		var byClass [rpki.NumClasses]int
+		for _, a := range alarms {
+			byClass[a.Class]++
+		}
+		fmt.Printf("  classes: %d %s, %d %s, %d %s\n",
+			byClass[rpki.ClassBenignMOAS], rpki.ClassBenignMOAS,
+			byClass[rpki.ClassLikelyMisconfig], rpki.ClassLikelyMisconfig,
+			byClass[rpki.ClassLikelyHijack], rpki.ClassLikelyHijack)
+	}
 	for _, g := range m.AlarmSummary() {
 		origins := make([]string, len(g.Origins))
 		for i, o := range g.Origins {
@@ -95,7 +117,11 @@ func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
 	}
 	if verbose {
 		for _, a := range alarms {
-			fmt.Printf("  [%s] %s\n", a.Vantage, a.Conflict.Error())
+			if roaStore != nil {
+				fmt.Printf("  [%s] class=%s %s\n", a.Vantage, a.Class, a.Conflict.Error())
+			} else {
+				fmt.Printf("  [%s] %s\n", a.Vantage, a.Conflict.Error())
+			}
 		}
 	}
 	if metricsAddr != "" {
@@ -112,6 +138,49 @@ func run(moasrrPath, metricsAddr string, verbose bool, dumps []string) error {
 		<-stop
 	}
 	return nil
+}
+
+// loadROAs assembles the ROA store from a file, an RTR cache, or both.
+// The RTR pull is batch-shaped: connect, wait for the initial full
+// sync, then disconnect — the dumps are then judged against that
+// snapshot.
+func loadROAs(roaFile, rtrAddr string, reg *telemetry.Registry) (*rpki.Store, error) {
+	if roaFile == "" && rtrAddr == "" {
+		return nil, nil
+	}
+	store := rpki.NewStore()
+	if roaFile != "" {
+		roas, err := rpki.ParseFile(roaFile)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range roas {
+			store.Add(r)
+		}
+	}
+	if rtrAddr != "" {
+		client, err := rpki.NewClient(rpki.ClientConfig{Addr: rtrAddr, Store: store, Registry: reg})
+		if err != nil {
+			return nil, err
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			client.Run(ctx)
+		}()
+		for !client.Synced() {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("rtr cache %s: no full sync within 30s", rtrAddr)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		cancel()
+		<-done
+		log.Printf("moas-monitor: pulled %d ROAs from RTR cache %s", store.Len(), rtrAddr)
+	}
+	return store, nil
 }
 
 func loadMOASRR(path string) (*dnsval.Store, error) {

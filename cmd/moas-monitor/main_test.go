@@ -62,13 +62,20 @@ func TestRunEndToEnd(t *testing.T) {
 			"131.179.0.0/16|701 4\n"+
 			"131.179.0.0/16|1239 52\n")
 	db := writeFile(t, "moasrr.txt", "131.179.0.0/16=4\n")
-	if err := run(db, "", true, []string{dump}); err != nil {
+	if err := run(db, "", "", "", true, []string{dump}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	if err := run("", "", false, []string{dump}); err != nil {
+	if err := run("", "", "", "", false, []string{dump}); err != nil {
 		t.Fatalf("run without db: %v", err)
 	}
-	if err := run("", "", false, []string{"/does/not/exist"}); err == nil {
+	roas := writeFile(t, "roas.txt", "131.179.0.0/16=4\n")
+	if err := run("", "", roas, "", true, []string{dump}); err != nil {
+		t.Fatalf("run with ROAs: %v", err)
+	}
+	if err := run("", "", filepath.Join(t.TempDir(), "absent"), "", false, []string{dump}); err == nil {
+		t.Error("missing ROA file accepted")
+	}
+	if err := run("", "", "", "", false, []string{"/does/not/exist"}); err == nil {
 		t.Error("missing dump accepted")
 	}
 }

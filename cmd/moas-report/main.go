@@ -22,10 +22,11 @@ func main() {
 		out         = flag.String("o", "", "write the report to a file instead of stdout")
 		alarms      = flag.Bool("alarms", false, "render the forensic MOAS alarm bundles of one traced hijack as a table instead of the full report")
 		forge       = flag.Bool("forge-list", false, "with -alarms: the attacker forges a superset MOAS list (§4.1)")
+		roas        = flag.Bool("roas", false, "with -alarms: cover the victim prefix with ROAs so ROV classifies the bundles likely-hijack")
 	)
 	flag.Parse()
 	if *alarms {
-		if err := runAlarms(*seed, *forge, *out); err != nil {
+		if err := runAlarms(*seed, *forge, *roas, *out); err != nil {
 			fmt.Fprintln(os.Stderr, "moas-report:", err)
 			os.Exit(1)
 		}
@@ -61,8 +62,8 @@ func run(seed, measureSeed int64, maxPct float64, skipMeasure, skipSim bool, out
 	return rep.WriteMarkdown(w)
 }
 
-func runAlarms(seed int64, forge bool, out string) error {
-	bundles, err := report.AlarmStudy(seed, forge)
+func runAlarms(seed int64, forge, withROAs bool, out string) error {
+	bundles, err := report.AlarmStudy(seed, forge, withROAs)
 	if err != nil {
 		return err
 	}

@@ -34,10 +34,16 @@ func main() {
 		forge   = flag.Bool("forge-list", false, "attackers forge a superset MOAS list (§4.1)")
 		csvOut  = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		par     = flag.Int("parallelism", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
+		roaCov  = flag.Float64("roa-coverage", 0, "fraction of runs whose victim prefix is covered by ROAs; nonzero adds per-mode false-alarm-rate tables from RPKI/ROV alarm classification")
 		traced  = flag.Bool("trace", false, "replay one hijack on the 25-AS topology with the flight recorder attached and print the propagation timeline, per-AS adoption, and forensic alarm bundles")
 	)
 	flag.Parse()
 	outputCSV = *csvOut
+	roaCoverage = *roaCov
+	if roaCoverage < 0 || roaCoverage > 1 {
+		fmt.Fprintln(os.Stderr, "moas-sim: -roa-coverage out of [0,1]")
+		os.Exit(2)
+	}
 	if *traced {
 		if err := runTrace(os.Stdout, *seed, *forge); err != nil {
 			fmt.Fprintln(os.Stderr, "moas-sim:", err)
@@ -132,10 +138,12 @@ func runFigure11(set *topology.PaperSet, seed int64, maxPct float64, cold, forge
 }
 
 // outputCSV switches sweepAndPrint to CSV emission; sweepParallelism
-// bounds concurrent simulation runs (0 = GOMAXPROCS).
+// bounds concurrent simulation runs (0 = GOMAXPROCS); roaCoverage is
+// the simulator-side RPKI deployment fraction (0 = no ROAs).
 var (
 	outputCSV        bool
 	sweepParallelism int
+	roaCoverage      float64
 )
 
 func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
@@ -149,6 +157,7 @@ func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
 		Seed:              seed,
 		ColdStart:         cold,
 		ForgeSupersetList: forge,
+		ROACoverage:       roaCoverage,
 		Parallelism:       sweepParallelism,
 	})
 	if err != nil {
@@ -169,6 +178,27 @@ func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
 			row += fmt.Sprintf(" %21.2f%%", p.MeanFalsePct[mi])
 		}
 		fmt.Println(row)
+	}
+	if roaCoverage > 0 {
+		fmt.Printf("\nfalse-alarm rate at %.0f%% ROA coverage (share of alarms not classed likely-hijack):\n",
+			100*roaCoverage)
+		fmt.Println(header)
+		fmt.Println(strings.Repeat("-", len(header)))
+		for _, p := range res.Points {
+			row := fmt.Sprintf("%-10d %-10.1f", p.NumAttackers, p.AttackerPct)
+			for mi := range res.Modes {
+				var total uint64
+				for _, v := range p.AlarmClassTotals[mi] {
+					total += v
+				}
+				if total == 0 {
+					row += fmt.Sprintf(" %22s", "-")
+					continue
+				}
+				row += fmt.Sprintf(" %21.2f%%", p.FalseAlarmPct[mi])
+			}
+			fmt.Println(row)
+		}
 	}
 	return nil
 }

@@ -1,7 +1,8 @@
 // Package allocfree statically enforces the repo's zero-allocation
 // contract on the annotated hot paths (the PR 3 wire encode/decode
-// path, rib.Best, the PR 5 trace record path, and the PR 4 simbgp
-// delivery path). Functions carrying a //repro:allocfree annotation in
+// path, rib.Best, the PR 5 trace record path, the PR 4 simbgp
+// delivery path, and the PR 8 rpki.Validate ROV lookup). Functions
+// carrying a //repro:allocfree annotation in
 // their doc comment must not contain allocating constructs:
 //
 //   - growing append on non-scratch slices (a slice is scratch when it

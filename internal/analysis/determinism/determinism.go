@@ -3,11 +3,14 @@
 // must produce the same bytes whether it runs on one worker or N. The
 // check applies to the deterministic packages — internal/sim,
 // internal/simbgp, internal/experiment, internal/routegen,
-// internal/measure and internal/mrt (an archive must decode to the
+// internal/measure, internal/mrt (an archive must decode to the
 // same records on every run; its rislive sibling deliberately stays
 // outside the scope, since reconnect jitter and wall-clock timestamps
-// are part of that package's job) — and flags the three constructs
-// that historically break the contract:
+// are part of that package's job) and internal/rpki (ROV results feed
+// the simulator's alarm classification, so lookups and snapshots must
+// not depend on map order or wall clock; the RTR client's reconnect
+// delays come from internal/backoff, which owns the jitter) — and
+// flags the three constructs that historically break the contract:
 //
 //   - ranging over a map while appending to a slice, scheduling events,
 //     sending on a channel, or printing — Go randomizes map iteration
@@ -38,7 +41,7 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "determinism",
 	Doc: "flags map-range order dependence, wall-clock/global-rand use, and multi-receive " +
-		"selects in the deterministic evaluation packages (sim, simbgp, experiment, routegen, measure, mrt)",
+		"selects in the deterministic evaluation packages (sim, simbgp, experiment, routegen, measure, mrt, rpki)",
 	Run: run,
 }
 
@@ -51,6 +54,7 @@ var scopeSuffixes = []string{
 	"internal/routegen",
 	"internal/measure",
 	"internal/mrt",
+	"internal/rpki",
 }
 
 // allowedRandFuncs are the package-level math/rand functions that

@@ -17,6 +17,12 @@
 //     also state a Reason: the trace/forensic consumers classify
 //     changes by Reason, and a defaulted ReasonNone on a real change
 //     reads as "decision process ran, nothing happened".
+//   - composite literals of trace.AlarmBundle must additionally carry
+//     an explicit Verdict: the bundle stores the verdict as a bare
+//     string, so a defaulted "" (or an accidental core.VerdictUnset
+//     stringification) would serialize as a legitimate-looking field.
+//     State the checker verdict, or Verdict:
+//     core.VerdictUnset.String() deliberately.
 //
 // Empty literals (T{}) are zero-value sentinels, not forensic records,
 // and are exempt.
@@ -32,7 +38,8 @@ import (
 var Analyzer = &analysis.Analyzer{
 	Name: "spanthread",
 	Doc: "flags core.Announcement/core.Conflict/trace.AlarmBundle literals without an explicit " +
-		"Span and rib.Change literals with Changed: true but no Reason",
+		"Span, trace.AlarmBundle literals without an explicit Verdict, and rib.Change literals " +
+		"with Changed: true but no Reason",
 	Run: run,
 }
 
@@ -70,20 +77,26 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkSpan requires an explicit Span key on a non-empty keyed literal.
+// checkSpan requires an explicit Span key on a non-empty keyed literal,
+// and — for trace.AlarmBundle — an explicit Verdict as well.
 func checkSpan(pass *analysis.Pass, cl *ast.CompositeLit, typeName string) {
 	if len(cl.Elts) == 0 {
 		return // zero-value sentinel
 	}
-	keyed := true
+	keyed, hasSpan, hasVerdict := true, false, false
 	for _, e := range cl.Elts {
 		kv, ok := e.(*ast.KeyValueExpr)
 		if !ok {
 			keyed = false
 			break
 		}
-		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Span" {
-			return
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			switch id.Name {
+			case "Span":
+				hasSpan = true
+			case "Verdict":
+				hasVerdict = true
+			}
 		}
 	}
 	if !keyed {
@@ -92,9 +105,15 @@ func checkSpan(pass *analysis.Pass, cl *ast.CompositeLit, typeName string) {
 			typeName)
 		return
 	}
-	pass.Reportf(cl.Pos(),
-		"%s literal without an explicit Span: thread the message span through (state Span: 0 deliberately if no message context exists)",
-		typeName)
+	if !hasSpan {
+		pass.Reportf(cl.Pos(),
+			"%s literal without an explicit Span: thread the message span through (state Span: 0 deliberately if no message context exists)",
+			typeName)
+	}
+	if typeName == "AlarmBundle" && !hasVerdict {
+		pass.Reportf(cl.Pos(),
+			"AlarmBundle literal without an explicit Verdict: an unset verdict serializes as a legitimate-looking field; state the checker verdict (core.VerdictUnset.String() if none exists)")
+	}
 }
 
 // checkChangeReason requires Reason alongside Changed: true.

@@ -16,6 +16,11 @@ func sentinel() trace.AlarmBundle {
 	return trace.AlarmBundle{}
 }
 
+// A full bundle states both its span and its verdict.
+func bundle(span uint64) trace.AlarmBundle {
+	return trace.AlarmBundle{Span: span, Verdict: "conflict"}
+}
+
 // A deliberate "no message context" span is stated, not omitted.
 func untraced(p core.Prefix) core.Announcement {
 	return core.Announcement{Prefix: p, Span: 0}
@@ -29,4 +34,4 @@ func noChange() rib.Change {
 	return rib.Change{Changed: false}
 }
 
-var _ = []interface{}{conflict, sentinel, untraced, change, noChange}
+var _ = []interface{}{conflict, sentinel, bundle, untraced, change, noChange}

@@ -19,7 +19,15 @@ func announcementNoSpan(p core.Prefix) core.Announcement {
 }
 
 func bundleNoSpan(id int) trace.AlarmBundle {
-	return trace.AlarmBundle{ID: id} // want `AlarmBundle literal without an explicit Span`
+	return trace.AlarmBundle{ID: id, Verdict: "conflict"} // want `AlarmBundle literal without an explicit Span`
+}
+
+func bundleNoVerdict(id int, span uint64) trace.AlarmBundle {
+	return trace.AlarmBundle{ID: id, Span: span} // want `AlarmBundle literal without an explicit Verdict`
+}
+
+func bundleNoSpanNoVerdict(id int) trace.AlarmBundle {
+	return trace.AlarmBundle{ID: id} // want `AlarmBundle literal without an explicit Span` `AlarmBundle literal without an explicit Verdict`
 }
 
 func positional(p core.Prefix, origin, from core.ASN) core.Conflict {
@@ -30,4 +38,4 @@ func changeNoReason() rib.Change {
 	return rib.Change{Changed: true} // want `rib\.Change with Changed: true but no Reason`
 }
 
-var _ = []interface{}{conflictNoSpan, announcementNoSpan, bundleNoSpan, positional, changeNoReason}
+var _ = []interface{}{conflictNoSpan, announcementNoSpan, bundleNoSpan, bundleNoVerdict, bundleNoSpanNoVerdict, positional, changeNoReason}

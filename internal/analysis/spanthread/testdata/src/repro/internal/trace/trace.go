@@ -3,8 +3,9 @@
 package trace
 
 type AlarmBundle struct {
-	ID    int
-	Nanos int64
-	Span  uint64
-	Node  uint16
+	ID      int
+	Nanos   int64
+	Span    uint64
+	Node    uint16
+	Verdict string
 }

@@ -67,6 +67,7 @@ func TestCheckerHonorsAttrList(t *testing.T) {
 
 func TestVerdictStrings(t *testing.T) {
 	tests := map[Verdict]string{
+		VerdictUnset:           "unset",
 		VerdictConsistent:      "consistent",
 		VerdictConflict:        "conflict",
 		VerdictOriginNotListed: "origin-not-listed",

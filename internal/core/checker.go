@@ -12,10 +12,15 @@ type Verdict int
 
 // Verdict values.
 const (
+	// VerdictUnset is the explicit zero value: no check has run. It has
+	// its own string ("unset") so a Verdict that was never assigned is
+	// visibly distinguishable in serialized forensics — an omitted
+	// verdict must not masquerade as a legitimate classification.
+	VerdictUnset Verdict = iota
 	// VerdictConsistent: the announcement's effective MOAS list agrees
 	// with every list previously seen for the prefix (or it is the first
 	// announcement).
-	VerdictConsistent Verdict = iota + 1
+	VerdictConsistent
 	// VerdictConflict: the effective list disagrees with the recorded
 	// list; an alarm has been raised.
 	VerdictConflict
@@ -28,6 +33,8 @@ const (
 
 func (v Verdict) String() string {
 	switch v {
+	case VerdictUnset:
+		return "unset"
 	case VerdictConsistent:
 		return "consistent"
 	case VerdictConflict:

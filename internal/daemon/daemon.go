@@ -7,10 +7,10 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -21,6 +21,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/dnsval"
+	"repro/internal/rpki"
 	"repro/internal/speaker"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -69,6 +70,15 @@ type Config struct {
 	ReconnectSeconds int `json:"reconnectSeconds"`
 	// ReconnectMaxSeconds caps the backoff; zero selects 16× the base.
 	ReconnectMaxSeconds int `json:"reconnectMaxSeconds"`
+	// ROAFile seeds the RPKI validated-ROA store from a text file
+	// (prefix=origin[@maxlen],... — see internal/rpki.Parse). Any ROA
+	// source turns on ROV cross-validation of MOAS alarms.
+	ROAFile string `json:"roaFile"`
+	// ROAs seeds the store from inline records.
+	ROAs []ROAConfig `json:"roas"`
+	// RTRAddr, if set, keeps the store synchronized from an RTR-style
+	// cache server ("host:port") with the daemon's reconnect backoff.
+	RTRAddr string `json:"rtrAddr"`
 }
 
 // PeerConfig is one outbound peering.
@@ -94,6 +104,14 @@ type AggregateConfig struct {
 // MOASRRConfig is one origin-authorization record.
 type MOASRRConfig struct {
 	Prefix  string   `json:"prefix"`
+	Origins []uint16 `json:"origins"`
+}
+
+// ROAConfig is one inline ROA: every listed origin is authorized for
+// the prefix up to maxLen (the prefix's own length when zero).
+type ROAConfig struct {
+	Prefix  string   `json:"prefix"`
+	MaxLen  uint8    `json:"maxLen"`
 	Origins []uint16 `json:"origins"`
 }
 
@@ -168,6 +186,18 @@ func (c Config) validate() error {
 		return fmt.Errorf("daemon: reconnectMaxSeconds %d below reconnectSeconds %d",
 			c.ReconnectMaxSeconds, c.ReconnectSeconds)
 	}
+	for _, r := range c.ROAs {
+		prefix, err := astypes.ParsePrefix(r.Prefix)
+		if err != nil {
+			return fmt.Errorf("daemon: roa: %w", err)
+		}
+		if len(r.Origins) == 0 {
+			return fmt.Errorf("daemon: roa %s with no origins", r.Prefix)
+		}
+		if r.MaxLen != 0 && (r.MaxLen < prefix.Len || r.MaxLen > 32) {
+			return fmt.Errorf("daemon: roa %s maxLen %d out of [%d, 32]", r.Prefix, r.MaxLen, prefix.Len)
+		}
+	}
 	return nil
 }
 
@@ -186,6 +216,9 @@ func (c Config) validationMode() speaker.ValidationMode {
 type Daemon struct {
 	Speaker *speaker.Speaker
 	Store   *dnsval.Store
+	// RPKI is the validated ROA store, nil unless an ROA source
+	// (roaFile, roas or rtrAddr) is configured.
+	RPKI *rpki.Store
 
 	reg   *telemetry.Registry
 	admin *telemetry.Admin
@@ -198,10 +231,12 @@ type Daemon struct {
 	listenAddrs []string
 
 	peerAddrs    map[astypes.ASN]string
-	reconnect    time.Duration // backoff base; zero disables re-dialing
-	reconnectMax time.Duration // backoff cap
+	reconnect    time.Duration   // backoff base; zero disables re-dialing
+	reconnectMax time.Duration   // backoff cap
+	jitter       *backoff.Jitter // shared by every re-dial goroutine
 	stop         chan struct{}
 	stopOnce     sync.Once
+	rtrCancel    context.CancelFunc // stops the RTR client; nil without one
 
 	// Daemon-level instrumentation.
 	peerUp            *telemetry.Counter
@@ -241,6 +276,7 @@ func Build(cfg Config) (*Daemon, error) {
 		peerAddrs:    make(map[astypes.ASN]string, len(cfg.Peers)),
 		reconnect:    time.Duration(cfg.ReconnectSeconds) * time.Second,
 		reconnectMax: time.Duration(cfg.ReconnectMaxSeconds) * time.Second,
+		jitter:       backoff.NewJitter(0),
 		stop:         make(chan struct{}),
 		peerUp: reg.Counter("daemon_peer_up_total",
 			"Outbound peer sessions successfully established (initial dials and re-dials)."),
@@ -264,6 +300,27 @@ func Build(cfg Config) (*Daemon, error) {
 	if cfg.ListEncoding == "attribute" {
 		encoding = speaker.EncodeAttribute
 	}
+	if cfg.ROAFile != "" || len(cfg.ROAs) > 0 || cfg.RTRAddr != "" {
+		d.RPKI = rpki.NewStore()
+		if cfg.ROAFile != "" {
+			roas, err := rpki.ParseFile(cfg.ROAFile)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range roas {
+				d.RPKI.Add(r)
+			}
+		}
+		for _, rc := range cfg.ROAs {
+			prefix, err := astypes.ParsePrefix(rc.Prefix)
+			if err != nil {
+				return nil, err
+			}
+			for _, o := range rc.Origins {
+				d.RPKI.Add(rpki.ROA{Prefix: prefix, MaxLen: rc.MaxLen, Origin: astypes.ASN(o)})
+			}
+		}
+	}
 	spkCfg := speaker.Config{
 		AS:           astypes.ASN(cfg.AS),
 		RouterID:     cfg.RouterID,
@@ -274,6 +331,7 @@ func Build(cfg Config) (*Daemon, error) {
 		ListEncoding: encoding,
 		Telemetry:    reg,
 		Trace:        rec,
+		RPKI:         d.RPKI,
 		// Always observe peer-down events (the counter fires regardless);
 		// peerDown gates the re-dial loop itself on d.reconnect > 0.
 		OnPeerDown: d.peerDown,
@@ -285,6 +343,10 @@ func Build(cfg Config) (*Daemon, error) {
 	d.Speaker = s
 
 	cleanup := func() {
+		if d.rtrCancel != nil {
+			d.rtrCancel()
+			d.wg.Wait()
+		}
 		s.Close()
 		if d.mibServer != nil {
 			d.mibServer.Close()
@@ -346,6 +408,26 @@ func Build(cfg Config) (*Daemon, error) {
 				d.mibErr <- err
 			}
 			close(d.mibErr)
+		}()
+	}
+	if cfg.RTRAddr != "" {
+		client, err := rpki.NewClient(rpki.ClientConfig{
+			Addr:          cfg.RTRAddr,
+			Store:         d.RPKI,
+			ReconnectBase: d.reconnect,
+			ReconnectMax:  d.reconnectMax,
+			Registry:      reg,
+		})
+		if err != nil {
+			cleanup()
+			return nil, err
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		d.rtrCancel = cancel
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			client.Run(ctx)
 		}()
 	}
 	if cfg.MetricsAddr != "" {
@@ -414,9 +496,8 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 	d.mu.Unlock()
 	go func() {
 		defer d.wg.Done()
-		rng := rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(peer)<<20))
 		attempt := 0
-		timer := time.NewTimer(reconnectDelay(d.reconnect, d.reconnectMax, attempt, rng))
+		timer := time.NewTimer(reconnectDelay(d.reconnect, d.reconnectMax, attempt, d.jitter))
 		defer timer.Stop()
 		for {
 			select {
@@ -430,17 +511,19 @@ func (d *Daemon) peerDown(peer astypes.ASN) {
 				return
 			}
 			attempt++
-			timer.Reset(reconnectDelay(d.reconnect, d.reconnectMax, attempt, rng))
+			timer.Reset(reconnectDelay(d.reconnect, d.reconnectMax, attempt, d.jitter))
 		}
 	}()
 }
 
 // reconnectDelay computes the wait before re-dial attempt n (0-based);
 // the schedule itself (capped exponential backoff with jitter) lives in
-// internal/backoff so the RIS-Live ingest stage reuses the exact same
-// machinery.
-func reconnectDelay(base, max time.Duration, attempt int, rng *rand.Rand) time.Duration {
-	return backoff.Delay(base, max, attempt, rng)
+// internal/backoff so the RIS-Live ingest stage and the RTR client
+// reuse the exact same machinery. All of a daemon's re-dial goroutines
+// share one locked backoff.Jitter instead of each seeding a throwaway
+// rand.Rand from the wall clock.
+func reconnectDelay(base, max time.Duration, attempt int, jit *backoff.Jitter) time.Duration {
+	return jit.Delay(base, max, attempt)
 }
 
 // Close shuts the daemon down.
@@ -449,6 +532,9 @@ func (d *Daemon) Close() error {
 	d.closing = true
 	d.mu.Unlock()
 	d.stopOnce.Do(func() { close(d.stop) })
+	if d.rtrCancel != nil {
+		d.rtrCancel()
+	}
 	err := d.Speaker.Close()
 	d.wg.Wait()
 	if d.mibServer != nil {

@@ -1,11 +1,11 @@
 package daemon
 
 import (
-	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/backoff"
 )
 
 func TestConfigValidatesNewFields(t *testing.T) {
@@ -51,7 +51,7 @@ func TestReconnectDelaySchedule(t *testing.T) {
 		base = time.Second
 		max  = 8 * time.Second
 	)
-	rng := rand.New(rand.NewSource(1))
+	rng := backoff.NewJitter(1)
 	// Every attempt's delay must land in [d/2, d] where d doubles from
 	// base until the cap; sample repeatedly to exercise the jitter.
 	for attempt := 0; attempt < 10; attempt++ {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/backoff"
 	"repro/internal/speaker"
 	"repro/internal/telemetry"
 )
@@ -27,6 +28,7 @@ func TestPeerDownCloseRace(t *testing.T) {
 			// until Close stops them.
 			peerAddrs:         map[astypes.ASN]string{7: "127.0.0.1:1"},
 			reconnect:         time.Millisecond,
+			jitter:            backoff.NewJitter(1),
 			stop:              make(chan struct{}),
 			peerUp:            reg.Counter("daemon_peer_up_total", "t"),
 			peerDownCtr:       reg.Counter("daemon_peer_down_total", "t"),

@@ -168,6 +168,11 @@ func TestForgedOriginObservability(t *testing.T) {
 	if b.Span == 0 {
 		t.Error("bundle missing the triggering message's span")
 	}
+	// No ROA source was configured, so ROV answers NotFound and the
+	// conflict classifies by MOAS provenance alone.
+	if b.Class != "benign-moas" {
+		t.Errorf("bundle class = %q, want benign-moas without RPKI data", b.Class)
+	}
 
 	// The same bundle is addressable by ID, and the live timeline names
 	// the attack's causal chain.

@@ -44,8 +44,10 @@ type Harness struct {
 
 // Boot starts a collector on loopback, then a validating daemon (drop
 // mode) peered with it, holding a MOASRR record entitling only
-// legitOrigin to prefix. Cleanup is registered on t.
-func Boot(t *testing.T, prefix string, legitOrigin uint16) *Harness {
+// legitOrigin to prefix. Any roaOrigins additionally load a ROA for
+// prefix authorizing exactly those origins, turning on RPKI/ROV
+// cross-validation of alarms. Cleanup is registered on t.
+func Boot(t *testing.T, prefix string, legitOrigin uint16, roaOrigins ...uint16) *Harness {
 	t.Helper()
 
 	c := collector.New(collector.Config{RouterID: 6447})
@@ -56,7 +58,7 @@ func Boot(t *testing.T, prefix string, legitOrigin uint16) *Harness {
 	}
 	c.Listen(cln)
 
-	d, err := daemon.Build(daemon.Config{
+	cfg := daemon.Config{
 		AS:          100,
 		RouterID:    100,
 		Validation:  "drop",
@@ -70,7 +72,11 @@ func Boot(t *testing.T, prefix string, legitOrigin uint16) *Harness {
 		MOASRR: []daemon.MOASRRConfig{
 			{Prefix: prefix, Origins: []uint16{legitOrigin}},
 		},
-	})
+	}
+	if len(roaOrigins) > 0 {
+		cfg.ROAs = []daemon.ROAConfig{{Prefix: prefix, Origins: roaOrigins}}
+	}
+	d, err := daemon.Build(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

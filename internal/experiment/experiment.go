@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/astypes"
 	"repro/internal/core"
+	"repro/internal/rpki"
 	"repro/internal/simbgp"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -86,6 +87,14 @@ type RunConfig struct {
 	// ValleyFree applies Gao-Rexford export policy over relationships
 	// inferred from the topology (ablation; the paper's model floods).
 	ValleyFree bool
+	// ROACoverage is the probability that the victim prefix is covered
+	// by ROAs authorizing the valid origins — the simulator-side model
+	// of partial RPKI deployment. The draw is seeded from
+	// Scenario.DeploySeed, so the same scenario sees the same RPKI state
+	// under every detection mode being compared. With coverage, forged
+	// announcements validate Invalid and the resulting alarms classify
+	// likely-hijack; 0 disables RPKI for the run.
+	ROACoverage float64
 	// FreshNetwork disables the per-topology network pool and builds a
 	// new simbgp.Network for this run, the pre-pooling behaviour. It
 	// exists as the in-tree baseline for the evaluation benchmarks
@@ -106,12 +115,20 @@ type RunResult struct {
 	Census     simbgp.Census
 	Forwarding simbgp.Census
 	Alarms     int
+	// AlarmClasses tallies the network's raised alarms by their
+	// RPKI/ROV cross-validated class (rpki.Classify). Without ROAs every
+	// alarm degrades to the MOAS-provenance classes.
+	AlarmClasses [rpki.NumClasses]uint64
 	// Messages is the total number of UPDATE deliveries; ConvergeVirtual
 	// is the virtual time at quiescence — the simulator's convergence
 	// cost metrics.
 	Messages        uint64
 	ConvergeVirtual time.Duration
 }
+
+// roaSeedSalt decorrelates the ROA-coverage draw from the partial
+// deployment permutation, which shares Scenario.DeploySeed.
+const roaSeedSalt = 0x524f4173 // "ROAs"
 
 // runJob indirects Run so tests can observe/abort sweep dispatch.
 var runJob = Run
@@ -170,6 +187,22 @@ func Run(cfg RunConfig) (RunResult, error) {
 	simCfg := simbgp.Config{
 		Topology: cfg.Topology.Graph,
 		Resolver: resolver,
+	}
+	if cfg.ROACoverage < 0 || cfg.ROACoverage > 1 {
+		return RunResult{}, fmt.Errorf("experiment: ROA coverage %v out of [0,1]", cfg.ROACoverage)
+	}
+	if cfg.ROACoverage > 0 {
+		// The coverage draw reuses DeploySeed (salted so it is
+		// independent of the deployment permutation): replaying one
+		// scenario across modes keeps its RPKI state fixed.
+		rng := rand.New(rand.NewSource(cfg.Scenario.DeploySeed ^ roaSeedSalt))
+		if rng.Float64() < cfg.ROACoverage {
+			roas := rpki.NewStore()
+			for _, origin := range cfg.Scenario.Origins {
+				roas.Add(rpki.ROA{Prefix: VictimPrefix, Origin: origin})
+			}
+			simCfg.RPKI = roas
+		}
 	}
 	if cfg.ValleyFree {
 		if r, ok := relCache.Load(cfg.Topology.Graph); ok {
@@ -246,6 +279,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Census:          census,
 		Forwarding:      forwarding,
 		Alarms:          alarms,
+		AlarmClasses:    net.AlarmClasses(),
 		Messages:        net.MessageCount(),
 		ConvergeVirtual: net.Engine().Now(),
 	}, nil
@@ -363,6 +397,9 @@ type SweepConfig struct {
 	StripMOASInTransit bool
 	// ValleyFree propagates to every run.
 	ValleyFree bool
+	// ROACoverage propagates to every run (simulator-side RPKI
+	// deployment fraction; see RunConfig.ROACoverage).
+	ROACoverage float64
 	// FreshNetworks propagates RunConfig.FreshNetwork to every run
 	// (benchmark baseline knob).
 	FreshNetworks bool
@@ -387,6 +424,15 @@ type Point struct {
 	// mode (>= MeanFalsePct: it additionally counts nodes whose packets
 	// transit an attacker).
 	MeanForwardPct []float64
+	// AlarmClassTotals sums the per-class alarm tallies over the
+	// point's runs, indexed [mode][class] in rpki.Class order.
+	AlarmClassTotals [][rpki.NumClasses]uint64
+	// FalseAlarmPct is, per mode, the percentage of the point's alarms
+	// whose class fell below likely-hijack. Every simulated alarm stems
+	// from a real forged origin, so under ROA coverage this is the
+	// sweep's false-alarm (missed-classification) rate; 0 when the mode
+	// raised no alarms.
+	FalseAlarmPct []float64
 }
 
 // SweepResult is a full curve family.
@@ -422,13 +468,15 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 	results := make([][][]RunResult, len(cfg.AttackerCounts))
 	for pi, count := range cfg.AttackerCounts {
 		points[pi] = Point{
-			NumAttackers:   count,
-			AttackerPct:    100 * float64(count) / float64(total),
-			MeanFalsePct:   make([]float64, len(cfg.Modes)),
-			MeanAlarms:     make([]float64, len(cfg.Modes)),
-			MeanMessages:   make([]float64, len(cfg.Modes)),
-			StdDevFalsePct: make([]float64, len(cfg.Modes)),
-			MeanForwardPct: make([]float64, len(cfg.Modes)),
+			NumAttackers:     count,
+			AttackerPct:      100 * float64(count) / float64(total),
+			MeanFalsePct:     make([]float64, len(cfg.Modes)),
+			MeanAlarms:       make([]float64, len(cfg.Modes)),
+			MeanMessages:     make([]float64, len(cfg.Modes)),
+			StdDevFalsePct:   make([]float64, len(cfg.Modes)),
+			MeanForwardPct:   make([]float64, len(cfg.Modes)),
+			AlarmClassTotals: make([][rpki.NumClasses]uint64, len(cfg.Modes)),
+			FalseAlarmPct:    make([]float64, len(cfg.Modes)),
 		}
 		scenarios, err := Selections(cfg.Topology, cfg.NumOrigins, count,
 			cfg.OriginSets, cfg.AttackerSets, cfg.Seed+int64(pi)*1_000_003)
@@ -450,6 +498,7 @@ func Sweep(cfg SweepConfig) (*SweepResult, error) {
 						ColdStart:          cfg.ColdStart,
 						StripMOASInTransit: cfg.StripMOASInTransit,
 						ValleyFree:         cfg.ValleyFree,
+						ROACoverage:        cfg.ROACoverage,
 						FreshNetwork:       cfg.FreshNetworks,
 					},
 				})
@@ -506,6 +555,7 @@ dispatch:
 	for pi := range points {
 		for mi := range cfg.Modes {
 			var alarmSum, msgSum float64
+			var classSum [rpki.NumClasses]uint64
 			pcts := make([]float64, 0, len(results[pi][mi]))
 			fwd := make([]float64, 0, len(results[pi][mi]))
 			for _, r := range results[pi][mi] {
@@ -513,6 +563,9 @@ dispatch:
 				fwd = append(fwd, r.Forwarding.FalsePct())
 				alarmSum += float64(r.Alarms)
 				msgSum += float64(r.Messages)
+				for ci, v := range r.AlarmClasses {
+					classSum[ci] += v
+				}
 			}
 			n := float64(len(results[pi][mi]))
 			points[pi].MeanFalsePct[mi] = stats.Mean(pcts)
@@ -520,6 +573,15 @@ dispatch:
 			points[pi].MeanForwardPct[mi] = stats.Mean(fwd)
 			points[pi].MeanAlarms[mi] = alarmSum / n
 			points[pi].MeanMessages[mi] = msgSum / n
+			points[pi].AlarmClassTotals[mi] = classSum
+			var classTotal uint64
+			for _, v := range classSum {
+				classTotal += v
+			}
+			if classTotal > 0 {
+				points[pi].FalseAlarmPct[mi] =
+					100 * float64(classTotal-classSum[rpki.ClassLikelyHijack]) / float64(classTotal)
+			}
 		}
 	}
 	return &SweepResult{

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/astypes"
+	"repro/internal/rpki"
 	"repro/internal/topology"
 )
 
@@ -501,5 +502,114 @@ func TestSweepParallelismDeterministic(t *testing.T) {
 	}
 	if !reflect.DeepEqual(fresh, want) {
 		t.Errorf("fresh-network sweep diverges from pooled:\n fresh: %+v\n pooled: %+v", fresh, want)
+	}
+}
+
+func TestROACoverageClassifiesAlarms(t *testing.T) {
+	topo := paperSet(t).T46
+	scenarios, err := Selections(topo, 1, 4, 1, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := RunConfig{
+		Topology:  topo,
+		Scenario:  scenarios[0],
+		Detection: DetectionFull,
+		ColdStart: true,
+	}
+	sum := func(c [rpki.NumClasses]uint64) uint64 {
+		var t uint64
+		for _, v := range c {
+			t += v
+		}
+		return t
+	}
+
+	// Without ROAs, ROV answers NotFound everywhere: alarms fall back to
+	// the MOAS-provenance classes and nothing can be called a hijack.
+	uncovered, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncovered.Alarms == 0 {
+		t.Fatal("full detection raised no alarms")
+	}
+	if got := uncovered.AlarmClasses[rpki.ClassLikelyHijack]; got != 0 {
+		t.Errorf("likely-hijack without ROAs = %d", got)
+	}
+	if got := sum(uncovered.AlarmClasses); got != uint64(uncovered.Alarms) {
+		t.Errorf("class tallies %v sum %d, alarms %d", uncovered.AlarmClasses, got, uncovered.Alarms)
+	}
+
+	// Full coverage authorizes only the valid origin, so ROV never
+	// answers NotFound for the victim prefix: forged announcements
+	// validate Invalid (likely-hijack) and alarms triggered by the
+	// valid origin's own announcement validate Valid (likely-misconfig)
+	// — nothing is left in the benign-moas fallback class.
+	cfg.ROACoverage = 1
+	covered, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if covered.Alarms == 0 {
+		t.Fatal("full detection raised no alarms under coverage")
+	}
+	if got := covered.AlarmClasses[rpki.ClassLikelyHijack]; got == 0 {
+		t.Errorf("no likely-hijack alarms under full coverage: %v", covered.AlarmClasses)
+	}
+	if got := covered.AlarmClasses[rpki.ClassBenignMOAS]; got != 0 {
+		t.Errorf("benign-moas = %d with the prefix fully covered", got)
+	}
+	if got := sum(covered.AlarmClasses); got != uint64(covered.Alarms) {
+		t.Errorf("class tallies %v sum %d, alarms %d", covered.AlarmClasses, got, covered.Alarms)
+	}
+
+	cfg.ROACoverage = 1.5
+	if _, err := Run(cfg); err == nil {
+		t.Error("coverage > 1 accepted")
+	}
+	cfg.ROACoverage = -0.1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative coverage accepted")
+	}
+}
+
+func TestSweepFalseAlarmRate(t *testing.T) {
+	topo := paperSet(t).T25
+	res, err := Sweep(SweepConfig{
+		Topology:       topo,
+		TopologyName:   "25",
+		NumOrigins:     1,
+		AttackerCounts: []int{2},
+		Modes: []ModeSpec{
+			{Label: "full", Detection: DetectionFull},
+		},
+		OriginSets:   1,
+		AttackerSets: 2,
+		Seed:         7,
+		ColdStart:    true,
+		ROACoverage:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Points[0]
+	var total uint64
+	for _, v := range p.AlarmClassTotals[0] {
+		total += v
+	}
+	if total == 0 {
+		t.Fatal("sweep collected no classified alarms")
+	}
+	hijacks := p.AlarmClassTotals[0][rpki.ClassLikelyHijack]
+	if hijacks == 0 {
+		t.Errorf("class totals %v, want likely-hijack alarms under full coverage", p.AlarmClassTotals[0])
+	}
+	if p.AlarmClassTotals[0][rpki.ClassBenignMOAS] != 0 {
+		t.Errorf("class totals %v, want no benign-moas with the prefix covered", p.AlarmClassTotals[0])
+	}
+	want := 100 * float64(total-hijacks) / float64(total)
+	if p.FalseAlarmPct[0] != want {
+		t.Errorf("false-alarm rate %v, want %v", p.FalseAlarmPct[0], want)
 	}
 }

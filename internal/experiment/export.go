@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"repro/internal/rpki"
 )
 
 // WriteCSV serializes a sweep result as CSV, one row per attacker
@@ -20,6 +22,8 @@ func WriteCSV(w io.Writer, res *SweepResult) error {
 			m.Label+"_forward_pct",
 			m.Label+"_alarms",
 			m.Label+"_messages",
+			m.Label+"_false_alarm_pct",
+			m.Label+"_alarms_hijack",
 		)
 	}
 	if err := cw.Write(header); err != nil {
@@ -41,12 +45,22 @@ func WriteCSV(w io.Writer, res *SweepResult) error {
 			if mi < len(p.MeanForwardPct) {
 				forward = p.MeanForwardPct[mi]
 			}
+			falseAlarm := 0.0
+			if mi < len(p.FalseAlarmPct) {
+				falseAlarm = p.FalseAlarmPct[mi]
+			}
+			var hijacks uint64
+			if mi < len(p.AlarmClassTotals) {
+				hijacks = p.AlarmClassTotals[mi][rpki.ClassLikelyHijack]
+			}
 			row = append(row,
 				strconv.FormatFloat(p.MeanFalsePct[mi], 'f', 3, 64),
 				strconv.FormatFloat(stddev, 'f', 3, 64),
 				strconv.FormatFloat(forward, 'f', 3, 64),
 				strconv.FormatFloat(p.MeanAlarms[mi], 'f', 2, 64),
 				strconv.FormatFloat(p.MeanMessages[mi], 'f', 1, 64),
+				strconv.FormatFloat(falseAlarm, 'f', 3, 64),
+				strconv.FormatUint(hijacks, 10),
 			)
 		}
 		if err := cw.Write(row); err != nil {

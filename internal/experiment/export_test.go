@@ -43,14 +43,17 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatalf("rows = %d", len(records))
 	}
 	header := records[0]
-	if header[0] != "topology" || header[4] != "normal_false_pct" || header[9] != "full_false_pct" {
+	if header[0] != "topology" || header[4] != "normal_false_pct" || header[11] != "full_false_pct" {
 		t.Errorf("header = %v", header)
 	}
+	if header[9] != "normal_false_alarm_pct" || header[10] != "normal_alarms_hijack" {
+		t.Errorf("class columns: header = %v", header)
+	}
 	row := records[1]
-	if row[0] != "46" || row[1] != "2" || row[2] != "2" || row[4] != "36.500" || row[9] != "0.150" {
+	if row[0] != "46" || row[1] != "2" || row[2] != "2" || row[4] != "36.500" || row[11] != "0.150" {
 		t.Errorf("row = %v", row)
 	}
-	if records[2][2] != "14" || records[2][9] != "9.800" {
+	if records[2][2] != "14" || records[2][11] != "9.800" {
 		t.Errorf("row2 = %v", records[2])
 	}
 }

@@ -21,6 +21,7 @@ import (
 	"repro/internal/astypes"
 	"repro/internal/core"
 	"repro/internal/routegen"
+	"repro/internal/rpki"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -34,6 +35,10 @@ type Alarm struct {
 	// Vantage identifies the feed that contributed the conflicting
 	// announcement.
 	Vantage string
+	// Class is the RPKI/ROV cross-validated severity (rpki.Classify);
+	// without a configured store it degrades to the MOAS-provenance
+	// classes (benign-moas / likely-misconfig).
+	Class rpki.Class
 }
 
 // Monitor checks MOAS-list consistency across vantage-point feeds. It
@@ -49,6 +54,9 @@ type Monitor struct {
 	origins map[astypes.Prefix]map[astypes.ASN]struct{}
 	// resolver, if set, classifies alarms into valid/invalid.
 	resolver Resolver
+	// rpki, if set, is the validated ROA store alarms are cross-checked
+	// against; nil validates to NotFound (no ROV signal).
+	rpki *rpki.Store
 	// met, if set, mirrors monitor state onto a telemetry registry.
 	met *monitorMetrics
 	// rec, if set, records validate events and forensic alarm bundles
@@ -70,6 +78,9 @@ type monitorMetrics struct {
 	alarms *telemetry.CounterVec
 	// cases tracks prefixes currently visible with more than one origin.
 	cases *telemetry.Gauge
+	// classes counts alarms by ROV-crossed class, the paper evaluation's
+	// benign/misconfig/hijack breakdown.
+	classes *telemetry.CounterVec
 }
 
 func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
@@ -80,6 +91,8 @@ func newMonitorMetrics(r *telemetry.Registry) *monitorMetrics {
 			"MOAS-list alarms raised, by conflicting prefix.", "prefix"),
 		cases: r.Gauge("monitor_moas_cases",
 			"Prefixes currently visible with more than one origin AS."),
+		classes: r.CounterVec("monitor_alarm_class_total",
+			"MOAS alarms by RPKI/ROV cross-validated class.", "class"),
 	}
 }
 
@@ -100,6 +113,17 @@ func (o resolverOption) apply(m *Monitor) { m.resolver = o.r }
 // WithResolver classifies alarms against a MOASRR database.
 func WithResolver(r Resolver) Option {
 	return resolverOption{r: r}
+}
+
+type rpkiOption struct{ s *rpki.Store }
+
+func (o rpkiOption) apply(m *Monitor) { m.rpki = o.s }
+
+// WithRPKI cross-checks every alarm against a validated ROA store:
+// each Alarm (and its forensic bundle) carries the rpki.Classify class
+// for the conflicting (prefix, origin).
+func WithRPKI(s *rpki.Store) Option {
+	return rpkiOption{s: s}
 }
 
 type telemetryOption struct{ r *telemetry.Registry }
@@ -153,6 +177,10 @@ func (m *Monitor) ObserveEntrySpan(vantage string, prefix astypes.Prefix, path a
 		Communities: comms,
 		Span:        span,
 	})
+	var class rpki.Class
+	if verdict != core.VerdictConsistent && conflict != nil {
+		class = rpki.Classify(m.rpki.Validate(prefix, conflict.Origin), verdict)
+	}
 	if m.rec.Enabled() {
 		origin, _ := path.Origin()
 		m.rec.Record(trace.Event{
@@ -166,6 +194,7 @@ func (m *Monitor) ObserveEntrySpan(vantage string, prefix astypes.Prefix, path a
 				Span:     conflict.Span,
 				Origin:   uint16(conflict.Origin),
 				Verdict:  verdict.String(),
+				Class:    class.String(),
 				Note:     vantage,
 				Existing: trace.ASNs(conflict.Existing.Origins()),
 				Received: trace.ASNs(conflict.Received.Origins()),
@@ -193,9 +222,10 @@ func (m *Monitor) ObserveEntrySpan(vantage string, prefix astypes.Prefix, path a
 		}
 	}
 	if verdict != core.VerdictConsistent && conflict != nil {
-		m.alarms = append(m.alarms, Alarm{Conflict: *conflict, Vantage: vantage})
+		m.alarms = append(m.alarms, Alarm{Conflict: *conflict, Vantage: vantage, Class: class})
 		if m.met != nil {
 			m.met.alarms.With(prefix.String()).Inc()
+			m.met.classes.With(class.String()).Inc()
 		}
 	}
 }

@@ -128,16 +128,16 @@ func TestParseIPv4(t *testing.T) {
 		addr uint32
 		ok   bool
 	}{
-		"192.0.2.1":     {0xC0000201, true},
-		"0.0.0.0":       {0, true},
+		"192.0.2.1":       {0xC0000201, true},
+		"0.0.0.0":         {0, true},
 		"255.255.255.255": {0xFFFFFFFF, true},
-		"256.0.0.1":     {0, false},
-		"1.2.3":         {0, false},
-		"1.2.3.4.5":     {0, false},
-		"1..2.3":        {0, false},
-		"a.b.c.d":       {0, false},
-		"":              {0, false},
-		"1234.1.1.1":    {0, false},
+		"256.0.0.1":       {0, false},
+		"1.2.3":           {0, false},
+		"1.2.3.4.5":       {0, false},
+		"1..2.3":          {0, false},
+		"a.b.c.d":         {0, false},
+		"":                {0, false},
+		"1234.1.1.1":      {0, false},
 	} {
 		addr, ok := parseIPv4(s)
 		if ok != want.ok || addr != want.addr {

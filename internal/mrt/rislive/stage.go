@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -24,8 +23,9 @@ const (
 	// no event is ever lost, at the cost of the feed lagging.
 	PolicyBlock Policy = iota
 	// PolicyDrop discards the newest event and counts it, keeping the
-	// feed reader at line rate. Delivered + Dropped always equals
-	// Received exactly (the soak test enforces it).
+	// feed reader at line rate. Delivered + Dropped never exceeds
+	// Received in any snapshot and equals it exactly at quiescence (the
+	// soak test enforces both).
 	PolicyDrop
 )
 
@@ -70,14 +70,16 @@ type Config struct {
 	Client *http.Client
 	// Registry receives the stage's counters when non-nil.
 	Registry *telemetry.Registry
-	// Seed fixes the reconnect jitter for tests; 0 seeds from the
-	// wall clock.
+	// Seed fixes the reconnect jitter for tests; 0 lets
+	// backoff.NewJitter draw a per-instance wall-clock seed.
 	Seed int64
 }
 
 // Counters is a snapshot of the stage's accounting. Received counts
-// decoded UPDATE events entering delivery; Delivered + Dropped ==
-// Received holds exactly at any quiescent point.
+// decoded UPDATE events entering delivery; Delivered + Dropped <=
+// Received holds for every snapshot (an event in flight between its
+// received increment and its delivery/drop accounts for the gap), with
+// equality at any quiescent point.
 type Counters struct {
 	Received    uint64
 	Delivered   uint64
@@ -143,13 +145,23 @@ func (s *Stage) Events() <-chan *Event { return s.out }
 
 // Counters returns a snapshot of the stage's accounting.
 func (s *Stage) Counters() Counters {
+	// Load the outcome counters before received: every delivered/dropped
+	// increment is preceded by that event's received increment, so
+	// reading received last guarantees Delivered + Dropped <= Received
+	// for a snapshot taken mid-delivery. (Loading received first could
+	// transiently report the opposite.)
+	delivered := s.delivered.Load()
+	dropped := s.dropped.Load()
+	parseErrors := s.parseErrors.Load()
+	skipped := s.skipped.Load()
+	reconnects := s.reconnects.Load()
 	return Counters{
 		Received:    s.received.Load(),
-		Delivered:   s.delivered.Load(),
-		Dropped:     s.dropped.Load(),
-		ParseErrors: s.parseErrors.Load(),
-		Skipped:     s.skipped.Load(),
-		Reconnects:  s.reconnects.Load(),
+		Delivered:   delivered,
+		Dropped:     dropped,
+		ParseErrors: parseErrors,
+		Skipped:     skipped,
+		Reconnects:  reconnects,
 	}
 }
 
@@ -159,11 +171,7 @@ func (s *Stage) Counters() Counters {
 // daemon's peer re-dial loop). The output channel is closed on return.
 func (s *Stage) Run(ctx context.Context) error {
 	defer close(s.out)
-	seed := s.cfg.Seed
-	if seed == 0 {
-		seed = time.Now().UnixNano()
-	}
-	rng := rand.New(rand.NewSource(seed))
+	jit := backoff.NewJitter(s.cfg.Seed)
 	attempt := 0
 	for {
 		if err := ctx.Err(); err != nil {
@@ -174,7 +182,7 @@ func (s *Stage) Run(ctx context.Context) error {
 			return ctx.Err()
 		}
 		_ = err // any disconnect reason leads to the same backoff
-		delay := backoff.Delay(s.cfg.ReconnectBase, s.cfg.ReconnectMax, attempt, rng)
+		delay := jit.Delay(s.cfg.ReconnectBase, s.cfg.ReconnectMax, attempt)
 		attempt++
 		s.reconnects.Add(1)
 		if s.mReconnects != nil {

@@ -36,13 +36,45 @@ func feed(n int) string {
 	return b.String()
 }
 
+// snapshotLoop hammers Counters() while the stage is mid-flight and
+// checks the snapshot invariant Delivered + Dropped <= Received on
+// every read — not just at quiescence. Stop it by closing stop; the
+// number of snapshots taken arrives on the returned channel.
+func snapshotLoop(t *testing.T, s *Stage, stop <-chan struct{}) <-chan int {
+	t.Helper()
+	out := make(chan int, 1)
+	go func() {
+		snapshots := 0
+		for {
+			select {
+			case <-stop:
+				out <- snapshots
+				return
+			default:
+			}
+			c := s.Counters()
+			if c.Delivered+c.Dropped > c.Received {
+				t.Errorf("mid-flight snapshot violates invariant: delivered %d + dropped %d > received %d",
+					c.Delivered, c.Dropped, c.Received)
+				out <- snapshots
+				return
+			}
+			snapshots++
+		}
+	}()
+	return out
+}
+
 // TestBackpressureSoakDrop runs a deliberately slow consumer against
 // the drop policy: the producer never stalls, memory stays bounded by
-// the channel capacity, and the books balance exactly:
-// Received == Delivered + Dropped, with a nonzero drop count.
+// the channel capacity, every mid-flight Counters snapshot satisfies
+// Delivered + Dropped <= Received, and at quiescence the books balance
+// exactly with a nonzero drop count.
 func TestBackpressureSoakDrop(t *testing.T) {
 	const n = 20000
 	s := NewStage(Config{Buffer: 8, Policy: PolicyDrop})
+	stop := make(chan struct{})
+	snaps := snapshotLoop(t, s, stop)
 	done := make(chan struct{})
 	var consumed uint64
 	go func() {
@@ -58,6 +90,10 @@ func TestBackpressureSoakDrop(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-done
+	close(stop)
+	if taken := <-snaps; taken == 0 {
+		t.Error("snapshot loop never ran mid-flight")
+	}
 	c := s.Counters()
 	if c.Received != n {
 		t.Errorf("received %d, want %d", c.Received, n)
@@ -78,10 +114,13 @@ func TestBackpressureSoakDrop(t *testing.T) {
 }
 
 // TestBackpressureSoakBlock runs the same slow consumer under the block
-// policy: nothing is ever dropped and every event arrives.
+// policy: nothing is ever dropped, every event arrives, and mid-flight
+// snapshots never overcount Delivered + Dropped against Received.
 func TestBackpressureSoakBlock(t *testing.T) {
 	const n = 5000
 	s := NewStage(Config{Buffer: 8, Policy: PolicyBlock})
+	stop := make(chan struct{})
+	snaps := snapshotLoop(t, s, stop)
 	done := make(chan struct{})
 	var consumed uint64
 	go func() {
@@ -97,6 +136,10 @@ func TestBackpressureSoakBlock(t *testing.T) {
 		t.Fatal(err)
 	}
 	<-done
+	close(stop)
+	if taken := <-snaps; taken == 0 {
+		t.Error("snapshot loop never ran mid-flight")
+	}
 	c := s.Counters()
 	if c.Received != n || c.Delivered != n || c.Dropped != 0 {
 		t.Errorf("block policy lost events: %+v", c)

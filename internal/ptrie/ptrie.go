@@ -156,6 +156,47 @@ func (t *Trie[V]) LongestMatchPrefix(query astypes.Prefix) (astypes.Prefix, V, b
 	return bestPrefix, bestValue, found
 }
 
+// CoverIter returns a cursor over every stored prefix covering query
+// (the query itself qualifies if stored), shortest first. The cursor is
+// a value type and Next performs no allocation, so a lookup path under
+// an allocation-free contract (rpki origin validation) can enumerate
+// all covering entries — LongestMatchPrefix only yields the most
+// specific one. The cursor is invalidated by trie mutation.
+func (t *Trie[V]) CoverIter(query astypes.Prefix) CoverIter[V] {
+	return CoverIter[V]{n: t.root, query: query}
+}
+
+// CoverIter cursors over the stored prefixes covering a query prefix.
+type CoverIter[V any] struct {
+	n     *node[V]
+	query astypes.Prefix
+	depth uint8
+	done  bool
+}
+
+// Next returns the next covering (prefix, value), or ok == false when
+// the walk is exhausted.
+//
+//repro:allocfree
+func (it *CoverIter[V]) Next() (prefix astypes.Prefix, value V, ok bool) {
+	for !it.done && it.n != nil {
+		n, depth := it.n, it.depth
+		// Advance first so a hit can return immediately.
+		if depth == it.query.Len {
+			it.done = true
+		} else {
+			it.n = n.children[bitAt(it.query.Addr, depth)]
+			it.depth = depth + 1
+		}
+		if n.present {
+			prefix = astypes.Prefix{Addr: maskAddr(it.query.Addr, depth), Len: depth}
+			return prefix, n.value, true
+		}
+	}
+	var zero V
+	return astypes.Prefix{}, zero, false
+}
+
 // Walk visits every stored (prefix, value) in address order (then by
 // ascending length); returning false from fn stops the walk.
 func (t *Trie[V]) Walk(fn func(prefix astypes.Prefix, value V) bool) {

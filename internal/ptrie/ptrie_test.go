@@ -199,6 +199,126 @@ func TestAgainstLinearScan(t *testing.T) {
 	}
 }
 
+func TestCoverIter(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(p("0.0.0.0/0"), 0)
+	tr.Insert(p("10.0.0.0/8"), 8)
+	tr.Insert(p("10.1.0.0/16"), 16)
+	tr.Insert(p("10.1.2.0/24"), 24)
+	tr.Insert(p("10.2.0.0/16"), 99) // sibling branch, never covering
+
+	collect := func(q astypes.Prefix) (prefixes []astypes.Prefix, values []int) {
+		it := tr.CoverIter(q)
+		for {
+			prefix, v, ok := it.Next()
+			if !ok {
+				return
+			}
+			prefixes = append(prefixes, prefix)
+			values = append(values, v)
+		}
+	}
+
+	// All covering prefixes, shortest first; the query itself included.
+	prefixes, values := collect(p("10.1.2.0/24"))
+	want := []astypes.Prefix{p("0.0.0.0/0"), p("10.0.0.0/8"), p("10.1.0.0/16"), p("10.1.2.0/24")}
+	if len(prefixes) != len(want) {
+		t.Fatalf("covering prefixes = %v, want %v", prefixes, want)
+	}
+	for i := range want {
+		if prefixes[i] != want[i] || values[i] != int(want[i].Len) {
+			t.Errorf("cover[%d] = %v/%d, want %v/%d", i, prefixes[i], values[i], want[i], want[i].Len)
+		}
+	}
+
+	// A more specific query than anything stored still sees its covers;
+	// stored more-specifics of the query are not covers.
+	if prefixes, _ = collect(p("10.1.3.0/28")); len(prefixes) != 3 {
+		t.Errorf("10.1.3.0/28 covers = %v, want /0 /8 /16", prefixes)
+	}
+	if prefixes, _ = collect(p("10.1.0.0/16")); len(prefixes) != 3 {
+		t.Errorf("10.1.0.0/16 covers = %v, want /0 /8 /16", prefixes)
+	}
+	if prefixes, _ = collect(p("192.168.0.0/16")); len(prefixes) != 1 || prefixes[0] != p("0.0.0.0/0") {
+		t.Errorf("192.168.0.0/16 covers = %v, want just /0", prefixes)
+	}
+
+	// Without a default route, an uncovered query yields nothing.
+	tr.Delete(p("0.0.0.0/0"))
+	if prefixes, _ = collect(p("192.168.0.0/16")); prefixes != nil {
+		t.Errorf("uncovered query yielded %v", prefixes)
+	}
+}
+
+func TestCoverIterAgainstWalk(t *testing.T) {
+	// Property check: CoverIter must agree with a brute-force Walk
+	// filter on random tries and queries.
+	rng := rand.New(rand.NewSource(7))
+	tr := New[int]()
+	var stored []astypes.Prefix
+	for i := 0; i < 500; i++ {
+		length := uint8(rng.Intn(25))
+		addr := rng.Uint32() & (^uint32(0) << (32 - length))
+		if length == 0 {
+			addr = 0
+		}
+		prefix := astypes.Prefix{Addr: addr, Len: length}
+		tr.Insert(prefix, i)
+		stored = append(stored, prefix)
+	}
+	for q := 0; q < 200; q++ {
+		var query astypes.Prefix
+		if q%2 == 0 && len(stored) > 0 {
+			query = stored[rng.Intn(len(stored))] // exact hits included
+		} else {
+			length := uint8(rng.Intn(33))
+			query = astypes.Prefix{Addr: maskAddr(rng.Uint32(), length), Len: length}
+		}
+		var want []astypes.Prefix
+		tr.Walk(func(prefix astypes.Prefix, _ int) bool {
+			if prefix.Len <= query.Len && maskAddr(query.Addr, prefix.Len) == prefix.Addr {
+				want = append(want, prefix)
+			}
+			return true
+		})
+		var got []astypes.Prefix
+		it := tr.CoverIter(query)
+		for {
+			prefix, _, ok := it.Next()
+			if !ok {
+				break
+			}
+			got = append(got, prefix)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %v: got %v, want %v", query, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %v: got %v, want %v", query, got, want)
+			}
+		}
+	}
+}
+
+func TestCoverIterAllocFree(t *testing.T) {
+	tr := New[int]()
+	tr.Insert(p("10.0.0.0/8"), 1)
+	tr.Insert(p("10.1.0.0/16"), 2)
+	query := p("10.1.2.0/24")
+	allocs := testing.AllocsPerRun(100, func() {
+		it := tr.CoverIter(query)
+		for {
+			if _, _, ok := it.Next(); !ok {
+				return
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("CoverIter walk allocates %v per run, want 0", allocs)
+	}
+}
+
 func BenchmarkLongestMatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	tr := New[int]()

@@ -13,7 +13,10 @@ import (
 // detection with a flight recorder attached and returns the forensic
 // bundles the detecting ASes captured. Bundles are in alarm order and
 // carry virtual timestamps, so the same seed yields the same bundles.
-func AlarmStudy(seed int64, forge bool) ([]trace.AlarmBundle, error) {
+// With withROAs the victim prefix is covered by ROAs for its valid
+// origin, so ROV cross-validation classes every bundle likely-hijack;
+// without, bundles carry the MOAS-provenance classes.
+func AlarmStudy(seed int64, forge, withROAs bool) ([]trace.AlarmBundle, error) {
 	set, err := topology.BuildPaperTopologies(seed)
 	if err != nil {
 		return nil, err
@@ -22,12 +25,17 @@ func AlarmStudy(seed int64, forge bool) ([]trace.AlarmBundle, error) {
 	if err != nil {
 		return nil, err
 	}
+	coverage := 0.0
+	if withROAs {
+		coverage = 1
+	}
 	rec := trace.NewRecorder(8192, trace.WithoutWallClock())
 	if _, err := experiment.Run(experiment.RunConfig{
 		Topology:          set.T25,
 		Scenario:          scens[0],
 		Detection:         experiment.DetectionFull,
 		ForgeSupersetList: forge,
+		ROACoverage:       coverage,
 		Recorder:          rec,
 	}); err != nil {
 		return nil, err
@@ -44,14 +52,18 @@ func WriteAlarmTable(w io.Writer, bundles []trace.AlarmBundle) error {
 		_, err := fmt.Fprintln(w, "no MOAS alarms captured")
 		return err
 	}
-	header := fmt.Sprintf("%-3s %-11s %-18s %-8s %-7s %-7s %-22s %s",
-		"id", "virtual", "prefix", "verdict", "node", "origin", "lists (exist/recv)", "path")
+	header := fmt.Sprintf("%-3s %-11s %-18s %-8s %-16s %-7s %-7s %-22s %s",
+		"id", "virtual", "prefix", "verdict", "class", "node", "origin", "lists (exist/recv)", "path")
 	fmt.Fprintln(w, header)
 	for i := range bundles {
 		b := &bundles[i]
 		lists := fmt.Sprintf("%v/%v", b.Existing, b.Received)
-		if _, err := fmt.Fprintf(w, "%-3d %-11s %-18s %-8s AS%-5d AS%-5d %-22s %v\n",
-			b.ID, virtualStamp(b), b.Prefix, b.Verdict, b.Node, b.Origin, lists, b.Path); err != nil {
+		class := b.Class
+		if class == "" {
+			class = "-"
+		}
+		if _, err := fmt.Fprintf(w, "%-3d %-11s %-18s %-8s %-16s AS%-5d AS%-5d %-22s %v\n",
+			b.ID, virtualStamp(b), b.Prefix, b.Verdict, class, b.Node, b.Origin, lists, b.Path); err != nil {
 			return err
 		}
 	}

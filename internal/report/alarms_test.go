@@ -6,7 +6,7 @@ import (
 )
 
 func TestAlarmStudyAndTable(t *testing.T) {
-	bundles, err := AlarmStudy(42, false)
+	bundles, err := AlarmStudy(42, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -19,6 +19,9 @@ func TestAlarmStudyAndTable(t *testing.T) {
 		}
 		if len(b.Origins) != 2 {
 			t.Errorf("competing origins: %v", b.Origins)
+		}
+		if b.Class == "likely-hijack" {
+			t.Errorf("class %q without ROAs", b.Class)
 		}
 	}
 
@@ -39,5 +42,30 @@ func TestAlarmStudyAndTable(t *testing.T) {
 	}
 	if !strings.Contains(empty.String(), "no MOAS alarms") {
 		t.Errorf("empty table: %q", empty.String())
+	}
+}
+
+func TestAlarmStudyWithROAs(t *testing.T) {
+	bundles, err := AlarmStudy(42, false, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) == 0 {
+		t.Fatal("full detection captured no forensic bundles")
+	}
+	for _, b := range bundles {
+		if b.Class != "likely-hijack" {
+			t.Errorf("bundle %d class = %q, want likely-hijack", b.ID, b.Class)
+		}
+	}
+	var sb strings.Builder
+	if err := WriteAlarmTable(&sb, bundles); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"class", "likely-hijack"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
 	}
 }

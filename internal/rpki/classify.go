@@ -1,0 +1,67 @@
+package rpki
+
+import "repro/internal/core"
+
+// Class labels one MOAS alarm by crossing the ROV outcome with the
+// MOAS checker's verdict — the detector's raw alarm stream becomes the
+// benign/misconfiguration/hijack breakdown the evaluation figures need.
+type Class uint8
+
+const (
+	// ClassBenignMOAS: the RPKI is silent and the conflict looks like an
+	// ordinary multi-origin disagreement (multihoming, anycast, a
+	// transition between providers). An operator should still look, but
+	// nothing marks either origin as unauthorized.
+	ClassBenignMOAS Class = iota
+	// ClassLikelyMisconfig: the evidence points at sloppy configuration
+	// rather than an attack — either the RPKI *authorizes* the
+	// conflicting origin (so the MOAS lists are stale or incomplete), or
+	// the announcement is self-inconsistent (its own origin missing from
+	// the MOAS list it carries) with no ROA to adjudicate.
+	ClassLikelyMisconfig
+	// ClassLikelyHijack: a covering ROA exists and the announced origin
+	// is not authorized — the strongest signal the paper's mechanism can
+	// be given that the conflict is an actual origin hijack.
+	ClassLikelyHijack
+
+	// NumClasses sizes per-class counter arrays indexed by Class.
+	NumClasses = 3
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassLikelyMisconfig:
+		return "likely-misconfig"
+	case ClassLikelyHijack:
+		return "likely-hijack"
+	default:
+		return "benign-moas"
+	}
+}
+
+// Classify crosses an ROV outcome with a MOAS verdict:
+//
+//	ROV result  × MOAS verdict       → class
+//	Invalid     × any                → likely-hijack
+//	Valid       × any                → likely-misconfig (origin is
+//	             authorized; the MOAS lists, not the route, are wrong)
+//	NotFound    × origin-not-listed  → likely-misconfig (self-
+//	             inconsistent announcement, §4.1)
+//	NotFound    × conflict (or any other) → benign-moas
+//
+// Call it with the Validity from Store.Validate — a nil store yields
+// NotFound, so unconfigured deployments degrade to the pure MOAS-list
+// provenance classes.
+func Classify(v Validity, verdict core.Verdict) Class {
+	switch v {
+	case Invalid:
+		return ClassLikelyHijack
+	case Valid:
+		return ClassLikelyMisconfig
+	default:
+		if verdict == core.VerdictOriginNotListed {
+			return ClassLikelyMisconfig
+		}
+		return ClassBenignMOAS
+	}
+}

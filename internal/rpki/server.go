@@ -1,0 +1,272 @@
+package rpki
+
+import (
+	"bufio"
+	"net"
+	"sync"
+)
+
+// logEntry is one published delta; serial is the cache serial after the
+// delta applied.
+type logEntry struct {
+	serial   uint32
+	roa      ROA
+	withdraw bool
+}
+
+// maxLog bounds the delta window a Server retains; a client whose
+// serial predates the window gets a CacheReset and resyncs in full.
+const maxLog = 4096
+
+// Server is an RTR-style cache server: it owns an authoritative ROA
+// set, versions every change with a serial, answers reset queries with
+// the full (deterministically ordered) set and serial queries with the
+// delta log, and pushes SerialNotify to connected clients on every
+// publish. It exists for tests, the simulator, and for chaining one
+// collector's validated store to another; it is not a production RPKI
+// cache.
+type Server struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	set    *Store // authoritative set; guarded by mu for writes
+	serial uint32
+	log    []logEntry
+	conns  []*serverConn
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// serverConn is one connected client.
+type serverConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex    // serializes response bursts and notifies
+	notify  chan struct{} // capacity 1; coalesces publishes
+	done    chan struct{}
+}
+
+// NewServer starts serving on ln with an initial ROA set at serial 0.
+func NewServer(ln net.Listener, initial []ROA) *Server {
+	set := NewStore()
+	for _, r := range initial {
+		set.Add(r)
+	}
+	s := &Server{ln: ln, set: set}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serial returns the current cache serial.
+func (s *Server) Serial() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serial
+}
+
+// Len returns the size of the authoritative set.
+func (s *Server) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.set.Len()
+}
+
+// Announce publishes additions as one serial increment.
+func (s *Server) Announce(roas ...ROA) { s.publish(roas, false) }
+
+// Withdraw publishes removals as one serial increment.
+func (s *Server) Withdraw(roas ...ROA) { s.publish(roas, true) }
+
+func (s *Server) publish(roas []ROA, withdraw bool) {
+	s.mu.Lock()
+	changed := false
+	for _, r := range roas {
+		applied := false
+		if withdraw {
+			applied = s.set.Remove(r)
+		} else {
+			applied = s.set.Add(r)
+		}
+		if !applied {
+			continue // no-op deltas don't enter the log
+		}
+		changed = true
+		s.log = append(s.log, logEntry{serial: s.serial + 1, roa: r.normalized(), withdraw: withdraw})
+	}
+	if !changed {
+		s.mu.Unlock()
+		return
+	}
+	s.serial++
+	if over := len(s.log) - maxLog; over > 0 {
+		s.log = append(s.log[:0:0], s.log[over:]...)
+	}
+	conns := append([]*serverConn(nil), s.conns...)
+	s.mu.Unlock()
+	for _, sc := range conns {
+		select {
+		case sc.notify <- struct{}{}:
+		default: // a pending notify already covers this serial
+		}
+	}
+}
+
+// Close stops the listener and hangs up every client.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := append([]*serverConn(nil), s.conns...)
+	s.mu.Unlock()
+	s.ln.Close()
+	// Closing the conn unblocks each readLoop, whose dropConn closes
+	// sc.done (exactly once) and thereby stops the notifyLoop.
+	for _, sc := range conns {
+		sc.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		sc := &serverConn{conn: conn, notify: make(chan struct{}, 1), done: make(chan struct{})}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns = append(s.conns, sc)
+		s.wg.Add(2)
+		s.mu.Unlock()
+		go s.readLoop(sc)
+		go s.notifyLoop(sc)
+	}
+}
+
+// dropConn unregisters a dead connection.
+func (s *Server) dropConn(sc *serverConn) {
+	sc.conn.Close()
+	s.mu.Lock()
+	for i, c := range s.conns {
+		if c == sc {
+			s.conns = append(s.conns[:i], s.conns[i+1:]...)
+			close(sc.done)
+			break
+		}
+	}
+	s.mu.Unlock()
+}
+
+// readLoop answers the client's queries.
+func (s *Server) readLoop(sc *serverConn) {
+	defer s.wg.Done()
+	defer s.dropConn(sc)
+	br := bufio.NewReader(sc.conn)
+	var scratch [maxPDULen]byte
+	for {
+		p, err := readPDU(br, &scratch)
+		if err != nil {
+			return
+		}
+		switch p.typ {
+		case pduResetQuery:
+			if !s.sendFull(sc) {
+				return
+			}
+		case pduSerialQuery:
+			if !s.sendDeltas(sc, p.serial) {
+				return
+			}
+		default:
+			// Clients have no other business; drop the connection rather
+			// than desynchronize.
+			return
+		}
+	}
+}
+
+// notifyLoop pushes SerialNotify whenever a publish lands.
+func (s *Server) notifyLoop(sc *serverConn) {
+	defer s.wg.Done()
+	var buf []byte
+	for {
+		select {
+		case <-sc.done:
+			return
+		case <-sc.notify:
+		}
+		serial := s.Serial()
+		sc.writeMu.Lock()
+		buf = appendPDU(buf[:0], pdu{typ: pduSerialNotify, serial: serial})
+		_, err := sc.conn.Write(buf)
+		sc.writeMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// sendFull streams the complete set: CacheResponse, every ROA in
+// deterministic order, EndOfData.
+func (s *Server) sendFull(sc *serverConn) bool {
+	s.mu.Lock()
+	roas := s.set.Snapshot()
+	serial := s.serial
+	s.mu.Unlock()
+	buf := appendPDU(nil, pdu{typ: pduCacheResponse})
+	for _, r := range roas {
+		buf = appendPDU(buf, pdu{typ: pduPrefix, roa: r})
+	}
+	buf = appendPDU(buf, pdu{typ: pduEndOfData, serial: serial})
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	_, err := sc.conn.Write(buf)
+	return err == nil
+}
+
+// sendDeltas streams the changes after the client's serial, or
+// CacheReset when the window no longer reaches back that far.
+func (s *Server) sendDeltas(sc *serverConn, since uint32) bool {
+	s.mu.Lock()
+	serial := s.serial
+	var deltas []logEntry
+	serveable := since <= serial
+	if serveable && since < serial {
+		// The log must contain every delta in (since, serial]; the first
+		// needed entry is serial since+1.
+		if len(s.log) == 0 || s.log[0].serial > since+1 {
+			serveable = false
+		} else {
+			for _, e := range s.log {
+				if e.serial > since {
+					deltas = append(deltas, e)
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	var buf []byte
+	if !serveable {
+		buf = appendPDU(buf, pdu{typ: pduCacheReset})
+	} else {
+		buf = appendPDU(buf, pdu{typ: pduCacheResponse})
+		for _, e := range deltas {
+			buf = appendPDU(buf, pdu{typ: pduPrefix, roa: e.roa, withdraw: e.withdraw})
+		}
+		buf = appendPDU(buf, pdu{typ: pduEndOfData, serial: serial})
+	}
+	sc.writeMu.Lock()
+	defer sc.writeMu.Unlock()
+	_, err := sc.conn.Write(buf)
+	return err == nil
+}

@@ -30,6 +30,7 @@ import (
 	"repro/internal/astypes"
 	"repro/internal/core"
 	"repro/internal/rib"
+	"repro/internal/rpki"
 	"repro/internal/sim"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -94,6 +95,11 @@ type Config struct {
 	// to customers. Nil floods every best route to every neighbor (the
 	// paper's model).
 	Relations *topology.Relations
+	// RPKI, when set, cross-checks every raised alarm against a
+	// validated ROA store: each alarm bundle carries the rpki.Classify
+	// class and the network tallies per-class counts (AlarmClasses). A
+	// nil store leaves ROV silent (everything validates NotFound).
+	RPKI *rpki.Store
 }
 
 // Typed event kinds dispatched by Network.Dispatch.
@@ -112,16 +118,20 @@ type Network struct {
 	// nodes is the dense node array; byASN maps an ASN to its index and
 	// asns caches the sorted ASN list. nodes is allocated once and never
 	// regrown, so *Node pointers stay valid across Reset.
-	nodes       []Node
-	byASN       map[astypes.ASN]int32
-	asns        []astypes.ASN
-	resolver    Resolver
-	linkDelay   func(a, b astypes.ASN) time.Duration
-	msgCount    uint64
-	failedLinks map[[2]astypes.ASN]bool
-	relations   *topology.Relations
-	tracer      *Tracer
-	recorder    *trace.Recorder
+	nodes     []Node
+	byASN     map[astypes.ASN]int32
+	asns      []astypes.ASN
+	resolver  Resolver
+	linkDelay func(a, b astypes.ASN) time.Duration
+	rpki      *rpki.Store
+	// alarmClasses tallies raised alarms by ROV-crossed class across
+	// the whole network, indexed by rpki.Class.
+	alarmClasses [rpki.NumClasses]uint64
+	msgCount     uint64
+	failedLinks  map[[2]astypes.ASN]bool
+	relations    *topology.Relations
+	tracer       *Tracer
+	recorder     *trace.Recorder
 	// inflight holds the payload of every scheduled-but-undelivered
 	// message; freeMsgs recycles vacated slots so steady-state delivery
 	// allocates nothing once the high-water mark is reached.
@@ -190,6 +200,7 @@ func (n *Network) applyConfig(cfg Config) {
 	n.linkDelay = delay
 	n.resolver = cfg.Resolver
 	n.relations = cfg.Relations
+	n.rpki = cfg.RPKI
 	n.engine.SetEventLimit(cfg.EventLimit)
 	for i := range n.nodes {
 		nd := &n.nodes[i]
@@ -212,6 +223,7 @@ func (n *Network) Reset(cfg Config) error {
 	n.msgCount = 0
 	n.tracer = nil
 	n.recorder = nil
+	clear(n.alarmClasses[:])
 	n.visitEpoch = 0
 	clear(n.visited)
 	clear(n.failedLinks)
@@ -276,6 +288,11 @@ func (n *Network) SetStripMOAS(asn astypes.ASN, strip bool) error {
 
 // MessageCount returns the number of UPDATE messages delivered so far.
 func (n *Network) MessageCount() uint64 { return n.msgCount }
+
+// AlarmClasses returns the network-wide tally of raised alarms by
+// ROV-crossed class, indexed by rpki.Class. Without a configured RPKI
+// store every alarm lands in the MOAS-provenance classes.
+func (n *Network) AlarmClasses() [rpki.NumClasses]uint64 { return n.alarmClasses }
 
 // Engine exposes the underlying event engine (for custom scheduling in
 // tests and harnesses).
@@ -629,6 +646,8 @@ func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
 
 func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN, path astypes.ASPath, verdict core.Verdict, span uint64) {
 	nd.net.trace(EvAlarm, nd.asn, from, prefix, path)
+	class := rpki.Classify(nd.net.rpki.Validate(prefix, origin), verdict)
+	nd.net.alarmClasses[class]++
 	if rec := nd.net.recorder; rec.Enabled() {
 		// In-transit simulation paths are immutable, so the bundle can
 		// reference path without cloning.
@@ -639,6 +658,7 @@ func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.L
 			FromPeer: uint16(from),
 			Origin:   uint16(origin),
 			Verdict:  verdict.String(),
+			Class:    class.String(),
 			Existing: trace.ASNs(existing.Origins()),
 			Received: trace.ASNs(received.Origins()),
 			Path:     trace.PathASNs(path),

@@ -17,6 +17,7 @@ type metrics struct {
 	routesRejected *telemetry.Counter
 	loopsDropped   *telemetry.Counter
 	alarms         *telemetry.Counter
+	alarmClasses   *telemetry.CounterVec
 	suppressed     *telemetry.Counter
 	peers          *telemetry.Gauge
 
@@ -40,6 +41,8 @@ func newMetrics(r *telemetry.Registry) *metrics {
 			"Announced prefixes dropped by AS-path loop detection."),
 		alarms: r.Counter("speaker_moas_alarms_total",
 			"MOAS-list conflicts detected (the paper's alarms)."),
+		alarmClasses: r.CounterVec("speaker_moas_alarm_class_total",
+			"MOAS alarms by RPKI/ROV cross-validated class.", "class"),
 		suppressed: r.Counter("speaker_routes_suppressed_total",
 			"Best-route changes not propagated because a summary-only aggregate suppresses the prefix."),
 		peers: r.Gauge("speaker_peers",

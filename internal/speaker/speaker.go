@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ptrie"
 	"repro/internal/rib"
+	"repro/internal/rpki"
 	"repro/internal/session"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -114,6 +115,12 @@ type Config struct {
 	// sessions) record pipeline events on: message receipt, validation
 	// verdicts, RIB decisions, exports, and alarm forensics.
 	Trace *trace.Recorder
+	// RPKI, if set, is the validated ROA store every detected conflict
+	// is cross-checked against: the ROV outcome for (prefix, origin)
+	// crossed with the checker verdict yields the alarm's class
+	// (benign-moas / likely-misconfig / likely-hijack). A nil store
+	// validates to NotFound, degrading to the MOAS-provenance classes.
+	RPKI *rpki.Store
 }
 
 // Speaker is a BGP speaker instance.
@@ -221,8 +228,10 @@ func New(cfg Config) (*Speaker, error) {
 		}
 	}
 	s.checker = core.NewChecker(core.WithAlarmFunc(func(c core.Conflict) {
+		class := rpki.Classify(s.cfg.RPKI.Validate(c.Prefix, c.Origin), c.Verdict)
 		s.met.alarms.Inc()
-		s.recordAlarm(&c)
+		s.met.alarmClasses.With(class.String()).Inc()
+		s.recordAlarm(&c, class)
 		if cfg.OnAlarm != nil {
 			cfg.OnAlarm(c)
 		}
@@ -231,9 +240,9 @@ func New(cfg Config) (*Speaker, error) {
 }
 
 // recordAlarm snapshots the forensic bundle for one detected conflict:
-// both competing MOAS lists, the offending path, and the prefix's event
-// timeline from the flight recorder.
-func (s *Speaker) recordAlarm(c *core.Conflict) {
+// both competing MOAS lists, the offending path, the ROV-derived class,
+// and the prefix's event timeline from the flight recorder.
+func (s *Speaker) recordAlarm(c *core.Conflict, class rpki.Class) {
 	if !s.cfg.Trace.Enabled() {
 		return
 	}
@@ -243,6 +252,7 @@ func (s *Speaker) recordAlarm(c *core.Conflict) {
 		FromPeer: uint16(c.FromPeer),
 		Origin:   uint16(c.Origin),
 		Verdict:  c.Verdict.String(),
+		Class:    class.String(),
 		Existing: trace.ASNs(c.Existing.Origins()),
 		Received: trace.ASNs(c.Received.Origins()),
 		Path:     trace.PathASNs(c.Path),

@@ -176,6 +176,9 @@ func AppendEventText(dst []byte, e *Event) []byte {
 // reads first.
 func AppendBundleText(dst []byte, b *AlarmBundle) []byte {
 	dst = fmt.Appendf(dst, "alarm #%d: MOAS %s for %s at AS%d\n", b.ID, b.Verdict, b.Prefix, b.Node)
+	if b.Class != "" {
+		dst = fmt.Appendf(dst, "  class:    %s\n", b.Class)
+	}
 	if b.Nanos != 0 {
 		dst = fmt.Appendf(dst, "  at:       %s\n", time.Unix(0, b.Nanos).UTC().Format(time.RFC3339Nano))
 	} else if b.VNanos != 0 {

@@ -353,6 +353,12 @@ type AlarmBundle struct {
 	// Verdict is the checker's classification ("conflict" or
 	// "origin-not-listed").
 	Verdict string `json:"verdict"`
+	// Class is the cross-validated severity from rpki.Classify —
+	// "benign-moas", "likely-misconfig" or "likely-hijack" — crossing the
+	// ROV outcome for (Prefix, Origin) with the checker verdict. Callers
+	// without RPKI data still classify: a silent RPKI degrades to the
+	// MOAS-provenance classes.
+	Class string `json:"class"`
 	// Note carries deployment context (e.g. the monitor's vantage).
 	Note string `json:"note,omitempty"`
 	// Existing is the MOAS list previously accepted for the prefix;
