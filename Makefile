@@ -12,7 +12,7 @@ FUZZ_TARGETS := \
 	./internal/mrt/rislive:FuzzRISLiveJSON
 FUZZTIME ?= 10s
 
-.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-rov bench-smoke fuzz-smoke check
+.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-rov bench-simscale bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -87,6 +87,7 @@ bench:
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_trace.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 	$(MAKE) bench-ingest
 	$(MAKE) bench-rov
+	$(MAKE) bench-simscale
 
 ## bench-ingest: the MRT ingestion benchmarks — a cold ≥100k-prefix
 ## table load and the steady-state (zero-alloc) churn path — recorded
@@ -105,6 +106,15 @@ bench-rov:
 		./internal/rpki/ > BENCH_rov.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_rov.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
+## bench-simscale: the internet-scale simulation benchmarks — compact
+## simbgp convergence at 10k and 70k ASes (nodes/s, state-bytes/node,
+## allocs/op) plus the 1k compact-vs-map-layout pair that documents the
+## memory compaction factor — recorded as BENCH_simscale.json.
+bench-simscale:
+	$(GO) test -json -run='^$$' -bench='^BenchmarkSimScale' -benchmem \
+		./internal/simbgp/ > BENCH_simscale.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_simscale.json | sed 's/"Output":"//;s/\\t/\t/g' || true
+
 ## bench-smoke: one-iteration run of every hot-path and evaluation
 ## benchmark so they can't silently rot; part of check (and so CI).
 bench-smoke:
@@ -112,6 +122,8 @@ bench-smoke:
 		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/ ./internal/mrt/ ./internal/rpki/
 	$(GO) test -run='^$$' -benchtime=1x -benchmem \
 		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkMeasureStudy)(Baseline)?$$' .
+	$(GO) test -run='^$$' -benchtime=1x -benchmem \
+		-bench='^BenchmarkSimScaleConverge1k(Baseline)?$$' ./internal/simbgp/
 
 ## fuzz-smoke: run each fuzz target briefly against its seed corpus.
 fuzz-smoke:

@@ -7,7 +7,11 @@
 //	-experiment 2: Figure 10 — the same comparison across the 25-, 46-
 //	               and 63-AS topologies;
 //	-experiment 3: Figure 11 — partial (50%) vs full deployment on the
-//	               46- and 63-AS topologies.
+//	               46- and 63-AS topologies;
+//	-experiment 4: internet scale — the same hijack sweep on
+//	               preferential-attachment power-law topologies of
+//	               -scale ASes (default 10000,30000,70000), the regime
+//	               the compact simulation engine exists for.
 //
 // Each printed row is one X position of the figure: the attacker
 // percentage and the mean percentage of non-attacker ASes adopting a
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiment"
@@ -36,10 +41,19 @@ func main() {
 		par     = flag.Int("parallelism", 0, "concurrent simulation runs (0 = GOMAXPROCS)")
 		roaCov  = flag.Float64("roa-coverage", 0, "fraction of runs whose victim prefix is covered by ROAs; nonzero adds per-mode false-alarm-rate tables from RPKI/ROV alarm classification")
 		traced  = flag.Bool("trace", false, "replay one hijack on the 25-AS topology with the flight recorder attached and print the propagation timeline, per-AS adoption, and forensic alarm bundles")
+		scale   = flag.String("scale", "", "comma-separated power-law topology sizes for -experiment 4 (default 10000,30000,70000)")
 	)
 	flag.Parse()
 	outputCSV = *csvOut
 	roaCoverage = *roaCov
+	if *scale != "" {
+		sizes, err := parseScales(*scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "moas-sim:", err)
+			os.Exit(2)
+		}
+		internetScales = sizes
+	}
 	if roaCoverage < 0 || roaCoverage > 1 {
 		fmt.Fprintln(os.Stderr, "moas-sim: -roa-coverage out of [0,1]")
 		os.Exit(2)
@@ -62,13 +76,16 @@ func run(exp int, seed int64, origins int, maxPct float64, cold, forge bool, par
 		return fmt.Errorf("parallelism %d must be >= 0 (0 = GOMAXPROCS)", parallelism)
 	}
 	sweepParallelism = parallelism
-	set, err := topology.BuildPaperTopologies(seed)
-	if err != nil {
-		return err
-	}
 	originCounts := []int{1, 2}
 	if origins > 0 {
 		originCounts = []int{origins}
+	}
+	if exp == 4 {
+		return runInternet(originCounts, seed, cold, forge)
+	}
+	set, err := topology.BuildPaperTopologies(seed)
+	if err != nil {
+		return err
 	}
 	switch exp {
 	case 1:
@@ -78,8 +95,53 @@ func run(exp int, seed int64, origins int, maxPct float64, cold, forge bool, par
 	case 3:
 		return runFigure11(set, seed, maxPct, cold, forge)
 	default:
-		return fmt.Errorf("unknown experiment %d (want 1, 2 or 3)", exp)
+		return fmt.Errorf("unknown experiment %d (want 1, 2, 3 or 4)", exp)
 	}
+}
+
+// parseScales parses the -scale list ("10000,30000" -> sizes).
+func parseScales(s string) ([]int, error) {
+	var sizes []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 4 {
+			return nil, fmt.Errorf("bad -scale entry %q (want integers >= 4)", f)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+// runInternet sweeps forged-origin hijacks on power-law topologies of
+// internetScales ASes. Attacker counts are absolute (a handful of rogue
+// ASes, the realistic internet-scale threat) rather than percentages,
+// and each point averages 3 scenarios instead of the paper's 15 to keep
+// wall-clock sane at 70k nodes.
+func runInternet(originCounts []int, seed int64, cold, forge bool) error {
+	scales := internetScales
+	if len(scales) == 0 {
+		scales = []int{10_000, 30_000, 70_000}
+	}
+	fmt.Println("Experiment 4: internet-scale power-law topologies")
+	modes := []experiment.ModeSpec{
+		{Label: "Normal BGP", Detection: experiment.DetectionOff},
+		{Label: "Full MOAS Detection", Detection: experiment.DetectionFull},
+	}
+	for _, n := range scales {
+		topo, err := topology.GeneratePowerLaw(topology.DefaultPowerLawParams(n), seed)
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("powerlaw-%d", n)
+		for _, o := range originCounts {
+			fmt.Printf("\n%d-AS topology (%d origin AS%s):\n", n, o, plural(o))
+			counts := []int{1, 2, 4}
+			if err := sweepAndPrintCounts(topo, name, o, modes, seed, counts, cold, forge, 1, 3); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func runFigure9(set *topology.PaperSet, originCounts []int, seed int64, maxPct float64, cold, forge bool) error {
@@ -139,26 +201,39 @@ func runFigure11(set *topology.PaperSet, seed int64, maxPct float64, cold, forge
 
 // outputCSV switches sweepAndPrint to CSV emission; sweepParallelism
 // bounds concurrent simulation runs (0 = GOMAXPROCS); roaCoverage is
-// the simulator-side RPKI deployment fraction (0 = no ROAs).
+// the simulator-side RPKI deployment fraction (0 = no ROAs);
+// internetScales overrides experiment 4's topology sizes (-scale).
 var (
 	outputCSV        bool
 	sweepParallelism int
 	roaCoverage      float64
+	internetScales   []int
 )
 
 func sweepAndPrint(topo *topology.SampleResult, name string, numOrigins int,
 	modes []experiment.ModeSpec, seed int64, maxPct float64, cold, forge bool) error {
+	counts := experiment.AttackerCountsFor(topo, maxPct)
+	return sweepAndPrintCounts(topo, name, numOrigins, modes, seed, counts, cold, forge, 0, 0)
+}
+
+// sweepAndPrintCounts runs one sweep over explicit attacker counts and
+// prints it; originSets/attackerSets 0 means the paper's 3x5 scheme.
+func sweepAndPrintCounts(topo *topology.SampleResult, name string, numOrigins int,
+	modes []experiment.ModeSpec, seed int64, counts []int, cold, forge bool,
+	originSets, attackerSets int) error {
 	res, err := experiment.Sweep(experiment.SweepConfig{
 		Topology:          topo,
 		TopologyName:      name,
 		NumOrigins:        numOrigins,
-		AttackerCounts:    experiment.AttackerCountsFor(topo, maxPct),
+		AttackerCounts:    counts,
 		Modes:             modes,
 		Seed:              seed,
 		ColdStart:         cold,
 		ForgeSupersetList: forge,
 		ROACoverage:       roaCoverage,
 		Parallelism:       sweepParallelism,
+		OriginSets:        originSets,
+		AttackerSets:      attackerSets,
 	})
 	if err != nil {
 		return err

@@ -2,6 +2,21 @@ package main
 
 import "testing"
 
+func TestParseScales(t *testing.T) {
+	sizes, err := parseScales(" 10000, 30000 ,70000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 3 || sizes[0] != 10000 || sizes[2] != 70000 {
+		t.Errorf("sizes = %v", sizes)
+	}
+	for _, bad := range []string{"", "abc", "10,-3", "2"} {
+		if _, err := parseScales(bad); err == nil {
+			t.Errorf("parseScales(%q) accepted", bad)
+		}
+	}
+}
+
 func TestRunExperiments(t *testing.T) {
 	for exp := 1; exp <= 3; exp++ {
 		if err := run(exp, 42, 1, 6 /* small sweep */, true, false, 0); err != nil {
@@ -10,6 +25,11 @@ func TestRunExperiments(t *testing.T) {
 	}
 	if err := run(9, 42, 1, 6, true, false, 0); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+	internetScales = []int{150, 300}
+	defer func() { internetScales = nil }()
+	if err := run(4, 42, 2, 6, true, false, 0); err != nil {
+		t.Fatalf("experiment 4: %v", err)
 	}
 	outputCSV = true
 	defer func() { outputCSV = false }()

@@ -113,6 +113,6 @@ func writeAdoption(w io.Writer, nodes []astypes.ASN, rec *trace.Recorder, legit,
 			}
 			state += fmt.Sprintf(" (rejected %d forged announcement%s)", n, suffix)
 		}
-		fmt.Fprintf(w, "  AS%-5d %s\n", uint16(asn), state)
+		fmt.Fprintf(w, "  AS%-5d %s\n", uint32(asn), state)
 	}
 }

@@ -1,12 +1,15 @@
-// Command topogen builds the paper's simulation topologies (§5.1): it
-// generates the synthetic Internet, applies the stub-sampling and
-// pruning construction, and prints the resulting 25-, 46- and 63-AS
-// graphs as edge lists or Graphviz DOT.
+// Command topogen builds simulation topologies. By default it follows
+// the paper's §5.1 construction: generate the synthetic Internet, apply
+// the stub-sampling and pruning, and print the resulting 25-, 46- and
+// 63-AS graphs as edge lists or Graphviz DOT. With -powerlaw it instead
+// grows a preferential-attachment AS graph of the requested size — the
+// internet-scale topologies the 10k-70k simulations run on.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/topology"
@@ -14,13 +17,25 @@ import (
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 42, "generator seed")
-		name  = flag.String("topology", "", "print only this topology (25, 46 or 63)")
-		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
-		stats = flag.Bool("stats", false, "append diameter/distance/clustering statistics")
+		seed     = flag.Int64("seed", 42, "generator seed")
+		name     = flag.String("topology", "", "print only this paper topology (25, 46 or 63)")
+		dot      = flag.Bool("dot", false, "emit Graphviz DOT instead of an edge list")
+		stats    = flag.Bool("stats", false, "append degree-distribution and relation statistics")
+		powerlaw = flag.Int("powerlaw", 0, "generate a preferential-attachment graph of this many ASes instead of the paper set")
+		minDeg   = flag.Int("mindeg", 2, "power-law attachment degree (with -powerlaw)")
+		statOnly = flag.Bool("stats-only", false, "suppress the edge list, print statistics only (implies -stats)")
 	)
 	flag.Parse()
-	if err := run(*seed, *name, *dot, *stats); err != nil {
+	if *statOnly {
+		*stats = true
+	}
+	var err error
+	if *powerlaw > 0 {
+		err = runPowerLaw(os.Stdout, *powerlaw, *minDeg, *seed, *dot, *stats, *statOnly)
+	} else {
+		err = run(*seed, *name, *dot, *stats)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "topogen:", err)
 		os.Exit(1)
 	}
@@ -51,9 +66,62 @@ func run(seed int64, only string, dot, stats bool) error {
 		}
 		if stats {
 			st := t.s.Graph.Stats()
-			fmt.Printf("# stats: diameter=%d mean-distance=%.2f clustering=%.3f\n\n",
+			fmt.Printf("# stats: diameter=%d mean-distance=%.2f clustering=%.3f\n",
 				st.Diameter, st.MeanDistance, st.Clustering)
+			if err := writeDistribution(os.Stdout, t.s); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
 	}
 	return nil
+}
+
+func runPowerLaw(w io.Writer, n, minDeg int, seed int64, dot, stats, statOnly bool) error {
+	res, err := topology.GeneratePowerLaw(topology.PowerLawParams{Nodes: n, MinDegree: minDeg}, seed)
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("powerlaw-%d", n)
+	if !statOnly {
+		if dot {
+			if err := res.WriteDOT(w, "topology_"+name); err != nil {
+				return err
+			}
+		} else if err := res.WriteEdgeList(w, name+" topology"); err != nil {
+			return err
+		}
+	}
+	if stats {
+		return writeDistribution(w, res)
+	}
+	return nil
+}
+
+// writeDistribution emits the degree distribution, the fitted power-law
+// exponent, and the inferred business-relation counts as comment lines,
+// so they survive in saved edge-list files.
+func writeDistribution(w io.Writer, res *topology.SampleResult) error {
+	g := res.Graph
+	deg := g.Degrees()
+	if _, err := fmt.Fprintf(w, "# degrees: %d nodes, %d edges, min/mean/max %d/%.2f/%d, alpha=%.2f\n",
+		g.NumNodes(), g.NumEdges(), deg.Min, deg.Mean, deg.Max, g.PowerLawAlpha(deg.Min)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprint(w, "# degree-distribution:"); err != nil {
+		return err
+	}
+	for _, dc := range g.DegreeDistribution() {
+		if _, err := fmt.Fprintf(w, " %d:%d", dc[0], dc[1]); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	rel := topology.InferRelations(g, res.Transit)
+	pc, peer := rel.Counts()
+	_, err := fmt.Fprintf(w, "# relations: %d customer-provider, %d peer-peer, %d transit ASes, %d stubs\n",
+		pc, peer, len(res.TransitASes()), len(res.StubASes()))
+	return err
 }

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
 
 func TestRunAllFormats(t *testing.T) {
 	if err := run(42, "25", false, true); err != nil {
@@ -11,5 +15,29 @@ func TestRunAllFormats(t *testing.T) {
 	}
 	if err := run(42, "", false, false); err != nil {
 		t.Fatalf("all: %v", err)
+	}
+}
+
+func TestRunPowerLawStats(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runPowerLaw(&buf, 500, 2, 42, false, true, true); err != nil {
+		t.Fatalf("power-law stats: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# degrees:", "# degree-distribution:", "# relations:", "alpha="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "\n1 ") {
+		t.Error("stats-only output contains edge list lines")
+	}
+
+	buf.Reset()
+	if err := runPowerLaw(&buf, 50, 2, 42, false, false, false); err != nil {
+		t.Fatalf("power-law edge list: %v", err)
+	}
+	if !strings.Contains(buf.String(), "powerlaw-50 topology") {
+		t.Errorf("edge list header missing:\n%s", buf.String())
 	}
 }

@@ -16,11 +16,14 @@ import (
 	"strings"
 )
 
-// ASN is a 2-octet BGP autonomous system number. The paper predates
-// 4-octet AS numbers (RFC 4893), so the 16-bit space is faithful to the
-// system under study; private AS numbers (64512-65534) are used by the
-// ASE multi-homing model in routegen.
-type ASN uint16
+// ASN is a BGP autonomous system number. The paper predates 4-octet AS
+// numbers (RFC 4893), but internet-scale simulated topologies need more
+// than the 16-bit space, so ASN is 32 bits wide (RFC 6793). On the
+// 2-octet wire encoding and in community values, ASNs above 65535 are
+// substituted with ASTrans, mirroring real 4-octet-AS interop; private
+// AS numbers (64512-65534) are used by the ASE multi-homing model in
+// routegen.
+type ASN uint32
 
 // Reserved and boundary AS numbers.
 const (
@@ -30,6 +33,11 @@ const (
 	PrivateASNBase ASN = 64512
 	// PrivateASNLast is the last private-use AS number.
 	PrivateASNLast ASN = 65534
+	// ASTrans (RFC 6793) substitutes for ASNs above 65535 wherever only
+	// a 2-octet field is available (wire encoding, communities).
+	ASTrans ASN = 23456
+	// Max2Octet is the largest ASN representable in a 2-octet field.
+	Max2Octet ASN = 0xffff
 )
 
 // IsPrivate reports whether the ASN falls in the private-use range that
@@ -46,7 +54,7 @@ func (a ASN) String() string {
 
 // ParseASN parses a decimal AS number.
 func ParseASN(s string) (ASN, error) {
-	v, err := strconv.ParseUint(s, 10, 16)
+	v, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
 		return 0, fmt.Errorf("parse ASN %q: %w", s, err)
 	}
@@ -396,8 +404,13 @@ func ParseASPath(s string) (ASPath, error) {
 // 16 bits carry an AS number and the low 16 bits an AS-defined value.
 type Community uint32
 
-// NewCommunity builds a community from its (ASN, value) halves.
+// NewCommunity builds a community from its (ASN, value) halves. ASNs
+// above the 2-octet range are substituted with ASTrans, as RFC 1997
+// communities cannot carry 4-octet AS numbers.
 func NewCommunity(asn ASN, value uint16) Community {
+	if asn > Max2Octet {
+		asn = ASTrans
+	}
 	return Community(uint32(asn)<<16 | uint32(value))
 }
 
@@ -418,7 +431,9 @@ func ParseCommunity(s string) (Community, error) {
 	if colon < 0 {
 		return 0, fmt.Errorf("parse community %q: missing ':'", s)
 	}
-	asn, err := ParseASN(s[:colon])
+	// Communities carry only 2-octet AS numbers, so the AS half is
+	// parsed with a 16-bit bound rather than via ParseASN.
+	asn, err := strconv.ParseUint(s[:colon], 10, 16)
 	if err != nil {
 		return 0, fmt.Errorf("parse community %q: %w", s, err)
 	}
@@ -426,7 +441,7 @@ func ParseCommunity(s string) (Community, error) {
 	if err != nil {
 		return 0, fmt.Errorf("parse community %q: %w", s, err)
 	}
-	return NewCommunity(asn, uint16(v)), nil
+	return NewCommunity(ASN(asn), uint16(v)), nil
 }
 
 // SortASNs sorts a slice of ASNs ascending, in place, and returns it.

@@ -36,7 +36,9 @@ func TestParseASN(t *testing.T) {
 		{give: "0", want: 0},
 		{give: "701", want: 701},
 		{give: "65535", want: 65535},
-		{give: "65536", wantErr: true},
+		{give: "65536", want: 65536},
+		{give: "4294967295", want: 4294967295},
+		{give: "4294967296", wantErr: true},
 		{give: "-1", wantErr: true},
 		{give: "abc", wantErr: true},
 		{give: "", wantErr: true},

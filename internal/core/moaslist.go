@@ -75,6 +75,13 @@ func (l List) Origins() []astypes.ASN {
 	return cp
 }
 
+// AppendOrigins appends the member set to dst in ascending order and
+// returns it — the allocation-free companion to Origins for callers
+// that bring their own scratch (the simulator's intern tables).
+func (l List) AppendOrigins(dst []astypes.ASN) []astypes.ASN {
+	return append(dst, l.asns...)
+}
+
 // Contains reports whether asn is an entitled origin.
 func (l List) Contains(asn astypes.ASN) bool {
 	for _, a := range l.asns {

@@ -30,7 +30,7 @@ import (
 // Config is the on-disk daemon configuration.
 type Config struct {
 	// AS and RouterID identify the speaker.
-	AS       uint16 `json:"as"`
+	AS       uint32 `json:"as"`
 	RouterID uint32 `json:"routerID"`
 	// Validation is "off", "alarm" or "drop".
 	Validation string `json:"validation"`
@@ -84,7 +84,7 @@ type Config struct {
 // PeerConfig is one outbound peering.
 type PeerConfig struct {
 	Addr string `json:"addr"`
-	AS   uint16 `json:"as"`
+	AS   uint32 `json:"as"`
 }
 
 // OriginateConfig is one locally originated prefix.
@@ -92,7 +92,7 @@ type OriginateConfig struct {
 	Prefix string `json:"prefix"`
 	// MOASList is the set of entitled origins; empty means implicit
 	// (this AS only).
-	MOASList []uint16 `json:"moasList"`
+	MOASList []uint32 `json:"moasList"`
 }
 
 // AggregateConfig is one configured aggregate.
@@ -104,7 +104,7 @@ type AggregateConfig struct {
 // MOASRRConfig is one origin-authorization record.
 type MOASRRConfig struct {
 	Prefix  string   `json:"prefix"`
-	Origins []uint16 `json:"origins"`
+	Origins []uint32 `json:"origins"`
 }
 
 // ROAConfig is one inline ROA: every listed origin is authorized for
@@ -112,7 +112,7 @@ type MOASRRConfig struct {
 type ROAConfig struct {
 	Prefix  string   `json:"prefix"`
 	MaxLen  uint8    `json:"maxLen"`
-	Origins []uint16 `json:"origins"`
+	Origins []uint32 `json:"origins"`
 }
 
 // Load parses a configuration from r.
@@ -551,7 +551,7 @@ func (d *Daemon) Close() error {
 	return err
 }
 
-func asnsOf(in []uint16) []astypes.ASN {
+func asnsOf(in []uint32) []astypes.ASN {
 	out := make([]astypes.ASN, len(in))
 	for i, v := range in {
 		out[i] = astypes.ASN(v)

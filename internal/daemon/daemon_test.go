@@ -83,7 +83,7 @@ func TestTwoDaemonsDetectHijack(t *testing.T) {
 		MIBAddr:    "127.0.0.1:0",
 		Peers:      []PeerConfig{{Addr: victimAddr, AS: 4}},
 		MOASRR: []MOASRRConfig{
-			{Prefix: "131.179.0.0/16", Origins: []uint16{4}},
+			{Prefix: "131.179.0.0/16", Origins: []uint32{4}},
 		},
 	})
 	if err != nil {

@@ -138,7 +138,7 @@ func TestDaemonAttributeEncodingEndToEnd(t *testing.T) {
 		Listen:       []string{addr},
 		ListEncoding: "attribute",
 		Originate: []OriginateConfig{
-			{Prefix: "131.179.0.0/16", MOASList: []uint16{4, 226}},
+			{Prefix: "131.179.0.0/16", MOASList: []uint32{4, 226}},
 		},
 	})
 	if err != nil {

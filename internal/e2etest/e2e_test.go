@@ -150,10 +150,10 @@ func TestForgedOriginObservability(t *testing.T) {
 	if b.Node != validatorAS || b.FromPeer != forgedAS || b.Origin != forgedAS {
 		t.Errorf("bundle endpoints: node=%d fromPeer=%d origin=%d", b.Node, b.FromPeer, b.Origin)
 	}
-	if want := []uint16{forgedAS, legitAS}; !reflect.DeepEqual(b.Origins, want) {
+	if want := []uint32{forgedAS, legitAS}; !reflect.DeepEqual(b.Origins, want) {
 		t.Errorf("conflicting-origin set = %v, want %v", b.Origins, want)
 	}
-	if !reflect.DeepEqual(b.Existing, []uint16{legitAS}) || !reflect.DeepEqual(b.Received, []uint16{forgedAS}) {
+	if !reflect.DeepEqual(b.Existing, []uint32{legitAS}) || !reflect.DeepEqual(b.Received, []uint32{forgedAS}) {
 		t.Errorf("MOAS lists: existing=%v received=%v", b.Existing, b.Received)
 	}
 	pathHasForged := false

@@ -47,7 +47,7 @@ type Harness struct {
 // legitOrigin to prefix. Any roaOrigins additionally load a ROA for
 // prefix authorizing exactly those origins, turning on RPKI/ROV
 // cross-validation of alarms. Cleanup is registered on t.
-func Boot(t *testing.T, prefix string, legitOrigin uint16, roaOrigins ...uint16) *Harness {
+func Boot(t *testing.T, prefix string, legitOrigin uint32, roaOrigins ...uint32) *Harness {
 	t.Helper()
 
 	c := collector.New(collector.Config{RouterID: 6447})
@@ -67,10 +67,10 @@ func Boot(t *testing.T, prefix string, legitOrigin uint16, roaOrigins ...uint16)
 		TraceEvents: 256,
 		Pprof:       true,
 		Peers: []daemon.PeerConfig{
-			{Addr: cln.Addr().String(), AS: uint16(collector.CollectorASN)},
+			{Addr: cln.Addr().String(), AS: uint32(collector.CollectorASN)},
 		},
 		MOASRR: []daemon.MOASRRConfig{
-			{Prefix: prefix, Origins: []uint16{legitOrigin}},
+			{Prefix: prefix, Origins: []uint32{legitOrigin}},
 		},
 	}
 	if len(roaOrigins) > 0 {
@@ -97,7 +97,7 @@ func Boot(t *testing.T, prefix string, legitOrigin uint16, roaOrigins ...uint16)
 // StartSpeaker boots a plain speaker with the given AS, originating
 // prefix with the given MOAS list (empty = implicit), and dials it into
 // the validator. Cleanup is registered on t.
-func (h *Harness) StartSpeaker(t *testing.T, as uint16, prefix astypes.Prefix, list core.List) *speaker.Speaker {
+func (h *Harness) StartSpeaker(t *testing.T, as uint32, prefix astypes.Prefix, list core.List) *speaker.Speaker {
 	t.Helper()
 	s, err := speaker.New(speaker.Config{AS: astypes.ASN(as), RouterID: uint32(as)})
 	if err != nil {

@@ -106,7 +106,7 @@ func TestMRTReplayForensics(t *testing.T) {
 	if b.Span != forgedSpan {
 		t.Errorf("bundle span %d, want %d (the forged record's archive ordinal)", b.Span, forgedSpan)
 	}
-	if b.Origin != uint16(forgedOrigin) {
+	if b.Origin != uint32(forgedOrigin) {
 		t.Errorf("bundle origin %d, want %d", b.Origin, forgedOrigin)
 	}
 	if b.Prefix != prefix.String() {
@@ -115,12 +115,12 @@ func TestMRTReplayForensics(t *testing.T) {
 	if b.Note != "mrt:test-archive" {
 		t.Errorf("bundle note %q, want the replay vantage", b.Note)
 	}
-	if len(b.Existing) != 1 || b.Existing[0] != uint16(legitOrigin) {
+	if len(b.Existing) != 1 || b.Existing[0] != uint32(legitOrigin) {
 		t.Errorf("existing list %v, want [%d]", b.Existing, legitOrigin)
 	}
 	found := false
 	for _, as := range b.Received {
-		if as == uint16(forgedOrigin) {
+		if as == uint32(forgedOrigin) {
 			found = true
 		}
 	}

@@ -319,10 +319,26 @@ func applyDetection(net *simbgp.Network, cfg RunConfig) error {
 // Selections generates the paper's 15-run scheme: originSets distinct
 // origin selections (from stub ASes) and, for each, attackerSets
 // attacker selections (from all ASes, excluding the chosen origins).
+//
+// Multi-origin selections draw only from stubs with 2-octet ASNs:
+// explicit MOAS-list communities carry origins in a 16-bit field and
+// substitute AS_TRANS above it, so a 4-byte origin could not be listed
+// faithfully. Paper topologies assign only small ASNs, making the
+// filter a no-op there; on internet-scale power-law graphs it keeps
+// victims among the (low-numbered, early-arrival) ASes.
 func Selections(topo *topology.SampleResult, numOrigins, numAttackers, originSets, attackerSets int, seed int64) ([]Scenario, error) {
 	stubs := topo.StubASes()
+	if numOrigins > 1 {
+		listable := make([]astypes.ASN, 0, len(stubs))
+		for _, a := range stubs {
+			if a <= astypes.Max2Octet {
+				listable = append(listable, a)
+			}
+		}
+		stubs = listable
+	}
 	if len(stubs) < numOrigins {
-		return nil, fmt.Errorf("experiment: %d stubs < %d origins", len(stubs), numOrigins)
+		return nil, fmt.Errorf("experiment: %d eligible stubs < %d origins", len(stubs), numOrigins)
 	}
 	all := topo.Graph.Nodes()
 	if len(all)-numOrigins < numAttackers {

@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestParallelismDeterminism10k pins the sweep's concurrency contract
+// at internet scale: a 10k-AS sweep serialized to CSV must be
+// byte-identical whether runs execute sequentially or on 8 workers.
+// Parallelism may only change wall-clock, never results — pooled
+// networks, interned state, and per-scenario seeding all have to be
+// order-independent for this to hold. Skipped with -short.
+func TestParallelismDeterminism10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-AS sweep; skipped with -short")
+	}
+	topo, err := topology.GeneratePowerLaw(topology.DefaultPowerLawParams(10_000), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SweepConfig{
+		Topology:       topo,
+		TopologyName:   "powerlaw-10000",
+		NumOrigins:     1,
+		AttackerCounts: []int{1, 2},
+		Modes: []ModeSpec{
+			{Label: "normal", Detection: DetectionOff},
+			{Label: "full", Detection: DetectionFull},
+		},
+		OriginSets:   1,
+		AttackerSets: 2,
+		Seed:         42,
+		ColdStart:    true,
+		ROACoverage:  0.5,
+	}
+	render := func(parallelism int) []byte {
+		cfg.Parallelism = parallelism
+		res, err := Sweep(cfg)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("sweep output depends on parallelism:\n serial:\n%s\n parallel:\n%s", serial, parallel)
+	}
+}

@@ -192,7 +192,7 @@ func (m *Monitor) ObserveEntrySpan(vantage string, prefix astypes.Prefix, path a
 		if verdict != core.VerdictConsistent && conflict != nil {
 			m.rec.RecordAlarm(prefix, trace.AlarmBundle{
 				Span:     conflict.Span,
-				Origin:   uint16(conflict.Origin),
+				Origin:   uint32(conflict.Origin),
 				Verdict:  verdict.String(),
 				Class:    class.String(),
 				Note:     vantage,

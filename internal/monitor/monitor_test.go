@@ -212,10 +212,10 @@ func TestMonitorWithTrace(t *testing.T) {
 	if b.Prefix != prefix.String() || b.Origin != 52 {
 		t.Errorf("bundle identity: %+v", b)
 	}
-	if !reflect.DeepEqual(b.Origins, []uint16{4, 52}) {
+	if !reflect.DeepEqual(b.Origins, []uint32{4, 52}) {
 		t.Errorf("competing origins = %v", b.Origins)
 	}
-	if !reflect.DeepEqual(b.Path, []uint16{1239, 52}) {
+	if !reflect.DeepEqual(b.Path, []uint32{1239, 52}) {
 		t.Errorf("offending path = %v", b.Path)
 	}
 }

@@ -62,6 +62,11 @@ func WriteBinaryDump(w io.Writer, d *Dump) error {
 			}
 			buf = append(buf, uint8(seg.Type), uint8(len(seg.ASNs)))
 			for _, a := range seg.ASNs {
+				// The version-1 archive format carries 2-octet ASNs only;
+				// refuse 4-octet values rather than truncate silently.
+				if a > astypes.Max2Octet {
+					return writeErr(fmt.Errorf("ASN %d exceeds the 2-octet archive format", a))
+				}
 				buf = binary.BigEndian.AppendUint16(buf, uint16(a))
 			}
 		}

@@ -74,20 +74,23 @@ func (nd *Node) restoreNeighbor(peer astypes.ASN) {
 }
 
 // dropNeighbor marks the peer's adjacency slot down and flushes every
-// route learned from it, propagating the fallout. The advertised
-// bookkeeping for the slot resets: a restored session starts from a
-// clean table exchange.
+// route learned from it, propagating the fallout in ascending prefix
+// order. The advertised bookkeeping for the slot resets: a restored
+// session starts from a clean table exchange.
 func (nd *Node) dropNeighbor(peer astypes.ASN) {
 	s := nd.slotOf(peer)
 	if s < 0 {
 		return
 	}
 	nd.neighborDown[s] = true
-	if sent := nd.advertised[s]; sent != nil {
-		clear(sent)
-	}
-	for _, ch := range nd.table.DropPeer(peer) {
-		nd.propagate(ch)
+	n := nd.net
+	g := n.slotBase[nd.idx] + int32(s)
+	for _, id := range n.pfxSorted {
+		st := &n.pfx[id]
+		st.clrAdv(g)
+		if n.clearSlot(nd, st, g) {
+			nd.propagate(st)
+		}
 	}
 }
 
@@ -98,8 +101,12 @@ func (nd *Node) refreshTo(peer astypes.ASN) {
 	if s < 0 {
 		return
 	}
-	for _, r := range nd.table.BestRoutes() {
-		var adv outMsg
-		nd.emitToSlot(s, r.Prefix, r, &adv)
+	n := nd.net
+	for _, id := range n.pfxSorted {
+		st := &n.pfx[id]
+		if best := st.bestPlus[nd.idx] - 1; best >= 0 {
+			var adv outMsg
+			nd.emitToSlot(s, st, best, &adv)
+		}
 	}
 }

@@ -17,8 +17,12 @@ import (
 // longest-prefix-match forwarding.
 func (nd *Node) lpmTrie() *ptrie.Trie[astypes.Prefix] {
 	t := ptrie.New[astypes.Prefix]()
-	for _, r := range nd.table.BestRoutes() {
-		t.Insert(r.Prefix, r.Prefix)
+	n := nd.net
+	for _, id := range n.pfxSorted {
+		st := &n.pfx[id]
+		if st.bestPlus[nd.idx] != 0 {
+			t.Insert(st.prefix, st.prefix)
+		}
 	}
 	return t
 }
@@ -53,14 +57,19 @@ func (n *Network) forwardAddr(src *Node, addr uint32, tries []*ptrie.Trie[astype
 		if !ok {
 			return astypes.ASNNone, false
 		}
-		best := node.table.Best(prefix)
-		if best == nil {
+		st, registered := n.stateOf(prefix)
+		if !registered {
 			return astypes.ASNNone, false
 		}
-		if best.FromPeer == astypes.ASNNone {
+		b := st.bestPlus[node.idx] - 1
+		if b < 0 {
+			return astypes.ASNNone, false
+		}
+		rel := b - n.slotBase[node.idx]
+		if int(rel) == len(node.neighbors) {
 			return node.asn, true
 		}
-		node = n.Node(best.FromPeer)
+		node = &n.nodes[node.neighborIdx[rel]]
 	}
 }
 

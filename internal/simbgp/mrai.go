@@ -15,9 +15,11 @@ import (
 // convergence results do not depend on it, and enabled through
 // Config.MRAI for the overhead ablation.
 
-// mraiState tracks one node's per-peer advertisement timers.
+// mraiState tracks one node's per-peer advertisement timers. It is
+// created lazily on a node's first deferred advertisement (the interval
+// itself lives on the Node), so enabling MRAI on an internet-scale
+// network costs nothing on nodes that never advertise.
 type mraiState struct {
-	interval time.Duration
 	// lastAdv is the virtual time of the last advertisement per peer.
 	lastAdv map[astypes.ASN]time.Duration
 	// pending accumulates prefixes whose advertisement was deferred.
@@ -26,28 +28,35 @@ type mraiState struct {
 	scheduled map[astypes.ASN]bool
 }
 
-func newMRAIState(interval time.Duration) *mraiState {
-	if interval <= 0 {
-		return nil
+// clearAll rewinds the timer state in place for run reuse. Per-peer
+// batch maps survive (emptied) so a rewound network re-runs without
+// reallocating one map per deferring node.
+func (m *mraiState) clearAll() {
+	clear(m.lastAdv)
+	for _, batch := range m.pending {
+		clear(batch)
 	}
-	return &mraiState{
-		interval:  interval,
-		lastAdv:   make(map[astypes.ASN]time.Duration),
-		pending:   make(map[astypes.ASN]map[astypes.Prefix]bool),
-		scheduled: make(map[astypes.ASN]bool),
-	}
+	clear(m.scheduled)
 }
 
 // shouldDefer reports whether an advertisement to peer must wait, and
 // if so records the prefix and ensures a flush is scheduled.
 func (nd *Node) shouldDefer(peer astypes.ASN, prefix astypes.Prefix) bool {
+	if nd.mraiInterval <= 0 {
+		return false
+	}
 	m := nd.mrai
 	if m == nil {
-		return false
+		m = &mraiState{
+			lastAdv:   make(map[astypes.ASN]time.Duration),
+			pending:   make(map[astypes.ASN]map[astypes.Prefix]bool),
+			scheduled: make(map[astypes.ASN]bool),
+		}
+		nd.mrai = m
 	}
 	now := nd.net.engine.Now()
 	last, sent := m.lastAdv[peer]
-	if !sent || now-last >= m.interval {
+	if !sent || now-last >= nd.mraiInterval {
 		m.lastAdv[peer] = now
 		return false
 	}
@@ -57,7 +66,7 @@ func (nd *Node) shouldDefer(peer astypes.ASN, prefix astypes.Prefix) bool {
 	m.pending[peer][prefix] = true
 	if !m.scheduled[peer] {
 		m.scheduled[peer] = true
-		delay := last + m.interval - now
+		delay := last + nd.mraiInterval - now
 		nd.net.engine.ScheduleTyped(delay,
 			sim.Typed{Kind: evMRAIFlush, A: uint32(nd.idx), B: uint32(peer)})
 	}
@@ -73,16 +82,20 @@ func (nd *Node) flushMRAI(peer astypes.ASN) {
 	}
 	m.scheduled[peer] = false
 	prefixes := m.pending[peer]
-	delete(m.pending, peer)
 	if len(prefixes) == 0 {
 		return
 	}
+	// The batch map is kept (emptied in place) for the peer's next burst:
+	// churny peers would otherwise reallocate it every interval, and
+	// pooled sweep reruns once per node per run.
+	defer clear(prefixes)
 	if !nd.hasNeighbor(peer) {
 		return // link failed while the batch was held
 	}
 	m.lastAdv[peer] = nd.net.engine.Now()
+	// emitTo stamps nothing into MRAI state (lastAdv was just advanced,
+	// so nothing re-defers): prefixes is not mutated while ranged.
 	for prefix := range prefixes {
-		best := nd.table.Best(prefix)
-		nd.emitTo(peer, prefix, best)
+		nd.emitTo(peer, prefix)
 	}
 }

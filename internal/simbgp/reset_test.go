@@ -110,13 +110,13 @@ func TestResetSwapsRunConfig(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n.Node(1).mrai == nil {
+	if n.Node(1).mraiInterval != 30*time.Second {
 		t.Fatal("MRAI not enabled")
 	}
 	if err := n.Reset(Config{Topology: g, EventLimit: 3}); err != nil {
 		t.Fatal(err)
 	}
-	if n.Node(1).mrai != nil {
+	if n.Node(1).mraiInterval != 0 || n.Node(1).mrai != nil {
 		t.Error("Reset kept stale MRAI state")
 	}
 	if err := n.Originate(1, victim, core.List{}); err != nil {

@@ -4,23 +4,30 @@
 // It plays the role of the authors' modified SSFnet simulator.
 //
 // Each node runs the standard path-vector machinery (loop detection,
-// shortest-AS-path decision via internal/rib, best-route propagation to
-// all peers). Nodes optionally run the paper's MOAS detection: they
-// extract the effective MOAS list of every announcement (explicit
-// communities or the implicit single-origin rule), raise an alarm on any
-// inconsistency, resolve the conflict through a Resolver (the stand-in
-// for the DNS MOASRR lookup of §4.4), and then refuse to install or
-// propagate routes from origins outside the resolved valid set —
-// "they stop the further propagation of a false route" (§5.2).
+// shortest-AS-path decision, best-route propagation to all peers),
+// replicating the decision process of internal/rib exactly — the live
+// daemons keep their sharded rib.Table, the simulator trades it for the
+// compact layout below. Nodes optionally run the paper's MOAS
+// detection: they extract the effective MOAS list of every announcement
+// (explicit communities or the implicit single-origin rule), raise an
+// alarm on any inconsistency, resolve the conflict through a Resolver
+// (the stand-in for the DNS MOASRR lookup of §4.4), and then refuse to
+// install or propagate routes from origins outside the resolved valid
+// set — "they stop the further propagation of a false route" (§5.2).
 //
-// Layout is optimized for the experiment harness, which runs hundreds
-// of simulations per sweep: nodes live in a dense slice indexed by a
-// per-topology ASN→index table (maps only at the API boundary), message
-// delivery and MRAI fires are typed engine events carrying indices and
-// pooled message slots (no closure per message), one propagated
-// advertisement is built once and shared across all receiving peers,
-// and Reset rewinds a network for reuse without reallocating nodes,
-// RIB shards, or adjacency state.
+// Layout is optimized for internet scale (§5 runs the paper's curves on
+// power-law topologies up to 70k ASes) and for the experiment harness,
+// which runs hundreds of simulations per sweep: nodes live in a dense
+// slice indexed by a per-topology ASN→index table (maps only at the API
+// boundary); AS paths, MOAS lists, and community attributes are
+// interned network-wide (intern.go) so per-adjacency routing state is a
+// pair of uint32 ids in flat per-prefix arrays (compact.go) rather than
+// a rib.Table per node; message delivery and MRAI fires are typed
+// engine events carrying indices and pooled message slots (no closure
+// per message); one propagated advertisement is interned once and
+// shared by id across all receiving peers; and Reset rewinds a network
+// for reuse clearing every structure in place, without per-node
+// allocation.
 package simbgp
 
 import (
@@ -132,6 +139,31 @@ type Network struct {
 	relations    *topology.Relations
 	tracer       *Tracer
 	recorder     *trace.Recorder
+
+	// Adjacency-slot geometry: node i owns the global slot range
+	// [slotBase[i], slotBase[i]+deg(i)] — one slot per neighbor in
+	// ascending ASN order plus a trailing local slot. recip maps each
+	// neighbor slot to the owner's slot index within that neighbor's own
+	// adjacency (so a delivered message lands in O(1)); relSlot caches
+	// the owner→neighbor business relation per slot when valley-free
+	// export is enabled (relFilled remembers which Relations it holds).
+	slotBase   []int32
+	totalSlots int32
+	recip      []int32
+	relSlot    []topology.Relation
+	relFilled  *topology.Relations
+
+	// The network-global intern tables and the per-prefix flat routing
+	// state (compact.go). All three tables and the prefix registry
+	// persist across Reset: ids are content-addressed, so reuse is
+	// behavior-neutral and steady-state sweeps stop allocating entirely.
+	paths     *pathTab
+	lists     *listTab
+	comms     *commTab
+	pfxID     map[astypes.Prefix]int32
+	pfx       []pfxState
+	pfxSorted []int32
+
 	// inflight holds the payload of every scheduled-but-undelivered
 	// message; freeMsgs recycles vacated slots so steady-state delivery
 	// allocates nothing once the high-water mark is reached.
@@ -161,6 +193,10 @@ func NewNetwork(cfg Config) (*Network, error) {
 		engine:      sim.NewEngine(),
 		topo:        cfg.Topology,
 		failedLinks: make(map[[2]astypes.ASN]bool),
+		paths:       newPathTab(),
+		lists:       newListTab(),
+		comms:       newCommTab(),
+		pfxID:       make(map[astypes.Prefix]int32),
 	}
 	n.engine.SetDispatcher(n)
 	asns := cfg.Topology.Nodes()
@@ -171,6 +207,8 @@ func NewNetwork(cfg Config) (*Network, error) {
 	}
 	n.nodes = make([]Node, len(asns))
 	n.visited = make([]uint32, len(asns))
+	n.slotBase = make([]int32, len(asns))
+	total := int32(0)
 	for i, a := range asns {
 		nd := &n.nodes[i]
 		nd.asn = a
@@ -182,16 +220,28 @@ func NewNetwork(cfg Config) (*Network, error) {
 			nd.neighborIdx[s] = n.byASN[p]
 		}
 		nd.neighborDown = make([]bool, len(nd.neighbors))
-		nd.advertised = make([]map[astypes.Prefix]bool, len(nd.neighbors))
-		nd.table = rib.NewTable()
-		nd.resolved = make(map[astypes.Prefix]core.List)
+		n.slotBase[i] = total
+		total += int32(len(nd.neighbors)) + 1
+	}
+	n.totalSlots = total
+	n.recip = make([]int32, total)
+	n.relSlot = make([]topology.Relation, total)
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		base := n.slotBase[i]
+		for s := range nd.neighbors {
+			peer := &n.nodes[nd.neighborIdx[s]]
+			n.recip[base+int32(s)] = int32(peer.slotOf(nd.asn))
+		}
 	}
 	n.applyConfig(cfg)
 	return n, nil
 }
 
 // applyConfig installs the per-run configuration shared by NewNetwork
-// and Reset.
+// and Reset. It allocates nothing per node: MRAI state is created
+// lazily on first deferral and relation slots are refilled only when
+// the Relations table actually changed.
 func (n *Network) applyConfig(cfg Config) {
 	delay := cfg.LinkDelay
 	if delay == nil {
@@ -202,19 +252,35 @@ func (n *Network) applyConfig(cfg Config) {
 	n.relations = cfg.Relations
 	n.rpki = cfg.RPKI
 	n.engine.SetEventLimit(cfg.EventLimit)
+	if cfg.Relations != nil && n.relFilled != cfg.Relations {
+		n.relFilled = cfg.Relations
+		for i := range n.nodes {
+			nd := &n.nodes[i]
+			base := n.slotBase[i]
+			for s, p := range nd.neighbors {
+				n.relSlot[base+int32(s)] = cfg.Relations.Of(nd.asn, p)
+			}
+		}
+	}
 	for i := range n.nodes {
 		nd := &n.nodes[i]
 		nd.mode = ModeNormal
-		nd.mrai = newMRAIState(cfg.MRAI)
+		nd.mraiInterval = cfg.MRAI
+		if cfg.MRAI <= 0 {
+			nd.mrai = nil
+		} else if nd.mrai != nil {
+			nd.mrai.clearAll()
+		}
 	}
 }
 
 // Reset rewinds the network for a fresh run under cfg, reusing every
-// node, RIB shard, and adjacency structure in place. cfg.Topology must
+// node, intern table, and per-prefix array in place. cfg.Topology must
 // be the exact *topology.Graph the network was built with (the dense
 // index layout is derived from it); any resolver, delay function,
 // relations, MRAI, or event limit may change between runs. Existing
-// *Node pointers remain valid.
+// *Node pointers remain valid. Reset performs no per-node allocation,
+// so pooled sweep reuse costs O(state) writes and O(1) allocs.
 func (n *Network) Reset(cfg Config) error {
 	if cfg.Topology != n.topo {
 		return fmt.Errorf("simbgp: Reset requires the network's own topology")
@@ -227,22 +293,23 @@ func (n *Network) Reset(cfg Config) error {
 	n.visitEpoch = 0
 	clear(n.visited)
 	clear(n.failedLinks)
-	clear(n.inflight) // release shared path/community references
 	n.inflight = n.inflight[:0]
 	n.freeMsgs = n.freeMsgs[:0]
+	for i := range n.pfx {
+		st := &n.pfx[i]
+		clear(st.adjPath)
+		clear(st.adjComm)
+		clear(st.adjEff)
+		clear(st.bestPlus)
+		clear(st.adv)
+		clear(st.resolved)
+	}
 	for i := range n.nodes {
 		nd := &n.nodes[i]
 		nd.attacker = false
 		nd.stripMOAS = false
-		nd.table.Clear()
-		clear(nd.resolved)
 		nd.alarms = nil
-		for s := range nd.advertised {
-			if sent := nd.advertised[s]; sent != nil {
-				clear(sent)
-			}
-			nd.neighborDown[s] = false
-		}
+		clear(nd.neighborDown)
 	}
 	n.applyConfig(cfg)
 	return nil
@@ -301,16 +368,19 @@ func (n *Network) Engine() *sim.Engine { return n.engine }
 // Run drives the simulation to quiescence.
 func (n *Network) Run() error { return n.engine.Run() }
 
-// message is one simulated BGP UPDATE (or withdrawal) on a link. The
-// path and communities may be shared by every in-flight copy of one
-// advertisement and by the sender's RIB: they are read-only in transit,
-// and rib.Table.Update clones on install.
+// message is one simulated BGP UPDATE (or withdrawal) on a link. Path
+// and community attributes travel as intern-table ids, so an in-flight
+// message is a few words with no heap references, and every copy of one
+// advertisement shares the same interned values. toSlot is the slot of
+// the sender within the receiver's adjacency, precomputed so delivery
+// never searches.
 type message struct {
-	from        astypes.ASN
-	prefix      astypes.Prefix
-	withdraw    bool
-	path        astypes.ASPath
-	communities []astypes.Community
+	from     astypes.ASN
+	prefix   astypes.Prefix
+	withdraw bool
+	toSlot   int32
+	pathID   uint32
+	commID   uint32
 }
 
 // Dispatch executes typed engine events (sim.Dispatcher).
@@ -368,6 +438,7 @@ func (n *Network) sendSlot(nd *Node, s int, msg message) {
 	if len(n.failedLinks) != 0 && n.failedLinks[linkKey(nd.asn, to)] {
 		return
 	}
+	msg.toSlot = n.recip[n.slotBase[nd.idx]+int32(s)]
 	slot := n.allocSlot(msg)
 	n.engine.ScheduleTyped(n.linkDelay(nd.asn, to),
 		sim.Typed{Kind: evDeliver, A: uint32(nd.neighborIdx[s]), B: slot})
@@ -411,16 +482,13 @@ func (n *Network) OriginateForgedPath(asn astypes.ASN, prefix astypes.Prefix, fo
 	}
 	n.engine.Schedule(0, func() {
 		node.attacker = true
-		route := &rib.Route{
-			Prefix:      prefix,
-			Path:        forged.Clone(),
-			Origin:      wire.OriginIGP,
-			LocalPref:   rib.DefaultLocalPref,
-			Communities: list.Communities(),
-			FromPeer:    astypes.ASNNone,
+		st := n.registerPrefix(prefix)
+		pathID := n.paths.intern(forged)
+		commID := n.comms.intern(list.Communities(), n.lists)
+		effID := effectiveID(n.comms, n.lists, commID, n.paths.origin[pathID])
+		if n.updateSlot(node, st, n.localSlot(node), pathID, commID, effID) {
+			node.propagate(st)
 		}
-		ch := node.table.Originate(route)
-		node.propagate(ch)
 	})
 	return nil
 }
@@ -446,19 +514,17 @@ type Node struct {
 	// neighbors is the node's adjacency in ascending ASN order,
 	// immutable after construction. neighborIdx holds the dense node
 	// index per slot; neighborDown marks slots whose link is currently
-	// failed; advertised tracks what was last sent per slot per prefix
-	// so withdrawals are only sent for previously advertised prefixes.
+	// failed. All per-slot routing state lives in the network's flat
+	// per-prefix arrays (compact.go).
 	neighbors    []astypes.ASN
 	neighborIdx  []int32
 	neighborDown []bool
-	advertised   []map[astypes.Prefix]bool
-	table        *rib.Table
-	// resolved caches the outcome of conflict resolution per prefix (the
-	// "DNS answer"), emulating a router that has investigated an alarm.
-	resolved map[astypes.Prefix]core.List
-	alarms   []core.Conflict
-	// mrai is non-nil when the MinRouteAdvertisementInterval is enabled.
-	mrai *mraiState
+	alarms       []core.Conflict
+	// mraiInterval is the configured MinRouteAdvertisementInterval
+	// (zero = disabled); mrai is its timer state, created lazily on the
+	// first deferred advertisement.
+	mraiInterval time.Duration
+	mrai         *mraiState
 }
 
 // ASN returns the node's AS number.
@@ -481,12 +547,32 @@ func (nd *Node) Alarms() []core.Conflict {
 // without copying them out.
 func (nd *Node) AlarmCount() int { return len(nd.alarms) }
 
-// Best returns the node's selected route for prefix, or nil.
-func (nd *Node) Best(prefix astypes.Prefix) *rib.Route { return nd.table.Best(prefix) }
-
-// Table exposes the node's RIB (read-mostly; the simulation is
-// single-threaded per engine).
-func (nd *Node) Table() *rib.Table { return nd.table }
+// Best returns the node's selected route for prefix, or nil. The Route
+// is materialized fresh from the interned state, so callers own it.
+func (nd *Node) Best(prefix astypes.Prefix) *rib.Route {
+	n := nd.net
+	st, ok := n.stateOf(prefix)
+	if !ok {
+		return nil
+	}
+	b := st.bestPlus[nd.idx] - 1
+	if b < 0 {
+		return nil
+	}
+	var comms []astypes.Community
+	if set := n.comms.setOf(st.adjComm[b]); len(set) > 0 {
+		comms = make([]astypes.Community, len(set))
+		copy(comms, set)
+	}
+	return &rib.Route{
+		Prefix:      prefix,
+		Path:        n.paths.materialize(st.adjPath[b]),
+		Origin:      wire.OriginIGP,
+		LocalPref:   rib.DefaultLocalPref,
+		Communities: comms,
+		FromPeer:    n.slotPeer(nd, b),
+	}
+}
 
 // slotOf returns the adjacency slot of peer (binary search over the
 // sorted neighbor list), or -1.
@@ -510,153 +596,163 @@ func (nd *Node) originate(prefix astypes.Prefix, list core.List, invalid bool) {
 	if invalid {
 		nd.attacker = true
 	}
-	route := &rib.Route{
-		Prefix:      prefix,
-		Path:        astypes.NewSeqPath(nd.asn),
-		Origin:      wire.OriginIGP,
-		LocalPref:   rib.DefaultLocalPref,
-		Communities: list.Communities(),
-		FromPeer:    astypes.ASNNone,
+	n := nd.net
+	st := n.registerPrefix(prefix)
+	pathID := n.paths.prepend(0, nd.asn)
+	commID := n.comms.intern(list.Communities(), n.lists)
+	effID := effectiveID(n.comms, n.lists, commID, nd.asn)
+	if n.updateSlot(nd, st, n.localSlot(nd), pathID, commID, effID) {
+		nd.propagate(st)
 	}
-	ch := nd.table.Originate(route)
-	nd.propagate(ch)
 }
 
 func (nd *Node) withdrawLocal(prefix astypes.Prefix) {
-	ch := nd.table.WithdrawLocal(prefix)
-	nd.propagate(ch)
-}
-
-func (nd *Node) receive(msg message, span uint64) {
-	if msg.withdraw {
-		nd.net.trace(EvWithdrawMsg, nd.asn, msg.from, msg.prefix, astypes.ASPath{})
-		ch := nd.table.Withdraw(msg.from, msg.prefix)
-		nd.propagate(ch)
+	n := nd.net
+	st, ok := n.stateOf(prefix)
+	if !ok {
 		return
 	}
-	nd.net.trace(EvAnnounce, nd.asn, msg.from, msg.prefix, msg.path)
+	if n.clearSlot(nd, st, n.localSlot(nd)) {
+		nd.propagate(st)
+	}
+}
+
+//repro:allocfree
+func (nd *Node) receive(msg message, span uint64) {
+	n := nd.net
+	if msg.withdraw {
+		n.trace(EvWithdrawMsg, nd.asn, msg.from, msg.prefix, astypes.ASPath{})
+		st, ok := n.stateOf(msg.prefix)
+		if !ok {
+			return
+		}
+		if n.clearSlot(nd, st, n.slotBase[nd.idx]+msg.toSlot) {
+			nd.propagate(st)
+		}
+		return
+	}
+	if n.tracing() {
+		n.trace(EvAnnounce, nd.asn, msg.from, msg.prefix, n.paths.materialize(msg.pathID))
+	}
+	st := n.registerPrefix(msg.prefix)
+	g := n.slotBase[nd.idx] + msg.toSlot
 	// Sender-side prepending already happened; standard loop detection.
 	// A looped announcement still implicitly replaces — i.e. withdraws —
 	// whatever this peer previously advertised for the prefix (RFC 4271
 	// treats it as route exclusion); silently ignoring it would let two
 	// nodes keep each other's stale routes alive forever after the
 	// origin withdraws.
-	if msg.path.Contains(nd.asn) {
-		ch := nd.table.Withdraw(msg.from, msg.prefix)
-		nd.propagate(ch)
+	if n.paths.contains(msg.pathID, nd.asn) {
+		if n.clearSlot(nd, st, g) {
+			nd.propagate(st)
+		}
 		return
 	}
-	if nd.mode == ModeDetect && !nd.admit(msg, span) {
-		nd.net.trace(EvRejected, nd.asn, msg.from, msg.prefix, msg.path)
-		// Rejected as invalid: treat the bogus announcement as a no-op.
-		// Any previously accepted route from this peer is deliberately
-		// kept — the checker "eliminates false routing announcements"
-		// (§5.4) rather than tearing down state, mirroring a router that
-		// refuses a poisoned replacement. If the peer has in fact moved
-		// its traffic to the attacker, the forwarding-walk census still
-		// observes the hijack.
-		return
+	var effID uint32
+	if nd.mode == ModeDetect {
+		effID = effectiveID(n.comms, n.lists, msg.commID, n.paths.origin[msg.pathID])
+		if !nd.admit(msg, st, effID, span) {
+			if n.tracing() {
+				n.trace(EvRejected, nd.asn, msg.from, msg.prefix, n.paths.materialize(msg.pathID))
+			}
+			// Rejected as invalid: treat the bogus announcement as a no-op.
+			// Any previously accepted route from this peer is deliberately
+			// kept — the checker "eliminates false routing announcements"
+			// (§5.4) rather than tearing down state, mirroring a router that
+			// refuses a poisoned replacement. If the peer has in fact moved
+			// its traffic to the attacker, the forwarding-walk census still
+			// observes the hijack.
+			return
+		}
 	}
-	route := &rib.Route{
-		Prefix:      msg.prefix,
-		Path:        msg.path,
-		Origin:      wire.OriginIGP,
-		LocalPref:   rib.DefaultLocalPref,
-		Communities: msg.communities,
-		FromPeer:    msg.from,
+	if n.updateSlot(nd, st, g, msg.pathID, msg.commID, effID) {
+		nd.propagate(st)
 	}
-	ch := nd.table.Update(route)
-	nd.propagate(ch)
 }
 
 // admit applies the paper's MOAS check to an incoming announcement,
-// returning false if the route must be suppressed.
-func (nd *Node) admit(msg message, span uint64) bool {
-	eff, err := core.EffectiveList(msg.communities, msg.path)
-	if err != nil {
+// returning false if the route must be suppressed. effID is the
+// announcement's interned effective MOAS list (0 = unresolvable).
+//
+//repro:allocfree
+func (nd *Node) admit(msg message, st *pfxState, effID uint32, span uint64) bool {
+	n := nd.net
+	if effID == 0 {
+		// Neither an attached list nor an origin AS (the EffectiveList
+		// error case).
 		return false
 	}
-	origin, _ := msg.path.Origin()
+	origin := n.paths.origin[msg.pathID]
 
 	// Already-resolved prefix: filter directly by the investigated
 	// origin set.
-	if truth, ok := nd.resolved[msg.prefix]; ok {
-		return truth.Contains(origin)
+	if r := st.resolved[nd.idx]; r != 0 {
+		return n.lists.contains(r, origin)
 	}
 
 	// A route whose own origin is missing from its attached list is
 	// bogus on its face (§4.1).
-	if !eff.Contains(origin) {
-		nd.raiseAndResolve(msg.prefix, core.List{}, eff, origin, msg.from, msg.path, core.VerdictOriginNotListed, span)
-		if truth, ok := nd.resolved[msg.prefix]; ok {
-			return truth.Contains(origin)
+	if !n.lists.contains(effID, origin) {
+		nd.raiseAndResolve(st, 0, effID, origin, msg.from, msg.pathID, core.VerdictOriginNotListed, span)
+		if r := st.resolved[nd.idx]; r != 0 {
+			return n.lists.contains(r, origin)
 		}
 		return false
 	}
 
 	// Compare against the effective lists of every route currently held
-	// for the prefix (Adj-RIB-Ins and local).
-	for _, held := range nd.heldLists(msg.prefix) {
-		if !held.Equal(eff) {
-			nd.raiseAndResolve(msg.prefix, held, eff, origin, msg.from, msg.path, core.VerdictConflict, span)
-			truth, ok := nd.resolved[msg.prefix]
-			if !ok {
-				// Unresolvable conflict: be conservative, reject the
-				// newcomer (alarm stands for the operator).
-				return false
-			}
-			nd.purgeInvalid(msg.prefix, truth)
-			return truth.Contains(origin)
+	// for the prefix (Adj-RIB-Ins and local). Interned list ids are
+	// content-addressed, so id inequality is exactly the paper's
+	// set-inequality predicate. A down peer's routes were flushed when
+	// its link failed, so skipping down slots is only an optimization.
+	base := n.slotBase[nd.idx]
+	deg := len(nd.neighbors)
+	for s := 0; s <= deg; s++ {
+		if s < deg && nd.neighborDown[s] {
+			continue
 		}
+		held := n.heldEff(st, base+int32(s))
+		if held == 0 || held == effID {
+			continue
+		}
+		nd.raiseAndResolve(st, held, effID, origin, msg.from, msg.pathID, core.VerdictConflict, span)
+		r := st.resolved[nd.idx]
+		if r == 0 {
+			// Unresolvable conflict: be conservative, reject the
+			// newcomer (alarm stands for the operator).
+			return false
+		}
+		nd.purgeInvalid(st, r)
+		return n.lists.contains(r, origin)
 	}
 	return true
 }
 
-// heldLists collects the distinct effective MOAS lists of all routes the
-// node currently holds for prefix. Each source is a single-shard
-// RouteFrom lookup (a down peer's routes were flushed when its link
-// failed, so skipping down slots is only an optimization).
-func (nd *Node) heldLists(prefix astypes.Prefix) []core.List {
-	var lists []core.List
-	add := func(r *rib.Route) {
-		eff, err := core.EffectiveList(r.Communities, r.Path)
-		if err != nil {
-			return
-		}
-		for _, l := range lists {
-			if l.Equal(eff) {
-				return
-			}
-		}
-		lists = append(lists, eff)
+// raiseAndResolve materializes and records one alarm, then consults the
+// resolver, caching the answer in the prefix's resolved table. Alarms
+// are rare, so this is the one detection path that touches real List
+// and ASPath values.
+func (nd *Node) raiseAndResolve(st *pfxState, existingID, receivedID uint32, origin, from astypes.ASN, pathID uint32, verdict core.Verdict, span uint64) {
+	n := nd.net
+	prefix := st.prefix
+	var existing, received core.List
+	if existingID != 0 {
+		existing = n.lists.listOf(existingID)
 	}
-	for s, peer := range nd.neighbors {
-		if nd.neighborDown[s] {
-			continue
-		}
-		if r := nd.table.RouteFrom(peer, prefix); r != nil {
-			add(r)
-		}
+	if receivedID != 0 {
+		received = n.lists.listOf(receivedID)
 	}
-	if r := nd.table.RouteFrom(astypes.ASNNone, prefix); r != nil {
-		add(r)
-	}
-	return lists
-}
-
-func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.List, origin, from astypes.ASN, path astypes.ASPath, verdict core.Verdict, span uint64) {
-	nd.net.trace(EvAlarm, nd.asn, from, prefix, path)
-	class := rpki.Classify(nd.net.rpki.Validate(prefix, origin), verdict)
-	nd.net.alarmClasses[class]++
-	if rec := nd.net.recorder; rec.Enabled() {
-		// In-transit simulation paths are immutable, so the bundle can
-		// reference path without cloning.
+	path := n.paths.materialize(pathID)
+	n.trace(EvAlarm, nd.asn, from, prefix, path)
+	class := rpki.Classify(n.rpki.Validate(prefix, origin), verdict)
+	n.alarmClasses[class]++
+	if rec := n.recorder; rec.Enabled() {
 		rec.RecordAlarm(prefix, trace.AlarmBundle{
 			Span:     span,
-			VNanos:   int64(nd.net.engine.Now()),
-			Node:     uint16(nd.asn),
-			FromPeer: uint16(from),
-			Origin:   uint16(origin),
+			VNanos:   int64(n.engine.Now()),
+			Node:     uint32(nd.asn),
+			FromPeer: uint32(from),
+			Origin:   uint32(origin),
 			Verdict:  verdict.String(),
 			Class:    class.String(),
 			Existing: trace.ASNs(existing.Origins()),
@@ -674,52 +770,56 @@ func (nd *Node) raiseAndResolve(prefix astypes.Prefix, existing, received core.L
 		Span:     span,
 		Verdict:  verdict,
 	})
-	if nd.net.resolver == nil {
+	if n.resolver == nil {
 		return
 	}
-	if truth, ok := nd.net.resolver.ValidOrigins(prefix); ok {
-		nd.resolved[prefix] = truth
+	if truth, ok := n.resolver.ValidOrigins(prefix); ok {
+		st.resolved[nd.idx] = n.lists.intern(truth)
 	}
 }
 
-// purgeInvalid withdraws any installed route for prefix whose origin is
-// outside the resolved valid set.
-func (nd *Node) purgeInvalid(prefix astypes.Prefix, truth core.List) {
-	for s, peer := range nd.neighbors {
+// purgeInvalid withdraws any installed route for the prefix whose
+// origin is outside the resolved valid set.
+func (nd *Node) purgeInvalid(st *pfxState, truthID uint32) {
+	n := nd.net
+	base := n.slotBase[nd.idx]
+	for s := range nd.neighbors {
 		if nd.neighborDown[s] {
 			continue
 		}
-		r := nd.table.RouteFrom(peer, prefix)
-		if r != nil && !truth.Contains(r.OriginAS()) {
-			ch := nd.table.Withdraw(peer, prefix)
-			nd.propagate(ch)
+		g := base + int32(s)
+		p := st.adjPath[g]
+		if p != 0 && !n.lists.contains(truthID, n.paths.origin[p]) {
+			if n.clearSlot(nd, st, g) {
+				nd.propagate(st)
+			}
 		}
 	}
 }
 
 // outMsg is the advertisement a propagation builds lazily and then
-// shares across every receiving peer: one Prepend'ed path and one
-// community slice instead of per-peer copies. Sharing is safe because
-// in-transit messages are read-only and receivers clone on install.
+// shares across every receiving peer: one interned Prepend (a map
+// lookup in steady state) instead of per-peer path copies.
 type outMsg struct {
-	built bool
-	path  astypes.ASPath
-	comms []astypes.Community
+	built  bool
+	pathID uint32
+	commID uint32
 }
 
-func (o *outMsg) build(nd *Node, route *rib.Route) {
+//repro:allocfree
+func (o *outMsg) build(nd *Node, st *pfxState, bestG int32) {
 	if o.built {
 		return
 	}
 	o.built = true
+	n := nd.net
+	o.pathID, o.commID = st.adjPath[bestG], st.adjComm[bestG]
 	// A locally originated route already carries this AS as its path;
 	// learned routes are prepended on export.
-	o.path = route.Path
-	o.comms = route.Communities
-	if route.FromPeer != astypes.ASNNone {
-		o.path = o.path.Prepend(nd.asn)
+	if bestG != n.localSlot(nd) {
+		o.pathID = n.paths.prepend(o.pathID, nd.asn)
 		if nd.stripMOAS {
-			o.comms = core.StripMOAS(o.comms)
+			o.commID = n.comms.stripOf(o.commID, n.lists)
 		}
 	}
 }
@@ -728,105 +828,111 @@ func (o *outMsg) build(nd *Node, route *rib.Route) {
 // (or a withdrawal) to every neighbor. Advertisements may be deferred
 // by the MRAI timer; withdrawals are always immediate (RFC 4271
 // §9.2.1.1 rate limits advertisements only).
-func (nd *Node) propagate(ch rib.Change) {
-	if !ch.Changed {
-		return
-	}
-	if nd.net.tracing() {
+//
+//repro:allocfree
+func (nd *Node) propagate(st *pfxState) {
+	n := nd.net
+	bestG := st.bestPlus[nd.idx] - 1
+	if n.tracing() {
 		path := astypes.ASPath{}
-		if ch.New != nil {
-			path = ch.New.Path
+		if bestG >= 0 {
+			path = n.paths.materialize(st.adjPath[bestG])
 		}
-		nd.net.trace(EvBestChanged, nd.asn, astypes.ASNNone, ch.Prefix, path)
+		n.trace(EvBestChanged, nd.asn, astypes.ASNNone, st.prefix, path)
 	}
 	var adv outMsg
-	for s, peer := range nd.neighbors {
+	for s := range nd.neighbors {
 		if nd.neighborDown[s] {
 			continue
 		}
-		if ch.New != nil && nd.mayExport(ch.New, peer) && nd.shouldDefer(peer, ch.Prefix) {
+		if bestG >= 0 && nd.mayExportSlot(bestG, s) && nd.shouldDefer(nd.neighbors[s], st.prefix) {
 			continue
 		}
-		nd.emitToSlot(s, ch.Prefix, ch.New, &adv)
+		nd.emitToSlot(s, st, bestG, &adv)
 	}
 }
 
-// emitTo sends the route (or a withdrawal when route is nil or export
-// policy forbids it) for prefix to one peer by ASN — the slow-path
-// entry used by MRAI flushes and link restores.
-func (nd *Node) emitTo(peer astypes.ASN, prefix astypes.Prefix, route *rib.Route) {
+// emitTo sends the current best route (or a withdrawal) for prefix to
+// one peer by ASN — the slow-path entry used by MRAI flushes.
+func (nd *Node) emitTo(peer astypes.ASN, prefix astypes.Prefix) {
 	s := nd.slotOf(peer)
 	if s < 0 {
 		return
 	}
+	st, ok := nd.net.stateOf(prefix)
+	if !ok {
+		return
+	}
 	var adv outMsg
-	nd.emitToSlot(s, prefix, route, &adv)
+	nd.emitToSlot(s, st, st.bestPlus[nd.idx]-1, &adv)
 }
 
-// emitToSlot sends the route (or a withdrawal) for prefix to the peer
-// in adjacency slot s, maintaining the advertised bookkeeping. adv is
-// the shared advertisement cache for this propagation round.
+// emitToSlot sends the best route in slot bestG (or a withdrawal when
+// bestG is -1 or export policy forbids it) to the peer in adjacency
+// slot s, maintaining the advertised bitset. adv is the shared
+// advertisement cache for this propagation round.
 //
 //repro:allocfree
-func (nd *Node) emitToSlot(s int, prefix astypes.Prefix, route *rib.Route, adv *outMsg) {
-	peer := nd.neighbors[s]
-	sent := nd.advertised[s]
-	if sent == nil {
-		//repro:vet ignore allocfree -- lazy one-time init of the per-slot advertised set, reused for the run's lifetime
-		sent = make(map[astypes.Prefix]bool)
-		nd.advertised[s] = sent
-	}
-	if route == nil || !nd.mayExport(route, peer) {
-		if !sent[prefix] {
+func (nd *Node) emitToSlot(s int, st *pfxState, bestG int32, adv *outMsg) {
+	n := nd.net
+	g := n.slotBase[nd.idx] + int32(s)
+	if bestG < 0 || !nd.mayExportSlot(bestG, s) {
+		if !st.advBit(g) {
 			return
 		}
-		sent[prefix] = false
-		nd.net.sendSlot(nd, s, message{
+		st.clrAdv(g)
+		n.sendSlot(nd, s, message{
 			from:     nd.asn,
-			prefix:   prefix,
+			prefix:   st.prefix,
 			withdraw: true,
 		})
 		return
 	}
-	sent[prefix] = true
-	adv.build(nd, route)
-	nd.net.sendSlot(nd, s, message{
-		from:        nd.asn,
-		prefix:      prefix,
-		path:        adv.path,
-		communities: adv.comms,
+	st.setAdv(g)
+	adv.build(nd, st, bestG)
+	n.sendSlot(nd, s, message{
+		from:   nd.asn,
+		prefix: st.prefix,
+		pathID: adv.pathID,
+		commID: adv.commID,
 	})
 }
 
-// mayExport applies the valley-free export rule when relationships are
-// configured: local routes and routes learned from customers go to
+// mayExportSlot applies the valley-free export rule when relationships
+// are configured: local routes and routes learned from customers go to
 // everyone; routes learned from peers or providers go to customers
-// only.
-func (nd *Node) mayExport(r *rib.Route, to astypes.ASN) bool {
-	rel := nd.net.relations
-	if rel == nil {
+// only. bestG is the slot the exported route was learned on.
+//
+//repro:allocfree
+func (nd *Node) mayExportSlot(bestG int32, s int) bool {
+	n := nd.net
+	if n.relations == nil {
 		return true
 	}
-	if r.FromPeer == astypes.ASNNone {
-		return true
+	base := n.slotBase[nd.idx]
+	if bestG == base+int32(len(nd.neighbors)) {
+		return true // locally originated
 	}
-	switch rel.Of(nd.asn, r.FromPeer) {
-	case topology.RelProvider: // learned from a customer
-		return true
-	default: // learned from a peer or provider
-		return rel.Of(nd.asn, to) == topology.RelProvider
+	if n.relSlot[bestG] == topology.RelProvider {
+		return true // learned from a customer
 	}
+	return n.relSlot[base+int32(s)] == topology.RelProvider
 }
 
 // AdoptsFalse reports whether the node's best route for prefix
 // originates at an AS outside the valid set — i.e. the node has adopted
 // a false route (the paper's Y-axis metric).
 func (nd *Node) AdoptsFalse(prefix astypes.Prefix, valid core.List) bool {
-	best := nd.table.Best(prefix)
-	if best == nil {
+	n := nd.net
+	st, ok := n.stateOf(prefix)
+	if !ok {
 		return false
 	}
-	return !valid.Contains(best.OriginAS())
+	b := st.bestPlus[nd.idx] - 1
+	if b < 0 {
+		return false
+	}
+	return !valid.Contains(n.paths.origin[st.adjPath[b]])
 }
 
 // Census counts, over non-attacker nodes, how many adopted a false route
@@ -854,17 +960,21 @@ func (c Census) FalsePct() float64 {
 // adopting the false routes", §5.2).
 func (n *Network) TakeCensus(prefix astypes.Prefix, valid core.List) Census {
 	var c Census
+	st, registered := n.stateOf(prefix)
 	for i := range n.nodes {
 		node := &n.nodes[i]
 		if node.attacker {
 			continue
 		}
 		c.NonAttackers++
-		best := node.table.Best(prefix)
+		b := int32(-1)
+		if registered {
+			b = st.bestPlus[i] - 1
+		}
 		switch {
-		case best == nil:
+		case b < 0:
 			c.NoRoute++
-		case !valid.Contains(best.OriginAS()):
+		case !valid.Contains(n.paths.origin[st.adjPath[b]]):
 			c.AdoptedFalse++
 		}
 		if len(node.alarms) > 0 {
@@ -911,7 +1021,10 @@ const (
 // forwardOutcome walks the AS-level forwarding path a packet for prefix
 // takes from src, reporting whether it is delivered to a valid origin,
 // captured by an attacker/false origin, or dropped for lack of a route.
+//
+//repro:allocfree
 func (n *Network) forwardOutcome(src *Node, prefix astypes.Prefix, valid core.List) forwardResult {
+	st, registered := n.stateOf(prefix)
 	n.visitEpoch++
 	epoch := n.visitEpoch
 	node := src
@@ -923,17 +1036,21 @@ func (n *Network) forwardOutcome(src *Node, prefix astypes.Prefix, valid core.Li
 		if node.attacker {
 			return outcomeHijacked
 		}
-		best := node.table.Best(prefix)
-		if best == nil {
+		if !registered {
 			return outcomeNoRoute
 		}
-		if best.FromPeer == astypes.ASNNone {
+		b := st.bestPlus[node.idx] - 1
+		if b < 0 {
+			return outcomeNoRoute
+		}
+		rel := b - n.slotBase[node.idx]
+		if int(rel) == len(node.neighbors) {
 			// node originates the route itself.
 			if valid.Contains(node.asn) {
 				return outcomeDelivered
 			}
 			return outcomeHijacked
 		}
-		node = n.Node(best.FromPeer)
+		node = &n.nodes[node.neighborIdx[rel]]
 	}
 }

@@ -248,9 +248,9 @@ func (s *Speaker) recordAlarm(c *core.Conflict, class rpki.Class) {
 	}
 	s.cfg.Trace.RecordAlarm(c.Prefix, trace.AlarmBundle{
 		Span:     c.Span,
-		Node:     uint16(s.cfg.AS),
-		FromPeer: uint16(c.FromPeer),
-		Origin:   uint16(c.Origin),
+		Node:     uint32(s.cfg.AS),
+		FromPeer: uint32(c.FromPeer),
+		Origin:   uint32(c.Origin),
 		Verdict:  c.Verdict.String(),
 		Class:    class.String(),
 		Existing: trace.ASNs(c.Existing.Origins()),

@@ -48,13 +48,13 @@ func TestTracedPipelineAndAlarmForensics(t *testing.T) {
 	if b.Node != 100 || b.FromPeer != 64999 || b.Origin != 64999 {
 		t.Errorf("bundle endpoints: node=%d fromPeer=%d origin=%d", b.Node, b.FromPeer, b.Origin)
 	}
-	if want := []uint16{64999, 65001}; !reflect.DeepEqual(b.Origins, want) {
+	if want := []uint32{64999, 65001}; !reflect.DeepEqual(b.Origins, want) {
 		t.Errorf("competing origins: %v, want %v", b.Origins, want)
 	}
-	if !reflect.DeepEqual(b.Existing, []uint16{65001}) || !reflect.DeepEqual(b.Received, []uint16{64999}) {
+	if !reflect.DeepEqual(b.Existing, []uint32{65001}) || !reflect.DeepEqual(b.Received, []uint32{64999}) {
 		t.Errorf("MOAS lists: existing=%v received=%v", b.Existing, b.Received)
 	}
-	if !reflect.DeepEqual(b.Path, []uint16{64999}) {
+	if !reflect.DeepEqual(b.Path, []uint32{64999}) {
 		t.Errorf("offending path: %v", b.Path)
 	}
 	if b.Span == 0 {

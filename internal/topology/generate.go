@@ -119,6 +119,89 @@ func GenerateInternet(params InternetParams, seed int64) (*Inference, error) {
 	return inf, nil
 }
 
+// PowerLawParams sizes the preferential-attachment generator used for
+// the internet-scale simulations: unlike the three-tier model above,
+// which is shaped for the paper's 25/46/63-node sampling, this grows a
+// Barabási-Albert graph whose degree distribution follows the power law
+// measured on the real AS topology (Faloutsos et al.), so hijack
+// propagation at 10k-70k ASes sees realistic hub concentration.
+type PowerLawParams struct {
+	// Nodes is the total AS count.
+	Nodes int
+	// MinDegree is the number of provider links each new AS attaches
+	// with (the Barabási-Albert m). The measured AS graph's mean degree
+	// is ~4.2, giving MinDegree 2-3; DefaultPowerLawParams uses 2.
+	MinDegree int
+}
+
+// DefaultPowerLawParams returns the measured-internet-shaped defaults
+// for n ASes.
+func DefaultPowerLawParams(n int) PowerLawParams {
+	return PowerLawParams{Nodes: n, MinDegree: 2}
+}
+
+// GeneratePowerLaw grows a connected preferential-attachment AS graph,
+// deterministically from seed: a (MinDegree+1)-clique of tier-1 ASes,
+// then one AS at a time, each peering with MinDegree distinct existing
+// ASes chosen proportional to current degree. ASNs are assigned in
+// arrival order starting at 1, so hubs have low ASNs (like the real
+// registry's early allocations) and an ASN doubles as its arrival rank.
+//
+// The result is a SampleResult usable anywhere the §5.1 sampled
+// topologies are: ASes whose final degree exceeds MinDegree attracted
+// later arrivals and are classified transit; the rest are stubs.
+// Feed the graph to InferRelations for valley-free policy experiments.
+func GeneratePowerLaw(params PowerLawParams, seed int64) (*SampleResult, error) {
+	n, m := params.Nodes, params.MinDegree
+	if m < 1 {
+		return nil, fmt.Errorf("power-law min degree %d < 1", m)
+	}
+	if n < m+2 {
+		return nil, fmt.Errorf("power-law size %d too small for min degree %d", n, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph()
+	// endpoints lists every edge endpoint once per incidence, so a
+	// uniform draw from it is exactly degree-proportional attachment.
+	endpoints := make([]astypes.ASN, 0, 2*(m*n+m*(m+1)/2))
+	for i := 1; i <= m+1; i++ {
+		for j := i + 1; j <= m+1; j++ {
+			a, b := astypes.ASN(i), astypes.ASN(j)
+			g.AddEdge(a, b)
+			endpoints = append(endpoints, a, b)
+		}
+	}
+	chosen := make([]astypes.ASN, 0, m)
+	for v := m + 2; v <= n; v++ {
+		asn := astypes.ASN(v)
+		chosen = chosen[:0]
+		for len(chosen) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		for _, t := range chosen {
+			g.AddEdge(asn, t)
+			endpoints = append(endpoints, asn, t)
+		}
+	}
+	res := &SampleResult{Graph: g, Transit: make(map[astypes.ASN]bool, n/4)}
+	for a, nbrs := range g.adj {
+		if len(nbrs) > m {
+			res.Transit[a] = true
+		}
+	}
+	return res, nil
+}
+
 // zipfPicker returns a sampler over pool with P(rank i) proportional to
 // 1/(i+1)^1.35, approximating the heavy-tailed provider popularity of the
 // measured AS graph.

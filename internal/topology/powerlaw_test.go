@@ -1,0 +1,95 @@
+package topology
+
+import (
+	"testing"
+
+	"repro/internal/astypes"
+)
+
+func TestGeneratePowerLawShape(t *testing.T) {
+	res, err := GeneratePowerLaw(PowerLawParams{Nodes: 2000, MinDegree: 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Graph
+	if g.NumNodes() != 2000 {
+		t.Fatalf("nodes = %d, want 2000", g.NumNodes())
+	}
+	if !g.Connected() {
+		t.Fatal("power-law graph disconnected")
+	}
+	deg := g.Degrees()
+	if deg.Min < 2 {
+		t.Errorf("min degree %d < attachment degree", deg.Min)
+	}
+	// Preferential attachment must concentrate edges on hubs: the top
+	// node should dwarf the attachment degree, and the MLE exponent
+	// should land in the heavy-tail range of the measured AS graph.
+	if deg.Max < 40 {
+		t.Errorf("max degree %d: no hub concentration", deg.Max)
+	}
+	if a := g.PowerLawAlpha(2); a < 1.8 || a > 3.5 {
+		t.Errorf("alpha = %.2f, want heavy-tail range [1.8, 3.5]", a)
+	}
+	// Hubs arrive early: the highest-degree node should be a low ASN.
+	var hub astypes.ASN
+	hubDeg := 0
+	for _, n := range g.Nodes() {
+		if d := g.Degree(n); d > hubDeg {
+			hub, hubDeg = n, d
+		}
+	}
+	if hub > 100 {
+		t.Errorf("top hub is AS %d, want an early arrival", hub)
+	}
+	// Transit/stub split: stubs are degree-MinDegree nodes and must be
+	// the majority, as on the real internet.
+	stubs := len(res.StubASes())
+	if stubs <= g.NumNodes()/2 {
+		t.Errorf("stubs = %d of %d, want a majority", stubs, g.NumNodes())
+	}
+	for _, s := range res.StubASes()[:10] {
+		if g.Degree(s) != 2 {
+			t.Errorf("stub AS %d has degree %d", s, g.Degree(s))
+		}
+	}
+}
+
+func TestGeneratePowerLawDeterministic(t *testing.T) {
+	a, err := GeneratePowerLaw(PowerLawParams{Nodes: 300, MinDegree: 3}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := GeneratePowerLaw(PowerLawParams{Nodes: 300, MinDegree: 3}, 11)
+	ea, eb := a.Graph.Edges(), b.Graph.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+	c, _ := GeneratePowerLaw(PowerLawParams{Nodes: 300, MinDegree: 3}, 12)
+	if len(c.Graph.Edges()) == len(ea) {
+		same := true
+		for i, e := range c.Graph.Edges() {
+			if e != ea[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGeneratePowerLawValidation(t *testing.T) {
+	if _, err := GeneratePowerLaw(PowerLawParams{Nodes: 3, MinDegree: 2}, 1); err == nil {
+		t.Error("accepted too-small size")
+	}
+	if _, err := GeneratePowerLaw(PowerLawParams{Nodes: 10, MinDegree: 0}, 1); err == nil {
+		t.Error("accepted zero attachment degree")
+	}
+}

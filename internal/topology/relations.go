@@ -114,6 +114,20 @@ func (r *Relations) Of(a, b astypes.ASN) Relation {
 	return rel
 }
 
+// Counts tallies classified edges by kind: customer-provider transit
+// edges and settlement-free peerings.
+func (r *Relations) Counts() (providerCustomer, peer int) {
+	for _, rel := range r.rel {
+		switch rel {
+		case RelProvider, RelCustomer:
+			providerCustomer++
+		case RelPeer:
+			peer++
+		}
+	}
+	return providerCustomer, peer
+}
+
 // Customers returns a's customer neighbors in ascending order.
 func (r *Relations) Customers(g *Graph, a astypes.ASN) []astypes.ASN {
 	var out []astypes.ASN

@@ -90,9 +90,9 @@ func DecodeEventJSON(data []byte) (Event, error) {
 		Span   uint64 `json:"span"`
 		Kind   string `json:"kind"`
 		Detail string `json:"detail"`
-		Node   uint16 `json:"node"`
-		Peer   uint16 `json:"peer"`
-		Origin uint16 `json:"origin"`
+		Node   uint32 `json:"node"`
+		Peer   uint32 `json:"peer"`
+		Origin uint32 `json:"origin"`
 		Prefix string `json:"prefix"`
 		Aux    uint32 `json:"aux"`
 	}
@@ -162,7 +162,7 @@ func AppendEventText(dst []byte, e *Event) []byte {
 		dst = fmt.Appendf(dst, "[%9s] ", time.Duration(e.VNanos))
 	}
 	dst = fmt.Appendf(dst, "span=%-4d AS%-5d %-9s %-18s peer=AS%-5d origin=AS%-5d aux=%d",
-		e.Span, uint16(e.Node), e.Kind, e.Prefix, uint16(e.Peer), uint16(e.Origin), e.Aux)
+		e.Span, uint32(e.Node), e.Kind, e.Prefix, uint32(e.Peer), uint32(e.Origin), e.Aux)
 	if e.Detail != DetailNone {
 		dst = append(dst, ' ')
 		dst = append(dst, e.Detail.String()...)
@@ -195,7 +195,7 @@ func AppendBundleText(dst []byte, b *AlarmBundle) []byte {
 }
 
 // u16Set renders an AS set as {1, 2}; u16Seq renders a path as 1 2 3.
-func u16Set(asns []uint16) string {
+func u16Set(asns []uint32) string {
 	out := "{"
 	for i, a := range asns {
 		if i > 0 {
@@ -206,7 +206,7 @@ func u16Set(asns []uint16) string {
 	return out + "}"
 }
 
-func u16Seq(asns []uint16) string {
+func u16Seq(asns []uint32) string {
 	out := ""
 	for i, a := range asns {
 		if i > 0 {

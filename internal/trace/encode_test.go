@@ -65,8 +65,8 @@ func TestBundleJSONRoundTrip(t *testing.T) {
 	b := AlarmBundle{
 		ID: 2, VNanos: 1234, Span: 7, Node: 100, FromPeer: 64999, Origin: 64999,
 		Prefix: "131.179.0.0/16", Verdict: "conflict", Note: "vantage-3",
-		Existing: []uint16{65001}, Received: []uint16{64999}, Path: []uint16{64999},
-		Origins: []uint16{64999, 65001},
+		Existing: []uint32{65001}, Received: []uint32{64999}, Path: []uint32{64999},
+		Origins: []uint32{64999, 65001},
 		Timeline: []Event{
 			{Span: 7, Kind: KindRecv, Node: 100, Peer: 64999, Origin: 64999, Prefix: testPrefix},
 			{Span: 7, Kind: KindAlarm, Detail: DetailConflict, Node: 100, Peer: 64999, Origin: 64999, Prefix: testPrefix},
@@ -109,9 +109,9 @@ func TestAppendBundleText(t *testing.T) {
 	b := AlarmBundle{
 		ID: 1, VNanos: 45_000_000, Span: 7, Node: 100, FromPeer: 64999, Origin: 64999,
 		Prefix: "131.179.0.0/16", Verdict: "conflict", Note: "sim",
-		Existing: []uint16{65001}, Received: []uint16{64999},
-		Path:    []uint16{64999},
-		Origins: []uint16{64999, 65001},
+		Existing: []uint32{65001}, Received: []uint32{64999},
+		Path:    []uint32{64999},
+		Origins: []uint32{64999, 65001},
 	}
 	got := string(AppendBundleText(nil, &b))
 	for _, want := range []string{

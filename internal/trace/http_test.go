@@ -71,7 +71,7 @@ func TestAlarmEndpoints(t *testing.T) {
 	r.Record(Event{Span: 7, Kind: KindRecv, Node: 100, Peer: 64999, Origin: 64999, Prefix: testPrefix})
 	r.RecordAlarm(testPrefix, AlarmBundle{
 		Span: 7, Node: 100, FromPeer: 64999, Origin: 64999, Verdict: "conflict",
-		Existing: []uint16{65001}, Received: []uint16{64999}, Path: []uint16{64999},
+		Existing: []uint32{65001}, Received: []uint32{64999}, Path: []uint32{64999},
 	})
 
 	w = serveRoute(t, routes, "/debug/alarms")

@@ -346,9 +346,9 @@ type AlarmBundle struct {
 	Span uint64 `json:"span"`
 	// Node is the detecting AS; FromPeer the session the conflicting
 	// announcement arrived on; Origin its origin AS.
-	Node     uint16 `json:"node"`
-	FromPeer uint16 `json:"fromPeer"`
-	Origin   uint16 `json:"origin"`
+	Node     uint32 `json:"node"`
+	FromPeer uint32 `json:"fromPeer"`
+	Origin   uint32 `json:"origin"`
 	Prefix   string `json:"prefix"`
 	// Verdict is the checker's classification ("conflict" or
 	// "origin-not-listed").
@@ -364,12 +364,12 @@ type AlarmBundle struct {
 	// Existing is the MOAS list previously accepted for the prefix;
 	// Received the inconsistent list on the incoming route; Path the
 	// incoming route's AS path, origin last.
-	Existing []uint16 `json:"existingList"`
-	Received []uint16 `json:"receivedList"`
-	Path     []uint16 `json:"path"`
+	Existing []uint32 `json:"existingList"`
+	Received []uint32 `json:"receivedList"`
+	Path     []uint32 `json:"path"`
 	// Origins is the sorted union of Existing, Received and Origin —
 	// the complete set of ASes competing for the prefix.
-	Origins []uint16 `json:"origins"`
+	Origins []uint32 `json:"origins"`
 	// Timeline holds the retained trace events for the prefix up to and
 	// including the alarm, oldest first.
 	Timeline []Event `json:"timeline"`
@@ -377,9 +377,9 @@ type AlarmBundle struct {
 
 // Origins computes the sorted union of existing ∪ received ∪ {origin},
 // dropping zeros.
-func unionOrigins(existing, received []uint16, origin uint16) []uint16 {
-	seen := make(map[uint16]bool, len(existing)+len(received)+1)
-	add := func(a uint16) {
+func unionOrigins(existing, received []uint32, origin uint32) []uint32 {
+	seen := make(map[uint32]bool, len(existing)+len(received)+1)
+	add := func(a uint32) {
 		if a != 0 {
 			seen[a] = true
 		}
@@ -391,7 +391,7 @@ func unionOrigins(existing, received []uint16, origin uint16) []uint16 {
 		add(a)
 	}
 	add(origin)
-	out := make([]uint16, 0, len(seen))
+	out := make([]uint32, 0, len(seen))
 	for a := range seen {
 		out = append(out, a)
 	}
@@ -496,24 +496,24 @@ func (r *Recorder) AlarmCount() int {
 }
 
 // ASNs converts a typed ASN slice to the bundle's wire-width form.
-func ASNs(in []astypes.ASN) []uint16 {
+func ASNs(in []astypes.ASN) []uint32 {
 	if len(in) == 0 {
 		return nil
 	}
-	out := make([]uint16, len(in))
+	out := make([]uint32, len(in))
 	for i, a := range in {
-		out[i] = uint16(a)
+		out[i] = uint32(a)
 	}
 	return out
 }
 
 // PathASNs flattens an AS path into hop order (origin last), the form
 // alarm bundles carry.
-func PathASNs(p astypes.ASPath) []uint16 {
-	var out []uint16
+func PathASNs(p astypes.ASPath) []uint32 {
+	var out []uint32
 	for _, seg := range p.Segments {
 		for _, a := range seg.ASNs {
-			out = append(out, uint16(a))
+			out = append(out, uint32(a))
 		}
 	}
 	return out

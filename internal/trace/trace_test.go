@@ -149,9 +149,9 @@ func TestRecordAlarmBundle(t *testing.T) {
 		FromPeer: 64999,
 		Origin:   64999,
 		Verdict:  "conflict",
-		Existing: []uint16{65001},
-		Received: []uint16{64999},
-		Path:     []uint16{64999},
+		Existing: []uint32{65001},
+		Received: []uint32{64999},
+		Path:     []uint32{64999},
 	})
 	if id != 0 {
 		t.Fatalf("RecordAlarm: got id %d, want 0", id)
@@ -166,7 +166,7 @@ func TestRecordAlarmBundle(t *testing.T) {
 	if b.Prefix != "131.179.0.0/16" {
 		t.Errorf("bundle prefix: got %q", b.Prefix)
 	}
-	if want := []uint16{64999, 65001}; !reflect.DeepEqual(b.Origins, want) {
+	if want := []uint32{64999, 65001}; !reflect.DeepEqual(b.Origins, want) {
 		t.Errorf("bundle origins: got %v, want %v", b.Origins, want)
 	}
 	// Timeline: the two testPrefix events plus the alarm event itself,
@@ -205,7 +205,7 @@ func TestRecordAlarmOriginNotListed(t *testing.T) {
 func TestAlarmEviction(t *testing.T) {
 	r := NewRecorder(16, WithoutWallClock(), WithMaxAlarms(2))
 	for i := 0; i < 5; i++ {
-		if id := r.RecordAlarm(testPrefix, AlarmBundle{Origin: uint16(64990 + i), Verdict: "conflict"}); id != i {
+		if id := r.RecordAlarm(testPrefix, AlarmBundle{Origin: uint32(64990 + i), Verdict: "conflict"}); id != i {
 			t.Fatalf("alarm %d got id %d", i, id)
 		}
 	}
@@ -280,14 +280,14 @@ func TestHelpers(t *testing.T) {
 	if got := ASNs(nil); got != nil {
 		t.Errorf("ASNs(nil) = %v", got)
 	}
-	if got := ASNs([]astypes.ASN{65001, 64999}); !reflect.DeepEqual(got, []uint16{65001, 64999}) {
+	if got := ASNs([]astypes.ASN{65001, 64999}); !reflect.DeepEqual(got, []uint32{65001, 64999}) {
 		t.Errorf("ASNs = %v", got)
 	}
 	p := astypes.NewSeqPath(100, 200, 65001)
-	if got := PathASNs(p); !reflect.DeepEqual(got, []uint16{100, 200, 65001}) {
+	if got := PathASNs(p); !reflect.DeepEqual(got, []uint32{100, 200, 65001}) {
 		t.Errorf("PathASNs = %v", got)
 	}
-	if got := unionOrigins([]uint16{65001, 0}, []uint16{64999, 65001}, 64999); !reflect.DeepEqual(got, []uint16{64999, 65001}) {
+	if got := unionOrigins([]uint32{65001, 0}, []uint32{64999, 65001}, 64999); !reflect.DeepEqual(got, []uint32{64999, 65001}) {
 		t.Errorf("unionOrigins = %v", got)
 	}
 }

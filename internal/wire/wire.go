@@ -132,11 +132,21 @@ func (*Open) Type() MsgType { return MsgOpen }
 
 func (o *Open) encodeBody(dst []byte) ([]byte, error) {
 	dst = append(dst, o.Version)
-	dst = binary.BigEndian.AppendUint16(dst, uint16(o.AS))
+	dst = binary.BigEndian.AppendUint16(dst, as2of(o.AS))
 	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
 	dst = binary.BigEndian.AppendUint32(dst, o.BGPID)
 	dst = append(dst, 0) // optional parameters length
 	return dst, nil
+}
+
+// as2of narrows a 4-octet ASN into a 2-octet wire field, substituting
+// AS_TRANS (RFC 6793) for values that do not fit — the classic encoding
+// used by this speaker carries only 2-octet AS fields.
+func as2of(a astypes.ASN) uint16 {
+	if a > astypes.Max2Octet {
+		return uint16(astypes.ASTrans)
+	}
+	return uint16(a)
 }
 
 func decodeOpen(body []byte) (*Open, error) {
@@ -405,7 +415,7 @@ func (a *PathAttrs) encode(dst []byte, mandatory bool) ([]byte, error) {
 		for _, seg := range a.ASPath.Segments {
 			dst = append(dst, uint8(seg.Type), uint8(len(seg.ASNs)))
 			for _, asn := range seg.ASNs {
-				dst = binary.BigEndian.AppendUint16(dst, uint16(asn))
+				dst = binary.BigEndian.AppendUint16(dst, as2of(asn))
 			}
 		}
 	}
@@ -430,7 +440,7 @@ func (a *PathAttrs) encode(dst []byte, mandatory bool) ([]byte, error) {
 		if dst, err = appendAttrHeader(dst, flagOptional|flagTransitive, attrAggregator, 6); err != nil {
 			return nil, err
 		}
-		dst = binary.BigEndian.AppendUint16(dst, uint16(a.AggregatorAS))
+		dst = binary.BigEndian.AppendUint16(dst, as2of(a.AggregatorAS))
 		dst = binary.BigEndian.AppendUint32(dst, a.AggregatorID)
 	}
 	if len(a.Communities) > 0 {
