@@ -12,7 +12,7 @@ FUZZ_TARGETS := \
 	./internal/mrt/rislive:FuzzRISLiveJSON
 FUZZTIME ?= 10s
 
-.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-rov bench-simscale bench-smoke fuzz-smoke check
+.PHONY: build test vet vet-test vet-json vet-annotations race e2e bench bench-ingest bench-rov bench-simscale bench-obs bench-smoke fuzz-smoke check
 
 build:
 	$(GO) build ./...
@@ -21,7 +21,7 @@ test:
 	$(GO) test ./...
 
 ## vet: stock go vet plus the repo's own analyzers (cmd/repro-vet).
-## The multichecker runs under a 60s budget: all nine analyzers over
+## The multichecker runs under a 60s budget: all ten analyzers over
 ## the full tree take a few seconds, so hitting the budget means an
 ## analyzer regressed into pathological behavior.
 vet:
@@ -88,6 +88,7 @@ bench:
 	$(MAKE) bench-ingest
 	$(MAKE) bench-rov
 	$(MAKE) bench-simscale
+	$(MAKE) bench-obs
 
 ## bench-ingest: the MRT ingestion benchmarks — a cold ≥100k-prefix
 ## table load and the steady-state (zero-alloc) churn path — recorded
@@ -115,11 +116,19 @@ bench-simscale:
 		./internal/simbgp/ > BENCH_simscale.json
 	@grep -o '"Output":"Benchmark[^"]*' BENCH_simscale.json | sed 's/"Output":"//;s/\\t/\t/g' || true
 
+## bench-obs: the detection-latency observatory record path — stage
+## stamping against its nil-recorder and disabled baselines (the
+## contract is ≤200ns and 0 allocs per stamp, also pinned by
+## TestRecordPathAllocFree) — recorded as BENCH_obs.json.
+bench-obs:
+	$(GO) test -json -run='^$$' -bench='^BenchmarkObs' -benchmem 		./internal/obs/ > BENCH_obs.json
+	@grep -o '"Output":"Benchmark[^"]*' BENCH_obs.json | sed 's/"Output":"//;s/\t/	/g' || true
+
 ## bench-smoke: one-iteration run of every hot-path and evaluation
 ## benchmark so they can't silently rot; part of check (and so CI).
 bench-smoke:
-	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace|BenchmarkMRT|BenchmarkROV)' \
-		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/ ./internal/mrt/ ./internal/rpki/
+	$(GO) test -run='^$$' -bench='^(BenchmarkWire|BenchmarkRIB|BenchmarkTelemetry|BenchmarkEngineEvents|BenchmarkTrace|BenchmarkMRT|BenchmarkROV|BenchmarkObs)' \
+		-benchtime=1x -benchmem ./internal/wire/ ./internal/rib/ ./internal/telemetry/ ./internal/sim/ ./internal/trace/ ./internal/mrt/ ./internal/rpki/ ./internal/obs/
 	$(GO) test -run='^$$' -benchtime=1x -benchmem \
 		-bench='^(BenchmarkFigure9Effectiveness|BenchmarkMeasureStudy)(Baseline)?$$' .
 	$(GO) test -run='^$$' -benchtime=1x -benchmem \

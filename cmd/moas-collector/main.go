@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/mrt"
 	"repro/internal/mrt/rislive"
+	"repro/internal/obs"
 	"repro/internal/rpki"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -104,13 +106,60 @@ func run(cfg runConfig) error {
 	if cfg.traceEvents > 0 {
 		rec = trace.NewRecorder(cfg.traceEvents)
 	}
-	c := collector.New(collector.Config{RouterID: 6447, Telemetry: reg, Trace: rec})
+
+	// The detection-latency observatory: every ingest path (TCP
+	// peerings, MRT replay, RIS-Live) stamps messages against this
+	// recorder, and /debug/status serves the per-stage breakdown.
+	obsRec := obs.NewRecorder()
+	ready := &telemetry.Readiness{}
+	var replay *obs.Progress
+	if cfg.mrtReplay != "" {
+		// A collector still replaying its archive serves a partial
+		// table; hold readiness until the replay lands.
+		replay = &obs.Progress{}
+		ready.Register("mrt-replay", telemetry.NotSynced(replay.Done, "replay not finished"))
+	}
+
+	c := collector.New(collector.Config{RouterID: 6447, Telemetry: reg, Trace: rec, Obs: obsRec})
 	defer c.Close()
+
+	// The stage is built (and its readiness probe registered) before
+	// the admin endpoint starts serving /readyz.
+	var stage *rislive.Stage
+	if cfg.risLive != "" {
+		stage = rislive.NewStage(rislive.Config{
+			URL:      cfg.risLive,
+			Buffer:   cfg.risBuffer,
+			Policy:   cfg.risPolicy,
+			Registry: reg,
+			Obs:      obsRec,
+		})
+		ready.Register("ris-live", telemetry.NotSynced(stage.Connected, "stream not connected"))
+	}
+
 	if cfg.metricsAddr != "" {
-		adminCfg := telemetry.AdminConfig{Registry: reg, Pprof: cfg.pprof}
-		if rec != nil {
-			adminCfg.Debug = trace.Routes(rec)
+		sampler := obs.NewSampler(0, 0)
+		sampler.Start()
+		defer sampler.Close()
+		adminCfg := telemetry.AdminConfig{
+			Registry: reg,
+			Pprof:    cfg.pprof,
+			Ready:    ready.Check,
+			Debug:    make(map[string]http.Handler),
 		}
+		if rec != nil {
+			for pattern, h := range trace.Routes(rec) {
+				adminCfg.Debug[pattern] = h
+			}
+		}
+		adminCfg.Debug["/debug/status"] = obs.NewStatusHandler(obs.StatusConfig{
+			Registry: reg,
+			Stages:   obsRec,
+			Runtime:  sampler,
+			Replay:   replay,
+			Ready:    ready.Check,
+		})
+		adminCfg.Debug["/debug/runtime"] = sampler
 		admin, err := telemetry.ServeAdmin(cfg.metricsAddr, adminCfg)
 		if err != nil {
 			return err
@@ -146,7 +195,7 @@ func run(cfg runConfig) error {
 	// an MRT replay, or a live stream.
 	var mon *monitor.Monitor
 	if cfg.check || cfg.mrtReplay != "" || cfg.risLive != "" {
-		monOpts := []monitor.Option{monitor.WithTelemetry(reg)}
+		monOpts := []monitor.Option{monitor.WithTelemetry(reg), monitor.WithObs(obsRec)}
 		if rec != nil {
 			monOpts = append(monOpts, monitor.WithTrace(rec))
 		}
@@ -157,7 +206,7 @@ func run(cfg runConfig) error {
 	}
 
 	if cfg.mrtReplay != "" {
-		if err := replayMRT(c, mon, cfg.mrtReplay); err != nil {
+		if err := replayMRT(c, mon, cfg.mrtReplay, replay); err != nil {
 			return err
 		}
 	}
@@ -176,14 +225,7 @@ func run(cfg runConfig) error {
 		go client.Run(ctx)
 		log.Printf("moas-collector: syncing ROAs from RTR cache %s", cfg.rtrAddr)
 	}
-	var stage *rislive.Stage
-	if cfg.risLive != "" {
-		stage = rislive.NewStage(rislive.Config{
-			URL:      cfg.risLive,
-			Buffer:   cfg.risBuffer,
-			Policy:   cfg.risPolicy,
-			Registry: reg,
-		})
+	if stage != nil {
 		go func() {
 			if err := stage.Run(ctx); err != nil && ctx.Err() == nil {
 				log.Printf("moas-collector: ris-live stream: %v", err)
@@ -191,8 +233,12 @@ func run(cfg runConfig) error {
 		}()
 		go func() {
 			for ev := range stage.Events() {
+				// The channel hop is this path's session stage: the time
+				// the event waited for the consumer.
+				obsRec.Cross(&ev.Stamp, obs.StageSession)
 				c.Inject(ev.PeerASN, &ev.Update)
-				mon.ObserveUpdateSpan("ris:"+ev.Host, &ev.Update, ev.Span)
+				obsRec.Cross(&ev.Stamp, obs.StageRIB)
+				mon.ObserveUpdateStamp("ris:"+ev.Host, &ev.Update, &ev.Stamp)
 			}
 		}()
 		log.Printf("moas-collector: ingesting %s (buffer %d, policy %s)",
@@ -234,15 +280,19 @@ func run(cfg runConfig) error {
 // replayMRT streams one archive through the monitor, mirroring every
 // record into the collector RIB so subsequent snapshots include the
 // replayed table.
-func replayMRT(c *collector.Collector, mon *monitor.Monitor, path string) error {
+func replayMRT(c *collector.Collector, mon *monitor.Monitor, path string, progress *obs.Progress) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
+	if fi, err := f.Stat(); err == nil {
+		progress.SetTotalBytes(uint64(fi.Size()))
+	}
 	start := time.Now()
 	var inject wire.Update
-	res, err := mon.ReplayMRTFunc("mrt:"+path, f, func(rec *mrt.Record) {
+	res, err := mon.ReplayMRTFunc("mrt:"+path, progress.CountReader(f), func(rec *mrt.Record) {
+		progress.AddRecords(1)
 		switch rec.Kind {
 		case mrt.KindRIB:
 			// Each RIB entry becomes a one-prefix announcement from its
@@ -267,6 +317,7 @@ func replayMRT(c *collector.Collector, mon *monitor.Monitor, path string) error 
 	if err != nil {
 		return fmt.Errorf("replay %s: %w", path, err)
 	}
+	progress.MarkDone()
 	log.Printf("moas-collector: replayed %s in %s: %d records (%d RIB prefixes, %d entries, %d updates), %d skipped, %d malformed, %d AS4-substituted",
 		path, time.Since(start).Round(time.Millisecond), res.Stats.Records, res.Stats.RIBPrefixes,
 		res.Stats.RIBEntries, res.Stats.Updates, res.Stats.Skipped, res.Malformed, res.Stats.AS4Substituted)

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/astypes"
+	"repro/internal/core"
+	"repro/internal/e2etest"
+)
+
+// TestTopRendersLiveSession boots the loopback deployment, drives one
+// announcement through it, and points moas-top's core loop at the
+// validator's /debug/status — the viewer must render a frame with the
+// stage-latency table and rate lines from a live admin endpoint.
+func TestTopRendersLiveSession(t *testing.T) {
+	prefix, err := astypes.ParsePrefix("203.0.113.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := e2etest.Boot(t, "203.0.113.0/24", 65001)
+	h.StartSpeaker(t, 65001, prefix, core.List{})
+	e2etest.WaitFor(t, func() bool {
+		return h.Validator.Obs().StageCount(0) > 0
+	}, "a decoded update to land in the observatory")
+
+	var buf strings.Builder
+	err = run(topConfig{addr: h.MetricsAddr, frames: 2, interval: 1, clear: false}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"moas-top", "ready",
+		"stage", "decode", "session", "validate", "rib", "alarm",
+		"rates (/s):",
+		"goroutines=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTopFirstFetchError: an unreachable endpoint must fail fast, not
+// render garbage.
+func TestTopFirstFetchError(t *testing.T) {
+	var buf strings.Builder
+	if err := run(topConfig{addr: "127.0.0.1:1", frames: 1}, &buf); err == nil {
+		t.Fatal("run against a dead endpoint succeeded")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/analysis/lockcheck"
 	"repro/internal/analysis/moascompare"
 	"repro/internal/analysis/spanthread"
+	"repro/internal/analysis/stagestamp"
 	"repro/internal/analysis/wireerr"
 )
 
@@ -26,6 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockcheck.Analyzer,
 		moascompare.Analyzer,
 		spanthread.Analyzer,
+		stagestamp.Analyzer,
 		wireerr.Analyzer,
 	}
 }

@@ -1,0 +1,99 @@
+// Package stagestamp enforces the detection-latency stage contract:
+// every obs.Recorder record call site must name the stage it lands in
+// with a declared obs.Stage constant (obs.StageDecode, obs.StageRIB,
+// …), never a bare number, a variable, or a computed expression.
+//
+// The per-stage histograms are only as trustworthy as their stage
+// attribution. The stage argument is a tiny integer, so a refactor
+// that shuffles arguments or threads a "current stage" variable
+// through a pipeline would still compile — and silently misfile
+// latency into the wrong histogram, which an operator reading
+// /debug/status cannot detect. Requiring a named constant at the call
+// site makes the attribution reviewable where the measurement happens.
+//
+// The obs package itself is exempt: its own helpers (Cross delegating
+// to Record, the snapshot loop) legitimately traffic in stage values.
+package stagestamp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces named stage constants at obs record call sites.
+var Analyzer = &analysis.Analyzer{
+	Name: "stagestamp",
+	Doc: "flags obs.Recorder Record/Cross/End call sites whose stage argument is not a " +
+		"declared obs.Stage constant, so per-stage latency attribution stays reviewable",
+	Run: run,
+}
+
+// stageArg maps the checked methods to the index of their stage
+// parameter.
+var stageArg = map[string]int{
+	"Record": 0,
+	"Cross":  1,
+	"End":    1,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.HasPathSuffix(pass.Pkg.Path(), "internal/obs") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil {
+				return true
+			}
+			idx, ok := stageArg[fn.Name()]
+			if !ok || !isObsRecorderMethod(fn) || idx >= len(call.Args) {
+				return true
+			}
+			if !isStageConst(pass.TypesInfo, call.Args[idx]) {
+				pass.Reportf(call.Args[idx].Pos(),
+					"obs.Recorder.%s stage argument must be a declared obs.Stage constant (obs.StageDecode, …), not a computed value: stage attribution must be reviewable at the call site",
+					fn.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isObsRecorderMethod reports whether fn is a method on obs.Recorder
+// (pointer or value receiver).
+func isObsRecorderMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return analysis.IsPkgType(sig.Recv().Type(), "internal/obs", "Recorder")
+}
+
+// isStageConst reports whether e names a declared constant of type
+// obs.Stage — a package-level stage constant or a local alias of one.
+// Literals, conversions, variables, and arithmetic all fail: they type
+// check but hide the attribution.
+func isStageConst(info *types.Info, e ast.Expr) bool {
+	var id *ast.Ident
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = v
+	case *ast.SelectorExpr:
+		id = v.Sel
+	default:
+		return false
+	}
+	c, ok := info.Uses[id].(*types.Const)
+	if !ok {
+		return false
+	}
+	return analysis.IsPkgType(c.Type(), "internal/obs", "Stage")
+}

@@ -1,0 +1,23 @@
+package stagestamp_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stagestamp"
+)
+
+func TestStageStamp(t *testing.T) {
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"unnamed stage arguments", "flagged"},
+		{"named stage constants", "clean"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			analysistest.Run(t, "testdata", stagestamp.Analyzer, tc.pkg)
+		})
+	}
+}

@@ -1,0 +1,26 @@
+// Package clean names every stage it records.
+package clean
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// localAlarm aliases a stage constant; still a declared obs.Stage
+// constant, so call sites may use it.
+const localAlarm = obs.StageAlarm
+
+func constants(r *obs.Recorder, st *obs.Stamp) {
+	r.Record(obs.StageDecode, 7, time.Millisecond)
+	r.Cross(st, obs.StageSession)
+	r.Cross(st, (obs.StageRIB))
+	r.End(st, localAlarm)
+}
+
+func nilRecorder(st *obs.Stamp) {
+	var r *obs.Recorder
+	r.Cross(st, obs.StageValidate)
+}
+
+var _ = []interface{}{constants, nilRecorder}

@@ -1,0 +1,26 @@
+// Package flagged records stage latency without naming the stage.
+package flagged
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+func literalStage(r *obs.Recorder) {
+	r.Record(2, 7, time.Millisecond) // want `obs\.Recorder\.Record stage argument must be a declared obs\.Stage constant`
+}
+
+func convertedStage(r *obs.Recorder, st *obs.Stamp) {
+	r.Cross(st, obs.Stage(3)) // want `obs\.Recorder\.Cross stage argument must be a declared obs\.Stage constant`
+}
+
+func variableStage(r *obs.Recorder, st *obs.Stamp, s obs.Stage) {
+	r.End(st, s) // want `obs\.Recorder\.End stage argument must be a declared obs\.Stage constant`
+}
+
+func computedStage(r *obs.Recorder, st *obs.Stamp) {
+	r.Cross(st, obs.StageDecode+1) // want `obs\.Recorder\.Cross stage argument must be a declared obs\.Stage constant`
+}
+
+var _ = []interface{}{literalStage, convertedStage, variableStage, computedStage}

@@ -1,0 +1,30 @@
+// Package obs stubs repro/internal/obs with the declarations
+// stagestamp keys on.
+package obs
+
+import "time"
+
+type Stage uint8
+
+const (
+	StageDecode Stage = iota
+	StageSession
+	StageValidate
+	StageRIB
+	StageAlarm
+	NumStages
+)
+
+type Stamp struct {
+	Span uint64
+}
+
+type Recorder struct{}
+
+func (r *Recorder) Record(stage Stage, span uint64, d time.Duration) {}
+
+func (r *Recorder) Cross(st *Stamp, stage Stage) {}
+
+func (r *Recorder) End(st *Stamp, stage Stage) {}
+
+func (r *Recorder) Start(span uint64) Stamp { return Stamp{Span: span} }

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/obs"
 	"repro/internal/routegen"
 	"repro/internal/session"
 	"repro/internal/telemetry"
@@ -41,6 +42,10 @@ type Config struct {
 	// Trace, if set, is the flight recorder the collector's sessions
 	// record message-received events on.
 	Trace *trace.Recorder
+	// Obs, if set, records per-stage detection latency: sessions stamp
+	// ingest at the wire reader and the collector crosses the RIB stage
+	// after mirroring each UPDATE.
+	Obs *obs.Recorder
 }
 
 // metrics is the collector's instrumentation.
@@ -141,6 +146,13 @@ func (h handler) HandleUpdate(peer astypes.ASN, u *wire.Update) {
 	}
 }
 
+// HandleUpdateStamp is the stage-timed delivery path: the RIB-mirror
+// stage crossing lands in the collector's obs recorder.
+func (h handler) HandleUpdateStamp(peer astypes.ASN, u *wire.Update, st *obs.Stamp) {
+	h.HandleUpdate(peer, u)
+	h.c.cfg.Obs.Cross(st, obs.StageRIB)
+}
+
 // Inject feeds one UPDATE into the collector's RIB as if peer had sent
 // it over a session — the entry point MRT replays and streaming-feed
 // stages use to reach snapshots without a TCP peering. The update is
@@ -170,6 +182,7 @@ func (c *Collector) AddPeerConn(conn net.Conn) (astypes.ASN, error) {
 		Handler:  handler{c: c},
 		Metrics:  c.met.session,
 		Trace:    c.cfg.Trace,
+		Obs:      c.cfg.Obs,
 	})
 	if err != nil {
 		return astypes.ASNNone, fmt.Errorf("collector: establish: %w", err)

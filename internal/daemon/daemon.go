@@ -21,6 +21,7 @@ import (
 	"repro/internal/backoff"
 	"repro/internal/core"
 	"repro/internal/dnsval"
+	"repro/internal/obs"
 	"repro/internal/rpki"
 	"repro/internal/speaker"
 	"repro/internal/telemetry"
@@ -223,6 +224,17 @@ type Daemon struct {
 	reg   *telemetry.Registry
 	admin *telemetry.Admin
 	trace *trace.Recorder // nil when tracing is disabled
+	// obsRec is the detection-latency observatory; always on (the
+	// record path costs nanoseconds, and /debug/status serves it when
+	// the admin endpoint is enabled).
+	obsRec *obs.Recorder
+	// sampler feeds /debug/runtime; nil without an admin endpoint.
+	sampler *obs.Sampler
+	// ready aggregates the daemon's readiness probes for /readyz.
+	ready *telemetry.Readiness
+	// rtr is the RTR client, nil unless rtrAddr is configured; its
+	// Synced state gates readiness.
+	rtr *rpki.Client
 
 	mibServer *http.Server
 	mibErr    chan error
@@ -284,6 +296,8 @@ func Build(cfg Config) (*Daemon, error) {
 			"Peer sessions that went down."),
 		reconnectAttempts: reg.Counter("daemon_reconnect_attempts_total",
 			"Re-dial attempts made for dropped configured peers."),
+		obsRec: obs.NewRecorder(),
+		ready:  &telemetry.Readiness{},
 	}
 	if d.reconnectMax == 0 {
 		d.reconnectMax = 16 * d.reconnect
@@ -332,6 +346,7 @@ func Build(cfg Config) (*Daemon, error) {
 		Telemetry:    reg,
 		Trace:        rec,
 		RPKI:         d.RPKI,
+		Obs:          d.obsRec,
 		// Always observe peer-down events (the counter fires regardless);
 		// peerDown gates the re-dial loop itself on d.reconnect > 0.
 		OnPeerDown: d.peerDown,
@@ -347,6 +362,7 @@ func Build(cfg Config) (*Daemon, error) {
 			d.rtrCancel()
 			d.wg.Wait()
 		}
+		d.sampler.Close()
 		s.Close()
 		if d.mibServer != nil {
 			d.mibServer.Close()
@@ -422,6 +438,10 @@ func Build(cfg Config) (*Daemon, error) {
 			cleanup()
 			return nil, err
 		}
+		d.rtr = client
+		// A daemon that cross-validates against an RTR cache is not
+		// serving trustworthy verdicts until the first sync lands.
+		d.ready.Register("rtr", telemetry.NotSynced(client.Synced, "cache not synced"))
 		ctx, cancel := context.WithCancel(context.Background())
 		d.rtrCancel = cancel
 		d.wg.Add(1)
@@ -431,14 +451,27 @@ func Build(cfg Config) (*Daemon, error) {
 		}()
 	}
 	if cfg.MetricsAddr != "" {
+		d.sampler = obs.NewSampler(0, 0)
+		d.sampler.Start()
 		adminCfg := telemetry.AdminConfig{
 			Registry: reg,
 			MIB:      s,
 			Pprof:    cfg.Pprof,
+			Ready:    d.ready.Check,
+			Debug:    make(map[string]http.Handler),
 		}
 		if rec != nil {
-			adminCfg.Debug = trace.Routes(rec)
+			for pattern, h := range trace.Routes(rec) {
+				adminCfg.Debug[pattern] = h
+			}
 		}
+		adminCfg.Debug["/debug/status"] = obs.NewStatusHandler(obs.StatusConfig{
+			Registry: reg,
+			Stages:   d.obsRec,
+			Runtime:  d.sampler,
+			Ready:    d.ready.Check,
+		})
+		adminCfg.Debug["/debug/runtime"] = d.sampler
 		admin, err := telemetry.ServeAdmin(cfg.MetricsAddr, adminCfg)
 		if err != nil {
 			cleanup()
@@ -476,6 +509,9 @@ func (d *Daemon) Registry() *telemetry.Registry { return d.reg }
 // Trace returns the daemon's flight recorder, or nil when traceEvents
 // is zero.
 func (d *Daemon) Trace() *trace.Recorder { return d.trace }
+
+// Obs returns the daemon's detection-latency recorder (always non-nil).
+func (d *Daemon) Obs() *obs.Recorder { return d.obsRec }
 
 // peerDown counts the loss and, when reconnection is configured,
 // schedules re-dialing of a configured outbound peer.
@@ -535,6 +571,7 @@ func (d *Daemon) Close() error {
 	if d.rtrCancel != nil {
 		d.rtrCancel()
 	}
+	d.sampler.Close()
 	err := d.Speaker.Close()
 	d.wg.Wait()
 	if d.mibServer != nil {

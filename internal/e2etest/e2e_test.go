@@ -2,12 +2,14 @@ package e2etest
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
 
 	"repro/internal/astypes"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/speaker"
 	"repro/internal/trace"
 )
@@ -203,6 +205,126 @@ func TestForgedOriginObservability(t *testing.T) {
 	}
 	if !foundBuildInfo {
 		t.Error("moas_build_info missing from the scrape")
+	}
+
+	// --- Detection-latency observatory ---
+
+	// /debug/status serves the complete stage breakdown: the forged
+	// announcement crossed every stage of the pipeline, so all five
+	// stage histograms have landings.
+	var status obs.StatusDoc
+	if err := json.Unmarshal([]byte(h.get(t, "/debug/status?format=json", "")), &status); err != nil {
+		t.Fatalf("decode /debug/status: %v", err)
+	}
+	stages := make(map[string]obs.StageSnapshot, len(status.Stages))
+	for _, st := range status.Stages {
+		stages[st.Stage] = st
+	}
+	for _, name := range []string{"decode", "session", "validate", "rib", "alarm"} {
+		st, ok := stages[name]
+		if !ok {
+			t.Errorf("/debug/status stage %q missing from breakdown %v", name, status.Stages)
+			continue
+		}
+		if st.Count == 0 {
+			t.Errorf("/debug/status stage %q has no landings", name)
+		}
+		if st.Count > 0 && st.MaxNs <= 0 {
+			t.Errorf("/debug/status stage %q: count %d but max %dns", name, st.Count, st.MaxNs)
+		}
+	}
+	if status.Ready == nil || !*status.Ready {
+		t.Errorf("/debug/status ready = %+v, want true", status.Ready)
+	}
+	if got := status.AlarmClasses["benign-moas"]; got != 1 {
+		t.Errorf("/debug/status alarmClasses[benign-moas] = %v, want 1", got)
+	}
+
+	// The alarm stage's exemplar is the span of the message that raised
+	// the alarm, and resolves through /debug/alarms?span= to the same
+	// forensic bundle the bundle checks above examined.
+	var exemplar uint64
+	for _, bk := range stages["alarm"].Buckets {
+		if bk.ExemplarSpan != 0 {
+			exemplar = bk.ExemplarSpan
+		}
+	}
+	if exemplar == 0 {
+		t.Fatal("alarm stage retains no exemplar span")
+	}
+	if exemplar != b.Span {
+		t.Errorf("alarm exemplar span = %d, bundle span = %d", exemplar, b.Span)
+	}
+	var bySpan []trace.AlarmBundle
+	if err := json.Unmarshal([]byte(h.get(t, fmt.Sprintf("/debug/alarms?span=%d", exemplar), "")), &bySpan); err != nil {
+		t.Fatalf("decode /debug/alarms?span=: %v", err)
+	}
+	if len(bySpan) != 1 || bySpan[0].Span != exemplar || bySpan[0].Origin != forgedAS {
+		t.Errorf("/debug/alarms?span=%d = %+v, want the attack bundle", exemplar, bySpan)
+	}
+
+	// The text rendering of the same document serves the operator view.
+	statusText := h.get(t, "/debug/status", "")
+	for _, want := range []string{"stage latency", "alarm classes", "benign-moas"} {
+		if !strings.Contains(statusText, want) {
+			t.Errorf("/debug/status text missing %q", want)
+		}
+	}
+
+	// Readiness: no RTR cache, no replay → ready out of the box, on its
+	// own endpoint, distinct from liveness.
+	if body := h.get(t, "/readyz", ""); strings.TrimSpace(body) != "ok" {
+		t.Errorf("/readyz body = %q", body)
+	}
+
+	// The runtime sampler serves its ring.
+	var samples []obs.RuntimeSample
+	if err := json.Unmarshal([]byte(h.get(t, "/debug/runtime", "")), &samples); err != nil {
+		t.Fatalf("decode /debug/runtime: %v", err)
+	}
+	if len(samples) == 0 || samples[len(samples)-1].Goroutines <= 0 {
+		t.Errorf("/debug/runtime samples = %+v, want at least one live sample", samples)
+	}
+
+	// Every family in the text exposition carries # HELP and # TYPE
+	// metadata, and every sample belongs to an announced family.
+	expo := h.get(t, "/metrics", "")
+	helps, types := map[string]bool{}, map[string]bool{}
+	for _, line := range strings.Split(expo, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && fields[0] == "#" {
+			switch fields[1] {
+			case "HELP":
+				helps[fields[2]] = true
+			case "TYPE":
+				types[fields[2]] = true
+			}
+		}
+	}
+	if len(types) == 0 {
+		t.Fatal("exposition carries no # TYPE metadata")
+	}
+	if !reflect.DeepEqual(helps, types) {
+		t.Errorf("HELP families %v != TYPE families %v", helps, types)
+	}
+	for _, line := range strings.Split(expo, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		fam := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if trimmed := strings.TrimSuffix(name, suffix); trimmed != name && types[trimmed] {
+				fam = trimmed
+			}
+		}
+		if !types[fam] {
+			t.Errorf("sample %q has no # TYPE for its family", name)
+		}
 	}
 }
 

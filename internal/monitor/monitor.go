@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/astypes"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/routegen"
 	"repro/internal/rpki"
 	"repro/internal/telemetry"
@@ -62,6 +63,10 @@ type Monitor struct {
 	// rec, if set, records validate events and forensic alarm bundles
 	// on a flight recorder (WithTrace).
 	rec *trace.Recorder
+	// obs, if set, records per-stage detection latency for stamped
+	// ingest paths (WithObs): the validate crossing per checked entry
+	// and the cumulative ingest → alarm latency per conflict.
+	obs *obs.Recorder
 	// seq mints one span per ingested entry, so an alarm bundle points
 	// back at the exact snapshot entry that triggered it even when
 	// feeds are ingested in parallel. Atomic: minted before mu is taken.
@@ -147,6 +152,16 @@ func WithTrace(rec *trace.Recorder) Option {
 	return traceOption{rec: rec}
 }
 
+type obsOption struct{ rec *obs.Recorder }
+
+func (o obsOption) apply(m *Monitor) { m.obs = o.rec }
+
+// WithObs records per-stage detection latency on rec for every entry
+// ingested through the *Stamp observation paths.
+func WithObs(rec *obs.Recorder) Option {
+	return obsOption{rec: rec}
+}
+
 // New returns an empty monitor.
 func New(opts ...Option) *Monitor {
 	m := &Monitor{
@@ -171,15 +186,29 @@ func (m *Monitor) ObserveEntry(vantage string, prefix astypes.Prefix, path astyp
 // paths pass the source record's ordinal so an alarm bundle points back
 // at the exact archived record that raised it.
 func (m *Monitor) ObserveEntrySpan(vantage string, prefix astypes.Prefix, path astypes.ASPath, comms []astypes.Community, span uint64) {
+	m.observe(vantage, prefix, path, comms, span, nil)
+}
+
+// ObserveEntryStamp is ObserveEntrySpan carrying the full stage stamp:
+// the MOAS check lands a validate-stage crossing and a detected
+// conflict records the cumulative ingest → alarm latency.
+func (m *Monitor) ObserveEntryStamp(vantage string, prefix astypes.Prefix, path astypes.ASPath, comms []astypes.Community, st *obs.Stamp) {
+	m.observe(vantage, prefix, path, comms, st.Span, st)
+}
+
+func (m *Monitor) observe(vantage string, prefix astypes.Prefix, path astypes.ASPath, comms []astypes.Community, span uint64, st *obs.Stamp) {
 	verdict, conflict := m.checker.Check(core.Announcement{
 		Prefix:      prefix,
 		Path:        path,
 		Communities: comms,
 		Span:        span,
 	})
+	m.obs.Cross(st, obs.StageValidate)
 	var class rpki.Class
 	if verdict != core.VerdictConsistent && conflict != nil {
 		class = rpki.Classify(m.rpki.Validate(prefix, conflict.Origin), verdict)
+		// Detection latency: ingest instant → alarm raise, cumulative.
+		m.obs.End(st, obs.StageAlarm)
 	}
 	if m.rec.Enabled() {
 		origin, _ := path.Origin()
@@ -263,6 +292,15 @@ func (m *Monitor) ObserveUpdate(vantage string, u *wire.Update) {
 func (m *Monitor) ObserveUpdateSpan(vantage string, u *wire.Update, span uint64) {
 	for _, prefix := range u.NLRI {
 		m.ObserveEntrySpan(vantage, prefix, u.Attrs.ASPath, u.Attrs.Communities, span)
+	}
+	m.forgetWithdrawn(u)
+}
+
+// ObserveUpdateStamp is ObserveUpdateSpan carrying the full stage stamp
+// (see ObserveEntryStamp).
+func (m *Monitor) ObserveUpdateStamp(vantage string, u *wire.Update, st *obs.Stamp) {
+	for _, prefix := range u.NLRI {
+		m.ObserveEntryStamp(vantage, prefix, u.Attrs.ASPath, u.Attrs.Communities, st)
 	}
 	m.forgetWithdrawn(u)
 }

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"repro/internal/mrt"
+	"repro/internal/obs"
 )
 
 // ReplayResult reports what one MRT replay consumed.
@@ -43,6 +44,11 @@ func (m *Monitor) ReplayMRTFunc(vantage string, r io.Reader, hook func(*mrt.Reco
 		return res, err
 	}
 	for {
+		// Ingest T0 for replay is the instant the record is pulled from
+		// the archive, so a replay's stage breakdown mirrors the live
+		// feed's (decode = record parse, rib = hook mirror, validate/
+		// alarm in the monitor).
+		st := m.obs.Start(0)
 		rec, err := rd.Next()
 		if errors.Is(err, io.EOF) {
 			res.Stats = rd.Stats()
@@ -56,18 +62,22 @@ func (m *Monitor) ReplayMRTFunc(vantage string, r io.Reader, hook func(*mrt.Reco
 			res.Malformed++
 			continue
 		}
+		st.Span = rec.Span
+		m.obs.Cross(&st, obs.StageDecode)
 		if hook != nil {
 			hook(rec)
+			// The hook is the RIB-mirror seam (collector Inject).
+			m.obs.Cross(&st, obs.StageRIB)
 		}
 		switch rec.Kind {
 		case mrt.KindRIB:
 			for i := range rec.Entries {
 				e := &rec.Entries[i]
-				m.ObserveEntrySpan(vantage, rec.Prefix, e.Path, e.Communities, rec.Span)
+				m.ObserveEntryStamp(vantage, rec.Prefix, e.Path, e.Communities, &st)
 			}
 		case mrt.KindMessage:
 			if rec.Update != nil {
-				m.ObserveUpdateSpan(vantage, rec.Update, rec.Span)
+				m.ObserveUpdateStamp(vantage, rec.Update, &st)
 			}
 		}
 	}

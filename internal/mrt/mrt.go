@@ -248,6 +248,10 @@ type Record struct {
 type Stats struct {
 	// Records successfully decoded (including skipped ones).
 	Records uint64
+	// Bytes of MRT framing consumed (headers plus bodies of every fully
+	// read record, decompressed) — the replay-progress denominator's
+	// numerator side.
+	Bytes uint64
 	// RIBPrefixes and RIBEntries count RIB_IPV4_UNICAST content.
 	RIBPrefixes uint64
 	RIBEntries  uint64

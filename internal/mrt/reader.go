@@ -193,6 +193,7 @@ func (rd *Reader) Next() (*Record, error) {
 		return nil, rd.fail(typ, sub, err)
 	}
 	rd.pos += headerLen + int64(length)
+	rd.stats.Bytes += headerLen + uint64(length)
 	rd.span++
 
 	// BGP4MP_ET extends the timestamp with microseconds at the start of

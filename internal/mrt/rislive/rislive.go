@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -42,6 +43,10 @@ type Event struct {
 	// Span is the event's 1-based ordinal in the stream, assigned by
 	// the Stage; zero for events decoded outside one.
 	Span uint64
+	// Stamp is the event's stage-timing context (ingest instant plus
+	// span), set by a Stage configured with an obs recorder; consumers
+	// cross the later pipeline stages against it. Zero value is inert.
+	Stamp obs.Stamp
 	// Update carries the announcement/withdrawal content.
 	Update wire.Update
 	// Substituted counts AS numbers narrowed to ASTrans in this event;

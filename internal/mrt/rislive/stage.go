@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/backoff"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -70,6 +71,10 @@ type Config struct {
 	Client *http.Client
 	// Registry receives the stage's counters when non-nil.
 	Registry *telemetry.Registry
+	// Obs, if set, stamps each event's ingest instant before its line
+	// decodes and records the decode-stage latency; the stamp rides the
+	// Event so downstream consumers cross the later stages.
+	Obs *obs.Recorder
 	// Seed fixes the reconnect jitter for tests; 0 lets
 	// backoff.NewJitter draw a per-instance wall-clock seed.
 	Seed int64
@@ -103,6 +108,11 @@ type Stage struct {
 	skipped     atomic.Uint64
 	reconnects  atomic.Uint64
 
+	// connected tracks whether the feed is currently attached to a
+	// source (HTTP 200 established, or a RunReader stream in progress);
+	// readiness probes consult it.
+	connected atomic.Bool
+
 	// Mirrored telemetry counters (nil when no registry was given).
 	mReceived    *telemetry.Counter
 	mDelivered   *telemetry.Counter
@@ -110,6 +120,11 @@ type Stage struct {
 	mParseErrors *telemetry.Counter
 	mReconnects  *telemetry.Counter
 	mQueue       *telemetry.Gauge
+	mConnected   *telemetry.Gauge
+	// mLagMs is the stream-lag watermark (wall clock minus the event's
+	// feed timestamp); mLag is its histogram twin for distribution.
+	mLagMs *telemetry.Gauge
+	mLag   *telemetry.Histogram
 }
 
 // NewStage returns a Stage with the channel allocated but no connection
@@ -135,6 +150,10 @@ func NewStage(cfg Config) *Stage {
 		s.mParseErrors = r.Counter("rislive_parse_errors_total", "Feed lines that failed to decode.")
 		s.mReconnects = r.Counter("rislive_reconnects_total", "Feed connection attempts after the first.")
 		s.mQueue = r.Gauge("rislive_queue_depth", "Events buffered in the bounded channel.")
+		s.mConnected = r.Gauge("rislive_connected", "1 while the feed connection is established.")
+		s.mLagMs = r.Gauge("rislive_lag_ms", "Stream-lag watermark: wall clock minus event timestamp, milliseconds.")
+		s.mLag = r.Histogram("rislive_lag_seconds", "Stream-lag distribution in seconds.",
+			telemetry.ExpBuckets(0.05, 4, 8))
 	}
 	return s
 }
@@ -142,6 +161,21 @@ func NewStage(cfg Config) *Stage {
 // Events returns the bounded output channel. It is closed when Run or
 // RunReader returns.
 func (s *Stage) Events() <-chan *Event { return s.out }
+
+// Connected reports whether the feed is currently attached to a source.
+func (s *Stage) Connected() bool { return s.connected.Load() }
+
+// setConnected flips the connection state and its telemetry mirror.
+func (s *Stage) setConnected(up bool) {
+	s.connected.Store(up)
+	if s.mConnected != nil {
+		if up {
+			s.mConnected.Set(1)
+		} else {
+			s.mConnected.Set(0)
+		}
+	}
+}
 
 // Counters returns a snapshot of the stage's accounting.
 func (s *Stage) Counters() Counters {
@@ -210,6 +244,8 @@ func (s *Stage) connectOnce(ctx context.Context) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("rislive: feed returned %s", resp.Status)
 	}
+	s.setConnected(true)
+	defer s.setConnected(false)
 	return s.ingest(ctx, resp.Body)
 }
 
@@ -218,6 +254,8 @@ func (s *Stage) connectOnce(ctx context.Context) error {
 // reconnect: the stream is all there is.
 func (s *Stage) RunReader(ctx context.Context, r io.Reader) error {
 	defer close(s.out)
+	s.setConnected(true)
+	defer s.setConnected(false)
 	err := s.ingest(ctx, r)
 	if errors.Is(err, io.EOF) {
 		return nil
@@ -242,6 +280,9 @@ func (s *Stage) ingest(ctx context.Context, r io.Reader) error {
 		if len(line) == 0 {
 			continue
 		}
+		// Ingest T0 is stamped before the line decodes, mirroring the
+		// wire reader's frame-read instant.
+		st := s.cfg.Obs.Start(0)
 		ev, err := Decode(line)
 		if err != nil {
 			s.parseErrors.Add(1)
@@ -255,8 +296,26 @@ func (s *Stage) ingest(ctx context.Context, r io.Reader) error {
 			continue
 		}
 		ev.Span = s.received.Add(1)
+		st.Span = ev.Span
+		s.cfg.Obs.Cross(&st, obs.StageDecode)
+		ev.Stamp = st
 		if s.mReceived != nil {
 			s.mReceived.Inc()
+		}
+		// Stream-lag watermark: wall clock minus the event's feed
+		// timestamp. Only meaningful for live feeds (recorded replays
+		// report their age, which is its own useful signal).
+		if !ev.Time.IsZero() {
+			lag := time.Since(ev.Time)
+			if lag < 0 {
+				lag = 0
+			}
+			if s.mLagMs != nil {
+				s.mLagMs.Set(lag.Milliseconds())
+			}
+			if s.mLag != nil {
+				s.mLag.Observe(lag.Seconds())
+			}
 		}
 		switch s.cfg.Policy {
 		case PolicyDrop:

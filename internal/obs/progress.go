@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"io"
+	"sync/atomic"
+)
+
+// Progress tracks an MRT replay: records and bytes consumed against an
+// optional byte total (known when replaying from a regular file), plus
+// a completion flag that readiness probes consult.
+type Progress struct {
+	records atomic.Uint64
+	bytes   atomic.Uint64
+	total   atomic.Uint64
+	done    atomic.Bool
+}
+
+// ProgressSnapshot is one point-in-time reading of a replay.
+type ProgressSnapshot struct {
+	Records    uint64 `json:"records"`
+	Bytes      uint64 `json:"bytes"`
+	TotalBytes uint64 `json:"totalBytes,omitempty"`
+	// Percent is bytes/total ×100, 0 when the total is unknown.
+	Percent float64 `json:"percent"`
+	Done    bool    `json:"done"`
+}
+
+// AddRecords adds n consumed records.
+func (p *Progress) AddRecords(n uint64) {
+	if p != nil {
+		p.records.Add(n)
+	}
+}
+
+// AddBytes adds n consumed bytes.
+func (p *Progress) AddBytes(n uint64) {
+	if p != nil {
+		p.bytes.Add(n)
+	}
+}
+
+// SetTotalBytes records the expected input size (0 = unknown).
+func (p *Progress) SetTotalBytes(n uint64) {
+	if p != nil {
+		p.total.Store(n)
+	}
+}
+
+// MarkDone flags the replay complete.
+func (p *Progress) MarkDone() {
+	if p != nil {
+		p.done.Store(true)
+	}
+}
+
+// Done reports whether the replay has completed.
+func (p *Progress) Done() bool { return p != nil && p.done.Load() }
+
+// Snapshot returns the current reading.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Records:    p.records.Load(),
+		Bytes:      p.bytes.Load(),
+		TotalBytes: p.total.Load(),
+		Done:       p.done.Load(),
+	}
+	if s.TotalBytes > 0 {
+		s.Percent = 100 * float64(s.Bytes) / float64(s.TotalBytes)
+		if s.Percent > 100 {
+			s.Percent = 100
+		}
+	} else if s.Done {
+		s.Percent = 100
+	}
+	return s
+}
+
+// CountReader wraps r, crediting every byte read to p.
+func (p *Progress) CountReader(r io.Reader) io.Reader {
+	if p == nil {
+		return r
+	}
+	return &countingReader{r: r, p: p}
+}
+
+type countingReader struct {
+	r io.Reader
+	p *Progress
+}
+
+func (c *countingReader) Read(b []byte) (int, error) {
+	n, err := c.r.Read(b)
+	if n > 0 {
+		c.p.AddBytes(uint64(n))
+	}
+	return n, err
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/astypes"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -81,6 +82,15 @@ type SpanHandler interface {
 	HandleUpdateSpan(peer astypes.ASN, u *wire.Update, span uint64)
 }
 
+// StampHandler is optionally implemented by Handlers that carry the
+// full stage-timing stamp (span plus ingest instant) through the
+// pipeline. When implemented, it takes precedence over SpanHandler.
+// The stamp pointer is owned by the session's reader and is valid only
+// for the duration of the call, like the Update itself.
+type StampHandler interface {
+	HandleUpdateStamp(peer astypes.ASN, u *wire.Update, st *obs.Stamp)
+}
+
 // Config parameterizes a session.
 type Config struct {
 	// LocalAS and LocalID identify this speaker.
@@ -100,6 +110,10 @@ type Config struct {
 	// UPDATE. Nil (or a disabled recorder) adds nothing to the receive
 	// path beyond one nil check / atomic load.
 	Trace *trace.Recorder
+	// Obs, if set, stamps each message's ingest instant at the wire
+	// reader and records decode/session stage latencies; the stamp is
+	// passed on to a StampHandler when the Handler implements one.
+	Obs *obs.Recorder
 }
 
 // Errors surfaced by session establishment and supervision.
@@ -145,9 +159,11 @@ type Session struct {
 	// Used only by the handshake and then the reader goroutine, which
 	// are sequential, never concurrent.
 	rd *wire.Reader
-	// spanH is cfg.Handler's SpanHandler face, resolved once at
-	// Establish so the read loop pays no per-message type assertion.
-	spanH SpanHandler
+	// spanH and stampH are cfg.Handler's SpanHandler/StampHandler
+	// faces, resolved once at Establish so the read loop pays no
+	// per-message type assertion.
+	spanH  SpanHandler
+	stampH StampHandler
 
 	mu    sync.Mutex
 	state State // guarded by mu
@@ -184,6 +200,8 @@ func Establish(conn net.Conn, cfg Config) (*Session, error) {
 		kaDone:   make(chan struct{}),
 	}
 	s.spanH, _ = cfg.Handler.(SpanHandler)
+	s.stampH, _ = cfg.Handler.(StampHandler)
+	s.rd.SetObserver(cfg.Obs)
 	if err := s.handshake(); err != nil {
 		s.met.handshakeFailed()
 		conn.Close()
@@ -434,9 +452,16 @@ func (s *Session) readLoop() {
 		switch m := msg.(type) {
 		case *wire.Update:
 			s.recordRecv(m)
-			if s.spanH != nil {
+			// The session stage covers decode completion → handler
+			// dispatch (metrics/trace bookkeeping above included).
+			st := s.rd.Stamp()
+			s.cfg.Obs.Cross(st, obs.StageSession)
+			switch {
+			case s.stampH != nil:
+				s.stampH.HandleUpdateStamp(s.peerAS, m, st)
+			case s.spanH != nil:
 				s.spanH.HandleUpdateSpan(s.peerAS, m, s.rd.Span())
-			} else {
+			default:
 				s.cfg.Handler.HandleUpdate(s.peerAS, m)
 			}
 		case *wire.RouteRefresh:

@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/astypes"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/ptrie"
 	"repro/internal/rib"
 	"repro/internal/rpki"
@@ -121,6 +122,11 @@ type Config struct {
 	// (benign-moas / likely-misconfig / likely-hijack). A nil store
 	// validates to NotFound, degrading to the MOAS-provenance classes.
 	RPKI *rpki.Store
+	// Obs, if set, records per-stage detection latency: sessions stamp
+	// ingest at the wire reader, the speaker crosses the validate and
+	// RIB stages per prefix, and a raised alarm records the cumulative
+	// ingest → alarm latency against the message's span.
+	Obs *obs.Recorder
 }
 
 // Speaker is a BGP speaker instance.
@@ -137,6 +143,12 @@ type Speaker struct {
 	table *rib.Table // set at construction; the Table locks itself
 	// peers holds established sessions by peer AS. Guarded by mu.
 	peers map[astypes.ASN]*peer
+	// curStamp is the stage stamp of the UPDATE currently being
+	// processed (nil outside handleUpdate). Guarded by mu; the alarm
+	// callback fires under mu from admitLocked, which is how the
+	// cumulative ingest → alarm latency finds its stamp.
+	curStamp *obs.Stamp
+
 	// resolved caches Resolver answers per prefix. Guarded by mu.
 	resolved map[astypes.Prefix]core.List
 	// aggregates holds configured aggregate state. Guarded by mu.
@@ -231,6 +243,9 @@ func New(cfg Config) (*Speaker, error) {
 		class := rpki.Classify(s.cfg.RPKI.Validate(c.Prefix, c.Origin), c.Verdict)
 		s.met.alarms.Inc()
 		s.met.alarmClasses.With(class.String()).Inc()
+		// Detection latency: ingest instant → alarm raise, cumulative.
+		//repro:vet ignore lockcheck -- alarm closures fire from admitLocked, under s.mu
+		s.cfg.Obs.End(s.curStamp, obs.StageAlarm)
 		s.recordAlarm(&c, class)
 		if cfg.OnAlarm != nil {
 			cfg.OnAlarm(c)
@@ -279,14 +294,21 @@ type handler struct {
 }
 
 func (h handler) HandleUpdate(peerAS astypes.ASN, u *wire.Update) {
-	h.s.handleUpdate(peerAS, u, 0)
+	h.s.handleUpdate(peerAS, u, 0, nil)
 }
 
 // HandleUpdateSpan is the traced delivery path: the session hands over
 // the message's span so every downstream event correlates back to the
 // exact UPDATE.
 func (h handler) HandleUpdateSpan(peerAS astypes.ASN, u *wire.Update, span uint64) {
-	h.s.handleUpdate(peerAS, u, span)
+	h.s.handleUpdate(peerAS, u, span, nil)
+}
+
+// HandleUpdateStamp is the stage-timed delivery path: the stamp carries
+// the span plus the ingest instant, so validate/RIB crossings and the
+// alarm latency land in the speaker's obs recorder.
+func (h handler) HandleUpdateStamp(peerAS astypes.ASN, u *wire.Update, st *obs.Stamp) {
+	h.s.handleUpdate(peerAS, u, st.Span, st)
 }
 
 func (h handler) HandleDown(peerAS astypes.ASN, err error) {
@@ -341,6 +363,7 @@ func (s *Speaker) AddPeerConn(conn net.Conn, peerAS astypes.ASN) (astypes.ASN, e
 		Handler:  handler{s: s},
 		Metrics:  s.met.session,
 		Trace:    s.cfg.Trace,
+		Obs:      s.cfg.Obs,
 	})
 	if err != nil {
 		return astypes.ASNNone, fmt.Errorf("speaker AS %s: establish: %w", s.cfg.AS, err)
@@ -497,12 +520,15 @@ func (s *Speaker) WithdrawLocal(prefix astypes.Prefix) {
 	s.propagateLocked(ch, 0)
 }
 
-func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update, span uint64) {
+func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update, span uint64, st *obs.Stamp) {
 	s.met.updatesIn.Inc()
 	s.met.withdrawalsIn.Add(uint64(len(u.Withdrawn)))
 	origin, _ := u.Attrs.ASPath.Origin()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.curStamp = st
+	//repro:vet ignore lockcheck -- deferred before the Unlock defer, so it runs under s.mu
+	defer func() { s.curStamp = nil }()
 	for _, w := range u.Withdrawn {
 		ch := s.table.Withdraw(peerAS, w)
 		s.propagateLocked(ch, span)
@@ -536,10 +562,14 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update, span uint64) 
 			s.recordValidate(prefix, peerAS, origin, trace.DetailRejected, span)
 			continue
 		}
-		if s.cfg.Validation != ValidationOff && !s.admitLocked(prefix, u.Attrs, peerAS, span) {
-			s.met.routesRejected.Inc()
-			s.recordValidate(prefix, peerAS, origin, trace.DetailRejected, span)
-			continue
+		if s.cfg.Validation != ValidationOff {
+			admitted := s.admitLocked(prefix, u.Attrs, peerAS, span)
+			s.cfg.Obs.Cross(st, obs.StageValidate)
+			if !admitted {
+				s.met.routesRejected.Inc()
+				s.recordValidate(prefix, peerAS, origin, trace.DetailRejected, span)
+				continue
+			}
 		}
 		s.met.routesAccepted.Inc()
 		route := &rib.Route{
@@ -559,6 +589,7 @@ func (s *Speaker) handleUpdate(peerAS astypes.ASN, u *wire.Update, span uint64) 
 		// Update above, so the table takes ownership without re-cloning.
 		ch := s.table.UpdateOwned(route)
 		s.propagateLocked(ch, span)
+		s.cfg.Obs.Cross(st, obs.StageRIB)
 	}
 }
 

@@ -19,9 +19,16 @@ type AdminConfig struct {
 	// whatever process owns this endpoint (speaker MIB, collector peer
 	// table, ...).
 	MIB http.Handler
-	// Health, if set, is consulted by /healthz; a non-nil error turns
-	// the probe into a 503. Nil means always healthy.
+	// Health, if set, is consulted by /healthz — the *liveness* probe
+	// (is the process up and serving); a non-nil error turns the probe
+	// into a 503. Nil means always live.
 	Health func() error
+	// Ready, if set, is consulted by /readyz — the *readiness* probe
+	// (is the process actually serving validated data: RTR cache synced,
+	// stream connected, replay complete). A non-nil error turns the
+	// probe into a 503 carrying the error text. Nil means /readyz
+	// mirrors /healthz, preserving the pre-split single-probe behavior.
+	Ready func() error
 	// ShutdownTimeout bounds the graceful drain in Close before open
 	// connections are cut. Zero selects 2s.
 	ShutdownTimeout time.Duration
@@ -82,6 +89,7 @@ func (a *Admin) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", a.handleMetrics)
 	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
 	if a.cfg.MIB != nil {
 		mux.Handle("/debug/mib", a.cfg.MIB)
 	}
@@ -117,8 +125,20 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *Admin) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if a.cfg.Health != nil {
-		if err := a.cfg.Health(); err != nil {
+	serveProbe(w, a.cfg.Health)
+}
+
+func (a *Admin) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	probe := a.cfg.Ready
+	if probe == nil {
+		probe = a.cfg.Health
+	}
+	serveProbe(w, probe)
+}
+
+func serveProbe(w http.ResponseWriter, probe func() error) {
+	if probe != nil {
+		if err := probe(); err != nil {
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
 			return
 		}

@@ -26,10 +26,20 @@ type jsonSeries struct {
 	Labels *jsonLabels `json:"labels,omitempty"`
 	// Value is set for counters and gauges.
 	Value *float64 `json:"value,omitempty"`
-	// Count/Sum/Buckets are set for histograms.
-	Count   *uint64      `json:"count,omitempty"`
-	Sum     *float64     `json:"sum,omitempty"`
-	Buckets []jsonBucket `json:"buckets,omitempty"`
+	// Count/Sum/Quantiles/Buckets are set for histograms.
+	Count *uint64  `json:"count,omitempty"`
+	Sum   *float64 `json:"sum,omitempty"`
+	// Quantiles carries p50/p90/p99 estimates so consumers (moas-top,
+	// /debug/status) don't re-derive them client-side; omitted when the
+	// histogram holds no observations.
+	Quantiles *jsonQuantiles `json:"quantiles,omitempty"`
+	Buckets   []jsonBucket   `json:"buckets,omitempty"`
+}
+
+type jsonQuantiles struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
 }
 
 type jsonBucket struct {
@@ -92,6 +102,13 @@ func WriteJSON(w io.Writer, r *Registry) error {
 				count, sum := h.Count, h.Sum
 				js.Count = &count
 				js.Sum = &sum
+				if count > 0 && len(h.Bounds) > 0 {
+					js.Quantiles = &jsonQuantiles{
+						P50: h.Quantile(0.50),
+						P90: h.Quantile(0.90),
+						P99: h.Quantile(0.99),
+					}
+				}
 				cum := uint64(0)
 				for i, ub := range h.Bounds {
 					cum += h.Counts[i]

@@ -155,3 +155,38 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	return snap
 }
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) from the bucket counts
+// by linear interpolation inside the bucket the rank lands in. The
+// overflow bucket (observations above the last finite bound) has no
+// upper edge, so estimates landing there clamp to the last finite
+// bound — a deliberate under-estimate that keeps the value finite.
+// Returns NaN when the snapshot holds no observations or no buckets.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if cum+c < rank {
+			cum += c
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := float64(rank-cum) / float64(c)
+		return lo + frac*(hi-lo)
+	}
+	// Rank falls in the implicit +Inf bucket: clamp to the last bound.
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Readiness aggregates named readiness probes into one func() error
+// suitable for AdminConfig.Ready. Probes are evaluated in registration
+// order and every failing probe is reported, so an operator reading the
+// /readyz body sees the full set of blockers, not just the first.
+//
+// The zero value is ready to use; Register is safe against concurrent
+// Check but is expected at wiring time.
+type Readiness struct {
+	mu     sync.Mutex
+	names  []string
+	probes []func() error
+}
+
+// Register adds a named probe. A nil probe is ignored.
+func (r *Readiness) Register(name string, probe func() error) {
+	if r == nil || probe == nil {
+		return
+	}
+	r.mu.Lock()
+	r.names = append(r.names, name)
+	r.probes = append(r.probes, probe)
+	r.mu.Unlock()
+}
+
+// Check runs every probe and returns nil when all pass, else one error
+// naming each failure. Nil receivers and empty sets are always ready.
+func (r *Readiness) Check() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := r.names
+	probes := r.probes
+	r.mu.Unlock()
+	var fails []string
+	for i, probe := range probes {
+		if err := probe(); err != nil {
+			fails = append(fails, fmt.Sprintf("%s: %v", names[i], err))
+		}
+	}
+	if len(fails) == 0 {
+		return nil
+	}
+	return fmt.Errorf("not ready: %s", strings.Join(fails, "; "))
+}
+
+// NotSynced is a convenience for boolean probes: it converts a
+// condition into the error a probe reports while the condition is
+// still false.
+func NotSynced(ok func() bool, what string) func() error {
+	return func() error {
+		if ok() {
+			return nil
+		}
+		return fmt.Errorf("%s", what)
+	}
+}

@@ -16,7 +16,9 @@ import (
 //
 //	/debug/trace      recent ring events; text by default, ?format=json
 //	                  for one JSON object per line, ?n= to limit count
-//	/debug/alarms     all retained forensic bundles as a JSON array
+//	/debug/alarms     all retained forensic bundles as a JSON array;
+//	                  ?span= keeps only bundles for that message span
+//	                  (how /debug/status exemplars resolve to bundles)
 //	/debug/alarms/    a single bundle by ID (/debug/alarms/3)
 //
 // A nil recorder yields handlers that answer 503, so wiring is
@@ -82,6 +84,20 @@ func (h alarmListHandler) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	bundles := h.rec.Alarms()
+	if s := req.URL.Query().Get("span"); s != "" {
+		span, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, "invalid span", http.StatusBadRequest)
+			return
+		}
+		kept := bundles[:0]
+		for _, b := range bundles {
+			if b.Span == span {
+				kept = append(kept, b)
+			}
+		}
+		bundles = kept
+	}
 	if bundles == nil {
 		bundles = []AlarmBundle{}
 	}

@@ -92,6 +92,24 @@ func TestAlarmEndpoints(t *testing.T) {
 		t.Errorf("alarm 0: %+v", b)
 	}
 
+	// ?span= filters the list to bundles for one message — the lookup
+	// /debug/status exemplars use.
+	w = serveRoute(t, routes, "/debug/alarms?span=7")
+	bundles = nil
+	if err := json.Unmarshal(w.Body.Bytes(), &bundles); err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 || bundles[0].Span != 7 {
+		t.Errorf("span=7 bundles: %+v", bundles)
+	}
+	w = serveRoute(t, routes, "/debug/alarms?span=8")
+	if got := strings.TrimSpace(w.Body.String()); got != "[]" {
+		t.Errorf("span=8 bundles: %q", got)
+	}
+	if w = serveRoute(t, routes, "/debug/alarms?span=nope"); w.Code != http.StatusBadRequest {
+		t.Errorf("bad span: status %d", w.Code)
+	}
+
 	if w = serveRoute(t, routes, "/debug/alarms/99"); w.Code != http.StatusNotFound {
 		t.Errorf("missing alarm: status %d", w.Code)
 	}

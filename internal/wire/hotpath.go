@@ -10,6 +10,7 @@ import (
 	"sync"
 
 	"repro/internal/astypes"
+	"repro/internal/obs"
 )
 
 // msgBufPool holds full-size message buffers for the package-level
@@ -73,6 +74,12 @@ type Reader struct {
 	r   io.Reader
 	buf [MaxMessageLen]byte
 	dec Decoder
+	// rec, when set, stamps each message's ingest instant and records
+	// its decode-stage latency; st is the current message's stamp,
+	// owned by the Reader (valid until the next ReadMessage) so the
+	// record path stays allocation-free.
+	rec *obs.Recorder
+	st  obs.Stamp
 }
 
 // NewReader returns a Reader framing messages from r.
@@ -89,12 +96,34 @@ func (rd *Reader) ReadMessage() (Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	return rd.dec.Decode(rd.buf[:n])
+	// Ingest T0 is stamped after the frame is read, so time spent
+	// blocked on the socket (idle sessions) never pollutes the decode
+	// stage.
+	rd.st = rd.rec.Start(0)
+	m, err := rd.dec.Decode(rd.buf[:n])
+	if err != nil {
+		return nil, err
+	}
+	// The span is threaded even with no recorder so downstream stamp
+	// handlers still correlate on it.
+	rd.st.Span = rd.dec.Span()
+	rd.rec.Cross(&rd.st, obs.StageDecode)
+	return m, nil
 }
 
 // Span returns the ordinal of the most recently decoded message (see
 // Decoder.Span).
 func (rd *Reader) Span() uint64 { return rd.dec.Span() }
+
+// SetObserver attaches a stage-latency recorder: each subsequent
+// message gets an ingest stamp and a decode-stage observation. A nil
+// recorder (the default) keeps the reader observation-free.
+func (rd *Reader) SetObserver(rec *obs.Recorder) { rd.rec = rec }
+
+// Stamp returns the current message's stage stamp, for handlers that
+// carry it across later stage crossings. The pointer is owned by the
+// Reader and is overwritten by the next ReadMessage.
+func (rd *Reader) Stamp() *obs.Stamp { return &rd.st }
 
 // Writer accumulates encoded messages in an owned buffer and writes
 // them out on explicit Flush points, so back-to-back sends (a route
